@@ -1,0 +1,69 @@
+//! Assembler diagnostics.
+
+use std::fmt;
+
+use crate::source::Loc;
+
+/// An assembler error with an optional source location.
+///
+/// The assembler stops at the first error; the error message carries the
+/// `file:line` of the offending source so test-environment owners can fix
+/// their cells quickly (the methodology leans on fast, clear feedback when
+/// the abstraction layer changes underneath a test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    loc: Option<Loc>,
+    message: String,
+}
+
+impl AsmError {
+    /// An error tied to a source line.
+    pub fn at(loc: Loc, message: impl Into<String>) -> Self {
+        Self { loc: Some(loc), message: message.into() }
+    }
+
+    /// An error with no specific location (e.g. a missing entry file).
+    pub fn general(message: impl Into<String>) -> Self {
+        Self { loc: None, message: message.into() }
+    }
+
+    /// The source location, if known.
+    pub fn loc(&self) -> Option<&Loc> {
+        self.loc.as_ref()
+    }
+
+    /// The error message without the location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.loc {
+            Some(loc) => write!(f, "{loc}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn located_error_displays_position() {
+        let err = AsmError::at(Loc::new("t.asm", 3), "unknown mnemonic `FROB`");
+        assert_eq!(err.to_string(), "t.asm:3: unknown mnemonic `FROB`");
+        assert_eq!(err.loc().unwrap().line, 3);
+    }
+
+    #[test]
+    fn general_error_has_no_location() {
+        let err = AsmError::general("entry file `x.asm` not found");
+        assert!(err.loc().is_none());
+        assert_eq!(err.to_string(), "entry file `x.asm` not found");
+    }
+}

@@ -1,0 +1,804 @@
+//! The assembler preprocessor.
+//!
+//! This is the machinery the ADVM abstraction layer rides on:
+//!
+//! * `.INCLUDE Globals.inc` — pulls the abstraction layer into a test,
+//! * `NAME .EQU expr` — assembly-time constants, evaluated eagerly so that
+//!   conditional assembly can branch on them,
+//! * `.DEFINE NAME tokens` — textual aliases (the paper's
+//!   `.DEFINE CallAddr A12`),
+//! * `.MACRO` / `.ENDM` — parameterised code templates for base functions,
+//! * `.IF expr` / `.IFDEF` / `.IFNDEF` / `.ELSE` / `.ENDIF` — the
+//!   mechanism by which one test adapts to derivative and platform
+//!   (`.IF WDT_DISABLE == 0` style control comes from globals values),
+//! * `.ERROR "msg"` — guard rails inside the abstraction layer.
+//!
+//! Identifiers beginning with `LOCAL_` inside a macro body are made unique
+//! per expansion, so macros can define labels safely.
+
+use std::collections::HashMap;
+
+use crate::diag::AsmError;
+use crate::expr;
+use crate::lexer::{tokenize, Token};
+use crate::source::{Loc, SourceSet};
+
+/// Maximum `.INCLUDE` nesting depth.
+const MAX_INCLUDE_DEPTH: usize = 32;
+/// Maximum macro expansion nesting depth.
+const MAX_MACRO_DEPTH: usize = 64;
+
+/// One preprocessed logical line, ready for the assembler proper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalLine {
+    /// The line's tokens (aliases substituted, macros expanded).
+    pub tokens: Vec<Token>,
+    /// Where the line came from (macro-expanded lines keep the body's
+    /// location).
+    pub loc: Loc,
+}
+
+/// The preprocessor's result.
+#[derive(Debug, Clone, Default)]
+pub struct Preprocessed {
+    /// Assembler-visible lines in order.
+    pub lines: Vec<LogicalLine>,
+    /// `.EQU` constants in definition order.
+    pub equs: Vec<(String, i64)>,
+    /// Files pulled in by `.INCLUDE`, in first-include order (the
+    /// violation checker in the methodology crate inspects this).
+    pub includes: Vec<String>,
+}
+
+impl Preprocessed {
+    /// Looks up an `.EQU` constant.
+    pub fn equ(&self, name: &str) -> Option<i64> {
+        self.equs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+struct Macro {
+    params: Vec<String>,
+    body: Vec<(Vec<Token>, Loc)>,
+}
+
+struct CondFrame {
+    /// Whether the current branch emits lines.
+    active: bool,
+    /// Whether any branch of this conditional has been taken.
+    taken: bool,
+    /// Whether `.ELSE` has been seen.
+    seen_else: bool,
+}
+
+struct Preprocessor<'a> {
+    sources: &'a SourceSet,
+    out: Preprocessed,
+    equs: HashMap<String, i64>,
+    aliases: HashMap<String, Vec<Token>>,
+    macros: HashMap<String, Macro>,
+    conds: Vec<CondFrame>,
+    include_stack: Vec<String>,
+    completed_includes: Vec<String>,
+    expansions: u64,
+}
+
+/// Runs the preprocessor over `entry` (and everything it includes).
+///
+/// # Errors
+///
+/// Returns the first error encountered: missing include, malformed
+/// directive, unbalanced conditionals, duplicate `.EQU`, macro problems or
+/// a triggered `.ERROR`.
+pub fn preprocess(entry: &str, sources: &SourceSet) -> Result<Preprocessed, AsmError> {
+    let mut pp = Preprocessor {
+        sources,
+        out: Preprocessed::default(),
+        equs: HashMap::new(),
+        aliases: HashMap::new(),
+        macros: HashMap::new(),
+        conds: Vec::new(),
+        include_stack: Vec::new(),
+        completed_includes: Vec::new(),
+        expansions: 0,
+    };
+    pp.process_file(entry, None)?;
+    if let Some(_frame) = pp.conds.pop() {
+        return Err(AsmError::general(format!(
+            "unterminated conditional at end of `{entry}` (missing .ENDIF)"
+        )));
+    }
+    Ok(pp.out)
+}
+
+impl Preprocessor<'_> {
+    fn active(&self) -> bool {
+        self.conds.iter().all(|c| c.active)
+    }
+
+    fn process_file(&mut self, name: &str, from: Option<&Loc>) -> Result<(), AsmError> {
+        // Include-once semantics: a file that was fully processed earlier
+        // is skipped, so `Globals.inc` can be included both by the unit
+        // prologue and by each test (as the paper's listings do).
+        if self.completed_includes.iter().any(|f| f == name) {
+            if from.is_some() && self.active() {
+                self.out.includes.push(name.to_owned());
+            }
+            return Ok(());
+        }
+        if self.include_stack.iter().any(|f| f == name) {
+            let loc = from.cloned().unwrap_or_else(|| Loc::new(name, 0));
+            return Err(AsmError::at(
+                loc,
+                format!("include cycle: `{name}` is already being processed"),
+            ));
+        }
+        if self.include_stack.len() >= MAX_INCLUDE_DEPTH {
+            let loc = from.cloned().unwrap_or_else(|| Loc::new(name, 0));
+            return Err(AsmError::at(loc, "include depth limit exceeded"));
+        }
+        let text = self.sources.get(name).ok_or_else(|| match from {
+            Some(loc) => AsmError::at(loc.clone(), format!("include file `{name}` not found")),
+            None => AsmError::general(format!("entry file `{name}` not found")),
+        })?;
+        // Track every include (even repeats) for environment analysis.
+        if from.is_some() && self.active() {
+            self.out.includes.push(name.to_owned());
+        }
+        self.include_stack.push(name.to_owned());
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let mut i = 0usize;
+        while i < lines.len() {
+            let loc = Loc::new(name, (i + 1) as u32);
+            let raw = &lines[i];
+            i += 1;
+
+            // `.INCLUDE path` is handled at text level: bare paths like
+            // `Globals.inc` would not survive tokenization.
+            let trimmed = raw.trim();
+            if trimmed.to_ascii_uppercase().starts_with(".INCLUDE") {
+                if !self.active() {
+                    continue;
+                }
+                let path = trimmed[".INCLUDE".len()..].trim();
+                let path = path.split(';').next().unwrap_or("").trim();
+                let path = path.trim_matches('"').trim();
+                if path.is_empty() {
+                    return Err(AsmError::at(loc, ".INCLUDE requires a file name"));
+                }
+                self.process_file(path, Some(&loc))?;
+                continue;
+            }
+
+            let tokens = match tokenize(raw, &loc) {
+                Ok(t) => t,
+                // Inside an inactive conditional branch, unlexable lines
+                // are skipped: they may use another platform's syntax.
+                Err(e) => {
+                    if self.active() {
+                        return Err(e);
+                    }
+                    continue;
+                }
+            };
+            if tokens.is_empty() {
+                continue;
+            }
+
+            // Conditional directives are processed even when inactive so
+            // nesting stays balanced.
+            if let Some(Token::Directive(d)) = tokens.first() {
+                match d.as_str() {
+                    ".IF" | ".IFDEF" | ".IFNDEF" => {
+                        let parent_active = self.active();
+                        let cond = if parent_active {
+                            self.eval_condition(d, &tokens[1..], &loc)?
+                        } else {
+                            false
+                        };
+                        self.conds.push(CondFrame {
+                            active: parent_active && cond,
+                            taken: cond,
+                            seen_else: false,
+                        });
+                        continue;
+                    }
+                    ".ELSE" => {
+                        let parent_active =
+                            self.conds.iter().rev().skip(1).all(|c| c.active);
+                        let frame = self.conds.last_mut().ok_or_else(|| {
+                            AsmError::at(loc.clone(), ".ELSE without matching .IF")
+                        })?;
+                        if frame.seen_else {
+                            return Err(AsmError::at(loc, "duplicate .ELSE"));
+                        }
+                        frame.seen_else = true;
+                        frame.active = parent_active && !frame.taken;
+                        frame.taken = true;
+                        continue;
+                    }
+                    ".ENDIF" => {
+                        self.conds.pop().ok_or_else(|| {
+                            AsmError::at(loc.clone(), ".ENDIF without matching .IF")
+                        })?;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+
+            if !self.active() {
+                continue;
+            }
+
+            // Macro definition.
+            if matches!(tokens.first(), Some(Token::Directive(d)) if d == ".MACRO") {
+                let (name, params) = parse_macro_header(&tokens[1..], &loc)?;
+                let mut body = Vec::new();
+                let mut closed = false;
+                while i < lines.len() {
+                    let body_loc = Loc::new(self.include_stack.last().unwrap(), (i + 1) as u32);
+                    let body_tokens = tokenize(&lines[i], &body_loc)?;
+                    i += 1;
+                    if matches!(body_tokens.first(), Some(Token::Directive(d)) if d == ".ENDM") {
+                        closed = true;
+                        break;
+                    }
+                    if matches!(body_tokens.first(), Some(Token::Directive(d)) if d == ".MACRO") {
+                        return Err(AsmError::at(body_loc, "nested .MACRO definitions are not supported"));
+                    }
+                    if !body_tokens.is_empty() {
+                        body.push((body_tokens, body_loc));
+                    }
+                }
+                if !closed {
+                    return Err(AsmError::at(loc, format!("macro `{name}` has no .ENDM")));
+                }
+                if self.macros.insert(name.clone(), Macro { params, body }).is_some() {
+                    return Err(AsmError::at(loc, format!("macro `{name}` redefined")));
+                }
+                continue;
+            }
+
+            self.process_line(tokens, loc, 0)?;
+        }
+        self.include_stack.pop();
+        self.completed_includes.push(name.to_owned());
+        Ok(())
+    }
+
+    /// Handles one active logical line: alias substitution, `.EQU`,
+    /// `.DEFINE`, `.ERROR`, macro expansion, or pass-through.
+    fn process_line(
+        &mut self,
+        tokens: Vec<Token>,
+        loc: Loc,
+        depth: usize,
+    ) -> Result<(), AsmError> {
+        if depth > MAX_MACRO_DEPTH {
+            return Err(AsmError::at(loc, "macro expansion depth limit exceeded"));
+        }
+
+        // `.DEFINE NAME tokens` — recorded before substitution so the name
+        // itself is not rewritten.
+        if matches!(tokens.first(), Some(Token::Directive(d)) if d == ".DEFINE") {
+            let name = match tokens.get(1) {
+                Some(Token::Ident(n)) => n.clone(),
+                _ => return Err(AsmError::at(loc, ".DEFINE requires a name")),
+            };
+            if tokens.len() < 3 {
+                return Err(AsmError::at(loc, format!(".DEFINE {name} requires a replacement")));
+            }
+            if self.equs.contains_key(&name) {
+                return Err(AsmError::at(
+                    loc,
+                    format!("`{name}` is already defined as an .EQU constant"),
+                ));
+            }
+            let replacement: Vec<Token> = tokens[2..].to_vec();
+            self.aliases.insert(name, replacement);
+            return Ok(());
+        }
+
+        // `NAME .EQU expr` — the name is taken from the *raw* tokens so a
+        // `.DEFINE` alias cannot silently rewrite it; only the expression
+        // side gets alias substitution.
+        if tokens.len() >= 2 && matches!(&tokens[1], Token::Directive(d) if d == ".EQU") {
+            let name = match &tokens[0] {
+                Token::Ident(n) => n.clone(),
+                other => {
+                    return Err(AsmError::at(loc, format!(".EQU name expected, found `{other}`")))
+                }
+            };
+            let expr_tokens = self.substitute_aliases(tokens[2..].to_vec());
+            let value = self.eval_expr(&expr_tokens, &loc)?;
+            if self.aliases.contains_key(&name) {
+                return Err(AsmError::at(
+                    loc,
+                    format!("`{name}` is already defined as a .DEFINE alias"),
+                ));
+            }
+            if let Some(old) = self.equs.insert(name.clone(), value) {
+                return Err(AsmError::at(
+                    loc,
+                    format!("symbol `{name}` redefined by .EQU (was {old}, now {value})"),
+                ));
+            }
+            self.out.equs.push((name, value));
+            return Ok(());
+        }
+
+        let tokens = self.substitute_aliases(tokens);
+
+        // `.ERROR "message"`.
+        if matches!(tokens.first(), Some(Token::Directive(d)) if d == ".ERROR") {
+            let message = match tokens.get(1) {
+                Some(Token::Str(s)) => s.clone(),
+                _ => "(no message)".to_owned(),
+            };
+            return Err(AsmError::at(loc, format!(".ERROR: {message}")));
+        }
+
+        // Macro invocation: `NAME args` or `label: NAME args`.
+        let (label_prefix, rest) = split_label(&tokens);
+        if let Some(Token::Ident(head)) = rest.first() {
+            if self.macros.contains_key(head) {
+                if let Some(label) = label_prefix {
+                    self.out.lines.push(LogicalLine {
+                        tokens: vec![Token::Ident(label.to_owned()), Token::Punct(':')],
+                        loc: loc.clone(),
+                    });
+                }
+                let head = head.clone();
+                let args = split_args(&rest[1..]);
+                self.expand_macro(&head, args, &loc, depth)?;
+                return Ok(());
+            }
+        }
+
+        self.out.lines.push(LogicalLine { tokens, loc });
+        Ok(())
+    }
+
+    fn expand_macro(
+        &mut self,
+        name: &str,
+        args: Vec<Vec<Token>>,
+        call_loc: &Loc,
+        depth: usize,
+    ) -> Result<(), AsmError> {
+        self.expansions += 1;
+        let uniq = self.expansions;
+        let mac = &self.macros[name];
+        if args.len() != mac.params.len() {
+            return Err(AsmError::at(
+                call_loc.clone(),
+                format!(
+                    "macro `{name}` expects {} argument(s), got {}",
+                    mac.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let bindings: HashMap<&str, &Vec<Token>> = mac
+            .params
+            .iter()
+            .map(String::as_str)
+            .zip(args.iter())
+            .collect();
+        let body: Vec<(Vec<Token>, Loc)> = mac
+            .body
+            .iter()
+            .map(|(tokens, loc)| {
+                let mut out = Vec::with_capacity(tokens.len());
+                for t in tokens {
+                    match t {
+                        Token::Ident(id) if bindings.contains_key(id.as_str()) => {
+                            out.extend(bindings[id.as_str()].iter().cloned());
+                        }
+                        Token::Ident(id) if id.starts_with("LOCAL_") => {
+                            out.push(Token::Ident(format!("{id}__{uniq}")));
+                        }
+                        other => out.push(other.clone()),
+                    }
+                }
+                (out, loc.clone())
+            })
+            .collect();
+        for (tokens, loc) in body {
+            self.process_line(tokens, loc, depth + 1)?;
+        }
+        Ok(())
+    }
+
+    fn substitute_aliases(&self, tokens: Vec<Token>) -> Vec<Token> {
+        if self.aliases.is_empty() {
+            return tokens;
+        }
+        let mut out = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            match &t {
+                Token::Ident(id) => match self.aliases.get(id) {
+                    Some(replacement) => out.extend(replacement.iter().cloned()),
+                    None => out.push(t),
+                },
+                _ => out.push(t),
+            }
+        }
+        out
+    }
+
+    fn eval_expr(&self, tokens: &[Token], loc: &Loc) -> Result<i64, AsmError> {
+        let expr = expr::parse_all(tokens, loc)?;
+        expr::eval(&expr, loc, &|name| self.equs.get(name).copied())
+    }
+
+    fn eval_condition(
+        &self,
+        directive: &str,
+        tokens: &[Token],
+        loc: &Loc,
+    ) -> Result<bool, AsmError> {
+        match directive {
+            ".IFDEF" | ".IFNDEF" => {
+                let name = match tokens.first() {
+                    Some(Token::Ident(n)) => n,
+                    _ => {
+                        return Err(AsmError::at(
+                            loc.clone(),
+                            format!("{directive} requires a symbol name"),
+                        ))
+                    }
+                };
+                let defined = self.equs.contains_key(name) || self.aliases.contains_key(name);
+                Ok(if directive == ".IFDEF" { defined } else { !defined })
+            }
+            _ => Ok(self.eval_expr(tokens, loc)? != 0),
+        }
+    }
+}
+
+fn parse_macro_header(tokens: &[Token], loc: &Loc) -> Result<(String, Vec<String>), AsmError> {
+    let name = match tokens.first() {
+        Some(Token::Ident(n)) => n.clone(),
+        _ => return Err(AsmError::at(loc.clone(), ".MACRO requires a name")),
+    };
+    let mut params = Vec::new();
+    let mut rest = &tokens[1..];
+    while !rest.is_empty() {
+        match &rest[0] {
+            Token::Ident(p) => params.push(p.clone()),
+            other => {
+                return Err(AsmError::at(
+                    loc.clone(),
+                    format!("macro parameter name expected, found `{other}`"),
+                ))
+            }
+        }
+        rest = &rest[1..];
+        if let Some(first) = rest.first() {
+            if first.is_punct(',') {
+                rest = &rest[1..];
+                continue;
+            }
+            return Err(AsmError::at(loc.clone(), "expected `,` between macro parameters"));
+        }
+    }
+    Ok((name, params))
+}
+
+/// Splits `label: rest` off a token line, if present.
+fn split_label(tokens: &[Token]) -> (Option<&str>, &[Token]) {
+    if tokens.len() >= 2 {
+        if let (Token::Ident(name), true) = (&tokens[0], tokens[1].is_punct(':')) {
+            return (Some(name), &tokens[2..]);
+        }
+    }
+    (None, tokens)
+}
+
+/// Splits macro arguments at top-level commas (bracket/paren aware).
+fn split_args(tokens: &[Token]) -> Vec<Vec<Token>> {
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let mut args = Vec::new();
+    let mut current = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        match t {
+            Token::Punct('[') | Token::Punct('(') => {
+                depth += 1;
+                current.push(t.clone());
+            }
+            Token::Punct(']') | Token::Punct(')') => {
+                depth -= 1;
+                current.push(t.clone());
+            }
+            Token::Punct(',') if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    args.push(current);
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(entry: &str, files: &[(&str, &str)]) -> Result<Preprocessed, AsmError> {
+        let sources: SourceSet = files.iter().copied().collect();
+        preprocess(entry, &sources)
+    }
+
+    fn line_texts(pre: &Preprocessed) -> Vec<String> {
+        pre.lines
+            .iter()
+            .map(|l| {
+                l.tokens
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn include_pulls_globals() {
+        let pre = run(
+            "test.asm",
+            &[
+                ("test.asm", ".INCLUDE Globals.inc\nTEST_PAGE .EQU TEST1_TARGET_PAGE\n"),
+                ("Globals.inc", "TEST1_TARGET_PAGE .EQU 8\n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(pre.equ("TEST_PAGE"), Some(8));
+        assert_eq!(pre.includes, vec!["Globals.inc".to_owned()]);
+    }
+
+    #[test]
+    fn quoted_include_paths_work() {
+        let pre = run(
+            "t.asm",
+            &[("t.asm", ".INCLUDE \"g.inc\"\n"), ("g.inc", "A .EQU 1\n")],
+        )
+        .unwrap();
+        assert_eq!(pre.equ("A"), Some(1));
+    }
+
+    #[test]
+    fn missing_include_is_located() {
+        let err = run("t.asm", &[("t.asm", "\n.INCLUDE nope.inc\n")]).unwrap_err();
+        assert_eq!(err.loc().unwrap().line, 2);
+        assert!(err.to_string().contains("nope.inc"));
+    }
+
+    #[test]
+    fn include_cycle_detected() {
+        let err = run(
+            "a.inc",
+            &[("a.inc", ".INCLUDE b.inc\n"), ("b.inc", ".INCLUDE a.inc\n")],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn repeated_include_is_skipped() {
+        // Include-once: both the unit prologue and the test include
+        // Globals.inc; the second include must not redefine the EQUs.
+        let pre = run(
+            "unit.asm",
+            &[
+                ("unit.asm", ".INCLUDE g.inc\n.INCLUDE test.asm\n"),
+                ("test.asm", ".INCLUDE g.inc\nNOP\n"),
+                ("g.inc", "A .EQU 1\n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(pre.equ("A"), Some(1));
+        assert_eq!(line_texts(&pre), vec!["NOP"]);
+        // Both include events are still recorded for environment analysis.
+        assert_eq!(pre.includes, vec!["g.inc".to_owned(), "test.asm".to_owned(), "g.inc".to_owned()]);
+    }
+
+    #[test]
+    fn equ_chain_evaluates_eagerly() {
+        let pre = run(
+            "t.asm",
+            &[("t.asm", "A .EQU 4\nB .EQU A * 2\nMASK .EQU 1 << B\n")],
+        )
+        .unwrap();
+        assert_eq!(pre.equ("MASK"), Some(256));
+    }
+
+    #[test]
+    fn equ_redefinition_rejected() {
+        let err = run("t.asm", &[("t.asm", "A .EQU 1\nA .EQU 2\n")]).unwrap_err();
+        assert!(err.to_string().contains("redefined"));
+    }
+
+    #[test]
+    fn define_alias_substitutes() {
+        // The paper's `.DEFINE CallAddr A12` idiom.
+        let pre = run(
+            "t.asm",
+            &[("t.asm", ".DEFINE CallAddr a12\nLOAD CallAddr, TARGET\n")],
+        )
+        .unwrap();
+        assert_eq!(line_texts(&pre), vec!["LOAD a12 , TARGET"]);
+    }
+
+    #[test]
+    fn define_and_equ_namespaces_collide_loudly() {
+        assert!(run("t.asm", &[("t.asm", "A .EQU 1\n.DEFINE A d0\n")]).is_err());
+        assert!(run("t.asm", &[("t.asm", ".DEFINE A d0\nA .EQU 1\n")]).is_err());
+    }
+
+    #[test]
+    fn conditional_if_else() {
+        let pre = run(
+            "t.asm",
+            &[(
+                "t.asm",
+                "FLAG .EQU 1\n.IF FLAG\nNOP\n.ELSE\nHALT #1\n.ENDIF\n",
+            )],
+        )
+        .unwrap();
+        assert_eq!(line_texts(&pre), vec!["NOP"]);
+    }
+
+    #[test]
+    fn conditional_else_branch() {
+        let pre = run(
+            "t.asm",
+            &[("t.asm", "FLAG .EQU 0\n.IF FLAG\nNOP\n.ELSE\nHALT #1\n.ENDIF\n")],
+        )
+        .unwrap();
+        assert_eq!(line_texts(&pre), vec!["HALT # 1"]);
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let src = "\
+A .EQU 1
+B .EQU 0
+.IF A
+.IF B
+NOP
+.ELSE
+HALT #2
+.ENDIF
+.ELSE
+NOP
+NOP
+.ENDIF
+";
+        let pre = run("t.asm", &[("t.asm", src)]).unwrap();
+        assert_eq!(line_texts(&pre), vec!["HALT # 2"]);
+    }
+
+    #[test]
+    fn ifdef_checks_definition() {
+        let pre = run(
+            "t.asm",
+            &[("t.asm", "A .EQU 0\n.IFDEF A\nNOP\n.ENDIF\n.IFNDEF B\nHALT #0\n.ENDIF\n")],
+        )
+        .unwrap();
+        // `.IFDEF A` is true even though A == 0.
+        assert_eq!(line_texts(&pre), vec!["NOP", "HALT # 0"]);
+    }
+
+    #[test]
+    fn unbalanced_conditional_rejected() {
+        assert!(run("t.asm", &[("t.asm", ".IF 1\nNOP\n")]).is_err());
+        assert!(run("t.asm", &[("t.asm", ".ENDIF\n")]).is_err());
+        assert!(run("t.asm", &[("t.asm", ".ELSE\n")]).is_err());
+    }
+
+    #[test]
+    fn inactive_branch_tolerates_unlexable_lines() {
+        let pre = run(
+            "t.asm",
+            &[("t.asm", ".IF 0\n@@@ not ours @@@\n.ENDIF\nNOP\n")],
+        )
+        .unwrap();
+        assert_eq!(line_texts(&pre), vec!["NOP"]);
+    }
+
+    #[test]
+    fn macro_expansion_with_args() {
+        let src = "\
+.MACRO WRITE_REG addr, value
+LOAD d15, value
+STORE [addr], d15
+.ENDM
+WRITE_REG 0x100, #7
+";
+        let pre = run("t.asm", &[("t.asm", src)]).unwrap();
+        assert_eq!(line_texts(&pre), vec!["LOAD d15 , # 7", "STORE [ 256 ] , d15"]);
+    }
+
+    #[test]
+    fn macro_local_labels_are_unique() {
+        let src = "\
+.MACRO SPIN n
+LOCAL_loop:
+ADDI d0, d0, #-1
+JNE LOCAL_loop
+.ENDM
+SPIN 1
+SPIN 2
+";
+        let pre = run("t.asm", &[("t.asm", src)]).unwrap();
+        let texts = line_texts(&pre);
+        let labels: Vec<&String> = texts.iter().filter(|t| t.contains(':')).collect();
+        assert_eq!(labels.len(), 2);
+        assert_ne!(labels[0], labels[1], "expansions must not share labels");
+    }
+
+    #[test]
+    fn macro_argument_count_checked() {
+        let src = ".MACRO M a, b\nNOP\n.ENDM\nM 1\n";
+        let err = run("t.asm", &[("t.asm", src)]).unwrap_err();
+        assert!(err.to_string().contains("expects 2 argument(s), got 1"));
+    }
+
+    #[test]
+    fn macro_invocation_after_label() {
+        let src = ".MACRO M\nNOP\n.ENDM\nstart: M\n";
+        let pre = run("t.asm", &[("t.asm", src)]).unwrap();
+        assert_eq!(line_texts(&pre), vec!["start :", "NOP"]);
+    }
+
+    #[test]
+    fn nested_macro_invocation() {
+        let src = "\
+.MACRO INNER x
+LOAD d0, x
+.ENDM
+.MACRO OUTER y
+INNER y
+.ENDM
+OUTER #3
+";
+        let pre = run("t.asm", &[("t.asm", src)]).unwrap();
+        assert_eq!(line_texts(&pre), vec!["LOAD d0 , # 3"]);
+    }
+
+    #[test]
+    fn error_directive_fires() {
+        let err = run(
+            "t.asm",
+            &[("t.asm", ".IF 1\n.ERROR \"unsupported derivative\"\n.ENDIF\n")],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unsupported derivative"));
+    }
+
+    #[test]
+    fn error_directive_skipped_when_inactive() {
+        assert!(run(
+            "t.asm",
+            &[("t.asm", ".IF 0\n.ERROR \"nope\"\n.ENDIF\nNOP\n")]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn macro_args_with_brackets() {
+        let src = "\
+.MACRO LDW rd, mem
+LOAD rd, mem
+.ENDM
+LDW d1, [a2 + 4]
+";
+        let pre = run("t.asm", &[("t.asm", src)]).unwrap();
+        assert_eq!(line_texts(&pre), vec!["LOAD d1 , [ a2 + 4 ]"]);
+    }
+}

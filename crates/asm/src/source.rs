@@ -1,0 +1,143 @@
+//! Source management: a virtual file system for assembler inputs.
+//!
+//! The ADVM test environment is a tree of small files — test cells,
+//! `Globals.inc`, `Base_Functions.asm` — that include each other. The
+//! methodology engine builds those trees in memory, so the assembler
+//! resolves `.INCLUDE` against a [`SourceSet`] rather than the OS
+//! filesystem. (Loading a `SourceSet` from disk is a one-liner for users
+//! who want real files.)
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An in-memory collection of named assembler source files.
+///
+/// ```
+/// use advm_asm::SourceSet;
+///
+/// let mut sources = SourceSet::new();
+/// sources.insert("test.asm", "_main:\n    HALT #0\n");
+/// assert!(sources.get("test.asm").is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceSet {
+    files: BTreeMap<String, String>,
+}
+
+impl SourceSet {
+    /// An empty source set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn insert(&mut self, name: impl Into<String>, text: impl Into<String>) {
+        self.files.insert(name.into(), text.into());
+    }
+
+    /// Builder-style [`SourceSet::insert`].
+    pub fn with(mut self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.insert(name, text);
+        self
+    }
+
+    /// Looks up a file's text.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(String::as_str)
+    }
+
+    /// Iterates over `(name, text)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total line count across all files (used by effort metrics).
+    pub fn total_lines(&self) -> usize {
+        self.files.values().map(|t| t.lines().count()).sum()
+    }
+}
+
+impl<N: Into<String>, T: Into<String>> FromIterator<(N, T)> for SourceSet {
+    fn from_iter<I: IntoIterator<Item = (N, T)>>(iter: I) -> Self {
+        let mut set = SourceSet::new();
+        for (n, t) in iter {
+            set.insert(n, t);
+        }
+        set
+    }
+}
+
+impl<N: Into<String>, T: Into<String>> Extend<(N, T)> for SourceSet {
+    fn extend<I: IntoIterator<Item = (N, T)>>(&mut self, iter: I) {
+        for (n, t) in iter {
+            self.insert(n, t);
+        }
+    }
+}
+
+/// A source location: file name plus 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Loc {
+    /// File name within the [`SourceSet`].
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Loc {
+    /// Creates a location.
+    pub fn new(file: impl Into<String>, line: u32) -> Self {
+        Self { file: file.into(), line }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.file, self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let set = SourceSet::new().with("a.asm", "NOP");
+        assert_eq!(set.get("a.asm"), Some("NOP"));
+        assert_eq!(set.get("b.asm"), None);
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let set: SourceSet = vec![("a", "x"), ("b", "y\nz")].into_iter().collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_lines(), 3);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut set = SourceSet::new();
+        set.insert("a", "old");
+        set.insert("a", "new");
+        assert_eq!(set.get("a"), Some("new"));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn loc_displays_file_and_line() {
+        assert_eq!(Loc::new("t.asm", 12).to_string(), "t.asm:12");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property test: the canonical display syntax of every instruction
+//! re-assembles to the identical encoding.
+//!
+//! `Insn` → `Display` → assembler → bytes → `decode` must be the
+//! identity (for single-word instructions; `LOAD`-style pseudos are the
+//! assembler's own sugar and are covered by its unit tests).
+
+use advm_asm::assemble_str;
+use advm_isa::{decode, AddrReg, BitSrc, Cond, DataReg, Insn};
+use proptest::prelude::*;
+
+fn arb_data_reg() -> impl Strategy<Value = DataReg> {
+    (0u8..16).prop_map(|i| DataReg::from_index(i).expect("in range"))
+}
+
+fn arb_addr_reg() -> impl Strategy<Value = AddrReg> {
+    (0u8..16).prop_map(|i| AddrReg::from_index(i).expect("in range"))
+}
+
+fn arb_target() -> impl Strategy<Value = u32> {
+    (0u32..(1 << 18)).prop_map(|w| w << 2)
+}
+
+fn arb_bitfield() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..32).prop_flat_map(|pos| (Just(pos), 1u8..=(32 - pos)))
+}
+
+/// Instructions whose display form is directly assemblable.
+fn arb_displayable_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        any::<u8>().prop_map(|code| Insn::Halt { code }),
+        (0u8..32).prop_map(|vector| Insn::Trap { vector }),
+        any::<u8>().prop_map(|tag| Insn::Dbg { tag }),
+        (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovI { rd, imm }),
+        (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovHi { rd, imm }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Mov { rd, ra }),
+        (arb_data_reg(), arb_addr_reg()).prop_map(|(rd, ab)| Insn::MovDa { rd, ab }),
+        (arb_addr_reg(), arb_data_reg()).prop_map(|(ad, rb)| Insn::MovAd { ad, rb }),
+        (arb_addr_reg(), arb_addr_reg()).prop_map(|(ad, ab)| Insn::MovAa { ad, ab }),
+        (arb_addr_reg(), 0u32..(1 << 20)).prop_map(|(ad, addr)| Insn::Lea { ad, addr }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>())
+            .prop_map(|(rd, ab, off)| Insn::Ld { rd, ab, off }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>())
+            .prop_map(|(rd, ab, off)| Insn::LdB { rd, ab, off }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg())
+            .prop_map(|(ab, off, rs)| Insn::St { ab, off, rs }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg())
+            .prop_map(|(ab, off, rs)| Insn::StB { ab, off, rs }),
+        (arb_data_reg(), 0u32..(1 << 20)).prop_map(|(rd, addr)| Insn::LdAbs { rd, addr }),
+        (0u32..(1 << 20), arb_data_reg()).prop_map(|(addr, rs)| Insn::StAbs { addr, rs }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Add { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<i16>())
+            .prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Sub { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::AndI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::OrI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::XorI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::ShlI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::ShrI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::SarI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Not { rd, ra }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Neg { rd, ra }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(ra, rb)| Insn::Cmp { ra, rb }),
+        (arb_data_reg(), any::<i16>()).prop_map(|(ra, imm)| Insn::CmpI { ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg(), arb_bitfield()).prop_map(
+            |(rd, ra, rs, (pos, width))| Insn::Insert {
+                rd,
+                ra,
+                src: BitSrc::Reg(rs),
+                pos,
+                width
+            }
+        ),
+        (arb_data_reg(), arb_data_reg(), 0u8..128, arb_bitfield()).prop_map(
+            |(rd, ra, imm, (pos, width))| Insn::Insert {
+                rd,
+                ra,
+                src: BitSrc::Imm(imm),
+                pos,
+                width
+            }
+        ),
+        (arb_data_reg(), arb_data_reg(), arb_bitfield())
+            .prop_map(|(rd, ra, (pos, width))| Insn::Extract { rd, ra, pos, width }),
+        arb_target().prop_map(|target| Insn::Jmp { target }),
+        (0u8..8, arb_target()).prop_map(|(c, target)| Insn::J {
+            cond: Cond::from_code(c).expect("in range"),
+            target
+        }),
+        arb_target().prop_map(|target| Insn::Call { target }),
+        arb_addr_reg().prop_map(|ab| Insn::CallR { ab }),
+        Just(Insn::Ret),
+        Just(Insn::RetI),
+        arb_data_reg().prop_map(|rs| Insn::Push { rs }),
+        arb_data_reg().prop_map(|rd| Insn::Pop { rd }),
+        arb_addr_reg().prop_map(|ab| Insn::PushA { ab }),
+        arb_addr_reg().prop_map(|ad| Insn::PopA { ad }),
+        Just(Insn::Ei),
+        Just(Insn::Di),
+        (arb_addr_reg(), any::<i16>()).prop_map(|(ad, imm)| Insn::AddA { ad, imm }),
+    ]
+}
+
+proptest! {
+    /// display → assemble → decode is the identity.
+    #[test]
+    fn display_reassembles_identically(insn in arb_displayable_insn()) {
+        let text = format!("{insn}\n");
+        let program = assemble_str(&text)
+            .unwrap_or_else(|e| panic!("`{insn}` failed to assemble: {e}"));
+        let seg = &program.segments()[0];
+        prop_assert_eq!(seg.bytes().len(), 4, "`{}` must emit one word", insn);
+        let word = u32::from_le_bytes(seg.bytes()[0..4].try_into().expect("4 bytes"));
+        let back = decode(word).expect("assembled word decodes");
+        prop_assert_eq!(back, insn);
+    }
+
+    /// Whole random programs round-trip line by line.
+    #[test]
+    fn programs_reassemble(insns in proptest::collection::vec(arb_displayable_insn(), 1..40)) {
+        let text: String = insns.iter().map(|i| format!("{i}\n")).collect();
+        let program = assemble_str(&text).expect("program assembles");
+        let seg = &program.segments()[0];
+        prop_assert_eq!(seg.bytes().len(), insns.len() * 4);
+        for (i, chunk) in seg.bytes().chunks_exact(4).enumerate() {
+            let word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            prop_assert_eq!(decode(word).expect("decodes"), insns[i]);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Assembler throughput: full pipeline (preprocess + two-pass assembly)
+//! over generated programs of increasing size, plus the preprocessor-
+//! heavy path (macros and conditionals).
+
+use advm_asm::{assemble, SourceSet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn straight_line_program(lines: usize) -> String {
+    let mut src = String::from("_main:\n");
+    for i in 0..lines {
+        src.push_str(&format!("    ADDI d{}, d{}, #{}\n", i % 8, i % 8, i % 100));
+    }
+    src.push_str("    HALT #0\n");
+    src
+}
+
+fn macro_heavy_program(expansions: usize) -> String {
+    let mut src = String::from(
+        "\
+.MACRO STEP a, b
+    ADD a, a, b
+    XOR a, a, b
+.ENDM
+_main:
+",
+    );
+    for i in 0..expansions {
+        src.push_str(&format!("    STEP d{}, d{}\n", i % 8, (i + 1) % 8));
+    }
+    src.push_str("    HALT #0\n");
+    src
+}
+
+fn bench_straight_line(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asm/straight_line");
+    for lines in [100usize, 1_000, 10_000] {
+        let src = straight_line_program(lines);
+        group.throughput(Throughput::Elements(lines as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(lines), &src, |b, src| {
+            b.iter(|| advm_asm::assemble_str(src).expect("assembles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_macro_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asm/macro_expansion");
+    for expansions in [100usize, 1_000] {
+        let src = macro_heavy_program(expansions);
+        group.throughput(Throughput::Elements(expansions as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(expansions), &src, |b, src| {
+            b.iter(|| advm_asm::assemble_str(src).expect("assembles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_advm_unit(c: &mut Criterion) {
+    // A realistic ADVM unit: globals + base functions + runtime + test.
+    let env = advm::presets::page_env(advm::presets::default_config(), 1);
+    let sources: SourceSet =
+        advm::build::unit_sources(&env, "TEST_PAGE_SELECT_01").expect("cell exists");
+    c.bench_function("asm/advm_unit", |b| {
+        b.iter(|| assemble("__unit.asm", &sources).expect("assembles"));
+    });
+}
+
+criterion_group!(benches, bench_straight_line, bench_macro_expansion, bench_advm_unit);
+criterion_main!(benches);

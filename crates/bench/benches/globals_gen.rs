@@ -1,0 +1,24 @@
+//! Constrained-random generation throughput: seeded `Globals.inc`
+//! instances per second (the paper's future-work path must be cheap
+//! enough to randomise per regression run).
+
+use advm_gen::{generate, GlobalsConstraints};
+use advm_soc::{DerivativeId, PlatformId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_generate(c: &mut Criterion) {
+    let constraints = GlobalsConstraints::new(DerivativeId::Sc88C, PlatformId::Accelerator)
+        .with_test_page_count(16)
+        .with_knob("RANDOM_BAUD", 1..=0xFFFF);
+    let mut seed = 0u64;
+    c.bench_function("gen/globals_instance", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let file = generate(&constraints, seed).expect("space non-empty");
+            file.text().len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Porting-engine cost: re-targeting an environment (abstraction-layer
+//! regeneration + change-set diff) as the suite grows — the operation
+//! the methodology makes O(1) in engineer effort must also stay cheap
+//! in machine time.
+
+use advm::env::EnvConfig;
+use advm::porting::port_env;
+use advm::presets::page_env;
+use advm_soc::{DerivativeId, PlatformId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_port(c: &mut Criterion) {
+    let mut group = c.benchmark_group("porting/derivative");
+    for n in [10usize, 50, 200] {
+        let env = page_env(EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), n);
+        let target = EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
+            b.iter(|| {
+                let outcome = port_env(env, target);
+                assert_eq!(advm::porting::test_files_touched(&outcome.changes), 0);
+                outcome.changes.files_touched()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_port);
+criterion_main!(benches);

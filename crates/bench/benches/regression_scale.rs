@@ -1,0 +1,46 @@
+//! Regression-runner scaling: wall time of a golden-model regression
+//! over the catalogued suite as the worker count grows.
+
+use advm::presets::{default_config, standard_system};
+use advm::regression::{run_regression, RegressionConfig};
+use advm_soc::PlatformId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_workers(c: &mut Criterion) {
+    let envs = standard_system(default_config());
+    let mut group = c.benchmark_group("regression/workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            let config = RegressionConfig {
+                platforms: vec![PlatformId::GoldenModel],
+                workers,
+                fault: None,
+                fuel: advm_sim::DEFAULT_FUEL,
+            };
+            b.iter(|| {
+                let report = run_regression(&envs, &config).expect("builds");
+                assert_eq!(report.failed(), 0);
+                report.total()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_matrix(c: &mut Criterion) {
+    let envs = standard_system(default_config());
+    let mut group = c.benchmark_group("regression/full_matrix");
+    group.sample_size(10);
+    group.bench_function("6_platforms_4_workers", |b| {
+        b.iter(|| {
+            let report = run_regression(&envs, &RegressionConfig::full()).expect("builds");
+            assert_eq!(report.failed(), 0);
+            report.total()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers, bench_full_matrix);
+criterion_main!(benches);

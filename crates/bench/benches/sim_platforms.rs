@@ -1,0 +1,52 @@
+//! Simulator throughput per platform: the same ~60k-instruction
+//! workload executed on each of the six platforms (cycle-accurate
+//! platforms pay for their cost modelling).
+
+use advm_asm::{assemble_str, Image};
+use advm_sim::Platform;
+use advm_soc::{Derivative, PlatformId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn workload() -> Image {
+    // ~10k iterations x 6 instructions.
+    let program = assemble_str(
+        "\
+_main:
+    LOAD d1, #10000
+    MOVI d2, #0
+loop:
+    ADD d2, d2, d1
+    XOR d2, d2, d1
+    SUB d1, d1, #1
+    CMP d1, #0
+    JNE loop
+    HALT #0
+",
+    )
+    .expect("assembles");
+    let mut image = Image::new();
+    image.load_program(&program).expect("links");
+    image
+}
+
+fn bench_platforms(c: &mut Criterion) {
+    let image = workload();
+    let derivative = Derivative::sc88a();
+    let mut group = c.benchmark_group("sim/platforms");
+    group.throughput(Throughput::Elements(60_000));
+    for id in PlatformId::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            b.iter(|| {
+                let mut platform = Platform::new(id, &derivative);
+                platform.load_image(&image);
+                let result = platform.run();
+                assert!(matches!(result.end, advm_sim::EndReason::Halt(0)));
+                result.insns
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates the ablation experiment (E13): how much change each layer
+//! of ADVM discipline absorbs (defines vs wrappers vs nothing).
+
+fn main() {
+    let result = advm_bench::experiments::ablation_wrappers::run();
+    println!("{}", result.table);
+    println!("Defines absorb hardware changes; wrappers additionally absorb");
+    println!("embedded-software interface changes; hardwired tests absorb neither.");
+}

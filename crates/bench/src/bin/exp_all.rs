@@ -1,0 +1,29 @@
+//! Runs every experiment in sequence — regenerates all tables recorded
+//! in EXPERIMENTS.md in one go.
+
+use advm_bench::experiments as e;
+
+fn main() {
+    let fig1 = e::fig1_structure::run(5);
+    println!("{}\n{}", fig1.layer_table, fig1.reuse_table);
+
+    println!("{}", e::fig2_violations::run(10, &[0, 2, 5, 10]).table);
+
+    let fig3 = e::fig3_layout::run();
+    println!("{}", fig3.validation_table);
+
+    let fig4 = e::fig4_system::run();
+    println!("{}\n{}", fig4.env_table, fig4.tree_table);
+
+    println!("{}", e::fig6_spec_change::run(&[5, 10, 20, 50, 100], 10).table);
+    println!("{}", e::fig7_es_change::run().table);
+
+    let platforms = e::platforms::run();
+    println!("{}\n{}", platforms.matrix, platforms.summary);
+
+    println!("{}", e::effort::run(10).table);
+    println!("{}", e::devcost::run(60).table);
+    println!("{}", e::release_labels::run().table);
+    println!("{}", e::random_globals::run(64).table);
+    println!("{}", e::ablation_wrappers::run().table);
+}

@@ -1,0 +1,13 @@
+//! Regenerates the constrained-random experiment (E12): seeded random
+//! Globals.inc instances, page coverage, and deterministic passes.
+
+fn main() {
+    let result = advm_bench::experiments::random_globals::run(64);
+    println!("{}", result.table);
+    println!(
+        "{} / {} instances passed; final page coverage {:.0}%",
+        result.passed,
+        result.instances,
+        100.0 * result.final_coverage
+    );
+}

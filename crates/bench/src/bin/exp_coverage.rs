@@ -1,0 +1,14 @@
+//! Regenerates the register-coverage experiment (E14): which of the
+//! chip's registers the directed suite exercises, and where the holes
+//! are.
+
+fn main() {
+    let result = advm_bench::experiments::coverage::run();
+    println!("{}", result.growth_table);
+    println!("{}", result.final_table);
+    println!(
+        "overall: {:.0}% of registers exercised, {} hole(s) remaining",
+        100.0 * result.full_ratio,
+        result.holes
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates the effort experiment (E9): cumulative engineer effort
+//! across platform bring-ups and derivative ports; the crossover point
+//! is where the abstraction layer's up-front cost is recovered.
+
+fn main() {
+    for n in [10, 20] {
+        let result = advm_bench::experiments::effort::run(n);
+        println!("{}", result.table);
+        match result.crossover_stage {
+            Some(stage) => println!(
+                "ADVM pulls ahead at stage {stage} (`{}`).\n",
+                result.stages[stage].stage
+            ),
+            None => println!("no crossover within the modelled history\n"),
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates the Figure 1 experiment (E1): layer decomposition and
+//! base-function reuse of a module test environment.
+
+fn main() {
+    let result = advm_bench::experiments::fig1_structure::run(5);
+    println!("{}", result.layer_table);
+    println!("{}", result.reuse_table);
+    println!(
+        "{} base functions serve {} call sites across the test layer.",
+        result.base_functions_used, result.call_sites
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Figure 2 experiment (E2): the cost of bypassing the
+//! abstraction layer, swept over the number of abusive tests.
+
+fn main() {
+    let result = advm_bench::experiments::fig2_violations::run(10, &[0, 2, 5, 10]);
+    println!("{}", result.table);
+    println!("Clean tests survive the port untouched; every abusive test breaks.");
+}

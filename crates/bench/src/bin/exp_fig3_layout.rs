@@ -1,0 +1,8 @@
+//! Regenerates the Figure 3 experiment (E3): the module directory
+//! structure and its validation rules.
+
+fn main() {
+    let result = advm_bench::experiments::fig3_layout::run();
+    println!("{}", result.tree_table);
+    println!("{}", result.validation_table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates the Figure 4 experiment (E4): the complete system test
+//! environment, its shared global layer and isolation rules.
+
+fn main() {
+    let result = advm_bench::experiments::fig4_system::run();
+    println!("{}", result.env_table);
+    println!(
+        "clean system issues: {} | injected cross-env include detections: {}",
+        result.clean_issues, result.rogue_issues
+    );
+}

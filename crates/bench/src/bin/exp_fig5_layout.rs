@@ -1,0 +1,8 @@
+//! Regenerates the Figure 5 experiment (E5): the system directory
+//! structure rendered from the composed environment.
+
+fn main() {
+    let result = advm_bench::experiments::fig4_system::run();
+    println!("{}", result.tree_table);
+    println!("total tests in the system environment: {}", result.total_tests);
+}

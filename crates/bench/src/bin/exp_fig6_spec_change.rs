@@ -1,0 +1,10 @@
+//! Regenerates the Figure 6 experiment (E6): port cost under the
+//! paper's specification change (field moved) and derivative change
+//! (field widened), ADVM vs the hardwired baseline.
+
+fn main() {
+    let result =
+        advm_bench::experiments::fig6_spec_change::run(&[5, 10, 20, 50, 100], 10);
+    println!("{}", result.table);
+    println!("ADVM: O(1) abstraction-layer files; baseline: every test refactored.");
+}

@@ -1,0 +1,12 @@
+//! Regenerates the Figure 7 experiment (E7): the embedded-software team
+//! swaps input registers (v1 -> v2); the abstraction layer absorbs it at
+//! a single point.
+
+fn main() {
+    let result = advm_bench::experiments::fig7_es_change::run();
+    println!("{}", result.table);
+    println!(
+        "Before the fix, {}/{} wrapped tests broke under the v2 ROM.",
+        result.broken_before_fix, result.advm_tests
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates the platform experiment (E8): one suite across the six
+//! platforms of the paper's section 1, plus fault-injection divergence.
+
+fn main() {
+    let result = advm_bench::experiments::platforms::run();
+    println!("{}", result.matrix);
+    println!("{}", result.summary);
+    println!(
+        "clean failures: {} / {} runs | injected RTL fault -> {} divergent test(s) on {:?}",
+        result.clean_failures, result.total_runs, result.fault_divergences,
+        result.divergent_platforms
+    );
+}

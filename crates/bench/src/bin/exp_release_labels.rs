@@ -1,0 +1,7 @@
+//! Regenerates the release experiment (E11): frozen labels keep
+//! regressions stable while the live abstraction layer changes.
+
+fn main() {
+    let result = advm_bench::experiments::release_labels::run();
+    println!("{}", result.table);
+}

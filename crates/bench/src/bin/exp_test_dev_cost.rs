@@ -1,0 +1,14 @@
+//! Regenerates the development-cost experiment (E10): marginal cost of
+//! writing a new test with and without the base-function library.
+
+fn main() {
+    let result = advm_bench::experiments::devcost::run(60);
+    println!("{}", result.table);
+    println!(
+        "per-test lines: ADVM {} vs baseline {} (library: {} lines, break-even at {:?} tests)",
+        result.advm_lines_per_test,
+        result.baseline_lines_per_test,
+        result.library_lines,
+        result.break_even_tests
+    );
+}

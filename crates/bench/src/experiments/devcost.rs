@@ -1,0 +1,94 @@
+//! **E10 / §2, §5 claim** — "once the base functions for each
+//! environment have been created the test development time is
+//! significantly reduced".
+//!
+//! Measures marginal test-development cost: lines an engineer writes for
+//! test *k* with the base-function library (tests call wrappers) versus
+//! without it (every test carries its init/poll/report boilerplate
+//! inline). Reports the cumulative curves and where the library's
+//! up-front cost is amortised.
+
+use advm::env::EnvConfig;
+use advm::presets::page_env;
+use advm_baseline::{direct_page_suite, SuiteConfig};
+use advm_metrics::{EffortModel, Table};
+use advm_soc::{DerivativeId, PlatformId};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct DevCostResult {
+    /// The cumulative-lines table.
+    pub table: Table,
+    /// Lines per ADVM test (marginal).
+    pub advm_lines_per_test: usize,
+    /// Lines per hardwired test (marginal).
+    pub baseline_lines_per_test: usize,
+    /// Library lines paid once by ADVM.
+    pub library_lines: usize,
+    /// Test count at which ADVM's cumulative authored lines drop below
+    /// the baseline's (`None` if never within the sweep).
+    pub break_even_tests: Option<usize>,
+}
+
+/// Runs the sweep up to `max_tests`.
+pub fn run(max_tests: usize) -> DevCostResult {
+    let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let model = EffortModel::standard();
+
+    // Marginal cost per test, measured from the real generated sources.
+    let probe = page_env(config, 2);
+    let advm_lines_per_test = probe.cells()[1].source().lines().count();
+    let library_lines = probe.base_functions_text().lines().count();
+
+    let base_probe =
+        direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 2);
+    let baseline_lines_per_test = base_probe.cells()[1].1.lines().count();
+
+    let mut table = Table::new(
+        "Marginal test-development cost (authored lines)",
+        &["tests", "ADVM cumulative", "baseline cumulative", "ADVM minutes", "baseline minutes"],
+    );
+    let mut break_even_tests = None;
+    for k in 1..=max_tests {
+        let advm_cum = library_lines + k * advm_lines_per_test;
+        let base_cum = k * baseline_lines_per_test;
+        if break_even_tests.is_none() && advm_cum < base_cum {
+            break_even_tests = Some(k);
+        }
+        if k <= 5 || k % 5 == 0 {
+            table.row(&[
+                k.to_string(),
+                advm_cum.to_string(),
+                base_cum.to_string(),
+                format!("{:.0}", model.minutes_per_new_line * advm_cum as f64),
+                format!("{:.0}", model.minutes_per_new_line * base_cum as f64),
+            ]);
+        }
+    }
+
+    DevCostResult {
+        table,
+        advm_lines_per_test,
+        baseline_lines_per_test,
+        library_lines,
+        break_even_tests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advm_tests_are_shorter_and_library_amortises() {
+        let result = run(60);
+        assert!(
+            result.advm_lines_per_test < result.baseline_lines_per_test,
+            "wrapped tests must be shorter: {} vs {}",
+            result.advm_lines_per_test,
+            result.baseline_lines_per_test
+        );
+        let k = result.break_even_tests.expect("library must amortise");
+        assert!(k <= 60, "break-even at {k} tests");
+    }
+}

@@ -1,0 +1,124 @@
+//! **E2 / Figure 2** — abuse of the structure, and what it costs.
+//!
+//! Sweeps the fraction of tests that bypass the abstraction layer, shows
+//! the static checker finds every abuse, then ports the environment to a
+//! new derivative and measures the damage: clean tests keep passing,
+//! abusive tests break and must be rewritten (whose cost we price with
+//! the effort model).
+
+use advm::build::run_cell;
+use advm::env::{EnvConfig, ModuleTestEnv};
+use advm::porting::port_env;
+use advm::presets::{page_env, violating_page_cell};
+use advm::violation::check_env;
+use advm_metrics::{EffortModel, Table};
+use advm_soc::{DerivativeId, PlatformId};
+
+/// One row of the sweep.
+#[derive(Debug)]
+pub struct Fig2Row {
+    /// Total tests in the environment.
+    pub total_tests: usize,
+    /// Abusive tests injected.
+    pub abusive: usize,
+    /// Violations the checker reported.
+    pub violations_found: usize,
+    /// Tests failing after the port to SC88-B.
+    pub broken_after_port: usize,
+    /// Estimated repair effort in minutes.
+    pub repair_minutes: f64,
+}
+
+/// Structured result.
+#[derive(Debug)]
+pub struct Fig2Result {
+    /// The sweep table.
+    pub table: Table,
+    /// Raw rows for assertions.
+    pub rows: Vec<Fig2Row>,
+}
+
+/// Runs the sweep: `total` tests, abuse counts from `abuse_counts`.
+///
+/// # Panics
+///
+/// Panics if an abuse count exceeds `total`.
+pub fn run(total: usize, abuse_counts: &[usize]) -> Fig2Result {
+    let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let target = EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel);
+    let model = EffortModel::standard();
+
+    let mut table = Table::new(
+        format!("Figure 2: cost of abstraction-layer abuse ({total} tests, port SC88-A -> SC88-B)"),
+        &["abusive tests", "violations found", "broken after port", "repair minutes"],
+    );
+    let mut rows = Vec::new();
+
+    for &abusive in abuse_counts {
+        assert!(abusive <= total, "abuse count exceeds total");
+        let clean = page_env(config, total - abusive.min(total - 1));
+        // Build the mixed environment: clean cells + abusive cells.
+        let mut cells: Vec<_> = clean.cells()[..total - abusive].to_vec();
+        for i in 0..abusive {
+            cells.push(violating_page_cell(i + 1));
+        }
+        let env = ModuleTestEnv::new("PAGE", config, cells);
+
+        let violations_found = check_env(&env).len();
+        let ported = port_env(&env, target).env;
+        let mut broken = 0;
+        let mut repair_lines = 0;
+        for cell in ported.cells() {
+            let result = run_cell(&ported, cell.id()).expect("builds");
+            if !result.passed() {
+                broken += 1;
+                repair_lines += cell.source().lines().count();
+            }
+        }
+        let repair_minutes = model.write_new(broken, repair_lines);
+        table.row(&[
+            abusive.to_string(),
+            violations_found.to_string(),
+            broken.to_string(),
+            format!("{repair_minutes:.0}"),
+        ]);
+        rows.push(Fig2Row {
+            total_tests: total,
+            abusive,
+            violations_found,
+            broken_after_port: broken,
+            repair_minutes,
+        });
+    }
+
+    Fig2Result { table, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abuse_breaks_exactly_the_abusive_tests() {
+        let result = run(6, &[0, 2, 4]);
+        for row in &result.rows {
+            assert_eq!(
+                row.broken_after_port, row.abusive,
+                "only abusive tests break on the port"
+            );
+            assert!(
+                row.violations_found >= 2 * row.abusive,
+                "each abusive test carries at least two violations"
+            );
+        }
+        // Zero abuse → zero violations and zero breakage.
+        assert_eq!(result.rows[0].violations_found, 0);
+        assert_eq!(result.rows[0].repair_minutes, 0.0);
+    }
+
+    #[test]
+    fn repair_cost_scales_with_abuse() {
+        let result = run(6, &[1, 3]);
+        assert!(result.rows[1].repair_minutes > result.rows[0].repair_minutes);
+    }
+}

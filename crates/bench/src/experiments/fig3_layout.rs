@@ -1,0 +1,94 @@
+//! **E3 / Figure 3** — the module directory structure.
+//!
+//! Scaffolds a module environment, validates it against the Figure 3
+//! rules, then corrupts it in the ways the paper warns about and shows
+//! each corruption is caught.
+
+use advm::env::{validate_layout, EnvConfig};
+use advm::presets::page_env;
+use advm_metrics::Table;
+use advm_soc::{DerivativeId, PlatformId};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct Fig3Result {
+    /// The rendered tree listing.
+    pub tree_table: Table,
+    /// Scenario → issues-found table.
+    pub validation_table: Table,
+    /// Issues per scenario, for assertions.
+    pub issues_per_scenario: Vec<(String, usize)>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig3Result {
+    let env = page_env(EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 3);
+    let tree = env.tree();
+
+    let mut tree_table = Table::new(
+        "Figure 3: rendered module directory structure",
+        &["path", "lines"],
+    );
+    for (path, content) in &tree {
+        tree_table.row(&[path.clone(), content.lines().count().to_string()]);
+    }
+
+    let mut validation_table = Table::new(
+        "Figure 3: structure validation scenarios",
+        &["scenario", "issues found"],
+    );
+    let mut issues_per_scenario = Vec::new();
+    let mut record = |name: &str, issues: usize| {
+        validation_table.row(&[name.to_owned(), issues.to_string()]);
+        issues_per_scenario.push((name.to_owned(), issues));
+    };
+
+    record("well-formed environment", validate_layout("PAGE", &tree).len());
+
+    let mut t = tree.clone();
+    t.remove("PAGE/TESTPLAN.TXT");
+    record("test plan deleted", validate_layout("PAGE", &t).len());
+
+    let mut t = tree.clone();
+    t.remove("PAGE/Abstraction_Layer/Globals.inc");
+    record("globals file deleted", validate_layout("PAGE", &t).len());
+
+    let mut t = tree.clone();
+    t.insert("PAGE/loose_notes.txt".into(), "todo".into());
+    record("stray file added", validate_layout("PAGE", &t).len());
+
+    let mut t = tree.clone();
+    t.insert("PAGE/MY_TEST/test.asm".into(), "_main:\n RETURN\n".into());
+    record("cell without TEST_ prefix", validate_layout("PAGE", &t).len());
+
+    let mut t = tree.clone();
+    t.insert("PAGE/TEST_SC88A_ONLY/test.asm".into(), "_main:\n RETURN\n".into());
+    record("derivative-specific cell name", validate_layout("PAGE", &t).len());
+
+    Fig3Result { tree_table, validation_table, issues_per_scenario }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_layout_validates_and_corruptions_are_caught() {
+        let result = run();
+        let clean = &result.issues_per_scenario[0];
+        assert_eq!(clean.1, 0, "well-formed environment must validate");
+        for (scenario, issues) in &result.issues_per_scenario[1..] {
+            assert!(*issues > 0, "scenario `{scenario}` was not caught");
+        }
+    }
+
+    #[test]
+    fn tree_contains_figure3_members() {
+        let result = run();
+        let paths: Vec<&String> =
+            result.tree_table.rows().iter().map(|r| &r[0]).collect();
+        assert!(paths.iter().any(|p| p.ends_with("TESTPLAN.TXT")));
+        assert!(paths.iter().any(|p| p.contains("Abstraction_Layer")));
+        assert!(paths.iter().any(|p| p.contains("TEST_PAGE_SELECT_01")));
+    }
+}

@@ -1,0 +1,122 @@
+//! **E4+E5 / Figures 4 and 5** — the complete system environment and its
+//! directory structure.
+//!
+//! Composes the full catalogue of module environments over one shared
+//! global layer, validates the isolation rules, renders the Figure 5
+//! tree, and demonstrates that cross-environment sharing is detected.
+
+use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
+use advm::presets::standard_system;
+use advm::system::{SystemIssue, SystemVerificationEnv};
+use advm_metrics::Table;
+use advm_soc::{DerivativeId, PlatformId};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct Fig4Result {
+    /// Per-environment summary.
+    pub env_table: Table,
+    /// Top-level Figure 5 tree summary (directory → file count).
+    pub tree_table: Table,
+    /// Issues in the clean system.
+    pub clean_issues: usize,
+    /// Issues after injecting a cross-env include.
+    pub rogue_issues: usize,
+    /// Total tests in the system.
+    pub total_tests: usize,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig4Result {
+    let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let sys = SystemVerificationEnv::new(
+        "ADVM_System_Verification_Environment",
+        standard_system(config),
+    );
+
+    let mut env_table = Table::new(
+        "Figure 4: module environments sharing one global layer",
+        &["environment", "tests", "abstraction lines", "test lines"],
+    );
+    for env in sys.envs() {
+        let abstraction_lines = env.globals_text().lines().count()
+            + env.base_functions_text().lines().count();
+        let test_lines: usize =
+            env.cells().iter().map(|c| c.source().lines().count()).sum();
+        env_table.row(&[
+            env.name().to_owned(),
+            env.cells().len().to_string(),
+            abstraction_lines.to_string(),
+            test_lines.to_string(),
+        ]);
+    }
+
+    // Figure 5 tree: group by top-two path components.
+    let tree = sys.tree();
+    let mut groups: Vec<(String, usize)> = Vec::new();
+    for path in tree.keys() {
+        let group = path.split('/').take(2).collect::<Vec<_>>().join("/");
+        match groups.iter_mut().find(|(g, _)| *g == group) {
+            Some((_, n)) => *n += 1,
+            None => groups.push((group, 1)),
+        }
+    }
+    let mut tree_table = Table::new(
+        "Figure 5: system directory structure (files per directory)",
+        &["directory", "files"],
+    );
+    for (group, count) in &groups {
+        tree_table.row(&[group.clone(), count.to_string()]);
+    }
+
+    let clean_issues = sys.validate().len();
+
+    // Inject a rogue environment that includes another env's base
+    // functions — the isolation rule must catch it.
+    let mut envs = standard_system(config);
+    envs.push(ModuleTestEnv::new(
+        "ROGUE",
+        config,
+        vec![TestCell::new(
+            "TEST_ROGUE",
+            "cross-env include",
+            ".INCLUDE Globals.inc\n.INCLUDE PAGE/Abstraction_Layer/Base_Functions.asm\n_main:\n    RETURN\n",
+        )],
+    ));
+    let rogue_sys = SystemVerificationEnv::new("SYS", envs);
+    let rogue_issues = rogue_sys
+        .validate()
+        .into_iter()
+        .filter(|i| matches!(i, SystemIssue::CrossEnvInclude { .. }))
+        .count();
+
+    Fig4Result {
+        env_table,
+        tree_table,
+        clean_issues,
+        rogue_issues,
+        total_tests: sys.total_tests(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_system_validates_and_rogue_is_caught() {
+        let result = run();
+        assert_eq!(result.clean_issues, 0);
+        assert!(result.rogue_issues > 0, "cross-env include must be flagged");
+    }
+
+    #[test]
+    fn system_has_the_catalogued_envs_and_global_libs() {
+        let result = run();
+        assert_eq!(result.env_table.len(), 8);
+        assert!(result.total_tests >= 15);
+        let dirs: Vec<&String> = result.tree_table.rows().iter().map(|r| &r[0]).collect();
+        assert!(dirs.iter().any(|d| d.contains("Global_Libraries")));
+        assert!(dirs.iter().any(|d| d.ends_with("/PAGE")));
+    }
+}

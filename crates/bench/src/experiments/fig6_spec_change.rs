@@ -1,0 +1,156 @@
+//! **E6 / Figure 6** — the headline porting experiment.
+//!
+//! The paper's code example 1 absorbs two events through `Globals.inc`:
+//! a *specification change* ("the location of these control bits have
+//! been shifted by one" → SC88-B) and a *derivative change* ("the page
+//! control field size has increased by one bit" → SC88-C). This
+//! experiment scales the test count and measures, for each event, how
+//! many files and lines change under ADVM versus the hardwired baseline —
+//! and verifies both suites actually pass after their respective ports.
+
+use advm::build::run_cell;
+use advm::env::EnvConfig;
+use advm::porting::{port_env, test_files_touched};
+use advm::presets::page_env;
+use advm_baseline::{direct_page_suite, port_suite, run_direct_test, SuiteConfig};
+use advm_metrics::Table;
+use advm_soc::{DerivativeId, PlatformId};
+
+/// One sweep row.
+#[derive(Debug)]
+pub struct Fig6Row {
+    /// Number of tests.
+    pub n: usize,
+    /// Target derivative.
+    pub target: DerivativeId,
+    /// ADVM files touched.
+    pub advm_files: usize,
+    /// ADVM lines touched.
+    pub advm_lines: usize,
+    /// ADVM test files touched (the methodology drives this to zero).
+    pub advm_test_files: usize,
+    /// Baseline files touched.
+    pub baseline_files: usize,
+    /// Baseline lines touched.
+    pub baseline_lines: usize,
+    /// Whether the ported suites were executed and passed.
+    pub verified: bool,
+}
+
+/// Structured result.
+#[derive(Debug)]
+pub struct Fig6Result {
+    /// The sweep table.
+    pub table: Table,
+    /// Raw rows.
+    pub rows: Vec<Fig6Row>,
+}
+
+/// Runs the sweep over `test_counts`, porting to SC88-B and SC88-C.
+/// Suites with at most `verify_up_to` tests are also executed post-port.
+pub fn run(test_counts: &[usize], verify_up_to: usize) -> Fig6Result {
+    let source_config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let mut table = Table::new(
+        "Figure 6: port cost, ADVM vs hardwired baseline (SC88-A origin)",
+        &[
+            "tests",
+            "target",
+            "advm files",
+            "advm lines",
+            "advm test-files",
+            "baseline files",
+            "baseline lines",
+            "verified",
+        ],
+    );
+    let mut rows = Vec::new();
+
+    for &n in test_counts {
+        for target in [DerivativeId::Sc88B, DerivativeId::Sc88C] {
+            let advm_env = page_env(source_config, n);
+            let advm_port =
+                port_env(&advm_env, EnvConfig::new(target, PlatformId::GoldenModel));
+
+            let base_suite =
+                direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), n);
+            let (base_ported, base_changes) = port_suite(
+                &base_suite,
+                SuiteConfig::new(target, PlatformId::GoldenModel),
+                |c| direct_page_suite(c, n),
+            );
+
+            let verified = if n <= verify_up_to {
+                let advm_ok = advm_port.env.cells().iter().all(|c| {
+                    run_cell(&advm_port.env, c.id()).map(|r| r.passed()).unwrap_or(false)
+                });
+                let base_ok = base_ported.cells().iter().all(|(id, _)| {
+                    run_direct_test(&base_ported, id).map(|r| r.passed()).unwrap_or(false)
+                });
+                advm_ok && base_ok
+            } else {
+                false
+            };
+
+            let row = Fig6Row {
+                n,
+                target,
+                advm_files: advm_port.changes.files_touched(),
+                advm_lines: advm_port.changes.lines_touched(),
+                advm_test_files: test_files_touched(&advm_port.changes),
+                baseline_files: base_changes.files_touched(),
+                baseline_lines: base_changes.lines_touched(),
+                verified,
+            };
+            table.row(&[
+                n.to_string(),
+                target.name().to_owned(),
+                row.advm_files.to_string(),
+                row.advm_lines.to_string(),
+                row.advm_test_files.to_string(),
+                row.baseline_files.to_string(),
+                row.baseline_lines.to_string(),
+                if n <= verify_up_to { row.verified.to_string() } else { "skipped".to_owned() },
+            ]);
+            rows.push(row);
+        }
+    }
+
+    Fig6Result { table, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advm_cost_is_constant_baseline_cost_is_linear() {
+        let result = run(&[5, 10, 20], 5);
+        for row in &result.rows {
+            assert_eq!(row.advm_test_files, 0, "ADVM never edits tests");
+            assert!(
+                row.advm_files <= 3,
+                "ADVM port touches O(1) files, got {}",
+                row.advm_files
+            );
+            assert_eq!(
+                row.baseline_files, row.n,
+                "baseline refactors every hardwired test"
+            );
+        }
+        // Linear growth in the baseline, flat in ADVM.
+        let advm_5 = result.rows[0].advm_files;
+        let advm_20 = result.rows[4].advm_files;
+        assert_eq!(advm_5, advm_20);
+        let base_5 = result.rows[0].baseline_lines;
+        let base_20 = result.rows[4].baseline_lines;
+        assert!(base_20 > 3 * base_5, "baseline line churn grows with N");
+    }
+
+    #[test]
+    fn ported_suites_verified_green() {
+        let result = run(&[3], 3);
+        for row in &result.rows {
+            assert!(row.verified, "{:?} port must pass post-port runs", row.target);
+        }
+    }
+}

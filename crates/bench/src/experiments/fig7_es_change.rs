@@ -1,0 +1,147 @@
+//! **E7 / Figure 7** — the embedded-software revision event.
+//!
+//! The ES team re-releases its library "in such a way that the input
+//! registers have been swapped around" (v1 → v2) under an unchanged
+//! chip. The experiment measures three things:
+//!
+//! 1. **Blast radius before the fix**: with the original (v1-only) base
+//!    functions, which tests break under the v2 ROM?
+//! 2. **ADVM repair cost**: refactor `Base_Functions.asm` once (the
+//!    paper's "single point to handle it") — tests untouched.
+//! 3. **Baseline repair cost**: every convention-dependent hardwired
+//!    test must be rewritten.
+
+use advm::basefuncs::BaseFuncsStyle;
+use advm::build::run_cell;
+use advm::env::EnvConfig;
+use advm::porting::{port_env, test_files_touched};
+use advm::presets::es_env;
+use advm_baseline::{direct_es_suite, port_suite, run_direct_test, SuiteConfig};
+use advm_metrics::Table;
+use advm_soc::{DerivativeId, EsVersion, PlatformId};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct Fig7Result {
+    /// The summary table.
+    pub table: Table,
+    /// Tests broken under v2 before the abstraction-layer fix.
+    pub broken_before_fix: usize,
+    /// Total ADVM tests.
+    pub advm_tests: usize,
+    /// ADVM files touched by the fix.
+    pub advm_files: usize,
+    /// ADVM test files touched (must be zero).
+    pub advm_test_files: usize,
+    /// ADVM tests passing after the fix.
+    pub advm_pass_after: usize,
+    /// Baseline files touched by the equivalent rewrite.
+    pub baseline_files: usize,
+    /// Baseline tests passing after the rewrite.
+    pub baseline_pass_after: usize,
+    /// Baseline total tests.
+    pub baseline_tests: usize,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig7Result {
+    let config_v1 = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
+        .with_style(BaseFuncsStyle::V1Only);
+
+    // The environment as history left it: v1-only wrappers, v1 ROM.
+    let env = es_env(config_v1);
+    let all_pass_v1 = env
+        .cells()
+        .iter()
+        .all(|c| run_cell(&env, c.id()).map(|r| r.passed()).unwrap_or(false));
+    assert!(all_pass_v1, "the pre-change environment must be green");
+
+    // Event: the ES team ships v2. The un-refactored environment runs
+    // against the new ROM.
+    let stale = port_env(&env, config_v1.with_es_version(EsVersion::V2)).env;
+    let broken_before_fix = stale
+        .cells()
+        .iter()
+        .filter(|c| !run_cell(&stale, c.id()).map(|r| r.passed()).unwrap_or(false))
+        .count();
+
+    // The ADVM fix: refactor the base functions once.
+    let fix = port_env(
+        &stale,
+        stale.config().with_style(BaseFuncsStyle::VersionAware),
+    );
+    let advm_pass_after = fix
+        .env
+        .cells()
+        .iter()
+        .filter(|c| run_cell(&fix.env, c.id()).map(|r| r.passed()).unwrap_or(false))
+        .count();
+
+    // The baseline: rewrite every convention-dependent hardwired test.
+    let base_config = SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let base_suite = direct_es_suite(base_config);
+    let (base_ported, base_changes) = port_suite(
+        &base_suite,
+        base_config.with_es_version(EsVersion::V2),
+        direct_es_suite,
+    );
+    let baseline_pass_after = base_ported
+        .cells()
+        .iter()
+        .filter(|(id, _)| {
+            run_direct_test(&base_ported, id).map(|r| r.passed()).unwrap_or(false)
+        })
+        .count();
+
+    let mut table = Table::new(
+        "Figure 7: ES v1 -> v2 (swapped input registers) under SC88-A",
+        &["approach", "files touched", "test files touched", "tests broken before fix", "tests passing after"],
+    );
+    table.row(&[
+        "ADVM (refactor Base_Functions once)".to_owned(),
+        fix.changes.files_touched().to_string(),
+        test_files_touched(&fix.changes).to_string(),
+        format!("{broken_before_fix}/{}", stale.cells().len()),
+        format!("{advm_pass_after}/{}", fix.env.cells().len()),
+    ]);
+    table.row(&[
+        "baseline (rewrite each hardwired test)".to_owned(),
+        base_changes.files_touched().to_string(),
+        base_changes.files_touched().to_string(),
+        "n/a".to_owned(),
+        format!("{baseline_pass_after}/{}", base_ported.cells().len()),
+    ]);
+
+    Fig7Result {
+        table,
+        broken_before_fix,
+        advm_tests: env.cells().len(),
+        advm_files: fix.changes.files_touched(),
+        advm_test_files: test_files_touched(&fix.changes),
+        advm_pass_after,
+        baseline_files: base_changes.files_touched(),
+        baseline_pass_after,
+        baseline_tests: base_ported.cells().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn es_change_shape_matches_paper() {
+        let result = run();
+        // The v2 release breaks the convention-dependent tests (4 of 5).
+        assert!(result.broken_before_fix >= 3, "{result:?}");
+        assert!(result.broken_before_fix < result.advm_tests, "init test survives");
+        // The ADVM fix touches the abstraction layer only…
+        assert_eq!(result.advm_test_files, 0);
+        assert!(result.advm_files <= 2);
+        // …and restores green.
+        assert_eq!(result.advm_pass_after, result.advm_tests);
+        // The baseline rewrites every convention-dependent test file.
+        assert_eq!(result.baseline_files, 4);
+        assert_eq!(result.baseline_pass_after, result.baseline_tests);
+    }
+}

@@ -1,0 +1,100 @@
+//! **E8 / §1 claim** — one suite, six platforms.
+//!
+//! Runs the full catalogued system across every platform of the paper's
+//! §1 list and reports the pass matrix (expected: all green, zero test
+//! edits across platforms). Then injects a hardware bug into the RTL
+//! platform and shows the shared suite catches it as a cross-platform
+//! divergence — the paper's "a bug or issue has been found in that
+//! particular simulation domain".
+
+use advm::env::EnvConfig;
+use advm::presets::standard_system;
+use advm::regression::{run_regression, RegressionConfig};
+use advm_metrics::Table;
+use advm_sim::PlatformFault;
+use advm_soc::{DerivativeId, PlatformId};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct PlatformsResult {
+    /// The clean pass matrix.
+    pub matrix: Table,
+    /// Per-platform pass counts.
+    pub summary: Table,
+    /// Total runs in the clean regression.
+    pub total_runs: usize,
+    /// Failures in the clean regression.
+    pub clean_failures: usize,
+    /// Divergent tests found with the injected RTL fault.
+    pub fault_divergences: usize,
+    /// Platforms named divergent in the fault run.
+    pub divergent_platforms: Vec<PlatformId>,
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if a build fails — the catalogued suite must always build.
+pub fn run() -> PlatformsResult {
+    let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let envs = standard_system(config);
+
+    let clean = run_regression(&envs, &RegressionConfig::full()).expect("suite builds");
+    let matrix = clean.matrix();
+
+    let mut summary = Table::new(
+        "Per-platform results (same binaries-from-source tests everywhere)",
+        &["platform", "runs", "passed", "pass rate"],
+    );
+    for platform in clean.platforms() {
+        let runs: Vec<_> =
+            clean.runs().iter().filter(|r| r.platform == platform).collect();
+        let passed = runs.iter().filter(|r| r.result.passed()).count();
+        summary.row(&[
+            platform.to_string(),
+            runs.len().to_string(),
+            passed.to_string(),
+            format!("{:.0}%", 100.0 * passed as f64 / runs.len() as f64),
+        ]);
+    }
+
+    // Fault injection: a page-readback bug that exists only in the RTL.
+    let fault_config = RegressionConfig::full()
+        .with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
+    let faulty = run_regression(&envs, &fault_config).expect("suite builds");
+    let divergences = faulty.divergences();
+    let mut divergent_platforms: Vec<PlatformId> = divergences
+        .iter()
+        .flat_map(|(_, report)| report.divergent.clone())
+        .collect();
+    divergent_platforms.sort();
+    divergent_platforms.dedup();
+
+    PlatformsResult {
+        matrix,
+        summary,
+        total_runs: clean.total(),
+        clean_failures: clean.failed(),
+        fault_divergences: divergences.len(),
+        divergent_platforms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_matrix_is_green_and_fault_is_localised() {
+        let result = run();
+        assert_eq!(result.clean_failures, 0, "matrix:\n{}", result.matrix);
+        assert!(result.total_runs >= 6 * 15);
+        assert!(result.fault_divergences >= 1, "injected RTL bug must diverge");
+        assert_eq!(
+            result.divergent_platforms,
+            vec![PlatformId::RtlSim],
+            "divergence localises to the faulty platform"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! **E11 / §2–3 claim** — releases stabilise regressions.
+//!
+//! *"The test environment is not stable during any development of the
+//! abstraction layer, unless frozen via a release label."* The
+//! experiment freezes a labelled release, lets development continue on
+//! the live environment (an abstraction-layer change), and shows:
+//! regressions run from the frozen label are bit-identical before and
+//! after the mutation, the live environment no longer matches the label,
+//! and a system release composes per-environment sub-labels.
+
+use advm::env::EnvConfig;
+use advm::presets::{page_env, standard_system};
+use advm::regression::{run_regression, RegressionConfig};
+use advm::release::ReleaseStore;
+use advm::system::SystemVerificationEnv;
+use advm_metrics::Table;
+use advm_soc::{DerivativeId, PlatformId};
+
+/// Structured result.
+#[derive(Debug)]
+pub struct ReleaseResult {
+    /// Step-by-step narrative table.
+    pub table: Table,
+    /// Frozen-regression pass counts before/after the live mutation.
+    pub frozen_before: usize,
+    /// Pass count from the frozen release after the live mutation.
+    pub frozen_after: usize,
+    /// Whether the live env still matches the label after mutation.
+    pub live_matches_after: bool,
+    /// Components in the composed system release.
+    pub system_components: usize,
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics on build failures (the catalogued suite always builds).
+pub fn run() -> ReleaseResult {
+    let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+    let mut store = ReleaseStore::new();
+    let mut table = Table::new("Release labels under live development", &["step", "result"]);
+
+    // Freeze a label.
+    let mut live = page_env(config, 3);
+    store.freeze("PAGE-1.0", &live).expect("fresh label");
+    table.row(&["freeze PAGE-1.0", "ok"]);
+
+    // Regression from the frozen label.
+    let frozen_env = store.release("PAGE-1.0").unwrap().thaw().unwrap();
+    let smoke = RegressionConfig::smoke(PlatformId::GoldenModel);
+    let before = run_regression(&[frozen_env], &smoke).expect("builds");
+    table.row(&[
+        "regression from frozen label".to_owned(),
+        format!("{}/{} pass", before.passed(), before.total()),
+    ]);
+
+    // Development continues: the live abstraction layer is re-targeted.
+    live.reconfigure(EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel));
+    let live_matches_after = store.release("PAGE-1.0").unwrap().matches(&live);
+    table.row(&[
+        "live env re-targeted to SC88-C".to_owned(),
+        format!("still matches label: {live_matches_after}"),
+    ]);
+
+    // The frozen label is unaffected.
+    let frozen_env = store.release("PAGE-1.0").unwrap().thaw().unwrap();
+    let after = run_regression(&[frozen_env], &smoke).expect("builds");
+    table.row(&[
+        "regression from frozen label (again)".to_owned(),
+        format!("{}/{} pass", after.passed(), after.total()),
+    ]);
+
+    // Compose a system release of sub-labels.
+    let sys = SystemVerificationEnv::new(
+        "ADVM_System_Verification_Environment",
+        standard_system(config),
+    );
+    let system = sys.compose_release(&mut store, "SYS-1.0").expect("labels fresh");
+    let system_components = system.components().len();
+    table.row(&[
+        "compose SYS-1.0 from sub-labels".to_owned(),
+        format!("{system_components} components"),
+    ]);
+
+    ReleaseResult {
+        table,
+        frozen_before: before.passed(),
+        frozen_after: after.passed(),
+        live_matches_after,
+        system_components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frozen_release_is_immune_to_live_changes() {
+        let result = run();
+        assert_eq!(result.frozen_before, result.frozen_after);
+        assert!(result.frozen_before >= 3);
+        assert!(!result.live_matches_after, "mutation must invalidate the label");
+        assert_eq!(result.system_components, 8);
+    }
+}

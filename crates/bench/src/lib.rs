@@ -1,0 +1,12 @@
+//! # advm-bench — experiment harness and benchmarks
+//!
+//! One module per paper artifact (figure or claim); each exposes a `run`
+//! function returning structured results plus rendered tables, so the
+//! `exp_*` binaries print them and the integration tests assert their
+//! shapes. See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for expected-vs-measured records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,203 @@
+//! Global-layer runtime libraries: vector table, startup stub, trap and
+//! interrupt handlers.
+//!
+//! The paper's Figure 5 shows "Trap Handlers (Global Library 1)" and
+//! "Global Test Functions (Global Library N)" at the top of the system
+//! verification environment — code shared by every module test
+//! environment but *owned by nobody in the verification team*. This
+//! module generates that code. By design it hardwires addresses (it is
+//! global-layer code; the abstraction layer re-publishes the values tests
+//! need).
+//!
+//! Default handlers report distinct failure codes through the test-bench
+//! mailbox, so any stray trap fails a test loudly and identically on
+//! every platform. Interrupt and software-trap handlers dispatch through
+//! RAM hook words that tests install at runtime (a classic chip-card ROM
+//! pattern), which lets tests take interrupts without owning the vector
+//! table.
+
+use advm_soc::memmap::{HOOK_IRQ0, HOOK_IRQ1, HOOK_TRAP8, HOOK_WDT};
+use advm_soc::Mailbox;
+
+/// File name of the vector table include.
+pub const VECTOR_TABLE_FILE: &str = "Vector_Table.inc";
+/// File name of the trap-handler library.
+pub const TRAP_HANDLERS_FILE: &str = "Trap_Handlers.asm";
+
+/// Failure detail codes used by the default handlers.
+pub mod fail_codes {
+    /// Illegal instruction reached the default handler.
+    pub const ILLEGAL: u32 = 0xF1;
+    /// Misaligned access reached the default handler.
+    pub const MISALIGNED: u32 = 0xF2;
+    /// Bus error reached the default handler.
+    pub const BUS_ERROR: u32 = 0xF3;
+    /// Watchdog expired with no hook installed.
+    pub const WATCHDOG: u32 = 0xF4;
+    /// Software trap 8 with no hook installed.
+    pub const TRAP8: u32 = 0xF8;
+    /// IRQ line 0 with no hook installed.
+    pub const IRQ0: u32 = 0xE0;
+    /// IRQ line 1 with no hook installed.
+    pub const IRQ1: u32 = 0xE1;
+    /// `_main` returned without reporting a result.
+    pub const NO_RESULT: u32 = 0xFE;
+}
+
+/// Generates the vector-table include (32 word entries, Figure 5's
+/// "Trap Handlers" global library owns the layout).
+pub fn vector_table() -> String {
+    let mut s = String::new();
+    s.push_str(";; Vector_Table.inc — global library: trap/interrupt vector layout\n");
+    s.push_str(";; Entry n is the handler address for vector n (0 = unhandled).\n");
+    s.push_str(".WORD 0                      ; 0: reset (hardware starts at 0x100)\n");
+    s.push_str(".WORD __trap_illegal         ; 1: illegal instruction\n");
+    s.push_str(".WORD __trap_misaligned      ; 2: misaligned access\n");
+    s.push_str(".WORD __trap_buserr          ; 3: bus error\n");
+    s.push_str(".WORD __trap_watchdog        ; 4: watchdog\n");
+    s.push_str(".WORD 0, 0, 0                ; 5-7: reserved\n");
+    s.push_str(".WORD __trap_soft8           ; 8: software trap (hookable)\n");
+    s.push_str(".WORD 0, 0, 0, 0, 0, 0, 0    ; 9-15: reserved\n");
+    s.push_str(".WORD __irq0                 ; 16: IRQ line 0 (hookable)\n");
+    s.push_str(".WORD __irq1                 ; 17: IRQ line 1 (hookable)\n");
+    s.push_str(".WORD 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0 ; 18-31\n");
+    s
+}
+
+/// Generates the trap-handler library.
+pub fn trap_handlers() -> String {
+    let result = Mailbox::new().reg(Mailbox::RESULT);
+    let sim_end = Mailbox::new().reg(Mailbox::SIM_END);
+    let fail = Mailbox::FAIL_MAGIC;
+
+    let mut s = String::new();
+    let mut line = |text: &str| {
+        s.push_str(text);
+        s.push('\n');
+    };
+    line(";; Trap_Handlers.asm — global library (shared by every module env)");
+    line(";; Hardwired addresses are deliberate: this is global-layer code,");
+    line(";; outside any module test environment's control.");
+    line("");
+
+    // Plain fatal handlers.
+    for (label, code) in [
+        ("__trap_illegal", fail_codes::ILLEGAL),
+        ("__trap_misaligned", fail_codes::MISALIGNED),
+        ("__trap_buserr", fail_codes::BUS_ERROR),
+    ] {
+        line(&format!("{label}:"));
+        line(&format!("    LOAD d15, #0x{:X}", fail | code));
+        line(&format!("    STORE [0x{result:05X}], d15"));
+        line(&format!("    STORE [0x{sim_end:05X}], d15"));
+        line(&format!("    HALT #0x{code:X}"));
+        line("");
+    }
+
+    // Hookable handlers: dispatch through a RAM hook word, preserving the
+    // scratch registers they use; PSW is restored by RETI.
+    for (label, hook, code) in [
+        ("__trap_watchdog", HOOK_WDT, fail_codes::WATCHDOG),
+        ("__trap_soft8", HOOK_TRAP8, fail_codes::TRAP8),
+        ("__irq0", HOOK_IRQ0, fail_codes::IRQ0),
+        ("__irq1", HOOK_IRQ1, fail_codes::IRQ1),
+    ] {
+        line(&format!("{label}:"));
+        line("    PUSH d15");
+        line("    PUSHA a14");
+        line(&format!("    LOAD d15, [0x{hook:05X}]   ; runtime hook word"));
+        line("    CMPI d15, #0");
+        line(&format!("    JEQ {label}_unhooked"));
+        line("    MOV a14, d15");
+        line("    CALL a14");
+        line("    POPA a14");
+        line("    POP d15");
+        line("    RETI");
+        line(&format!("{label}_unhooked:"));
+        line(&format!("    LOAD d15, #0x{:X}", fail | code));
+        line(&format!("    STORE [0x{result:05X}], d15"));
+        line(&format!("    STORE [0x{sim_end:05X}], d15"));
+        line(&format!("    HALT #0x{code:X}"));
+        line("");
+    }
+    s
+}
+
+/// Generates the startup stub placed at the reset PC: call `_main`, and
+/// fail loudly if the test returns without reporting a result.
+pub fn startup_stub() -> String {
+    format!(
+        "\
+__start:
+    CALL _main
+    ; _main returned without reporting: fail with a distinct code
+    LOAD d15, #RESULT_FAIL | 0x{code:X}
+    STORE [TB_RESULT_ADDR], d15
+    STORE [TB_SIM_END_ADDR], d15
+    HALT #0x{code:X}
+",
+        code = fail_codes::NO_RESULT
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_table_has_32_entries() {
+        let text = vector_table();
+        let words: usize = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with(".WORD"))
+            .map(|l| {
+                let l = l.split(';').next().unwrap();
+                l.split(',').count()
+            })
+            .sum();
+        assert_eq!(words, 32);
+    }
+
+    #[test]
+    fn vector_table_assembles_with_handlers() {
+        let unit = format!(
+            ".ORG 0x0\n{}\n.ORG 0x100\n{}",
+            vector_table(),
+            trap_handlers()
+        );
+        let program = advm_asm::assemble_str(&unit).unwrap_or_else(|e| panic!("{e}"));
+        assert!(program.label("__trap_illegal").is_some());
+        assert!(program.label("__irq0").is_some());
+        // The table's entry 1 points at the illegal-instruction handler.
+        let mut image = advm_asm::Image::new();
+        image.load_program(&program).unwrap();
+        assert_eq!(image.word(4), program.label("__trap_illegal").unwrap());
+        assert_eq!(image.word(16 * 4), program.label("__irq0").unwrap());
+    }
+
+    #[test]
+    fn startup_stub_references_globals_symbols() {
+        let stub = startup_stub();
+        assert!(stub.contains("CALL _main"));
+        assert!(stub.contains("TB_RESULT_ADDR"));
+        assert!(stub.contains("RESULT_FAIL"));
+    }
+
+    #[test]
+    fn fail_codes_are_distinct() {
+        let codes = [
+            fail_codes::ILLEGAL,
+            fail_codes::MISALIGNED,
+            fail_codes::BUS_ERROR,
+            fail_codes::WATCHDOG,
+            fail_codes::TRAP8,
+            fail_codes::IRQ0,
+            fail_codes::IRQ1,
+            fail_codes::NO_RESULT,
+        ];
+        let mut sorted = codes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len());
+    }
+}

@@ -1,0 +1,68 @@
+//! # advm-isa — the synthetic SC88 chip-card instruction set
+//!
+//! The ADVM paper (MacBeth, Heinz, Gray; DATE 2004) was developed for the
+//! Infineon SLE88 chip-card controller, whose ISA is proprietary. This crate
+//! defines **SC88**, a synthetic 32-bit chip-card ISA that preserves every
+//! property the methodology relies on:
+//!
+//! * sixteen data registers `d0..d15` and sixteen address registers
+//!   `a0..a15` (the paper's listings use `d14` and `A12`),
+//! * a TriCore-style bit-field [`Insn::Insert`] instruction exactly as used
+//!   in the paper's Figure 6 listing
+//!   (`INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE`),
+//! * `LOAD`/`STORE`/`CALL reg`/`RETURN` forms matching the Figure 7 listing,
+//! * traps and interrupts so that the "Trap/Interrupt Handlers" global
+//!   library of the paper's Figure 5 has something real to do.
+//!
+//! Instructions are fixed-width 32-bit words; [`encode`] and [`decode`]
+//! round-trip every representable instruction.
+//!
+//! ```
+//! use advm_isa::{Insn, DataReg, BitSrc, encode, decode};
+//!
+//! # fn main() -> Result<(), advm_isa::DecodeError> {
+//! let insert = Insn::Insert {
+//!     rd: DataReg::D14,
+//!     ra: DataReg::D14,
+//!     src: BitSrc::Imm(8),
+//!     pos: 0,
+//!     width: 5,
+//! };
+//! let word = encode(&insert);
+//! assert_eq!(decode(word)?, insert);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cond;
+mod encode;
+mod insn;
+mod psw;
+mod reg;
+mod traps;
+
+pub use cond::{Cond, ParseCondError};
+pub use encode::{decode, encode, DecodeError};
+pub use insn::{BitSrc, Insn, ValidateInsnError};
+pub use psw::Psw;
+pub use reg::{AddrReg, DataReg, ParseRegError};
+pub use traps::{
+    vector_entry_addr, TrapKind, RESET_PC, VECTOR_BASE, VECTOR_COUNT, VECTOR_ENTRY_BYTES,
+};
+
+/// Width of one SC88 instruction in bytes. All instructions are one word.
+pub const INSN_BYTES: u32 = 4;
+
+/// Highest byte address representable by absolute-addressed instructions
+/// (`LEA`, `LD.ABS`, `ST.ABS`, `JMP`, `CALL`): a 20-bit, 1 MiB space.
+///
+/// Chip-card controllers of the SLE88 era had well under 1 MiB of
+/// addressable memory, so every architecturally visible address fits in a
+/// single instruction word.
+pub const ADDR_SPACE_BYTES: u32 = 1 << 20;
+
+/// Mask for a valid absolute byte address.
+pub const ADDR_MASK: u32 = ADDR_SPACE_BYTES - 1;

@@ -1,0 +1,155 @@
+//! Property-based tests for the SC88 encoder/decoder.
+//!
+//! Two invariants:
+//! 1. every valid instruction round-trips `encode -> decode` exactly;
+//! 2. every 32-bit word either fails to decode or round-trips
+//!    `decode -> encode` back to itself (canonical encodings).
+
+use advm_isa::{decode, encode, AddrReg, BitSrc, Cond, DataReg, Insn};
+use proptest::prelude::*;
+
+fn arb_data_reg() -> impl Strategy<Value = DataReg> {
+    (0u8..16).prop_map(|i| DataReg::from_index(i).expect("index in range"))
+}
+
+fn arb_addr_reg() -> impl Strategy<Value = AddrReg> {
+    (0u8..16).prop_map(|i| AddrReg::from_index(i).expect("index in range"))
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..8).prop_map(|c| Cond::from_code(c).expect("code in range"))
+}
+
+fn arb_addr20() -> impl Strategy<Value = u32> {
+    0u32..(1 << 20)
+}
+
+/// Word-aligned 20-bit address, as required by control-flow targets.
+fn arb_target() -> impl Strategy<Value = u32> {
+    (0u32..(1 << 18)).prop_map(|w| w << 2)
+}
+
+fn arb_bitfield() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..32).prop_flat_map(|pos| {
+        (Just(pos), 1u8..=(32 - pos))
+    })
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        any::<u8>().prop_map(|code| Insn::Halt { code }),
+        (0u8..32).prop_map(|vector| Insn::Trap { vector }),
+        any::<u8>().prop_map(|tag| Insn::Dbg { tag }),
+        (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovI { rd, imm }),
+        (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovHi { rd, imm }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Mov { rd, ra }),
+        (arb_data_reg(), arb_addr_reg()).prop_map(|(rd, ab)| Insn::MovDa { rd, ab }),
+        (arb_addr_reg(), arb_data_reg()).prop_map(|(ad, rb)| Insn::MovAd { ad, rb }),
+        (arb_addr_reg(), arb_addr_reg()).prop_map(|(ad, ab)| Insn::MovAa { ad, ab }),
+        (arb_addr_reg(), arb_addr20()).prop_map(|(ad, addr)| Insn::Lea { ad, addr }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>())
+            .prop_map(|(rd, ab, off)| Insn::Ld { rd, ab, off }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>())
+            .prop_map(|(rd, ab, off)| Insn::LdB { rd, ab, off }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg())
+            .prop_map(|(ab, off, rs)| Insn::St { ab, off, rs }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg())
+            .prop_map(|(ab, off, rs)| Insn::StB { ab, off, rs }),
+        (arb_data_reg(), arb_addr20()).prop_map(|(rd, addr)| Insn::LdAbs { rd, addr }),
+        (arb_addr20(), arb_data_reg()).prop_map(|(addr, rs)| Insn::StAbs { addr, rs }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Add { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<i16>())
+            .prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Sub { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::And { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::AndI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Or { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::OrI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Xor { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::XorI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Shl { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::ShlI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Shr { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::ShrI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::SarI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Not { rd, ra }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Neg { rd, ra }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(ra, rb)| Insn::Cmp { ra, rb }),
+        (arb_data_reg(), any::<i16>()).prop_map(|(ra, imm)| Insn::CmpI { ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg(), arb_bitfield()).prop_map(
+            |(rd, ra, rs, (pos, width))| Insn::Insert {
+                rd,
+                ra,
+                src: BitSrc::Reg(rs),
+                pos,
+                width
+            }
+        ),
+        (arb_data_reg(), arb_data_reg(), 0u8..128, arb_bitfield()).prop_map(
+            |(rd, ra, imm, (pos, width))| Insn::Insert {
+                rd,
+                ra,
+                src: BitSrc::Imm(imm),
+                pos,
+                width
+            }
+        ),
+        (arb_data_reg(), arb_data_reg(), arb_bitfield())
+            .prop_map(|(rd, ra, (pos, width))| Insn::Extract { rd, ra, pos, width }),
+        arb_target().prop_map(|target| Insn::Jmp { target }),
+        (arb_cond(), arb_target()).prop_map(|(cond, target)| Insn::J { cond, target }),
+        arb_target().prop_map(|target| Insn::Call { target }),
+        arb_addr_reg().prop_map(|ab| Insn::CallR { ab }),
+        Just(Insn::Ret),
+        Just(Insn::RetI),
+        arb_data_reg().prop_map(|rs| Insn::Push { rs }),
+        arb_data_reg().prop_map(|rd| Insn::Pop { rd }),
+        arb_addr_reg().prop_map(|ab| Insn::PushA { ab }),
+        arb_addr_reg().prop_map(|ad| Insn::PopA { ad }),
+        Just(Insn::Ei),
+        Just(Insn::Di),
+        (arb_addr_reg(), any::<i16>()).prop_map(|(ad, imm)| Insn::AddA { ad, imm }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        prop_assert!(insn.validate().is_ok(), "generator produced invalid insn {insn:?}");
+        let word = encode(&insn);
+        let back = decode(word).expect("encoded word must decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    #[test]
+    fn decode_encode_is_canonical(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            prop_assert!(insn.validate().is_ok(), "decoder produced invalid insn {insn:?}");
+            prop_assert_eq!(encode(&insn), word, "decode produced non-canonical {:?}", insn);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_and_starts_with_mnemonic(insn in arb_insn()) {
+        let text = insn.to_string();
+        prop_assert!(!text.is_empty());
+        prop_assert!(text.starts_with(insn.mnemonic()),
+            "display `{}` does not start with mnemonic `{}`", text, insn.mnemonic());
+    }
+}

@@ -1,0 +1,25 @@
+//! # advm-metrics — quantifying verification effort
+//!
+//! The ADVM paper argues qualitatively: porting is "rapid", effort is
+//! "saved", the initial abstraction cost is "easily recovered on first
+//! reuse". To reproduce those claims as measurements, this crate provides:
+//!
+//! * [`changeset`] — line-level diffs between two versions of a test
+//!   environment (files touched, lines added/removed), computed with a
+//!   real LCS diff,
+//! * [`effort`] — a simple engineer-time model over change-sets
+//!   (per-file overhead plus per-line cost), used to draw the paper's
+//!   implicit cumulative-effort curves,
+//! * [`report`] — fixed-width table rendering shared by every experiment
+//!   binary, so `cargo run -p advm-bench --bin exp_*` output is uniform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod changeset;
+pub mod effort;
+pub mod report;
+
+pub use changeset::{diff_trees, ChangeKind, ChangeSet, FileChange};
+pub use effort::{EffortModel, Minutes};
+pub use report::Table;

@@ -1,0 +1,124 @@
+//! Fixed-width table rendering for experiment output.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A simple left-aligned text table.
+///
+/// ```
+/// use advm_metrics::Table;
+///
+/// let mut table = Table::new("Demo", &["name", "value"]);
+/// table.row(&["alpha", "1"]);
+/// table.row(&["beta", "22"]);
+/// let text = table.to_string();
+/// assert!(text.contains("alpha"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, for programmatic checks in tests.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["wide-cell-content", "x"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        assert!(lines[1].starts_with("a "));
+        assert!(lines[3].starts_with("wide-cell-content"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn len_and_rows() {
+        let mut t = Table::new("T", &["a"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        t.row(&["2"]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][0], "2");
+    }
+}

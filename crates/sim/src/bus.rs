@@ -1,0 +1,508 @@
+//! The SoC bus: memory regions plus derivative-placed peripherals.
+//!
+//! The bus is constructed from a [`Derivative`], so peripheral base
+//! addresses (the UART moves on SC88-D) and bit-field geometry (the page
+//! field moves/widens on SC88-B/C) are *hardware properties*, not just
+//! documentation. A test built against the wrong `Globals.inc` touches
+//! the wrong addresses or bits and fails — which is exactly the behaviour
+//! the methodology's experiments need to observe.
+
+use std::fmt;
+
+use advm_soc::memmap::{MemoryMap, NVM_SIZE, RAM_SIZE, RAM_START, ROM_SIZE, ROM_START};
+use advm_soc::testbench::PlatformId;
+use advm_soc::{Derivative, RegionKind};
+
+use crate::fault::PlatformFault;
+use crate::periph::{
+    timer::TIMER_IRQ_LINE, CrcUnit, Intc, MailboxDevice, NvmController, PageModule, Timer, Uart,
+    Watchdog,
+};
+
+/// A bus access fault, mapped to a CPU trap by the execution core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusFault {
+    /// No region or peripheral claims the address.
+    Unmapped(u32),
+    /// Word access to a non-word-aligned address.
+    Misaligned(u32),
+    /// Store to ROM or directly to NVM.
+    ReadOnly(u32),
+    /// Byte-wide access to a word-only MMIO register.
+    ByteAccessToMmio(u32),
+}
+
+impl fmt::Display for BusFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusFault::Unmapped(a) => write!(f, "unmapped address {a:#07x}"),
+            BusFault::Misaligned(a) => write!(f, "misaligned access at {a:#07x}"),
+            BusFault::ReadOnly(a) => write!(f, "store to read-only memory at {a:#07x}"),
+            BusFault::ByteAccessToMmio(a) => write!(f, "byte access to MMIO at {a:#07x}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Periph {
+    Uart,
+    Page,
+    Timer,
+    Intc,
+    Wdt,
+    Nvmc,
+    Crc,
+    Mailbox,
+}
+
+#[derive(Debug, Clone)]
+struct Mapping {
+    base: u32,
+    size: u32,
+    periph: Periph,
+}
+
+/// The SC88 SoC bus for one (derivative, platform) pair.
+#[derive(Debug, Clone)]
+pub struct SocBus {
+    rom: Vec<u8>,
+    ram: Vec<u8>,
+    nvm: Vec<u8>,
+    mappings: Vec<Mapping>,
+    uart: Uart,
+    page: PageModule,
+    timer: Timer,
+    intc: Intc,
+    wdt: Watchdog,
+    nvmc: NvmController,
+    crc: CrcUnit,
+    mailbox: MailboxDevice,
+    memmap: MemoryMap,
+    now: u64,
+    watchdog_bite: bool,
+    mmio_touched: std::collections::BTreeSet<u32>,
+}
+
+impl SocBus {
+    /// Builds the bus for a derivative on a platform, with optional fault
+    /// injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derivative's register map is missing a catalogued
+    /// module — impossible for maps produced by [`Derivative::regmap`].
+    pub fn new(derivative: &Derivative, platform: PlatformId, fault: PlatformFault) -> Self {
+        let map = derivative.regmap();
+        let module = |name: &str| {
+            map.module(name)
+                .unwrap_or_else(|| panic!("derivative map lacks module {name}"))
+        };
+        let field = |module_name: &str, reg: &str, field_name: &str| {
+            let hw = derivative.hardware_register_name(reg);
+            map.module(module_name)
+                .and_then(|m| m.register(hw))
+                .and_then(|r| r.field(field_name))
+                .cloned()
+                .unwrap_or_else(|| panic!("missing field {module_name}.{reg}.{field_name}"))
+        };
+
+        let cycle_accurate =
+            matches!(platform, PlatformId::RtlSim | PlatformId::GateSim);
+
+        let mut uart = Uart::new(cycle_accurate);
+        let mut page = PageModule::new(
+            field("PAGE", "PAGE_CTRL", "PAGE"),
+            field("PAGE", "PAGE_CTRL", "ENABLE"),
+            field("PAGE", "PAGE_STATUS", "ACTIVE_PAGE"),
+            field("PAGE", "PAGE_STATUS", "READY"),
+        );
+        let mut timer = Timer::new();
+        match fault {
+            PlatformFault::None => {}
+            PlatformFault::PageActiveOffByOne => page.inject_active_off_by_one(),
+            PlatformFault::UartDropsBytes => uart.inject_drop_bytes(),
+            PlatformFault::TimerNeverExpires => timer.inject_never_expires(),
+        }
+
+        let mappings = vec![
+            Mapping { base: module("UART").base(), size: module("UART").size(), periph: Periph::Uart },
+            Mapping { base: module("PAGE").base(), size: module("PAGE").size(), periph: Periph::Page },
+            Mapping { base: module("TIMER").base(), size: module("TIMER").size(), periph: Periph::Timer },
+            Mapping { base: module("INTC").base(), size: module("INTC").size(), periph: Periph::Intc },
+            Mapping { base: module("WDT").base(), size: module("WDT").size(), periph: Periph::Wdt },
+            Mapping { base: module("NVMC").base(), size: module("NVMC").size(), periph: Periph::Nvmc },
+            Mapping { base: module("CRC").base(), size: module("CRC").size(), periph: Periph::Crc },
+            Mapping { base: module("TB").base(), size: module("TB").size(), periph: Periph::Mailbox },
+        ];
+
+        Self {
+            rom: vec![0; ROM_SIZE as usize],
+            ram: vec![0; RAM_SIZE as usize],
+            nvm: vec![0xFF; NVM_SIZE as usize],
+            mappings,
+            uart,
+            page,
+            timer,
+            intc: Intc::new(),
+            wdt: Watchdog::new(),
+            nvmc: NvmController::new(NVM_SIZE),
+            crc: CrcUnit::new(),
+            mailbox: MailboxDevice::new(platform),
+            memmap: MemoryMap::sc88(),
+            now: 0,
+            watchdog_bite: false,
+            mmio_touched: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Every MMIO register address the software touched (read or write) —
+    /// the raw material for register-coverage reporting.
+    pub fn mmio_touched(&self) -> impl Iterator<Item = u32> + '_ {
+        self.mmio_touched.iter().copied()
+    }
+
+    /// Loads an assembled image into backing memory (ROM/RAM/NVM regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a byte falls outside every loadable region — images are
+    /// produced by the assembler against the SC88 memory map, so this
+    /// indicates a corrupt build, not user input.
+    pub fn load_image(&mut self, image: &advm_asm::Image) {
+        for (addr, byte) in image.iter() {
+            match self.memmap.region_at(addr).map(|r| r.kind()) {
+                Some(RegionKind::Rom) => self.rom[(addr - ROM_START) as usize] = byte,
+                Some(RegionKind::Ram) => self.ram[(addr - RAM_START) as usize] = byte,
+                Some(RegionKind::Nvm) => {
+                    self.nvm[(addr - advm_soc::memmap::NVM_START) as usize] = byte
+                }
+                _ => panic!("image byte at {addr:#07x} outside loadable memory"),
+            }
+        }
+    }
+
+    /// The current cycle count.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances time: peripherals tick, timed NVM ops commit, timer IRQs
+    /// route to the interrupt controller, watchdog expiry latches.
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+        self.timer.tick(cycles);
+        if self.timer.take_irq() {
+            self.intc.raise(TIMER_IRQ_LINE);
+        }
+        self.wdt.tick(cycles);
+        if self.wdt.take_expiry() {
+            self.watchdog_bite = true;
+        }
+        if let Some(op) = self.nvmc.take_completed(self.now) {
+            match op {
+                crate::periph::nvmc::NvmOp::Write { offset, value } => {
+                    let o = offset as usize;
+                    self.nvm[o..o + 4].copy_from_slice(&value.to_le_bytes());
+                }
+                crate::periph::nvmc::NvmOp::Erase { offset } => {
+                    let page = (offset / crate::periph::nvmc::PAGE_BYTES)
+                        * crate::periph::nvmc::PAGE_BYTES;
+                    let p = page as usize;
+                    let end = (p + crate::periph::nvmc::PAGE_BYTES as usize).min(self.nvm.len());
+                    self.nvm[p..end].fill(0xFF);
+                }
+            }
+        }
+    }
+
+    /// The lowest pending enabled interrupt line, if any.
+    pub fn pending_irq(&self) -> Option<u8> {
+        self.intc.active_line()
+    }
+
+    /// Takes the watchdog-expiry edge.
+    pub fn take_watchdog_bite(&mut self) -> bool {
+        std::mem::take(&mut self.watchdog_bite)
+    }
+
+    /// The test-bench mailbox (outcome, console, sim-end flag).
+    pub fn mailbox(&self) -> &MailboxDevice {
+        &self.mailbox
+    }
+
+    /// UART transmit log (for checking UART tests end to end).
+    pub fn uart_tx(&self) -> &[u8] {
+        self.uart.tx_log()
+    }
+
+    /// Direct NVM inspection for assertions in tests and experiments.
+    pub fn nvm_word(&self, offset: u32) -> u32 {
+        let o = offset as usize;
+        u32::from_le_bytes([self.nvm[o], self.nvm[o + 1], self.nvm[o + 2], self.nvm[o + 3]])
+    }
+
+    fn mapping_at(&self, addr: u32) -> Option<(Periph, u32)> {
+        self.mappings
+            .iter()
+            .find(|m| addr >= m.base && addr < m.base + m.size)
+            .map(|m| (m.periph, addr - m.base))
+    }
+
+    fn periph_read(&mut self, periph: Periph, offset: u32) -> u32 {
+        match periph {
+            Periph::Uart => self.uart.read(offset, self.now),
+            Periph::Page => self.page.read(offset),
+            Periph::Timer => self.timer.read(offset),
+            Periph::Intc => self.intc.read(offset),
+            Periph::Wdt => self.wdt.read(offset),
+            Periph::Nvmc => self.nvmc.read(offset, self.now),
+            Periph::Crc => self.crc.read(offset),
+            Periph::Mailbox => self.mailbox.read(offset, self.now),
+        }
+    }
+
+    fn periph_write(&mut self, periph: Periph, offset: u32, value: u32) {
+        match periph {
+            Periph::Uart => self.uart.write(offset, value, self.now),
+            Periph::Page => self.page.write(offset, value),
+            Periph::Timer => self.timer.write(offset, value),
+            Periph::Intc => self.intc.write(offset, value),
+            Periph::Wdt => self.wdt.write(offset, value),
+            Periph::Nvmc => self.nvmc.write(offset, value, self.now),
+            Periph::Crc => self.crc.write(offset, value),
+            Periph::Mailbox => self.mailbox.write(offset, value),
+        }
+    }
+
+    /// Reads a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] for misaligned or unmapped accesses.
+    pub fn read32(&mut self, addr: u32) -> Result<u32, BusFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        match self.memmap.region_at(addr).map(|r| r.kind()) {
+            Some(RegionKind::Rom) => Ok(read_word(&self.rom, addr - ROM_START)),
+            Some(RegionKind::Ram) => Ok(read_word(&self.ram, addr - RAM_START)),
+            Some(RegionKind::Nvm) => {
+                Ok(read_word(&self.nvm, addr - advm_soc::memmap::NVM_START))
+            }
+            Some(RegionKind::Mmio) => match self.mapping_at(addr) {
+                Some((p, offset)) => {
+                    self.mmio_touched.insert(addr);
+                    Ok(self.periph_read(p, offset))
+                }
+                None => Err(BusFault::Unmapped(addr)),
+            },
+            None => Err(BusFault::Unmapped(addr)),
+        }
+    }
+
+    /// Writes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] for misaligned, unmapped or read-only
+    /// targets (ROM, and the NVM region, which is programmed only through
+    /// the NVM controller).
+    pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        match self.memmap.region_at(addr).map(|r| r.kind()) {
+            Some(RegionKind::Rom) => Err(BusFault::ReadOnly(addr)),
+            Some(RegionKind::Nvm) => Err(BusFault::ReadOnly(addr)),
+            Some(RegionKind::Ram) => {
+                write_word(&mut self.ram, addr - RAM_START, value);
+                Ok(())
+            }
+            Some(RegionKind::Mmio) => match self.mapping_at(addr) {
+                Some((p, offset)) => {
+                    self.mmio_touched.insert(addr);
+                    self.periph_write(p, offset, value);
+                    Ok(())
+                }
+                None => Err(BusFault::Unmapped(addr)),
+            },
+            None => Err(BusFault::Unmapped(addr)),
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BusFault`] for unmapped addresses or MMIO (registers
+    /// are word-only).
+    pub fn read8(&mut self, addr: u32) -> Result<u8, BusFault> {
+        match self.memmap.region_at(addr).map(|r| r.kind()) {
+            Some(RegionKind::Rom) => Ok(self.rom[(addr - ROM_START) as usize]),
+            Some(RegionKind::Ram) => Ok(self.ram[(addr - RAM_START) as usize]),
+            Some(RegionKind::Nvm) => {
+                Ok(self.nvm[(addr - advm_soc::memmap::NVM_START) as usize])
+            }
+            Some(RegionKind::Mmio) => Err(BusFault::ByteAccessToMmio(addr)),
+            None => Err(BusFault::Unmapped(addr)),
+        }
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`SocBus::write32`], plus MMIO byte access.
+    pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        match self.memmap.region_at(addr).map(|r| r.kind()) {
+            Some(RegionKind::Rom) | Some(RegionKind::Nvm) => Err(BusFault::ReadOnly(addr)),
+            Some(RegionKind::Ram) => {
+                self.ram[(addr - RAM_START) as usize] = value;
+                Ok(())
+            }
+            Some(RegionKind::Mmio) => Err(BusFault::ByteAccessToMmio(addr)),
+            None => Err(BusFault::Unmapped(addr)),
+        }
+    }
+}
+
+fn read_word(mem: &[u8], offset: u32) -> u32 {
+    let o = offset as usize;
+    u32::from_le_bytes([mem[o], mem[o + 1], mem[o + 2], mem[o + 3]])
+}
+
+fn write_word(mem: &mut [u8], offset: u32, value: u32) {
+    let o = offset as usize;
+    mem[o..o + 4].copy_from_slice(&value.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_soc::Mailbox;
+
+    use super::*;
+
+    fn bus() -> SocBus {
+        SocBus::new(&Derivative::sc88a(), PlatformId::GoldenModel, PlatformFault::None)
+    }
+
+    #[test]
+    fn ram_roundtrips() {
+        let mut b = bus();
+        b.write32(RAM_START, 0xDEAD_BEEF).unwrap();
+        assert_eq!(b.read32(RAM_START).unwrap(), 0xDEAD_BEEF);
+        b.write8(RAM_START + 4, 0xAB).unwrap();
+        assert_eq!(b.read8(RAM_START + 4).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn rom_is_read_only() {
+        let mut b = bus();
+        assert_eq!(b.write32(0x100, 1), Err(BusFault::ReadOnly(0x100)));
+        assert_eq!(b.write8(0x100, 1), Err(BusFault::ReadOnly(0x100)));
+    }
+
+    #[test]
+    fn nvm_direct_store_faults_but_controller_path_works() {
+        let mut b = bus();
+        let nvm_base = advm_soc::memmap::NVM_START;
+        assert!(matches!(b.write32(nvm_base, 1), Err(BusFault::ReadOnly(_))));
+        assert_eq!(b.read32(nvm_base).unwrap(), 0xFFFF_FFFF, "erased NVM reads 0xFF");
+
+        // Unlock and program through the controller.
+        let nvmc = 0xE_0500;
+        b.write32(nvmc, 0x55).unwrap(); // KEY
+        b.write32(nvmc, 0xAA).unwrap();
+        b.write32(nvmc + 0x08, 0x10).unwrap(); // ADDR (offset in NVM)
+        b.write32(nvmc + 0x0C, 0x1234_5678).unwrap(); // DATA
+        b.write32(nvmc + 0x14, 1).unwrap(); // CMD_WRITE
+        b.advance(crate::periph::nvmc::WRITE_CYCLES);
+        assert_eq!(b.read32(nvm_base + 0x10).unwrap(), 0x1234_5678);
+        assert_eq!(b.nvm_word(0x10), 0x1234_5678);
+    }
+
+    #[test]
+    fn misaligned_word_access_faults() {
+        let mut b = bus();
+        assert_eq!(b.read32(RAM_START + 2), Err(BusFault::Misaligned(RAM_START + 2)));
+        assert_eq!(b.write32(RAM_START + 1, 0), Err(BusFault::Misaligned(RAM_START + 1)));
+    }
+
+    #[test]
+    fn unmapped_hole_faults() {
+        let mut b = bus();
+        assert!(matches!(b.read32(0x7_0000), Err(BusFault::Unmapped(_))));
+        assert!(matches!(b.read32(0xE_5000), Err(BusFault::Unmapped(_))), "MMIO hole");
+    }
+
+    #[test]
+    fn mmio_byte_access_faults() {
+        let mut b = bus();
+        assert!(matches!(b.read8(0xE_0100), Err(BusFault::ByteAccessToMmio(_))));
+        assert!(matches!(b.write8(0xE_0100, 1), Err(BusFault::ByteAccessToMmio(_))));
+    }
+
+    #[test]
+    fn uart_moves_with_derivative_d() {
+        let mut a = bus();
+        let mut d = SocBus::new(&Derivative::sc88d(), PlatformId::GoldenModel, PlatformFault::None);
+        // UART CTRL is at 0xE0000 on SC88-A but 0xE0800 on SC88-D.
+        assert!(a.read32(0xE_0000).is_ok());
+        assert!(matches!(d.read32(0xE_0000), Err(BusFault::Unmapped(_))));
+        assert!(d.read32(0xE_0800).is_ok());
+        assert!(matches!(a.read32(0xE_0800), Err(BusFault::Unmapped(_))));
+    }
+
+    #[test]
+    fn page_geometry_follows_derivative() {
+        let mut a = bus();
+        let mut b2 = SocBus::new(&Derivative::sc88b(), PlatformId::GoldenModel, PlatformFault::None);
+        // Writing 8|ENABLE selects page 8 on SC88-A but page 4 on SC88-B.
+        a.write32(0xE_0100, 8 | (1 << 8)).unwrap();
+        b2.write32(0xE_0100, 8 | (1 << 8)).unwrap();
+        assert_eq!(a.read32(0xE_0104).unwrap() & 0x1F, 8);
+        assert_eq!((b2.read32(0xE_0104).unwrap() >> 1) & 0x1F, 4);
+    }
+
+    #[test]
+    fn timer_irq_routes_to_intc() {
+        let mut b = bus();
+        b.write32(0xE_0300, 1).unwrap(); // INTC ENABLE line 0
+        b.write32(0xE_0204, 5).unwrap(); // TIMER LOAD
+        b.write32(0xE_0200, 0b011).unwrap(); // TIMER EN|IE
+        b.advance(5);
+        assert_eq!(b.pending_irq(), Some(0));
+        b.write32(0xE_0308, 0).unwrap(); // ACK line 0
+        assert_eq!(b.pending_irq(), None);
+    }
+
+    #[test]
+    fn watchdog_bite_latches() {
+        let mut b = bus();
+        b.write32(0xE_0408, 10).unwrap(); // PERIOD
+        b.write32(0xE_0400, 1).unwrap(); // EN
+        b.advance(10);
+        assert!(b.take_watchdog_bite());
+        assert!(!b.take_watchdog_bite(), "edge consumed");
+    }
+
+    #[test]
+    fn mailbox_reports_outcome() {
+        let mut b = bus();
+        let mb = Mailbox::new();
+        b.write32(mb.reg(Mailbox::RESULT), Mailbox::PASS_MAGIC).unwrap();
+        b.write32(mb.reg(Mailbox::SIM_END), 1).unwrap();
+        assert!(b.mailbox().sim_ended());
+        assert!(b.mailbox().outcome().unwrap().passed());
+    }
+
+    #[test]
+    fn image_loads_into_rom() {
+        let mut b = bus();
+        let program = advm_asm::assemble_str("_main:\n  NOP\n  HALT #0\n").unwrap();
+        let mut image = advm_asm::Image::new();
+        image.load_program(&program).unwrap();
+        b.load_image(&image);
+        assert_eq!(b.read32(0x100).unwrap(), 0, "NOP encodes as zero");
+    }
+}

@@ -1,0 +1,179 @@
+//! Cross-platform divergence analysis.
+//!
+//! Running one test suite on six platforms only helps if disagreement is
+//! *detected*: "if they don't [execute the code the same way] then a bug
+//! or issue has been found in that particular simulation domain" (§1 of
+//! the paper). This module compares per-platform [`RunResult`]s and
+//! identifies the odd ones out by majority vote.
+
+use std::fmt;
+
+use advm_soc::testbench::PlatformId;
+
+use crate::platform::RunResult;
+
+/// The comparable verdict extracted from a run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Verdict {
+    passed: bool,
+    detail: Option<u16>,
+}
+
+fn verdict(result: &RunResult) -> Verdict {
+    Verdict {
+        passed: result.passed(),
+        detail: result.outcome.map(|o| match o {
+            advm_soc::TestOutcome::Pass { detail } => detail,
+            advm_soc::TestOutcome::Fail { detail } => detail,
+        }),
+    }
+}
+
+/// Report of a cross-platform comparison for one test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// Whether every platform agreed.
+    pub consistent: bool,
+    /// Platforms disagreeing with the majority verdict.
+    pub divergent: Vec<PlatformId>,
+    /// Per-platform one-line summaries.
+    pub summaries: Vec<String>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.consistent {
+            writeln!(f, "consistent across {} platforms", self.summaries.len())?;
+        } else {
+            writeln!(
+                f,
+                "DIVERGENCE: {}",
+                self.divergent
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        for s in &self.summaries {
+            writeln!(f, "  {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares run results of *the same test* across platforms.
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn compare(results: &[RunResult]) -> DivergenceReport {
+    assert!(!results.is_empty(), "compare requires at least one result");
+    let verdicts: Vec<Verdict> = results.iter().map(verdict).collect();
+
+    // Majority verdict (ties resolved toward the first seen).
+    let mut counts: Vec<(Verdict, usize)> = Vec::new();
+    for v in &verdicts {
+        match counts.iter_mut().find(|(cv, _)| cv == v) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((v.clone(), 1)),
+        }
+    }
+    let majority = counts
+        .iter()
+        .max_by_key(|(_, n)| *n)
+        .map(|(v, _)| v.clone())
+        .expect("non-empty results");
+
+    let divergent: Vec<PlatformId> = results
+        .iter()
+        .zip(&verdicts)
+        .filter(|(_, v)| **v != majority)
+        .map(|(r, _)| r.platform)
+        .collect();
+
+    DivergenceReport {
+        consistent: divergent.is_empty(),
+        divergent,
+        summaries: results.iter().map(ToString::to_string).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_soc::TestOutcome;
+
+    use crate::platform::EndReason;
+
+    use super::*;
+
+    fn result(platform: PlatformId, pass: bool) -> RunResult {
+        RunResult {
+            platform,
+            end: EndReason::SimEnd,
+            outcome: Some(if pass {
+                TestOutcome::Pass { detail: 0 }
+            } else {
+                TestOutcome::Fail { detail: 1 }
+            }),
+            insns: 10,
+            cycles: 10,
+            console: String::new(),
+            uart_tx: Vec::new(),
+            dbg_markers: Vec::new(),
+            mmio_touched: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn all_agree_is_consistent() {
+        let report = compare(&[
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::RtlSim, true),
+            result(PlatformId::GateSim, true),
+        ]);
+        assert!(report.consistent);
+        assert!(report.divergent.is_empty());
+    }
+
+    #[test]
+    fn single_platform_divergence_identified() {
+        let report = compare(&[
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::RtlSim, false),
+            result(PlatformId::GateSim, true),
+            result(PlatformId::Accelerator, true),
+        ]);
+        assert!(!report.consistent);
+        assert_eq!(report.divergent, vec![PlatformId::RtlSim]);
+    }
+
+    #[test]
+    fn all_fail_is_consistent_too() {
+        // A test failing everywhere is a *design or test* bug, not a
+        // platform divergence.
+        let report = compare(&[
+            result(PlatformId::GoldenModel, false),
+            result(PlatformId::RtlSim, false),
+        ]);
+        assert!(report.consistent);
+    }
+
+    #[test]
+    fn display_mentions_divergent_platform() {
+        let report = compare(&[
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::RtlSim, false),
+            result(PlatformId::Bondout, true),
+        ]);
+        let text = report.to_string();
+        assert!(text.contains("DIVERGENCE"), "{text}");
+        assert!(text.contains("rtl"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one result")]
+    fn empty_comparison_panics() {
+        compare(&[]);
+    }
+}

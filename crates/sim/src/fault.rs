@@ -1,0 +1,61 @@
+//! Platform fault injection.
+//!
+//! The methodology's cross-platform claim is only testable if platforms
+//! can *disagree*: a design bug that exists in the RTL but not in the
+//! golden model must show up as a cross-platform divergence caught by the
+//! shared test suite. These injectable faults model such bugs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A hardware bug injectable into one platform's peripheral models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformFault {
+    /// No fault: the platform implements the specification.
+    #[default]
+    None,
+    /// The page module reports `ACTIVE_PAGE` one higher than selected
+    /// (a classic read-path bug that only a read-back test catches).
+    PageActiveOffByOne,
+    /// The UART silently drops every second transmitted byte.
+    UartDropsBytes,
+    /// The timer never expires (clock-gating bug).
+    TimerNeverExpires,
+}
+
+impl PlatformFault {
+    /// All injectable faults (excluding `None`).
+    pub const ALL: [PlatformFault; 3] = [
+        PlatformFault::PageActiveOffByOne,
+        PlatformFault::UartDropsBytes,
+        PlatformFault::TimerNeverExpires,
+    ];
+}
+
+impl fmt::Display for PlatformFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlatformFault::None => "none",
+            PlatformFault::PageActiveOffByOne => "page-active-off-by-one",
+            PlatformFault::UartDropsBytes => "uart-drops-bytes",
+            PlatformFault::TimerNeverExpires => "timer-never-expires",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none() {
+        assert_eq!(PlatformFault::default(), PlatformFault::None);
+    }
+
+    #[test]
+    fn all_excludes_none() {
+        assert!(!PlatformFault::ALL.contains(&PlatformFault::None));
+        assert_eq!(PlatformFault::ALL.len(), 3);
+    }
+}

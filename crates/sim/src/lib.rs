@@ -1,0 +1,52 @@
+//! # advm-sim — the six SC88 execution platforms
+//!
+//! The paper's §1 lists the development platforms a compiled assembler
+//! test suite must cross unchanged: golden reference model, HDL-RTL
+//! simulation, gate-level simulation, hardware accelerator, bondout
+//! silicon and product silicon. This crate implements all six over one
+//! architectural core:
+//!
+//! * [`cpu`] — the SC88 execution core (identical everywhere),
+//! * [`bus`] — memory plus derivative-placed peripherals
+//!   ([`periph`]: UART, page module, timer, interrupt controller,
+//!   watchdog, NVM controller, CRC unit, test-bench mailbox),
+//! * [`platform`] — per-platform cycle models, debug visibility, reset
+//!   behaviour and the run loop,
+//! * [`fault`] — injectable platform bugs,
+//! * [`diverge`] — cross-platform result comparison (the "if they don't
+//!   execute the code the same way, a bug has been found" check).
+//!
+//! ```
+//! use advm_asm::{assemble_str, Image};
+//! use advm_sim::platform::run_image;
+//! use advm_soc::{Derivative, PlatformId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble_str(
+//!     "_main:\n    LOAD d1, #0x600D0000\n    STORE [0xEFF00], d1\n    STORE [0xEFF08], d1\n",
+//! )?;
+//! let mut image = Image::new();
+//! image.load_program(&program)?;
+//! let result = run_image(PlatformId::GoldenModel, &Derivative::sc88a(), &image);
+//! assert!(result.passed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cpu;
+pub mod diverge;
+pub mod fault;
+pub mod periph;
+pub mod platform;
+pub mod trace;
+
+pub use bus::{BusFault, SocBus};
+pub use cpu::{CostModel, Cpu, FatalError, StepOutcome};
+pub use diverge::{compare, DivergenceReport};
+pub use fault::PlatformFault;
+pub use platform::{run_image, EndReason, Platform, RunResult, DEFAULT_FUEL};
+pub use trace::{ExecTrace, TraceRecord};

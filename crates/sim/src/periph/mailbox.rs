@@ -1,0 +1,107 @@
+//! The test-bench mailbox device — the platform side of the protocol
+//! declared in [`advm_soc::testbench`].
+
+use advm_soc::testbench::{Mailbox, PlatformId, TestOutcome};
+
+/// The mailbox peripheral state.
+#[derive(Debug, Clone)]
+pub struct MailboxDevice {
+    platform: PlatformId,
+    result: Option<u32>,
+    chars: Vec<u8>,
+    sim_end: bool,
+    scratch: u32,
+}
+
+impl MailboxDevice {
+    /// Creates the mailbox for a platform.
+    pub fn new(platform: PlatformId) -> Self {
+        Self { platform, result: None, chars: Vec::new(), sim_end: false, scratch: 0 }
+    }
+
+    /// Reads a register (by offset within the mailbox block).
+    pub fn read(&mut self, offset: u32, now: u64) -> u32 {
+        match offset {
+            Mailbox::TICKS => now as u32,
+            Mailbox::PLATFORM => self.platform.code(),
+            Mailbox::SCRATCH => self.scratch,
+            _ => 0,
+        }
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, offset: u32, value: u32) {
+        match offset {
+            Mailbox::RESULT => self.result = Some(value),
+            Mailbox::CHAROUT => self.chars.push((value & 0xFF) as u8),
+            Mailbox::SIM_END => self.sim_end = true,
+            Mailbox::SCRATCH => self.scratch = value,
+            _ => {}
+        }
+    }
+
+    /// Whether the test asked to end the simulation.
+    pub fn sim_ended(&self) -> bool {
+        self.sim_end
+    }
+
+    /// The classified test outcome, if a result was reported.
+    pub fn outcome(&self) -> Option<TestOutcome> {
+        self.result.and_then(Mailbox::classify_result)
+    }
+
+    /// The raw result word, if any.
+    pub fn raw_result(&self) -> Option<u32> {
+        self.result
+    }
+
+    /// Console output accumulated through `CHAROUT`.
+    pub fn console(&self) -> &[u8] {
+        &self.chars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_protocol() {
+        let mut mb = MailboxDevice::new(PlatformId::GoldenModel);
+        mb.write(Mailbox::RESULT, Mailbox::PASS_MAGIC | 3);
+        mb.write(Mailbox::SIM_END, 1);
+        assert!(mb.sim_ended());
+        assert_eq!(mb.outcome(), Some(TestOutcome::Pass { detail: 3 }));
+    }
+
+    #[test]
+    fn garbage_result_classifies_none() {
+        let mut mb = MailboxDevice::new(PlatformId::RtlSim);
+        mb.write(Mailbox::RESULT, 0x1234_5678);
+        assert_eq!(mb.outcome(), None);
+        assert_eq!(mb.raw_result(), Some(0x1234_5678));
+    }
+
+    #[test]
+    fn console_collects_chars() {
+        let mut mb = MailboxDevice::new(PlatformId::Bondout);
+        for b in b"ok" {
+            mb.write(Mailbox::CHAROUT, u32::from(*b));
+        }
+        assert_eq!(mb.console(), b"ok");
+    }
+
+    #[test]
+    fn platform_and_ticks_readable() {
+        let mut mb = MailboxDevice::new(PlatformId::Accelerator);
+        assert_eq!(mb.read(Mailbox::PLATFORM, 0), PlatformId::Accelerator.code());
+        assert_eq!(mb.read(Mailbox::TICKS, 12345), 12345);
+    }
+
+    #[test]
+    fn scratch_roundtrips() {
+        let mut mb = MailboxDevice::new(PlatformId::GoldenModel);
+        mb.write(Mailbox::SCRATCH, 0xFEED);
+        assert_eq!(mb.read(Mailbox::SCRATCH, 0), 0xFEED);
+    }
+}

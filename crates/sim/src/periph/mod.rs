@@ -1,0 +1,25 @@
+//! SC88 peripheral models.
+//!
+//! Each peripheral is a small cycle-aware state machine exposing word
+//! registers at fixed offsets within its module. Offsets are shared across
+//! derivatives; module *base addresses* and *field geometry* come from the
+//! derivative's register map, which is how a derivative that moves or
+//! widens a field genuinely changes hardware behaviour here.
+
+pub mod crc;
+pub mod intc;
+pub mod mailbox;
+pub mod nvmc;
+pub mod page;
+pub mod timer;
+pub mod uart;
+pub mod wdt;
+
+pub use crc::CrcUnit;
+pub use intc::Intc;
+pub use mailbox::MailboxDevice;
+pub use nvmc::NvmController;
+pub use page::PageModule;
+pub use timer::Timer;
+pub use uart::Uart;
+pub use wdt::Watchdog;

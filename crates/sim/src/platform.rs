@@ -1,0 +1,439 @@
+//! The six execution platforms of the paper's §1.
+//!
+//! All platforms execute the same architectural core ([`crate::cpu`]);
+//! they differ in:
+//!
+//! * **cycle modelling** — RTL and gate-level simulations charge
+//!   realistic per-instruction costs (gate level at half clock plus a
+//!   long reset sequence); functional platforms charge one cycle each,
+//! * **debug visibility** — the golden model, RTL sim and bondout device
+//!   record `DBG` markers and a retirement trace; accelerator and product
+//!   silicon are black boxes,
+//! * **fault injection** — a platform can carry a hardware bug (see
+//!   [`PlatformFault`]), which is how cross-platform divergence is
+//!   exercised.
+
+use std::fmt;
+
+use advm_asm::Image;
+use advm_soc::testbench::{PlatformId, TestOutcome};
+use advm_soc::Derivative;
+
+use crate::bus::SocBus;
+use crate::cpu::{CostModel, Cpu, StepOutcome};
+use crate::fault::PlatformFault;
+use crate::trace::ExecTrace;
+
+/// Why a platform run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndReason {
+    /// The test wrote the mailbox `SIM_END` register.
+    SimEnd,
+    /// A `HALT` instruction retired.
+    Halt(u8),
+    /// The instruction budget was exhausted (hung test).
+    OutOfFuel,
+    /// Execution hit a fatal condition (unhandled trap, double fault).
+    Fatal(String),
+}
+
+impl fmt::Display for EndReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EndReason::SimEnd => f.write_str("sim-end"),
+            EndReason::Halt(code) => write!(f, "halt({code})"),
+            EndReason::OutOfFuel => f.write_str("out-of-fuel"),
+            EndReason::Fatal(msg) => write!(f, "fatal: {msg}"),
+        }
+    }
+}
+
+/// The result of running one test image on one platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// Which platform ran.
+    pub platform: PlatformId,
+    /// Why the run ended.
+    pub end: EndReason,
+    /// The mailbox-reported outcome, if any.
+    pub outcome: Option<TestOutcome>,
+    /// Instructions retired.
+    pub insns: u64,
+    /// Cycles consumed (platform-specific cost model).
+    pub cycles: u64,
+    /// Mailbox console output.
+    pub console: String,
+    /// UART transmit log.
+    pub uart_tx: Vec<u8>,
+    /// `DBG` markers, recorded only on debug-visible platforms.
+    pub dbg_markers: Vec<u8>,
+    /// Every MMIO register address the run touched (register coverage).
+    pub mmio_touched: Vec<u32>,
+}
+
+impl RunResult {
+    /// Whether the run counts as a pass: the test reported PASS and ended
+    /// cleanly (mailbox sim-end or a `HALT`).
+    pub fn passed(&self) -> bool {
+        matches!(self.outcome, Some(TestOutcome::Pass { .. }))
+            && matches!(self.end, EndReason::SimEnd | EndReason::Halt(_))
+    }
+}
+
+impl fmt::Display for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} after {} insns / {} cycles ({})",
+            self.platform,
+            match self.outcome {
+                Some(o) => o.to_string(),
+                None => "NO-RESULT".to_owned(),
+            },
+            self.insns,
+            self.cycles,
+            self.end,
+        )
+    }
+}
+
+/// Default instruction budget per run.
+pub const DEFAULT_FUEL: u64 = 2_000_000;
+
+/// One execution platform instance, loaded with a derivative's hardware
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    id: PlatformId,
+    cpu: Cpu,
+    bus: SocBus,
+    cost: CostModel,
+    reset_cycles: u64,
+    fuel: u64,
+    trace: Option<ExecTrace>,
+}
+
+impl Platform {
+    /// Creates a fault-free platform for a derivative.
+    pub fn new(id: PlatformId, derivative: &Derivative) -> Self {
+        Self::with_fault(id, derivative, PlatformFault::None)
+    }
+
+    /// Creates a platform carrying an injected hardware fault.
+    pub fn with_fault(id: PlatformId, derivative: &Derivative, fault: PlatformFault) -> Self {
+        let (cost, reset_cycles) = match id {
+            PlatformId::RtlSim => (CostModel::rtl(), 16),
+            PlatformId::GateSim => (CostModel::gate(), 200),
+            _ => (CostModel::functional(), 1),
+        };
+        Self {
+            id,
+            cpu: Cpu::new(),
+            bus: SocBus::new(derivative, id, fault),
+            cost,
+            reset_cycles,
+            fuel: DEFAULT_FUEL,
+            trace: None,
+        }
+    }
+
+    /// Arms execution tracing (retired PC + instruction word, bounded to
+    /// `capacity` records; the signature covers the full history).
+    ///
+    /// Tracing is a *debug capability*: it is available only on
+    /// debug-visible platforms — the golden model, RTL simulation and the
+    /// bondout device. On black-box platforms this call is ignored, just
+    /// as a logic analyser has nothing to probe on product silicon.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        if self.id.has_debug_visibility() {
+            self.trace = Some(ExecTrace::new(capacity));
+        }
+    }
+
+    /// The execution trace, if armed and supported.
+    pub fn trace(&self) -> Option<&ExecTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The platform identity.
+    pub fn id(&self) -> PlatformId {
+        self.id
+    }
+
+    /// Overrides the instruction budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Loads an assembled image into the platform's memory.
+    pub fn load_image(&mut self, image: &Image) {
+        self.bus.load_image(image);
+    }
+
+    /// Direct bus access for white-box assertions in tests/experiments.
+    pub fn bus(&mut self) -> &mut SocBus {
+        &mut self.bus
+    }
+
+    /// Direct CPU access for white-box assertions (bondout-style debug).
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Runs until the test ends the simulation, halts, faults fatally or
+    /// runs out of fuel.
+    pub fn run(&mut self) -> RunResult {
+        // Reset sequence: gate-level netlists take a long time to come
+        // out of reset; everything else is quick.
+        self.bus.advance(self.reset_cycles);
+
+        let mut dbg_markers = Vec::new();
+        let debug_visible = self.id.has_debug_visibility();
+        let end = loop {
+            if self.bus.mailbox().sim_ended() {
+                break EndReason::SimEnd;
+            }
+            if self.cpu.retired() >= self.fuel {
+                break EndReason::OutOfFuel;
+            }
+            if let Some(trace) = &mut self.trace {
+                let pc = self.cpu.pc();
+                if let Ok(word) = self.bus.read32(pc) {
+                    trace.record(pc, word);
+                }
+            }
+            match self.cpu.step(&mut self.bus, &self.cost) {
+                StepOutcome::Executed { cycles, dbg } => {
+                    self.bus.advance(u64::from(cycles));
+                    if let (Some(tag), true) = (dbg, debug_visible) {
+                        dbg_markers.push(tag);
+                    }
+                }
+                StepOutcome::Halted { code } => break EndReason::Halt(code),
+                StepOutcome::Fatal(fatal) => break EndReason::Fatal(fatal.to_string()),
+            }
+        };
+
+        RunResult {
+            platform: self.id,
+            end,
+            outcome: self.bus.mailbox().outcome(),
+            insns: self.cpu.retired(),
+            cycles: self.bus.now(),
+            console: String::from_utf8_lossy(self.bus.mailbox().console()).into_owned(),
+            uart_tx: self.bus.uart_tx().to_vec(),
+            dbg_markers,
+            mmio_touched: self.bus.mmio_touched().collect(),
+        }
+    }
+}
+
+/// Convenience: assemble-load-run one image on a fresh platform.
+pub fn run_image(id: PlatformId, derivative: &Derivative, image: &Image) -> RunResult {
+    let mut platform = Platform::new(id, derivative);
+    platform.load_image(image);
+    platform.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_asm::{assemble_str, Image};
+
+    use super::*;
+
+    fn image(asm: &str) -> Image {
+        let program = assemble_str(asm).unwrap_or_else(|e| panic!("{e}"));
+        let mut image = Image::new();
+        image.load_program(&program).unwrap();
+        image
+    }
+
+    fn passing_test() -> Image {
+        image(
+            "\
+_main:
+    LOAD d1, #0x600D0000
+    STORE [0xEFF00], d1
+    STORE [0xEFF08], d1
+    HALT #0
+",
+        )
+    }
+
+    #[test]
+    fn pass_protocol_ends_run() {
+        let result = run_image(
+            PlatformId::GoldenModel,
+            &Derivative::sc88a(),
+            &passing_test(),
+        );
+        assert!(result.passed(), "{result}");
+        assert_eq!(result.end, EndReason::SimEnd);
+    }
+
+    #[test]
+    fn same_image_passes_on_all_platforms() {
+        let img = passing_test();
+        for id in PlatformId::ALL {
+            let result = run_image(id, &Derivative::sc88a(), &img);
+            assert!(result.passed(), "{result}");
+        }
+    }
+
+    #[test]
+    fn cycle_counts_rank_platforms() {
+        let img = image(
+            "\
+_main:
+    LOAD d1, #100
+loop:
+    SUB d1, d1, #1
+    CMP d1, #0
+    JNE loop
+    HALT #0
+",
+        );
+        let golden = run_image(PlatformId::GoldenModel, &Derivative::sc88a(), &img);
+        let rtl = run_image(PlatformId::RtlSim, &Derivative::sc88a(), &img);
+        let gate = run_image(PlatformId::GateSim, &Derivative::sc88a(), &img);
+        assert_eq!(golden.insns, rtl.insns, "same architecture");
+        assert!(rtl.cycles > golden.cycles, "RTL charges pipeline costs");
+        assert!(gate.cycles > rtl.cycles, "gate level is slower still");
+    }
+
+    #[test]
+    fn hung_test_runs_out_of_fuel() {
+        let img = image("_main:\n    JMP _main\n");
+        let mut platform = Platform::new(PlatformId::GoldenModel, &Derivative::sc88a());
+        platform.set_fuel(1000);
+        platform.load_image(&img);
+        let result = platform.run();
+        assert_eq!(result.end, EndReason::OutOfFuel);
+        assert!(!result.passed());
+    }
+
+    #[test]
+    fn dbg_markers_visible_only_on_debug_platforms() {
+        let img = image(
+            "\
+_main:
+    DBG #1
+    DBG #2
+    HALT #0
+",
+        );
+        let golden = run_image(PlatformId::GoldenModel, &Derivative::sc88a(), &img);
+        assert_eq!(golden.dbg_markers, vec![1, 2]);
+        let silicon = run_image(PlatformId::ProductSilicon, &Derivative::sc88a(), &img);
+        assert!(silicon.dbg_markers.is_empty(), "silicon has no debug port");
+        // Architecturally identical regardless of visibility.
+        assert_eq!(golden.end, silicon.end);
+    }
+
+    #[test]
+    fn platform_register_identifies_platform() {
+        let img = image(
+            "\
+_main:
+    LOAD d1, [0xEFF10]
+    STORE [0xEFF14], d1
+    HALT #0
+",
+        );
+        for id in PlatformId::ALL {
+            let mut platform = Platform::new(id, &Derivative::sc88a());
+            platform.load_image(&img);
+            platform.run();
+            let scratch = platform.bus().read32(0xE_FF14).unwrap();
+            assert_eq!(scratch, id.code(), "{id}");
+        }
+    }
+
+    #[test]
+    fn injected_page_fault_fails_only_on_faulty_platform() {
+        // A read-back test: select page 5, verify ACTIVE_PAGE == 5.
+        let img = image(
+            "\
+_main:
+    MOVI d14, #0
+    INSERT d14, d14, #5, 0, 5
+    ORI d14, d14, #0x100
+    STORE [0xE0100], d14
+    LOAD d1, [0xE0104]
+    ANDI d1, d1, #0x1F
+    CMP d1, #5
+    JNE fail
+    LOAD d2, #0x600D0000
+    STORE [0xEFF00], d2
+    STORE [0xEFF08], d2
+    HALT #0
+fail:
+    LOAD d2, #0xBAD00001
+    STORE [0xEFF00], d2
+    STORE [0xEFF08], d2
+    HALT #1
+",
+        );
+        let clean = run_image(PlatformId::RtlSim, &Derivative::sc88a(), &img);
+        assert!(clean.passed());
+
+        let mut faulty = Platform::with_fault(
+            PlatformId::RtlSim,
+            &Derivative::sc88a(),
+            PlatformFault::PageActiveOffByOne,
+        );
+        faulty.load_image(&img);
+        let result = faulty.run();
+        assert!(!result.passed(), "{result}");
+    }
+
+    #[test]
+    fn trace_available_on_bondout_but_not_silicon() {
+        let img = passing_test();
+        let mut bondout = Platform::new(PlatformId::Bondout, &Derivative::sc88a());
+        bondout.enable_trace(64);
+        bondout.load_image(&img);
+        bondout.run();
+        let trace = bondout.trace().expect("bondout has debug visibility");
+        assert!(!trace.records().is_empty());
+        assert!(trace.disassembly().contains("MOVI"), "{}", trace.disassembly());
+
+        let mut silicon = Platform::new(PlatformId::ProductSilicon, &Derivative::sc88a());
+        silicon.enable_trace(64);
+        silicon.load_image(&img);
+        silicon.run();
+        assert!(silicon.trace().is_none(), "no logic analyser on product silicon");
+    }
+
+    #[test]
+    fn trace_signatures_match_across_debug_platforms() {
+        // Golden model and bondout execute the same architectural stream:
+        // their full-history signatures must agree (cycle counts differ).
+        let img = passing_test();
+        let mut signatures = Vec::new();
+        for id in [PlatformId::GoldenModel, PlatformId::Bondout] {
+            let mut platform = Platform::new(id, &Derivative::sc88a());
+            platform.enable_trace(16);
+            platform.load_image(&img);
+            platform.run();
+            signatures.push(platform.trace().unwrap().signature());
+        }
+        assert_eq!(signatures[0], signatures[1]);
+    }
+
+    #[test]
+    fn console_output_collected() {
+        let img = image(
+            "\
+_main:
+    LOAD d1, #72
+    STORE [0xEFF04], d1
+    LOAD d1, #105
+    STORE [0xEFF04], d1
+    HALT #0
+",
+        );
+        let result = run_image(PlatformId::GoldenModel, &Derivative::sc88a(), &img);
+        assert_eq!(result.console, "Hi");
+    }
+}

@@ -1,0 +1,151 @@
+//! Execution tracing — the bondout device's "extra hardware debugging
+//! capabilities", also available on the golden model and RTL simulation.
+//!
+//! A trace records the retired program-counter stream (bounded), the
+//! fetched instruction words, and a FNV signature over the whole
+//! retirement history. Signatures compare cheaply across debug-visible
+//! platforms: two platforms executing the same architectural stream have
+//! equal signatures even when their cycle counts differ.
+
+use std::fmt;
+
+use advm_isa::decode;
+use serde::{Deserialize, Serialize};
+
+/// One retired-instruction trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Program counter of the retired instruction.
+    pub pc: u32,
+    /// The fetched instruction word.
+    pub word: u32,
+}
+
+/// A bounded execution trace with a full-history signature.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecTrace {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    signature: u64,
+}
+
+impl ExecTrace {
+    /// A trace keeping at most `capacity` most-recent records (the
+    /// signature always covers the full history).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+            signature: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Records one retirement.
+    pub fn record(&mut self, pc: u32, word: u32) {
+        for b in pc.to_le_bytes().into_iter().chain(word.to_le_bytes()) {
+            self.signature ^= u64::from(b);
+            self.signature = self.signature.wrapping_mul(0x100_0000_01b3);
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.remove(0);
+            self.dropped += 1;
+        }
+        self.records.push(TraceRecord { pc, word });
+    }
+
+    /// The retained (most recent) records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records that fell off the front of the window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The FNV signature over the *entire* retirement history.
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
+    /// Renders the retained window as a disassembly listing.
+    pub fn disassembly(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier record(s) dropped ...\n", self.dropped));
+        }
+        for r in &self.records {
+            match decode(r.word) {
+                Ok(insn) => out.push_str(&format!("{:05X}: {insn}\n", r.pc)),
+                Err(_) => out.push_str(&format!("{:05X}: .WORD 0x{:08X}\n", r.pc, r.word)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExecTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace[{} records, {} dropped, sig {:016x}]",
+            self.records.len(),
+            self.dropped,
+            self.signature
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_isa::{encode, Insn};
+
+    use super::*;
+
+    #[test]
+    fn signature_covers_full_history() {
+        let mut small = ExecTrace::new(2);
+        let mut large = ExecTrace::new(100);
+        for pc in (0x100..0x140).step_by(4) {
+            small.record(pc, encode(&Insn::Nop));
+            large.record(pc, encode(&Insn::Nop));
+        }
+        assert_eq!(small.signature(), large.signature(), "window size is invisible");
+        assert_eq!(small.records().len(), 2);
+        assert_eq!(small.dropped(), 14);
+        assert_eq!(large.dropped(), 0);
+    }
+
+    #[test]
+    fn different_streams_have_different_signatures() {
+        let mut a = ExecTrace::new(8);
+        let mut b = ExecTrace::new(8);
+        a.record(0x100, encode(&Insn::Nop));
+        b.record(0x104, encode(&Insn::Nop));
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn disassembly_renders_instructions_and_data() {
+        let mut trace = ExecTrace::new(8);
+        trace.record(0x100, encode(&Insn::Ret));
+        trace.record(0x104, 0xFFFF_FFFF);
+        let text = trace.disassembly();
+        assert!(text.contains("00100: RETURN"), "{text}");
+        assert!(text.contains(".WORD 0xFFFFFFFF"), "{text}");
+    }
+
+    #[test]
+    fn zero_capacity_keeps_signature_only() {
+        let mut trace = ExecTrace::new(0);
+        trace.record(0x100, 0);
+        assert!(trace.records().is_empty());
+        assert_ne!(trace.signature(), ExecTrace::new(0).signature());
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential property test: the CPU core against an independent
+//! oracle.
+//!
+//! Random straight-line ALU programs are assembled from canonical
+//! syntax, executed on the golden-model platform, and the final data
+//! register file is compared against a second, minimal implementation of
+//! the SC88 ALU semantics written here from the architecture
+//! description. A divergence means one of the two implementations
+//! misread the spec.
+
+use advm_asm::{assemble_str, Image};
+use advm_isa::{BitSrc, DataReg, Insn};
+use advm_sim::Platform;
+use advm_soc::{Derivative, PlatformId};
+use proptest::prelude::*;
+
+fn arb_data_reg() -> impl Strategy<Value = DataReg> {
+    (0u8..16).prop_map(|i| DataReg::from_index(i).expect("in range"))
+}
+
+fn arb_bitfield() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..32).prop_flat_map(|pos| (Just(pos), 1u8..=(32 - pos)))
+}
+
+/// Straight-line ALU instructions only: no memory, no control flow.
+fn arb_alu_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovI { rd, imm }),
+        (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovHi { rd, imm }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Mov { rd, ra }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Add { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<i16>())
+            .prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Sub { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::And { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::AndI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Or { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::OrI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Xor { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>())
+            .prop_map(|(rd, ra, imm)| Insn::XorI { rd, ra, imm }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Shl { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::ShlI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg())
+            .prop_map(|(rd, ra, rb)| Insn::Shr { rd, ra, rb }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::ShrI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32)
+            .prop_map(|(rd, ra, sh)| Insn::SarI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Not { rd, ra }),
+        (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Neg { rd, ra }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg(), arb_bitfield()).prop_map(
+            |(rd, ra, rs, (pos, width))| Insn::Insert {
+                rd,
+                ra,
+                src: BitSrc::Reg(rs),
+                pos,
+                width
+            }
+        ),
+        (arb_data_reg(), arb_data_reg(), 0u8..128, arb_bitfield()).prop_map(
+            |(rd, ra, imm, (pos, width))| Insn::Insert {
+                rd,
+                ra,
+                src: BitSrc::Imm(imm),
+                pos,
+                width
+            }
+        ),
+        (arb_data_reg(), arb_data_reg(), arb_bitfield())
+            .prop_map(|(rd, ra, (pos, width))| Insn::Extract { rd, ra, pos, width }),
+    ]
+}
+
+/// The oracle: a from-scratch interpretation of the ALU semantics.
+fn oracle(regs: &mut [u32; 16], insn: &Insn) {
+    let r = |regs: &[u32; 16], reg: DataReg| regs[reg.index() as usize];
+    let mask = |width: u8| -> u32 {
+        if width == 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        }
+    };
+    match *insn {
+        Insn::MovI { rd, imm } => regs[rd.index() as usize] = u32::from(imm),
+        Insn::MovHi { rd, imm } => {
+            regs[rd.index() as usize] =
+                (u32::from(imm) << 16) | (regs[rd.index() as usize] & 0xFFFF)
+        }
+        Insn::Mov { rd, ra } => regs[rd.index() as usize] = r(regs, ra),
+        Insn::Add { rd, ra, rb } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_add(r(regs, rb))
+        }
+        Insn::AddI { rd, ra, imm } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_add(i32::from(imm) as u32)
+        }
+        Insn::Sub { rd, ra, rb } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_sub(r(regs, rb))
+        }
+        Insn::Mul { rd, ra, rb } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_mul(r(regs, rb))
+        }
+        Insn::And { rd, ra, rb } => regs[rd.index() as usize] = r(regs, ra) & r(regs, rb),
+        Insn::AndI { rd, ra, imm } => {
+            regs[rd.index() as usize] = r(regs, ra) & u32::from(imm)
+        }
+        Insn::Or { rd, ra, rb } => regs[rd.index() as usize] = r(regs, ra) | r(regs, rb),
+        Insn::OrI { rd, ra, imm } => regs[rd.index() as usize] = r(regs, ra) | u32::from(imm),
+        Insn::Xor { rd, ra, rb } => regs[rd.index() as usize] = r(regs, ra) ^ r(regs, rb),
+        Insn::XorI { rd, ra, imm } => {
+            regs[rd.index() as usize] = r(regs, ra) ^ u32::from(imm)
+        }
+        Insn::Shl { rd, ra, rb } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_shl(r(regs, rb) & 31)
+        }
+        Insn::ShlI { rd, ra, sh } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_shl(u32::from(sh))
+        }
+        Insn::Shr { rd, ra, rb } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_shr(r(regs, rb) & 31)
+        }
+        Insn::ShrI { rd, ra, sh } => {
+            regs[rd.index() as usize] = r(regs, ra).wrapping_shr(u32::from(sh))
+        }
+        Insn::SarI { rd, ra, sh } => {
+            regs[rd.index() as usize] = ((r(regs, ra) as i32) >> sh) as u32
+        }
+        Insn::Not { rd, ra } => regs[rd.index() as usize] = !r(regs, ra),
+        Insn::Neg { rd, ra } => regs[rd.index() as usize] = 0u32.wrapping_sub(r(regs, ra)),
+        Insn::Insert { rd, ra, src, pos, width } => {
+            let value = match src {
+                BitSrc::Reg(reg) => r(regs, reg),
+                BitSrc::Imm(v) => u32::from(v),
+            };
+            let m = mask(width);
+            regs[rd.index() as usize] =
+                (r(regs, ra) & !(m << pos)) | ((value & m) << pos);
+        }
+        Insn::Extract { rd, ra, pos, width } => {
+            regs[rd.index() as usize] = (r(regs, ra) >> pos) & mask(width);
+        }
+        ref other => panic!("oracle does not model {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cpu_matches_oracle(insns in proptest::collection::vec(arb_alu_insn(), 1..60)) {
+        // Execute on the platform.
+        let mut text: String = insns.iter().map(|i| format!("{i}\n")).collect();
+        text.push_str("HALT #0\n");
+        let program = assemble_str(&text).expect("assembles");
+        let mut image = Image::new();
+        image.load_program(&program).expect("links");
+        let mut platform = Platform::new(PlatformId::GoldenModel, &Derivative::sc88a());
+        platform.load_image(&image);
+        let result = platform.run();
+        prop_assert!(matches!(result.end, advm_sim::EndReason::Halt(0)), "{result}");
+
+        // Execute on the oracle.
+        let mut regs = [0u32; 16];
+        for insn in &insns {
+            oracle(&mut regs, insn);
+        }
+
+        for i in 0..16u8 {
+            let reg = DataReg::from_index(i).expect("in range");
+            prop_assert_eq!(
+                platform.cpu().d(reg),
+                regs[i as usize],
+                "divergence in d{} after {:?}",
+                i,
+                insns
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Debugging a failing test on the bondout device — the platform the
+//! paper describes as "enhanced to include extra hardware debugging
+//! capabilities".
+//!
+//! A deliberately broken test (it checks the wrong page) fails; the
+//! bondout execution trace shows the retired instruction stream around
+//! the failure, while product silicon offers nothing but the verdict.
+//!
+//! ```sh
+//! cargo run --example bondout_debug
+//! ```
+
+use advm::build::build_cell;
+use advm::env::{ModuleTestEnv, TestCell};
+use advm::presets::default_config;
+use advm_sim::Platform;
+use advm_soc::{Derivative, PlatformId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = ModuleTestEnv::new(
+        "PAGE",
+        default_config(),
+        vec![TestCell::new(
+            "TEST_BUGGY",
+            "selects page 5 but checks for page 6 (a test bug)",
+            "\
+.INCLUDE Globals.inc
+_main:
+    LOAD ArgA, #5
+    CALL Base_Select_Page
+    DBG #0xAA                  ; marker: selection done
+    LOAD ArgA, #6              ; BUG: wrong expectation
+    CALL Base_Check_Active_Page
+    CMP RetVal, #0
+    JNE t_fail
+    CALL Base_Report_Pass
+    RETURN
+t_fail:
+    DBG #0xFF                  ; marker: about to report failure
+    LOAD ArgA, #1
+    CALL Base_Report_Fail
+    RETURN
+",
+        )],
+    );
+    let image = build_cell(&env, "TEST_BUGGY")?;
+    let derivative = Derivative::sc88a();
+
+    // Product silicon: verdict only.
+    let mut silicon = Platform::new(PlatformId::ProductSilicon, &derivative);
+    silicon.enable_trace(32); // ignored: no debug port
+    silicon.load_image(&image);
+    let silicon_result = silicon.run();
+    println!("product silicon says: {silicon_result}");
+    assert!(silicon.trace().is_none());
+
+    // Bondout: verdict plus trace and markers.
+    let mut bondout = Platform::new(PlatformId::Bondout, &derivative);
+    bondout.enable_trace(16);
+    bondout.load_image(&image);
+    let bondout_result = bondout.run();
+    println!("\nbondout says:         {bondout_result}");
+    println!("debug markers hit:    {:02X?}", bondout_result.dbg_markers);
+    println!("\nlast retired instructions (bondout trace):");
+    print!("{}", bondout.trace().expect("bondout has a debug port").disassembly());
+
+    assert!(!bondout_result.passed());
+    assert_eq!(bondout_result.dbg_markers, vec![0xAA, 0xFF]);
+    println!("\nthe trace walks straight into Base_Report_Fail — test bug found");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Derivative porting walk-through: take a module environment written
+//! for SC88-A and re-target it to each catalogued derivative, printing
+//! the change-set every time — then prove the untouched tests still
+//! pass.
+//!
+//! ```sh
+//! cargo run --example derivative_port
+//! ```
+
+use advm::build::run_cell;
+use advm::env::EnvConfig;
+use advm::porting::{port_env, test_files_touched};
+use advm::presets::{default_config, page_env};
+use advm_soc::{DerivativeId, PlatformId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = page_env(default_config(), 3);
+    println!("origin: {env}\n");
+
+    for target in [DerivativeId::Sc88B, DerivativeId::Sc88C, DerivativeId::Sc88D] {
+        let derivative = advm_soc::Derivative::from_id(target);
+        println!("== port to {target} ==");
+        for change in derivative.changes() {
+            println!("  hardware change: {change}");
+        }
+        let outcome = port_env(&env, EnvConfig::new(target, PlatformId::GoldenModel));
+        println!("  change-set: {}", outcome.changes);
+        println!("  test files touched: {}", test_files_touched(&outcome.changes));
+
+        for cell in outcome.env.cells() {
+            let result = run_cell(&outcome.env, cell.id())?;
+            println!("  {}: {}", cell.id(), result);
+            assert!(result.passed(), "ported test must pass");
+        }
+        println!();
+    }
+    println!("all derivatives ported with zero test edits");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: build a paper-style module test environment, assemble one
+//! of its tests with the generated abstraction layer, run it on the
+//! golden model, and look at what was produced.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use advm::build::{assemble_cell, run_cell};
+use advm::presets::{default_config, page_env};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A PAGE environment with two Figure 6-style tests. The abstraction
+    // layer (Globals.inc + Base_Functions.asm) is generated for the
+    // SC88-A derivative on the golden reference model.
+    let env = page_env(default_config(), 2);
+
+    println!("environment: {env}");
+    println!("\n--- TESTPLAN.TXT ---\n{}", env.testplan().render());
+    println!("--- first lines of the generated Globals.inc ---");
+    for line in env.globals_text().lines().take(12) {
+        println!("  {line}");
+    }
+
+    // Assemble one test cell and show a slice of the listing.
+    let program = assemble_cell(&env, "TEST_PAGE_SELECT_01")?;
+    println!("\n--- listing around _main ---");
+    let listing = program.render_listing();
+    let main_pos = listing.find("_main").unwrap_or(0);
+    for line in listing[main_pos..].lines().take(10) {
+        println!("  {line}");
+    }
+
+    // Run it.
+    let result = run_cell(&env, "TEST_PAGE_SELECT_01")?;
+    println!("\nrun result: {result}");
+    assert!(result.passed());
+    println!("quickstart OK");
+    Ok(())
+}

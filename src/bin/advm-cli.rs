@@ -1,0 +1,251 @@
+//! `advm-cli` — drive the ADVM methodology from the command line.
+//!
+//! ```text
+//! advm-cli scaffold <dir> [--tests N] [--derivative D] [--platform P]
+//! advm-cli validate <dir> <env-name>
+//! advm-cli check <dir> <env-name>              # abstraction-layer violations
+//! advm-cli run <dir> <env-name> <test-id>
+//! advm-cli regress <dir> <env-name> [--platform P | --all-platforms]
+//! advm-cli port <dir> <env-name> --derivative D [--platform P]
+//! advm-cli asm <file.asm>                      # assemble + listing
+//! ```
+//!
+//! Environments on disk use exactly the paper's Figure 3 layout; `port`
+//! rewrites only the abstraction layer and prints the change-set.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use advm::env::{EnvConfig, ModuleTestEnv};
+use advm::fsio::{read_tree, write_tree};
+use advm::porting::port_env;
+use advm::regression::{run_regression, RegressionConfig};
+use advm_soc::{DerivativeId, PlatformId};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("advm-cli: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("scaffold") => scaffold(&args[1..]),
+        Some("validate") => validate(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("run") => run(&args[1..]),
+        Some("regress") => regress(&args[1..]),
+        Some("port") => port(&args[1..]),
+        Some("asm") => asm(&args[1..]),
+        Some("help") | None => {
+            print!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> &'static str {
+    "\
+usage:
+  advm-cli scaffold <dir> [--tests N] [--derivative D] [--platform P]
+  advm-cli validate <dir> <env-name>
+  advm-cli check <dir> <env-name>
+  advm-cli run <dir> <env-name> <test-id>
+  advm-cli regress <dir> <env-name> [--platform P | --all-platforms]
+  advm-cli port <dir> <env-name> --derivative D [--platform P]
+  advm-cli asm <file.asm>
+
+derivatives: SC88-A SC88-B SC88-C SC88-D
+platforms:   golden rtl gate accel bondout silicon
+"
+}
+
+fn parse_derivative(text: &str) -> Result<DerivativeId, String> {
+    DerivativeId::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(text))
+        .ok_or_else(|| format!("unknown derivative `{text}`"))
+}
+
+fn parse_platform(text: &str) -> Result<PlatformId, String> {
+    PlatformId::ALL
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(text))
+        .ok_or_else(|| format!("unknown platform `{text}`"))
+}
+
+/// Pulls `--flag value` pairs out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String], index: usize, what: &str) -> Result<String, String> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // Skip values consumed by a preceding flag.
+            let pos = args.iter().position(|x| x == *a).expect("present");
+            pos == 0 || !args[pos - 1].starts_with("--")
+        })
+        .nth(index)
+        .cloned()
+        .ok_or_else(|| format!("missing {what}\n{}", usage()))
+}
+
+fn load_env(dir: &str, name: &str) -> Result<ModuleTestEnv, String> {
+    let tree = read_tree(Path::new(dir)).map_err(|e| format!("reading `{dir}`: {e}"))?;
+    ModuleTestEnv::from_tree(name, &tree)
+        .map_err(|e| format!("environment `{name}` in `{dir}`: {e}"))
+}
+
+fn scaffold(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "target directory")?;
+    let tests: usize = flag_value(args, "--tests")
+        .map(|v| v.parse().map_err(|_| format!("bad --tests value `{v}`")))
+        .transpose()?
+        .unwrap_or(3);
+    let derivative = flag_value(args, "--derivative")
+        .map(parse_derivative)
+        .transpose()?
+        .unwrap_or(DerivativeId::Sc88A);
+    let platform = flag_value(args, "--platform")
+        .map(parse_platform)
+        .transpose()?
+        .unwrap_or(PlatformId::GoldenModel);
+
+    let env = advm::presets::page_env(EnvConfig::new(derivative, platform), tests);
+    write_tree(Path::new(&dir), &env.tree()).map_err(|e| format!("writing `{dir}`: {e}"))?;
+    println!(
+        "scaffolded {} ({} tests, {} on {}) under {dir}",
+        env.name(),
+        tests,
+        derivative.name(),
+        platform
+    );
+    Ok(())
+}
+
+fn validate(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "directory")?;
+    let name = positional(args, 1, "environment name")?;
+    let tree = read_tree(Path::new(&dir)).map_err(|e| format!("reading `{dir}`: {e}"))?;
+    let scoped: BTreeMap<String, String> = tree
+        .into_iter()
+        .filter(|(p, _)| p.starts_with(&format!("{name}/")))
+        .collect();
+    let issues = advm::validate_layout(&name, &scoped);
+    if issues.is_empty() {
+        println!("{name}: layout OK ({} files)", scoped.len());
+        Ok(())
+    } else {
+        for issue in &issues {
+            println!("{name}: {issue}");
+        }
+        Err(format!("{} layout issue(s)", issues.len()))
+    }
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "directory")?;
+    let name = positional(args, 1, "environment name")?;
+    let env = load_env(&dir, &name)?;
+    let violations = advm::check_env(&env);
+    if violations.is_empty() {
+        println!("{name}: no abstraction-layer violations");
+        Ok(())
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        Err(format!("{} violation(s)", violations.len()))
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "directory")?;
+    let name = positional(args, 1, "environment name")?;
+    let test_id = positional(args, 2, "test id")?;
+    let env = load_env(&dir, &name)?;
+    let result = advm::run_cell(&env, &test_id).map_err(|e| e.to_string())?;
+    println!("{result}");
+    if result.passed() {
+        Ok(())
+    } else {
+        Err("test failed".to_owned())
+    }
+}
+
+fn regress(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "directory")?;
+    let name = positional(args, 1, "environment name")?;
+    let env = load_env(&dir, &name)?;
+    let config = if args.iter().any(|a| a == "--all-platforms") {
+        RegressionConfig::full()
+    } else {
+        let platform = flag_value(args, "--platform")
+            .map(parse_platform)
+            .transpose()?
+            .unwrap_or(env.config().platform);
+        RegressionConfig::smoke(platform)
+    };
+    let report = run_regression(&[env], &config).map_err(|e| e.to_string())?;
+    println!("{}", report.matrix());
+    println!("{}/{} passed", report.passed(), report.total());
+    for (test, divergence) in report.divergences() {
+        println!("divergence in {test}:\n{divergence}");
+    }
+    if report.failed() == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} failure(s)", report.failed()))
+    }
+}
+
+fn port(args: &[String]) -> Result<(), String> {
+    let dir = positional(args, 0, "directory")?;
+    let name = positional(args, 1, "environment name")?;
+    let env = load_env(&dir, &name)?;
+    let derivative = flag_value(args, "--derivative")
+        .map(parse_derivative)
+        .transpose()?
+        .unwrap_or(env.config().derivative);
+    let platform = flag_value(args, "--platform")
+        .map(parse_platform)
+        .transpose()?
+        .unwrap_or(env.config().platform);
+
+    let outcome = port_env(&env, EnvConfig::new(derivative, platform));
+    write_tree(Path::new(&dir), &outcome.env.tree())
+        .map_err(|e| format!("writing `{dir}`: {e}"))?;
+    println!(
+        "ported {name} to {} on {platform}:\n{}",
+        derivative.name(),
+        outcome.changes
+    );
+    println!(
+        "test files touched: {}",
+        advm::porting::test_files_touched(&outcome.changes)
+    );
+    Ok(())
+}
+
+fn asm(args: &[String]) -> Result<(), String> {
+    let file = positional(args, 0, "assembler source file")?;
+    let path = PathBuf::from(&file);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading `{file}`: {e}"))?;
+    let program = advm_asm::assemble_str(&text).map_err(|e| e.to_string())?;
+    print!("{}", program.render_listing());
+    println!("; {} bytes emitted", program.size_bytes());
+    Ok(())
+}

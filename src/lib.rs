@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the ADVM reproduction workspace.
+//!
+//! See [`advm`] for the methodology engine, [`advm_asm`] for the assembler,
+//! [`advm_sim`] for the execution platforms and [`advm_soc`] for the SoC and
+//! derivative models.
+
+pub use advm;
+pub use advm_asm;
+pub use advm_baseline;
+pub use advm_gen;
+pub use advm_isa;
+pub use advm_metrics;
+pub use advm_sim;
+pub use advm_soc;

@@ -1,0 +1,79 @@
+//! Cross-crate property tests: invariants that hold over randomised
+//! inputs spanning assembler, SoC model, simulator and methodology.
+
+use advm::env::EnvConfig;
+use advm::porting::{port_env, test_files_touched};
+use advm::presets::page_env;
+use advm_soc::{DerivativeId, GlobalsSpec, PlatformId};
+use proptest::prelude::*;
+
+fn arb_derivative() -> impl Strategy<Value = DerivativeId> {
+    prop_oneof![
+        Just(DerivativeId::Sc88A),
+        Just(DerivativeId::Sc88B),
+        Just(DerivativeId::Sc88C),
+        Just(DerivativeId::Sc88D),
+    ]
+}
+
+fn arb_platform() -> impl Strategy<Value = PlatformId> {
+    prop_oneof![
+        Just(PlatformId::GoldenModel),
+        Just(PlatformId::RtlSim),
+        Just(PlatformId::GateSim),
+        Just(PlatformId::Accelerator),
+        Just(PlatformId::Bondout),
+        Just(PlatformId::ProductSilicon),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every (derivative, platform) globals file assembles standalone.
+    #[test]
+    fn any_globals_file_assembles(d in arb_derivative(), p in arb_platform()) {
+        let globals = GlobalsSpec::new(advm_soc::Derivative::from_id(d), p).render();
+        let program = advm_asm::assemble_str(&globals.text());
+        prop_assert!(program.is_ok(), "{d:?}/{p:?}: {:?}", program.err());
+    }
+
+    /// Porting never touches test files, whatever the source and target.
+    #[test]
+    fn porting_never_touches_tests(
+        from_d in arb_derivative(), from_p in arb_platform(),
+        to_d in arb_derivative(), to_p in arb_platform(),
+    ) {
+        let env = page_env(EnvConfig::new(from_d, from_p), 2);
+        let outcome = port_env(&env, EnvConfig::new(to_d, to_p));
+        prop_assert_eq!(test_files_touched(&outcome.changes), 0);
+    }
+
+    /// A ported environment always builds and its first test passes.
+    #[test]
+    fn ported_env_always_green(d in arb_derivative(), p in arb_platform()) {
+        let env = page_env(EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 1);
+        let ported = port_env(&env, EnvConfig::new(d, p)).env;
+        let result = advm::build::run_cell(&ported, "TEST_PAGE_SELECT_01");
+        prop_assert!(result.as_ref().map(|r| r.passed()).unwrap_or(false),
+            "{d:?}/{p:?}: {result:?}");
+    }
+
+    /// Tree rendering and reconstruction are inverse operations for any
+    /// configuration.
+    #[test]
+    fn env_tree_roundtrip(d in arb_derivative(), p in arb_platform()) {
+        let env = page_env(EnvConfig::new(d, p), 2);
+        let rebuilt = advm::ModuleTestEnv::from_tree("PAGE", &env.tree());
+        prop_assert_eq!(rebuilt.expect("tree is complete"), env);
+    }
+
+    /// Random seeded globals instances always assemble (gen crate x asm
+    /// crate).
+    #[test]
+    fn random_globals_assemble(d in arb_derivative(), p in arb_platform(), seed in 0u64..1000) {
+        let constraints = advm_gen::GlobalsConstraints::new(d, p).with_test_page_count(4);
+        let file = advm_gen::generate(&constraints, seed).expect("space non-empty");
+        prop_assert!(advm_asm::assemble_str(&file.text()).is_ok());
+    }
+}

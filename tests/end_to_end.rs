@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the full ADVM story, end to end.
+//!
+//! Each test walks a complete scenario through assembler, SoC model,
+//! simulator and methodology engine — the scenarios §2–§4 of the paper
+//! narrate.
+
+use advm::basefuncs::BaseFuncsStyle;
+use advm::build::{build_cell, run_cell};
+use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
+use advm::porting::{port_env, test_files_touched};
+use advm::presets::{default_config, es_env, page_env, standard_system};
+use advm::regression::{run_regression, RegressionConfig};
+use advm::release::ReleaseStore;
+use advm::system::SystemVerificationEnv;
+use advm_sim::{Platform, PlatformFault};
+use advm_soc::{Derivative, DerivativeId, EsVersion, PlatformId};
+
+/// The complete Figure 6 narrative: one test source survives a spec
+/// change and a derivative change purely through `Globals.inc`.
+#[test]
+fn figure6_full_narrative() {
+    let env = page_env(default_config(), 2);
+
+    // Paper defaults visible in the generated globals.
+    assert!(env.globals_text().contains("PAGE_FIELD_SIZE .EQU 0x5"));
+    assert!(env.globals_text().contains("PAGE_FIELD_START_POSITION .EQU 0x0"));
+
+    let baseline_result = run_cell(&env, "TEST_PAGE_SELECT_01").expect("builds");
+    assert!(baseline_result.passed());
+
+    // Spec change: field shifted by one (SC88-B).
+    let spec_change = port_env(&env, EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel));
+    assert_eq!(test_files_touched(&spec_change.changes), 0);
+    assert!(spec_change.env.globals_text().contains("PAGE_FIELD_START_POSITION .EQU 0x1"));
+    assert!(run_cell(&spec_change.env, "TEST_PAGE_SELECT_01").unwrap().passed());
+
+    // Derivative change: field widened (SC88-C), more pages available.
+    let derivative_change =
+        port_env(&env, EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel));
+    assert_eq!(test_files_touched(&derivative_change.changes), 0);
+    assert!(derivative_change.env.globals_text().contains("PAGE_FIELD_SIZE .EQU 0x6"));
+    assert!(run_cell(&derivative_change.env, "TEST_PAGE_SELECT_01").unwrap().passed());
+}
+
+/// The complete Figure 7 narrative: the ES library changes under the
+/// environment; the abstraction layer is the single point of repair.
+#[test]
+fn figure7_full_narrative() {
+    // History: v1-only wrappers over the v1 ROM — green.
+    let v1_config = default_config().with_style(BaseFuncsStyle::V1Only);
+    let env = es_env(v1_config);
+    for cell in env.cells() {
+        assert!(run_cell(&env, cell.id()).unwrap().passed(), "{} green on v1", cell.id());
+    }
+
+    // Event: ES v2 ships (swapped input registers). Wrapped tests break.
+    let stale = port_env(&env, v1_config.with_es_version(EsVersion::V2)).env;
+    let broken: Vec<&str> = stale
+        .cells()
+        .iter()
+        .filter(|c| !run_cell(&stale, c.id()).unwrap().passed())
+        .map(|c| c.id())
+        .collect();
+    assert!(broken.contains(&"TEST_ES_NVM_WRITE"), "swapped NVM args must break: {broken:?}");
+    assert!(broken.contains(&"TEST_ES_CHECKSUM"), "moved result register must break");
+
+    // Repair: one file — the base functions — adapts to ES_VERSION.
+    let fix = port_env(&stale, stale.config().with_style(BaseFuncsStyle::VersionAware));
+    assert_eq!(test_files_touched(&fix.changes), 0, "tests remain untouched");
+    assert!(fix
+        .changes
+        .change("ES_WRAP/Abstraction_Layer/Base_Functions.asm")
+        .is_some());
+    for cell in fix.env.cells() {
+        assert!(run_cell(&fix.env, cell.id()).unwrap().passed(), "{} green again", cell.id());
+    }
+}
+
+/// §1's platform claim: the system suite passes everywhere, and a bug in
+/// one platform is caught as a divergence, not silence.
+#[test]
+fn platform_matrix_and_divergence() {
+    let envs = standard_system(default_config());
+    let report = run_regression(&envs, &RegressionConfig::full()).expect("builds");
+    assert_eq!(report.failed(), 0, "matrix:\n{}", report.matrix());
+    assert!(report.total() >= 90, "8 envs x 6 platforms");
+
+    let fault = RegressionConfig::full()
+        .with_fault(PlatformId::GateSim, PlatformFault::TimerNeverExpires);
+    let report = run_regression(&envs, &fault).expect("builds");
+    let divergences = report.divergences();
+    assert!(!divergences.is_empty(), "a gate-sim timer bug must diverge");
+    for (_, d) in &divergences {
+        assert_eq!(d.divergent, vec![PlatformId::GateSim]);
+    }
+}
+
+/// The regression release discipline of §2–3: frozen labels are immune
+/// to live development, and the system release composes sub-labels.
+#[test]
+fn release_flow() {
+    let mut store = ReleaseStore::new();
+    let sys = SystemVerificationEnv::new(
+        "ADVM_System_Verification_Environment",
+        standard_system(default_config()),
+    );
+    assert!(sys.validate().is_empty());
+
+    let release = sys.compose_release(&mut store, "SYS-1.0").expect("fresh labels");
+    assert_eq!(release.components().len(), sys.envs().len());
+
+    // Thaw and run a component from the frozen label.
+    let thawed = store.thaw_system("SYS-1.0").expect("intact");
+    let report = run_regression(&thawed, &RegressionConfig::smoke(PlatformId::GoldenModel))
+        .expect("builds");
+    assert_eq!(report.failed(), 0);
+}
+
+/// The anti-pattern of Figure 2 actually bites: an environment whose
+/// tests bypass the layer loses the porting property.
+#[test]
+fn violations_defeat_porting() {
+    let config = default_config();
+    let cells = vec![
+        page_env(config, 1).cells()[0].clone(),
+        advm::presets::violating_page_cell(1),
+    ];
+    let env = ModuleTestEnv::new("PAGE", config, cells);
+    let violations = advm::check_env(&env);
+    assert!(!violations.is_empty());
+
+    let ported = port_env(&env, EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel)).env;
+    assert!(run_cell(&ported, "TEST_PAGE_SELECT_01").unwrap().passed());
+    assert!(!run_cell(&ported, "TEST_PAGE_ABUSE_01").unwrap().passed());
+}
+
+/// The same built image runs identically on debug-visible and black-box
+/// platforms; only observability differs.
+#[test]
+fn debug_visibility_does_not_change_architecture() {
+    let env = ModuleTestEnv::new(
+        "PAGE",
+        default_config(),
+        vec![TestCell::new(
+            "TEST_DBG",
+            "debug markers",
+            "\
+.INCLUDE Globals.inc
+_main:
+    DBG #1
+    DBG #2
+    CALL Base_Report_Pass
+    RETURN
+",
+        )],
+    );
+    let image = build_cell(&env, "TEST_DBG").expect("builds");
+    let derivative = Derivative::sc88a();
+
+    let mut golden = Platform::new(PlatformId::GoldenModel, &derivative);
+    golden.load_image(&image);
+    let golden_result = golden.run();
+
+    let mut silicon = Platform::new(PlatformId::ProductSilicon, &derivative);
+    silicon.load_image(&image);
+    let silicon_result = silicon.run();
+
+    assert!(golden_result.passed() && silicon_result.passed());
+    assert_eq!(golden_result.dbg_markers, vec![1, 2]);
+    assert!(silicon_result.dbg_markers.is_empty());
+    assert_eq!(golden_result.insns, silicon_result.insns, "same instruction stream");
+}
+
+/// Porting is involutive on the abstraction layer: A -> C -> A restores
+/// the original environment bit-for-bit.
+#[test]
+fn port_roundtrip_is_identity() {
+    let env = page_env(default_config(), 4);
+    let there = port_env(&env, EnvConfig::new(DerivativeId::Sc88C, PlatformId::GateSim)).env;
+    let back = port_env(&there, env.config()).env;
+    assert_eq!(back.tree(), env.tree());
+}
+
+/// All four derivatives expose their documented hardware differences
+/// through the one bus implementation.
+#[test]
+fn derivative_hardware_differences_are_real() {
+    // SC88-D moved the UART: the SC88-A address faults there.
+    let mut bus_d = advm_sim::SocBus::new(
+        &Derivative::sc88d(),
+        PlatformId::GoldenModel,
+        PlatformFault::None,
+    );
+    assert!(bus_d.read32(0xE_0000).is_err());
+    assert!(bus_d.read32(0xE_0800).is_ok());
+
+    // SC88-C honours six page bits where SC88-A masks to five.
+    let mut bus_a = advm_sim::SocBus::new(
+        &Derivative::sc88a(),
+        PlatformId::GoldenModel,
+        PlatformFault::None,
+    );
+    let mut bus_c = advm_sim::SocBus::new(
+        &Derivative::sc88c(),
+        PlatformId::GoldenModel,
+        PlatformFault::None,
+    );
+    let raw = 40 | (1 << 8); // page 40 needs 6 bits
+    bus_a.write32(0xE_0100, raw).unwrap();
+    bus_c.write32(0xE_0100, raw).unwrap();
+    let active_a = bus_a.read32(0xE_0104).unwrap() & 0x1F;
+    let active_c = bus_c.read32(0xE_0104).unwrap() & 0x3F;
+    assert_eq!(active_a, 40 & 0x1F, "SC88-A truncates to 5 bits");
+    assert_eq!(active_c, 40, "SC88-C holds the full value");
+}

@@ -1,0 +1,110 @@
+//! Integration tests over the experiment harness: every table the
+//! benchmark binaries print must reproduce the shape the paper claims.
+//! `EXPERIMENTS.md` records these expectations side by side with
+//! measured values.
+
+use advm_bench::experiments;
+
+#[test]
+fn e1_layers_and_reuse() {
+    let r = experiments::fig1_structure::run(5);
+    assert!(r.base_functions_used >= 3);
+    assert!(r.call_sites >= 2 * r.base_functions_used);
+}
+
+#[test]
+fn e2_abuse_costs_scale_with_violations() {
+    let r = experiments::fig2_violations::run(8, &[0, 4, 8]);
+    assert_eq!(r.rows[0].broken_after_port, 0);
+    assert_eq!(r.rows[1].broken_after_port, 4);
+    assert_eq!(r.rows[2].broken_after_port, 8);
+}
+
+#[test]
+fn e3_layout_rules_enforced() {
+    let r = experiments::fig3_layout::run();
+    assert_eq!(r.issues_per_scenario[0].1, 0);
+    assert!(r.issues_per_scenario[1..].iter().all(|(_, n)| *n > 0));
+}
+
+#[test]
+fn e4_e5_system_composition() {
+    let r = experiments::fig4_system::run();
+    assert_eq!(r.clean_issues, 0);
+    assert!(r.rogue_issues > 0);
+    assert_eq!(r.env_table.len(), 8);
+}
+
+#[test]
+fn e6_port_cost_shape() {
+    let r = experiments::fig6_spec_change::run(&[5, 20], 5);
+    for row in &r.rows {
+        assert_eq!(row.advm_test_files, 0);
+        assert!(row.advm_files <= 3);
+        assert_eq!(row.baseline_files, row.n);
+    }
+}
+
+#[test]
+fn e7_es_change_shape() {
+    let r = experiments::fig7_es_change::run();
+    assert!(r.broken_before_fix >= 3);
+    assert_eq!(r.advm_test_files, 0);
+    assert_eq!(r.advm_pass_after, r.advm_tests);
+    assert_eq!(r.baseline_pass_after, r.baseline_tests);
+}
+
+#[test]
+fn e8_platform_matrix_green_and_fault_localised() {
+    let r = experiments::platforms::run();
+    assert_eq!(r.clean_failures, 0);
+    assert!(r.fault_divergences >= 1);
+    assert_eq!(r.divergent_platforms, vec![advm_soc::PlatformId::RtlSim]);
+}
+
+#[test]
+fn e9_effort_crossover() {
+    let r = experiments::effort::run(10);
+    assert!(r.stages[0].advm_cumulative > r.stages[0].baseline_cumulative);
+    assert!(r.crossover_stage.is_some());
+    let last = r.stages.last().unwrap();
+    assert!(last.advm_cumulative < last.baseline_cumulative);
+}
+
+#[test]
+fn e10_devcost_break_even() {
+    let r = experiments::devcost::run(60);
+    assert!(r.advm_lines_per_test < r.baseline_lines_per_test);
+    assert!(r.break_even_tests.is_some());
+}
+
+#[test]
+fn e11_release_stability() {
+    let r = experiments::release_labels::run();
+    assert_eq!(r.frozen_before, r.frozen_after);
+    assert!(!r.live_matches_after);
+}
+
+#[test]
+fn e12_random_globals_pass_and_cover() {
+    let r = experiments::random_globals::run(24);
+    assert_eq!(r.passed, r.instances);
+    assert!(r.final_coverage > 0.5);
+}
+
+#[test]
+fn e14_register_coverage_complete() {
+    let r = experiments::coverage::run();
+    assert_eq!(r.holes, 0);
+    assert!(r.page_only_ratio < r.full_ratio);
+}
+
+#[test]
+fn e13_ablation_decomposes_discipline() {
+    let r = experiments::ablation_wrappers::run();
+    let outcome = |name: &str| r.outcomes.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(outcome("full ADVM").es_revision, 2);
+    assert_eq!(outcome("defines-only").derivative_port, 2);
+    assert_eq!(outcome("defines-only").es_revision, 1);
+    assert_eq!(outcome("hardwired").derivative_port, 1);
+}
