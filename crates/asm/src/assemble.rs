@@ -74,7 +74,10 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
             Stmt::Space(e) => {
                 let v = eval_early(e, &pstmt.loc, &equs, &labels)?;
                 if !(0..=0x10_0000).contains(&v) {
-                    return Err(AsmError::at(pstmt.loc.clone(), format!(".SPACE size {v} out of range")));
+                    return Err(AsmError::at(
+                        pstmt.loc.clone(),
+                        format!(".SPACE size {v} out of range"),
+                    ));
                 }
                 addr += v as u32;
             }
@@ -105,13 +108,15 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
     let mut listing: Vec<ListingEntry> = Vec::new();
     let mut seg_base = DEFAULT_ORG;
     let mut seg_bytes: Vec<u8> = Vec::new();
-    let flush =
-        |seg_base: &mut u32, seg_bytes: &mut Vec<u8>, next_base: u32, segments: &mut Vec<Segment>| {
-            if !seg_bytes.is_empty() {
-                segments.push(Segment::new(*seg_base, std::mem::take(seg_bytes)));
-            }
-            *seg_base = next_base;
-        };
+    let flush = |seg_base: &mut u32,
+                 seg_bytes: &mut Vec<u8>,
+                 next_base: u32,
+                 segments: &mut Vec<Segment>| {
+        if !seg_bytes.is_empty() {
+            segments.push(Segment::new(*seg_base, std::mem::take(seg_bytes)));
+        }
+        *seg_base = next_base;
+    };
 
     for (pstmt, &stmt_addr) in stmts.iter().zip(&addrs) {
         let loc = &pstmt.loc;
@@ -140,7 +145,10 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                 for e in list {
                     let v = expr::eval(e, loc, &resolve)?;
                     if !(-128..=255).contains(&v) {
-                        return Err(AsmError::at(loc.clone(), format!("byte value {v} out of range")));
+                        return Err(AsmError::at(
+                            loc.clone(),
+                            format!("byte value {v} out of range"),
+                        ));
                     }
                     seg_bytes.push(v as u8);
                 }
@@ -162,7 +170,8 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                     "pass1/pass2 size mismatch for {mnemonic}"
                 );
                 for insn in insns {
-                    insn.validate().map_err(|e| AsmError::at(loc.clone(), e.to_string()))?;
+                    insn.validate()
+                        .map_err(|e| AsmError::at(loc.clone(), e.to_string()))?;
                     let word = encode(&insn);
                     words.push(word);
                     seg_bytes.extend_from_slice(&word.to_le_bytes());
@@ -203,7 +212,10 @@ fn eval_early(
 
 fn to_addr(v: i64, loc: &Loc) -> Result<u32, AsmError> {
     if !(0..=i64::from(advm_isa::ADDR_MASK)).contains(&v) {
-        return Err(AsmError::at(loc.clone(), format!("address {v:#x} out of range")));
+        return Err(AsmError::at(
+            loc.clone(),
+            format!("address {v:#x} out of range"),
+        ));
     }
     Ok(v as u32)
 }
@@ -239,7 +251,10 @@ enum Stmt {
     Byte(Vec<Expr>),
     Space(Expr),
     Align(Expr),
-    Insn { mnemonic: String, operands: Vec<Operand> },
+    Insn {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -276,7 +291,11 @@ fn parse_statements(lines: &[LogicalLine]) -> Result<Vec<PStmt>, AsmError> {
             continue;
         }
         let stmt = parse_statement(tokens, &line.loc)?;
-        stmts.push(PStmt { stmt, loc: line.loc.clone(), text });
+        stmts.push(PStmt {
+            stmt,
+            loc: line.loc.clone(),
+            text,
+        });
     }
     Ok(stmts)
 }
@@ -291,7 +310,10 @@ fn parse_statement(tokens: &[Token], loc: &Loc) -> Result<Stmt, AsmError> {
                 ".BYTE" => Ok(Stmt::Byte(parse_expr_list(rest, loc)?)),
                 ".SPACE" => Ok(Stmt::Space(expr::parse_all(rest, loc)?)),
                 ".ALIGN" => Ok(Stmt::Align(expr::parse_all(rest, loc)?)),
-                other => Err(AsmError::at(loc.clone(), format!("unknown directive `{other}`"))),
+                other => Err(AsmError::at(
+                    loc.clone(),
+                    format!("unknown directive `{other}`"),
+                )),
             }
         }
         Token::Ident(mnemonic) => {
@@ -299,7 +321,10 @@ fn parse_statement(tokens: &[Token], loc: &Loc) -> Result<Stmt, AsmError> {
                 .into_iter()
                 .map(|op_tokens| parse_operand(&op_tokens, loc))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Stmt::Insn { mnemonic: mnemonic.to_ascii_uppercase(), operands })
+            Ok(Stmt::Insn {
+                mnemonic: mnemonic.to_ascii_uppercase(),
+                operands,
+            })
         }
         other => Err(AsmError::at(loc.clone(), format!("unexpected `{other}`"))),
     }
@@ -358,7 +383,10 @@ fn parse_operand(tokens: &[Token], loc: &Loc) -> Result<Operand, AsmError> {
         if let Token::Ident(name) = &inner[0] {
             if let Ok(base) = name.parse::<AddrReg>() {
                 if inner.len() == 1 {
-                    return Ok(Operand::Mem(MemRef::Based { base, offset: Expr::Num(0) }));
+                    return Ok(Operand::Mem(MemRef::Based {
+                        base,
+                        offset: Expr::Num(0),
+                    }));
                 }
                 // `[aX + expr]` or `[aX - expr]`.
                 let sign = match &inner[1] {
@@ -438,18 +466,20 @@ impl Ctx<'_> {
     fn data(&self, op: &Operand, what: &str) -> Result<DataReg, AsmError> {
         match op {
             Operand::Data(r) => Ok(*r),
-            other => {
-                Err(self.err(format!("{what}: expected a data register, found {}", kind(other))))
-            }
+            other => Err(self.err(format!(
+                "{what}: expected a data register, found {}",
+                kind(other)
+            ))),
         }
     }
 
     fn addr_reg(&self, op: &Operand, what: &str) -> Result<AddrReg, AsmError> {
         match op {
             Operand::Addr(r) => Ok(*r),
-            other => Err(
-                self.err(format!("{what}: expected an address register, found {}", kind(other)))
-            ),
+            other => Err(self.err(format!(
+                "{what}: expected an address register, found {}",
+                kind(other)
+            ))),
         }
     }
 
@@ -533,15 +563,25 @@ fn lower(
             one(Insn::Nop)
         }
         "HALT" => {
-            let code = if ops.is_empty() { 0 } else { ctx.imm8(&ops[0], "HALT code")? };
+            let code = if ops.is_empty() {
+                0
+            } else {
+                ctx.imm8(&ops[0], "HALT code")?
+            };
             one(Insn::Halt { code })
         }
         "TRAP" => {
             expect_operands(&ctx, mnemonic, ops, 1)?;
-            one(Insn::Trap { vector: ctx.imm8(&ops[0], "TRAP vector")? })
+            one(Insn::Trap {
+                vector: ctx.imm8(&ops[0], "TRAP vector")?,
+            })
         }
         "DBG" => {
-            let tag = if ops.is_empty() { 0 } else { ctx.imm8(&ops[0], "DBG tag")? };
+            let tag = if ops.is_empty() {
+                0
+            } else {
+                ctx.imm8(&ops[0], "DBG tag")?
+            };
             one(Insn::Dbg { tag })
         }
         "MOVI" => {
@@ -606,8 +646,14 @@ fn lower(
                     }
                     let v = v as u32;
                     Ok(vec![
-                        Insn::MovI { rd: *rd, imm: (v & 0xFFFF) as u16 },
-                        Insn::MovHi { rd: *rd, imm: (v >> 16) as u16 },
+                        Insn::MovI {
+                            rd: *rd,
+                            imm: (v & 0xFFFF) as u16,
+                        },
+                        Insn::MovHi {
+                            rd: *rd,
+                            imm: (v >> 16) as u16,
+                        },
                     ])
                 }
                 (Operand::Addr(ad), Operand::Imm(_) | Operand::Bare(_)) => one(Insn::Lea {
@@ -615,7 +661,11 @@ fn lower(
                     addr: ctx.target(&ops[1], "LOAD address")?,
                 }),
                 (Operand::Data(rd), Operand::Mem(MemRef::Based { base, offset })) => {
-                    one(Insn::Ld { rd: *rd, ab: *base, off: ctx.offset(offset)? })
+                    one(Insn::Ld {
+                        rd: *rd,
+                        ab: *base,
+                        off: ctx.offset(offset)?,
+                    })
                 }
                 (Operand::Data(rd), Operand::Mem(MemRef::Abs(e))) => one(Insn::LdAbs {
                     rd: *rd,
@@ -628,7 +678,11 @@ fn lower(
             expect_operands(&ctx, mnemonic, ops, 2)?;
             match (&ops[0], &ops[1]) {
                 (Operand::Data(rd), Operand::Mem(MemRef::Based { base, offset })) => {
-                    one(Insn::LdB { rd: *rd, ab: *base, off: ctx.offset(offset)? })
+                    one(Insn::LdB {
+                        rd: *rd,
+                        ab: *base,
+                        off: ctx.offset(offset)?,
+                    })
                 }
                 _ => Err(ctx.err(format!("{mnemonic} expects `dX, [aY+off]`"))),
             }
@@ -637,7 +691,11 @@ fn lower(
             expect_operands(&ctx, mnemonic, ops, 2)?;
             match (&ops[0], &ops[1]) {
                 (Operand::Data(rd), Operand::Mem(MemRef::Based { base, offset })) => {
-                    one(Insn::Ld { rd: *rd, ab: *base, off: ctx.offset(offset)? })
+                    one(Insn::Ld {
+                        rd: *rd,
+                        ab: *base,
+                        off: ctx.offset(offset)?,
+                    })
                 }
                 _ => Err(ctx.err("LD expects `dX, [aY+off]`")),
             }
@@ -659,17 +717,23 @@ fn lower(
                 (Operand::Mem(MemRef::Based { base, offset }), Operand::Data(rs)) => {
                     let off = ctx.offset(offset)?;
                     if byte {
-                        one(Insn::StB { ab: *base, off, rs: *rs })
+                        one(Insn::StB {
+                            ab: *base,
+                            off,
+                            rs: *rs,
+                        })
                     } else {
-                        one(Insn::St { ab: *base, off, rs: *rs })
+                        one(Insn::St {
+                            ab: *base,
+                            off,
+                            rs: *rs,
+                        })
                     }
                 }
-                (Operand::Mem(MemRef::Abs(e)), Operand::Data(rs)) if !byte => {
-                    one(Insn::StAbs {
-                        addr: to_addr(expr::eval(e, loc, &resolve)?, loc)?,
-                        rs: *rs,
-                    })
-                }
+                (Operand::Mem(MemRef::Abs(e)), Operand::Data(rs)) if !byte => one(Insn::StAbs {
+                    addr: to_addr(expr::eval(e, loc, &resolve)?, loc)?,
+                    rs: *rs,
+                }),
                 _ => Err(ctx.err(format!("{mnemonic} expects `[address], dX`"))),
             }
         }
@@ -715,11 +779,31 @@ fn lower(
                         })?;
                         one(Insn::AddI { rd, ra, imm })
                     }
-                    "AND" => one(Insn::AndI { rd, ra, imm: ctx.imm16_any(imm, "AND immediate")? }),
-                    "OR" => one(Insn::OrI { rd, ra, imm: ctx.imm16_any(imm, "OR immediate")? }),
-                    "XOR" => one(Insn::XorI { rd, ra, imm: ctx.imm16_any(imm, "XOR immediate")? }),
-                    "SHL" => one(Insn::ShlI { rd, ra, sh: ctx.imm5(imm, "SHL amount")? }),
-                    "SHR" => one(Insn::ShrI { rd, ra, sh: ctx.imm5(imm, "SHR amount")? }),
+                    "AND" => one(Insn::AndI {
+                        rd,
+                        ra,
+                        imm: ctx.imm16_any(imm, "AND immediate")?,
+                    }),
+                    "OR" => one(Insn::OrI {
+                        rd,
+                        ra,
+                        imm: ctx.imm16_any(imm, "OR immediate")?,
+                    }),
+                    "XOR" => one(Insn::XorI {
+                        rd,
+                        ra,
+                        imm: ctx.imm16_any(imm, "XOR immediate")?,
+                    }),
+                    "SHL" => one(Insn::ShlI {
+                        rd,
+                        ra,
+                        sh: ctx.imm5(imm, "SHL amount")?,
+                    }),
+                    "SHR" => one(Insn::ShrI {
+                        rd,
+                        ra,
+                        sh: ctx.imm5(imm, "SHR amount")?,
+                    }),
                     _ => Err(ctx.err(format!("{mnemonic} has no immediate form"))),
                 },
                 other => Err(ctx.err(format!(
@@ -762,16 +846,21 @@ fn lower(
             expect_operands(&ctx, mnemonic, ops, 2)?;
             let rd = ctx.data(&ops[0], "destination")?;
             let ra = ctx.data(&ops[1], "source")?;
-            one(if mnemonic == "NOT" { Insn::Not { rd, ra } } else { Insn::Neg { rd, ra } })
+            one(if mnemonic == "NOT" {
+                Insn::Not { rd, ra }
+            } else {
+                Insn::Neg { rd, ra }
+            })
         }
         "CMP" => {
             expect_operands(&ctx, mnemonic, ops, 2)?;
             let ra = ctx.data(&ops[0], "CMP first operand")?;
             match &ops[1] {
                 Operand::Data(rb) => one(Insn::Cmp { ra, rb: *rb }),
-                imm @ (Operand::Imm(_) | Operand::Bare(_)) => {
-                    one(Insn::CmpI { ra, imm: ctx.imm16_signed(imm, "CMP immediate")? })
-                }
+                imm @ (Operand::Imm(_) | Operand::Bare(_)) => one(Insn::CmpI {
+                    ra,
+                    imm: ctx.imm16_signed(imm, "CMP immediate")?,
+                }),
                 other => Err(ctx.err(format!("CMP second operand: {}", kind(other)))),
             }
         }
@@ -791,9 +880,7 @@ fn lower(
                 imm @ (Operand::Imm(_) | Operand::Bare(_)) => {
                     let v = ctx.value(imm, "INSERT value")?;
                     if !(0..=127).contains(&v) {
-                        return Err(
-                            ctx.err(format!("INSERT immediate {v} does not fit 7 bits"))
-                        );
+                        return Err(ctx.err(format!("INSERT immediate {v} does not fit 7 bits")));
                     }
                     BitSrc::Imm(v as u8)
                 }
@@ -804,7 +891,13 @@ fn lower(
             if !(1..=32).contains(&width_v) {
                 return Err(ctx.err(format!("INSERT width {width_v} not in 1..=32")));
             }
-            one(Insn::Insert { rd, ra, src, pos, width: width_v as u8 })
+            one(Insn::Insert {
+                rd,
+                ra,
+                src,
+                pos,
+                width: width_v as u8,
+            })
         }
         "EXTRACT" => {
             expect_operands(&ctx, mnemonic, ops, 4)?;
@@ -815,17 +908,26 @@ fn lower(
             if !(1..=32).contains(&width_v) {
                 return Err(ctx.err(format!("EXTRACT width {width_v} not in 1..=32")));
             }
-            one(Insn::Extract { rd, ra, pos, width: width_v as u8 })
+            one(Insn::Extract {
+                rd,
+                ra,
+                pos,
+                width: width_v as u8,
+            })
         }
         "JMP" => {
             expect_operands(&ctx, mnemonic, ops, 1)?;
-            one(Insn::Jmp { target: ctx.target(&ops[0], "JMP target")? })
+            one(Insn::Jmp {
+                target: ctx.target(&ops[0], "JMP target")?,
+            })
         }
         "CALL" => {
             expect_operands(&ctx, mnemonic, ops, 1)?;
             match &ops[0] {
                 Operand::Addr(ab) => one(Insn::CallR { ab: *ab }),
-                _ => one(Insn::Call { target: ctx.target(&ops[0], "CALL target")? }),
+                _ => one(Insn::Call {
+                    target: ctx.target(&ops[0], "CALL target")?,
+                }),
             }
         }
         "RETURN" | "RET" => {
@@ -854,11 +956,15 @@ fn lower(
         }
         "PUSHA" => {
             expect_operands(&ctx, mnemonic, ops, 1)?;
-            one(Insn::PushA { ab: ctx.addr_reg(&ops[0], "PUSHA operand")? })
+            one(Insn::PushA {
+                ab: ctx.addr_reg(&ops[0], "PUSHA operand")?,
+            })
         }
         "POPA" => {
             expect_operands(&ctx, mnemonic, ops, 1)?;
-            one(Insn::PopA { ad: ctx.addr_reg(&ops[0], "POPA operand")? })
+            one(Insn::PopA {
+                ad: ctx.addr_reg(&ops[0], "POPA operand")?,
+            })
         }
         "EI" => {
             expect_operands(&ctx, mnemonic, ops, 0)?;
@@ -880,7 +986,10 @@ fn lower(
                 .parse()
                 .map_err(|_| ctx.err(format!("unknown mnemonic `{jcc}`")))?;
             expect_operands(&ctx, jcc, ops, 1)?;
-            one(Insn::J { cond, target: ctx.target(&ops[0], "jump target")? })
+            one(Insn::J {
+                cond,
+                target: ctx.target(&ops[0], "jump target")?,
+            })
         }
         other => Err(ctx.err(format!("unknown mnemonic `{other}`"))),
     }

@@ -19,12 +19,18 @@ pub struct AsmError {
 impl AsmError {
     /// An error tied to a source line.
     pub fn at(loc: Loc, message: impl Into<String>) -> Self {
-        Self { loc: Some(loc), message: message.into() }
+        Self {
+            loc: Some(loc),
+            message: message.into(),
+        }
     }
 
     /// An error with no specific location (e.g. a missing entry file).
     pub fn general(message: impl Into<String>) -> Self {
-        Self { loc: None, message: message.into() }
+        Self {
+            loc: None,
+            message: message.into(),
+        }
     }
 
     /// The source location, if known.

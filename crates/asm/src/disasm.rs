@@ -35,7 +35,10 @@ mod tests {
 
     #[test]
     fn decodable_word_renders_instruction() {
-        let word = encode(&Insn::MovI { rd: DataReg::D3, imm: 0x42 });
+        let word = encode(&Insn::MovI {
+            rd: DataReg::D3,
+            imm: 0x42,
+        });
         let text = disassemble_word(0x100, word);
         assert!(text.contains("MOVI d3"), "{text}");
         assert!(text.starts_with("00100:"));

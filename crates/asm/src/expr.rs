@@ -145,7 +145,11 @@ impl fmt::Display for Expr {
 ///
 /// Returns a located error on malformed expressions.
 pub fn parse(tokens: &[Token], loc: &Loc) -> Result<(Expr, usize), AsmError> {
-    let mut parser = Parser { tokens, pos: 0, loc };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        loc,
+    };
     let expr = parser.parse_binary(0)?;
     Ok((expr, parser.pos))
 }
@@ -329,7 +333,11 @@ mod tests {
     fn precedence() {
         assert_eq!(eval_const("2 + 3 * 4"), 14);
         assert_eq!(eval_const("(2 + 3) * 4"), 20);
-        assert_eq!(eval_const("1 << 4 + 1"), 1 << 5, "shift binds looser than +");
+        assert_eq!(
+            eval_const("1 << 4 + 1"),
+            1 << 5,
+            "shift binds looser than +"
+        );
         assert_eq!(eval_const("0xF0 | 0x0F & 0x3"), 0xF0 | (0x0F & 0x3));
     }
 

@@ -203,7 +203,10 @@ pub fn tokenize(line: &str, loc: &Loc) -> Result<Vec<Token>, AsmError> {
             i += 1;
             continue;
         }
-        return Err(AsmError::at(loc.clone(), format!("unexpected character `{ch}`")));
+        return Err(AsmError::at(
+            loc.clone(),
+            format!("unexpected character `{ch}`"),
+        ));
     }
     Ok(tokens)
 }
@@ -259,8 +262,7 @@ mod tests {
     #[test]
     fn lexes_paper_insert_line() {
         // The Figure 6 instruction, verbatim.
-        let toks =
-            lex("INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE");
+        let toks = lex("INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE");
         assert_eq!(toks[0], Token::Ident("INSERT".into()));
         assert_eq!(toks.iter().filter(|t| t.is_punct(',')).count(), 4);
         assert_eq!(toks.last().unwrap().ident(), Some("PAGE_FIELD_SIZE"));
@@ -302,7 +304,10 @@ mod tests {
 
     #[test]
     fn comments_dropped() {
-        assert_eq!(lex("NOP ; this is a comment"), vec![Token::Ident("NOP".into())]);
+        assert_eq!(
+            lex("NOP ; this is a comment"),
+            vec![Token::Ident("NOP".into())]
+        );
         assert!(lex(";; full line comment").is_empty());
     }
 
@@ -316,8 +321,14 @@ mod tests {
 
     #[test]
     fn shift_operators() {
-        assert_eq!(lex("1 << 5"), vec![Token::Number(1), Token::Shl, Token::Number(5)]);
-        assert_eq!(lex("8 >> 2"), vec![Token::Number(8), Token::Shr, Token::Number(2)]);
+        assert_eq!(
+            lex("1 << 5"),
+            vec![Token::Number(1), Token::Shl, Token::Number(5)]
+        );
+        assert_eq!(
+            lex("8 >> 2"),
+            vec![Token::Number(8), Token::Shr, Token::Number(2)]
+        );
     }
 
     #[test]

@@ -55,9 +55,7 @@ mod source;
 pub use assemble::{assemble_preprocessed, DEFAULT_ORG};
 pub use diag::AsmError;
 pub use disasm::{disassemble_range, disassemble_word};
-pub use expr::{
-    eval as eval_expr, free_symbols, parse_all as parse_expr, BinOp, Expr, UnaryOp,
-};
+pub use expr::{eval as eval_expr, free_symbols, parse_all as parse_expr, BinOp, Expr, UnaryOp};
 pub use lexer::{tokenize, Token};
 pub use preprocess::{preprocess, LogicalLine, Preprocessed};
 pub use program::{Image, LinkError, ListingEntry, Program, Segment};

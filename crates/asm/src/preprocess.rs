@@ -53,7 +53,11 @@ pub struct Preprocessed {
 impl Preprocessed {
     /// Looks up an `.EQU` constant.
     pub fn equ(&self, name: &str) -> Option<i64> {
-        self.equs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.equs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -204,8 +208,7 @@ impl Preprocessor<'_> {
                         continue;
                     }
                     ".ELSE" => {
-                        let parent_active =
-                            self.conds.iter().rev().skip(1).all(|c| c.active);
+                        let parent_active = self.conds.iter().rev().skip(1).all(|c| c.active);
                         let frame = self.conds.last_mut().ok_or_else(|| {
                             AsmError::at(loc.clone(), ".ELSE without matching .IF")
                         })?;
@@ -245,7 +248,10 @@ impl Preprocessor<'_> {
                         break;
                     }
                     if matches!(body_tokens.first(), Some(Token::Directive(d)) if d == ".MACRO") {
-                        return Err(AsmError::at(body_loc, "nested .MACRO definitions are not supported"));
+                        return Err(AsmError::at(
+                            body_loc,
+                            "nested .MACRO definitions are not supported",
+                        ));
                     }
                     if !body_tokens.is_empty() {
                         body.push((body_tokens, body_loc));
@@ -254,7 +260,11 @@ impl Preprocessor<'_> {
                 if !closed {
                     return Err(AsmError::at(loc, format!("macro `{name}` has no .ENDM")));
                 }
-                if self.macros.insert(name.clone(), Macro { params, body }).is_some() {
+                if self
+                    .macros
+                    .insert(name.clone(), Macro { params, body })
+                    .is_some()
+                {
                     return Err(AsmError::at(loc, format!("macro `{name}` redefined")));
                 }
                 continue;
@@ -269,12 +279,7 @@ impl Preprocessor<'_> {
 
     /// Handles one active logical line: alias substitution, `.EQU`,
     /// `.DEFINE`, `.ERROR`, macro expansion, or pass-through.
-    fn process_line(
-        &mut self,
-        tokens: Vec<Token>,
-        loc: Loc,
-        depth: usize,
-    ) -> Result<(), AsmError> {
+    fn process_line(&mut self, tokens: Vec<Token>, loc: Loc, depth: usize) -> Result<(), AsmError> {
         if depth > MAX_MACRO_DEPTH {
             return Err(AsmError::at(loc, "macro expansion depth limit exceeded"));
         }
@@ -287,7 +292,10 @@ impl Preprocessor<'_> {
                 _ => return Err(AsmError::at(loc, ".DEFINE requires a name")),
             };
             if tokens.len() < 3 {
-                return Err(AsmError::at(loc, format!(".DEFINE {name} requires a replacement")));
+                return Err(AsmError::at(
+                    loc,
+                    format!(".DEFINE {name} requires a replacement"),
+                ));
             }
             if self.equs.contains_key(&name) {
                 return Err(AsmError::at(
@@ -307,7 +315,10 @@ impl Preprocessor<'_> {
             let name = match &tokens[0] {
                 Token::Ident(n) => n.clone(),
                 other => {
-                    return Err(AsmError::at(loc, format!(".EQU name expected, found `{other}`")))
+                    return Err(AsmError::at(
+                        loc,
+                        format!(".EQU name expected, found `{other}`"),
+                    ))
                 }
             };
             let expr_tokens = self.substitute_aliases(tokens[2..].to_vec());
@@ -451,7 +462,11 @@ impl Preprocessor<'_> {
                     }
                 };
                 let defined = self.equs.contains_key(name) || self.aliases.contains_key(name);
-                Ok(if directive == ".IFDEF" { defined } else { !defined })
+                Ok(if directive == ".IFDEF" {
+                    defined
+                } else {
+                    !defined
+                })
             }
             _ => Ok(self.eval_expr(tokens, loc)? != 0),
         }
@@ -481,7 +496,10 @@ fn parse_macro_header(tokens: &[Token], loc: &Loc) -> Result<(String, Vec<String
                 rest = &rest[1..];
                 continue;
             }
-            return Err(AsmError::at(loc.clone(), "expected `,` between macro parameters"));
+            return Err(AsmError::at(
+                loc.clone(),
+                "expected `,` between macro parameters",
+            ));
         }
     }
     Ok((name, params))
@@ -552,7 +570,10 @@ mod tests {
         let pre = run(
             "test.asm",
             &[
-                ("test.asm", ".INCLUDE Globals.inc\nTEST_PAGE .EQU TEST1_TARGET_PAGE\n"),
+                (
+                    "test.asm",
+                    ".INCLUDE Globals.inc\nTEST_PAGE .EQU TEST1_TARGET_PAGE\n",
+                ),
                 ("Globals.inc", "TEST1_TARGET_PAGE .EQU 8\n"),
             ],
         )
@@ -604,7 +625,14 @@ mod tests {
         assert_eq!(pre.equ("A"), Some(1));
         assert_eq!(line_texts(&pre), vec!["NOP"]);
         // Both include events are still recorded for environment analysis.
-        assert_eq!(pre.includes, vec!["g.inc".to_owned(), "test.asm".to_owned(), "g.inc".to_owned()]);
+        assert_eq!(
+            pre.includes,
+            vec![
+                "g.inc".to_owned(),
+                "test.asm".to_owned(),
+                "g.inc".to_owned()
+            ]
+        );
     }
 
     #[test]
@@ -657,7 +685,10 @@ mod tests {
     fn conditional_else_branch() {
         let pre = run(
             "t.asm",
-            &[("t.asm", "FLAG .EQU 0\n.IF FLAG\nNOP\n.ELSE\nHALT #1\n.ENDIF\n")],
+            &[(
+                "t.asm",
+                "FLAG .EQU 0\n.IF FLAG\nNOP\n.ELSE\nHALT #1\n.ENDIF\n",
+            )],
         )
         .unwrap();
         assert_eq!(line_texts(&pre), vec!["HALT # 1"]);
@@ -687,7 +718,10 @@ NOP
     fn ifdef_checks_definition() {
         let pre = run(
             "t.asm",
-            &[("t.asm", "A .EQU 0\n.IFDEF A\nNOP\n.ENDIF\n.IFNDEF B\nHALT #0\n.ENDIF\n")],
+            &[(
+                "t.asm",
+                "A .EQU 0\n.IFDEF A\nNOP\n.ENDIF\n.IFNDEF B\nHALT #0\n.ENDIF\n",
+            )],
         )
         .unwrap();
         // `.IFDEF A` is true even though A == 0.
@@ -721,7 +755,10 @@ STORE [addr], d15
 WRITE_REG 0x100, #7
 ";
         let pre = run("t.asm", &[("t.asm", src)]).unwrap();
-        assert_eq!(line_texts(&pre), vec!["LOAD d15 , # 7", "STORE [ 256 ] , d15"]);
+        assert_eq!(
+            line_texts(&pre),
+            vec!["LOAD d15 , # 7", "STORE [ 256 ] , d15"]
+        );
     }
 
     #[test]
@@ -775,7 +812,10 @@ OUTER #3
     fn error_directive_fires() {
         let err = run(
             "t.asm",
-            &[("t.asm", ".IF 1\n.ERROR \"unsupported derivative\"\n.ENDIF\n")],
+            &[(
+                "t.asm",
+                ".IF 1\n.ERROR \"unsupported derivative\"\n.ENDIF\n",
+            )],
         )
         .unwrap_err();
         assert!(err.to_string().contains("unsupported derivative"));

@@ -51,7 +51,12 @@ impl Program {
         equs: BTreeMap<String, i64>,
         listing: Vec<ListingEntry>,
     ) -> Self {
-        Self { segments, labels, equs, listing }
+        Self {
+            segments,
+            labels,
+            equs,
+            listing,
+        }
     }
 
     /// The program's segments in assembly order.
@@ -97,10 +102,7 @@ impl Program {
                         if i == 0 {
                             out.push_str(&format!("{addr:05X}: {w:08X}  {}\n", entry.text));
                         } else {
-                            out.push_str(&format!(
-                                "{:05X}: {w:08X}\n",
-                                addr + 4 * i as u32
-                            ));
+                            out.push_str(&format!("{:05X}: {w:08X}\n", addr + 4 * i as u32));
                         }
                     }
                 }
@@ -227,7 +229,9 @@ mod tests {
     #[test]
     fn image_loads_and_reads_words() {
         let mut image = Image::new();
-        image.load_program(&prog(0x100, vec![0x78, 0x56, 0x34, 0x12])).unwrap();
+        image
+            .load_program(&prog(0x100, vec![0x78, 0x56, 0x34, 0x12]))
+            .unwrap();
         assert_eq!(image.word(0x100), 0x1234_5678);
         assert_eq!(image.byte(0x100), 0x78);
         assert_eq!(image.word(0x200), 0, "unloaded memory reads zero");

@@ -97,7 +97,10 @@ pub struct Loc {
 impl Loc {
     /// Creates a location.
     pub fn new(file: impl Into<String>, line: u32) -> Self {
-        Self { file: file.into(), line }
+        Self {
+            file: file.into(),
+            line,
+        }
     }
 }
 

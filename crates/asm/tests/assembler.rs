@@ -67,17 +67,23 @@ _main:
     INSERT d14, d14, TEST_PAGE, PAGE_FIELD_START_POSITION, PAGE_FIELD_SIZE
     HALT #0
 ";
-    let globals_a = "PAGE_FIELD_SIZE .EQU 5\nPAGE_FIELD_START_POSITION .EQU 0\nTEST1_TARGET_PAGE .EQU 8\n";
-    let globals_b = "PAGE_FIELD_SIZE .EQU 6\nPAGE_FIELD_START_POSITION .EQU 1\nTEST1_TARGET_PAGE .EQU 8\n";
+    let globals_a =
+        "PAGE_FIELD_SIZE .EQU 5\nPAGE_FIELD_START_POSITION .EQU 0\nTEST1_TARGET_PAGE .EQU 8\n";
+    let globals_b =
+        "PAGE_FIELD_SIZE .EQU 6\nPAGE_FIELD_START_POSITION .EQU 1\nTEST1_TARGET_PAGE .EQU 8\n";
 
     let prog_a = assemble(
         "t.asm",
-        &SourceSet::new().with("t.asm", test).with("Globals.inc", globals_a),
+        &SourceSet::new()
+            .with("t.asm", test)
+            .with("Globals.inc", globals_a),
     )
     .unwrap();
     let prog_b = assemble(
         "t.asm",
-        &SourceSet::new().with("t.asm", test).with("Globals.inc", globals_b),
+        &SourceSet::new()
+            .with("t.asm", test)
+            .with("Globals.inc", globals_b),
     )
     .unwrap();
 
@@ -85,11 +91,23 @@ _main:
     let insert_b = decode_all(&prog_b)[1];
     assert_eq!(
         insert_a,
-        Insn::Insert { rd: DataReg::D14, ra: DataReg::D14, src: BitSrc::Imm(8), pos: 0, width: 5 }
+        Insn::Insert {
+            rd: DataReg::D14,
+            ra: DataReg::D14,
+            src: BitSrc::Imm(8),
+            pos: 0,
+            width: 5
+        }
     );
     assert_eq!(
         insert_b,
-        Insn::Insert { rd: DataReg::D14, ra: DataReg::D14, src: BitSrc::Imm(8), pos: 1, width: 6 }
+        Insn::Insert {
+            rd: DataReg::D14,
+            ra: DataReg::D14,
+            src: BitSrc::Imm(8),
+            pos: 1,
+            width: 6
+        }
     );
 }
 
@@ -98,7 +116,10 @@ fn figure7_wrapped_call_chain_assembles() {
     // Figure 7: test calls Base_Init_Register, which wraps
     // ES_Init_Register. `CallAddr` is a .DEFINE alias for a12.
     let sources = SourceSet::new()
-        .with("Globals.inc", ".DEFINE CallAddr a12\nES_INIT_REGISTER .EQU 0x30000\n")
+        .with(
+            "Globals.inc",
+            ".DEFINE CallAddr a12\nES_INIT_REGISTER .EQU 0x30000\n",
+        )
         .with(
             "Base_Functions.asm",
             "\
@@ -125,11 +146,28 @@ _main:
     let base_addr = program.label("Base_Init_Register").unwrap();
     let insns = decode_all(&program);
     // _main: LEA a12, Base_Init_Register ; CALL a12 ; RETURN
-    assert_eq!(insns[0], Insn::Lea { ad: advm_isa::AddrReg::A12, addr: base_addr });
-    assert_eq!(insns[1], Insn::CallR { ab: advm_isa::AddrReg::A12 });
+    assert_eq!(
+        insns[0],
+        Insn::Lea {
+            ad: advm_isa::AddrReg::A12,
+            addr: base_addr
+        }
+    );
+    assert_eq!(
+        insns[1],
+        Insn::CallR {
+            ab: advm_isa::AddrReg::A12
+        }
+    );
     assert_eq!(insns[2], Insn::Ret);
     // Base_Init_Register: LEA a12, 0x30000 ; CALL a12 ; RETURN
-    assert_eq!(insns[3], Insn::Lea { ad: advm_isa::AddrReg::A12, addr: 0x30000 });
+    assert_eq!(
+        insns[3],
+        Insn::Lea {
+            ad: advm_isa::AddrReg::A12,
+            addr: 0x30000
+        }
+    );
 }
 
 #[test]
@@ -153,8 +191,20 @@ done:
 fn load_immediate_emits_two_words() {
     let program = assemble_str("LOAD d1, #0xDEADBEEF\n").unwrap();
     let insns = decode_all(&program);
-    assert_eq!(insns[0], Insn::MovI { rd: DataReg::D1, imm: 0xBEEF });
-    assert_eq!(insns[1], Insn::MovHi { rd: DataReg::D1, imm: 0xDEAD });
+    assert_eq!(
+        insns[0],
+        Insn::MovI {
+            rd: DataReg::D1,
+            imm: 0xBEEF
+        }
+    );
+    assert_eq!(
+        insns[1],
+        Insn::MovHi {
+            rd: DataReg::D1,
+            imm: 0xDEAD
+        }
+    );
 }
 
 #[test]
@@ -172,12 +222,52 @@ STORE [0xE0100], d2
     .unwrap();
     use advm_isa::AddrReg::{A2, A3};
     let insns = decode_all(&program);
-    assert_eq!(insns[0], Insn::Ld { rd: DataReg::D1, ab: A2, off: 0 });
-    assert_eq!(insns[1], Insn::Ld { rd: DataReg::D1, ab: A2, off: 8 });
-    assert_eq!(insns[2], Insn::Ld { rd: DataReg::D1, ab: A2, off: -4 });
-    assert_eq!(insns[3], Insn::LdAbs { rd: DataReg::D1, addr: 0xE0100 });
-    assert_eq!(insns[4], Insn::St { ab: A3, off: 0, rs: DataReg::D2 });
-    assert_eq!(insns[5], Insn::StAbs { addr: 0xE0100, rs: DataReg::D2 });
+    assert_eq!(
+        insns[0],
+        Insn::Ld {
+            rd: DataReg::D1,
+            ab: A2,
+            off: 0
+        }
+    );
+    assert_eq!(
+        insns[1],
+        Insn::Ld {
+            rd: DataReg::D1,
+            ab: A2,
+            off: 8
+        }
+    );
+    assert_eq!(
+        insns[2],
+        Insn::Ld {
+            rd: DataReg::D1,
+            ab: A2,
+            off: -4
+        }
+    );
+    assert_eq!(
+        insns[3],
+        Insn::LdAbs {
+            rd: DataReg::D1,
+            addr: 0xE0100
+        }
+    );
+    assert_eq!(
+        insns[4],
+        Insn::St {
+            ab: A3,
+            off: 0,
+            rs: DataReg::D2
+        }
+    );
+    assert_eq!(
+        insns[5],
+        Insn::StAbs {
+            addr: 0xE0100,
+            rs: DataReg::D2
+        }
+    );
 }
 
 #[test]
@@ -193,11 +283,45 @@ CMP d1, #9
     )
     .unwrap();
     let insns = decode_all(&program);
-    assert_eq!(insns[0], Insn::AddI { rd: DataReg::D1, ra: DataReg::D2, imm: 5 });
-    assert_eq!(insns[1], Insn::AddI { rd: DataReg::D1, ra: DataReg::D2, imm: -5 });
-    assert_eq!(insns[2], Insn::AndI { rd: DataReg::D1, ra: DataReg::D2, imm: 0xFF });
-    assert_eq!(insns[3], Insn::ShlI { rd: DataReg::D1, ra: DataReg::D2, sh: 3 });
-    assert_eq!(insns[4], Insn::CmpI { ra: DataReg::D1, imm: 9 });
+    assert_eq!(
+        insns[0],
+        Insn::AddI {
+            rd: DataReg::D1,
+            ra: DataReg::D2,
+            imm: 5
+        }
+    );
+    assert_eq!(
+        insns[1],
+        Insn::AddI {
+            rd: DataReg::D1,
+            ra: DataReg::D2,
+            imm: -5
+        }
+    );
+    assert_eq!(
+        insns[2],
+        Insn::AndI {
+            rd: DataReg::D1,
+            ra: DataReg::D2,
+            imm: 0xFF
+        }
+    );
+    assert_eq!(
+        insns[3],
+        Insn::ShlI {
+            rd: DataReg::D1,
+            ra: DataReg::D2,
+            sh: 3
+        }
+    );
+    assert_eq!(
+        insns[4],
+        Insn::CmpI {
+            ra: DataReg::D1,
+            imm: 9
+        }
+    );
 }
 
 #[test]
@@ -238,16 +362,32 @@ _main:
 ";
     let verbose = assemble(
         "t.asm",
-        &SourceSet::new().with("t.asm", common).with("Globals.inc", "VERBOSE .EQU 1\n"),
+        &SourceSet::new()
+            .with("t.asm", common)
+            .with("Globals.inc", "VERBOSE .EQU 1\n"),
     )
     .unwrap();
     let quiet = assemble(
         "t.asm",
-        &SourceSet::new().with("t.asm", common).with("Globals.inc", "VERBOSE .EQU 0\n"),
+        &SourceSet::new()
+            .with("t.asm", common)
+            .with("Globals.inc", "VERBOSE .EQU 0\n"),
     )
     .unwrap();
-    assert_eq!(decode_all(&verbose)[0], Insn::MovI { rd: DataReg::D0, imm: 1 });
-    assert_eq!(decode_all(&quiet)[0], Insn::MovI { rd: DataReg::D0, imm: 2 });
+    assert_eq!(
+        decode_all(&verbose)[0],
+        Insn::MovI {
+            rd: DataReg::D0,
+            imm: 1
+        }
+    );
+    assert_eq!(
+        decode_all(&quiet)[0],
+        Insn::MovI {
+            rd: DataReg::D0,
+            imm: 2
+        }
+    );
 }
 
 #[test]
@@ -303,7 +443,13 @@ fn registers_win_over_labels_in_operands() {
     // `d1` parses as a register even though a label of that name exists;
     // register names are reserved.
     let program = assemble_str("MOV d1, d2\nHALT #0\n").unwrap();
-    assert_eq!(decode_all(&program)[0], Insn::Mov { rd: DataReg::D1, ra: DataReg::D2 });
+    assert_eq!(
+        decode_all(&program)[0],
+        Insn::Mov {
+            rd: DataReg::D1,
+            ra: DataReg::D2
+        }
+    );
 }
 
 #[test]
@@ -334,9 +480,29 @@ bad:
     )
     .unwrap();
     let insns = decode_all(&program);
-    assert_eq!(insns[0], Insn::Extract { rd: DataReg::D1, ra: DataReg::D2, pos: 4, width: 5 });
+    assert_eq!(
+        insns[0],
+        Insn::Extract {
+            rd: DataReg::D1,
+            ra: DataReg::D2,
+            pos: 4,
+            width: 5
+        }
+    );
     let ok = program.label("ok").unwrap();
     let bad = program.label("bad").unwrap();
-    assert_eq!(insns[2], Insn::J { cond: advm_isa::Cond::Eq, target: ok });
-    assert_eq!(insns[3], Insn::J { cond: advm_isa::Cond::Ne, target: bad });
+    assert_eq!(
+        insns[2],
+        Insn::J {
+            cond: advm_isa::Cond::Eq,
+            target: ok
+        }
+    );
+    assert_eq!(
+        insns[3],
+        Insn::J {
+            cond: advm_isa::Cond::Ne,
+            target: bad
+        }
+    );
 }

@@ -39,49 +39,95 @@ fn arb_displayable_insn() -> impl Strategy<Value = Insn> {
         (arb_addr_reg(), arb_data_reg()).prop_map(|(ad, rb)| Insn::MovAd { ad, rb }),
         (arb_addr_reg(), arb_addr_reg()).prop_map(|(ad, ab)| Insn::MovAa { ad, ab }),
         (arb_addr_reg(), 0u32..(1 << 20)).prop_map(|(ad, addr)| Insn::Lea { ad, addr }),
-        (arb_data_reg(), arb_addr_reg(), any::<i16>())
-            .prop_map(|(rd, ab, off)| Insn::Ld { rd, ab, off }),
-        (arb_data_reg(), arb_addr_reg(), any::<i16>())
-            .prop_map(|(rd, ab, off)| Insn::LdB { rd, ab, off }),
-        (arb_addr_reg(), any::<i16>(), arb_data_reg())
-            .prop_map(|(ab, off, rs)| Insn::St { ab, off, rs }),
-        (arb_addr_reg(), any::<i16>(), arb_data_reg())
-            .prop_map(|(ab, off, rs)| Insn::StB { ab, off, rs }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>()).prop_map(|(rd, ab, off)| Insn::Ld {
+            rd,
+            ab,
+            off
+        }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>()).prop_map(|(rd, ab, off)| Insn::LdB {
+            rd,
+            ab,
+            off
+        }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg()).prop_map(|(ab, off, rs)| Insn::St {
+            ab,
+            off,
+            rs
+        }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg()).prop_map(|(ab, off, rs)| Insn::StB {
+            ab,
+            off,
+            rs
+        }),
         (arb_data_reg(), 0u32..(1 << 20)).prop_map(|(rd, addr)| Insn::LdAbs { rd, addr }),
         (0u32..(1 << 20), arb_data_reg()).prop_map(|(addr, rs)| Insn::StAbs { addr, rs }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Add { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<i16>())
-            .prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Sub { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::AndI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::OrI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::XorI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::ShlI { rd, ra, sh }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::ShrI { rd, ra, sh }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::SarI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Add {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::AddI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Sub {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Mul {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::AndI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::OrI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::XorI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::ShlI {
+            rd,
+            ra,
+            sh
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::ShrI {
+            rd,
+            ra,
+            sh
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::SarI {
+            rd,
+            ra,
+            sh
+        }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Not { rd, ra }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Neg { rd, ra }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(ra, rb)| Insn::Cmp { ra, rb }),
         (arb_data_reg(), any::<i16>()).prop_map(|(ra, imm)| Insn::CmpI { ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg(), arb_bitfield()).prop_map(
-            |(rd, ra, rs, (pos, width))| Insn::Insert {
+        (
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_bitfield()
+        )
+            .prop_map(|(rd, ra, rs, (pos, width))| Insn::Insert {
                 rd,
                 ra,
                 src: BitSrc::Reg(rs),
                 pos,
                 width
-            }
-        ),
+            }),
         (arb_data_reg(), arb_data_reg(), 0u8..128, arb_bitfield()).prop_map(
             |(rd, ra, imm, (pos, width))| Insn::Insert {
                 rd,
@@ -113,6 +159,9 @@ fn arb_displayable_insn() -> impl Strategy<Value = Insn> {
 }
 
 proptest! {
+    // Pinned so CI case counts don't drift with proptest defaults.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     /// display → assemble → decode is the identity.
     #[test]
     fn display_reassembles_identically(insn in arb_displayable_insn()) {

@@ -86,8 +86,7 @@ mod tests {
     #[test]
     fn direct_page_tests_pass_on_their_target() {
         for derivative in DerivativeId::ALL {
-            let suite =
-                direct_page_suite(SuiteConfig::new(derivative, PlatformId::GoldenModel), 3);
+            let suite = direct_page_suite(SuiteConfig::new(derivative, PlatformId::GoldenModel), 3);
             for (id, _) in suite.cells() {
                 let result = run_direct_test(&suite, id)
                     .unwrap_or_else(|e| panic!("{derivative:?}/{id}: {e}"));
@@ -100,8 +99,7 @@ mod tests {
     fn direct_es_tests_pass_with_matching_conventions() {
         for es in [EsVersion::V1, EsVersion::V2] {
             let suite = direct_es_suite(
-                SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
-                    .with_es_version(es),
+                SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel).with_es_version(es),
             );
             for (id, _) in suite.cells() {
                 let result =
@@ -116,8 +114,10 @@ mod tests {
         // A suite written for SC88-A, run unchanged against SC88-B
         // hardware: the hardwired geometry writes the wrong bits, the
         // mixed write/read paths disagree, and the test fails.
-        let suite =
-            direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 1);
+        let suite = direct_page_suite(
+            SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            1,
+        );
         let image = build_direct_test(&suite, "TEST_DIRECT_PAGE_01").unwrap();
         let b = Derivative::sc88b();
         let mut platform = Platform::new(PlatformId::GoldenModel, &b);
@@ -129,15 +129,20 @@ mod tests {
         // fooled.
         let selected = platform.bus().read32(0xE_0104).unwrap();
         let active = (selected >> 1) & 0x1F; // SC88-B geometry
-        assert_ne!(active, 8, "stale test programmed the wrong page (result: {result})");
+        assert_ne!(
+            active, 8,
+            "stale test programmed the wrong page (result: {result})"
+        );
     }
 
     #[test]
     fn stale_es_conventions_fail_loudly() {
         // Suite written against ES v1, run with a v2 ROM: the checksum
         // result register moved, so the hardwired test fails.
-        let v1_suite =
-            direct_es_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel));
+        let v1_suite = direct_es_suite(SuiteConfig::new(
+            DerivativeId::Sc88A,
+            PlatformId::GoldenModel,
+        ));
         let stale = DirectSuiteWithV2Rom(&v1_suite);
         let result = stale.run("TEST_DIRECT_CHECKSUM");
         assert!(!result.passed(), "{result}");

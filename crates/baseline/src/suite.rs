@@ -63,7 +63,10 @@ impl DirectSuite {
 
     /// Looks up a test source by id.
     pub fn cell(&self, id: &str) -> Option<&str> {
-        self.cells.iter().find(|(i, _)| i == id).map(|(_, s)| s.as_str())
+        self.cells
+            .iter()
+            .find(|(i, _)| i == id)
+            .map(|(_, s)| s.as_str())
     }
 
     /// Renders the suite as a flat file tree (one file per test).
@@ -168,12 +171,18 @@ fn epilogue(b: &Baked) -> String {
     // A hardwired test bakes the platform's verbosity knob too: quiet
     // platforms (accelerator, gate sim, silicon) get no console bytes.
     let pass_char = if b.verbose {
-        format!("    LOAD d3, #'P'\n    STORE [0x{:05X}], d3\n", b.tb_charout)
+        format!(
+            "    LOAD d3, #'P'\n    STORE [0x{:05X}], d3\n",
+            b.tb_charout
+        )
     } else {
         String::new()
     };
     let fail_char = if b.verbose {
-        format!("    LOAD d3, #'F'\n    STORE [0x{:05X}], d3\n", b.tb_charout)
+        format!(
+            "    LOAD d3, #'F'\n    STORE [0x{:05X}], d3\n",
+            b.tb_charout
+        )
     } else {
         String::new()
     };
@@ -244,7 +253,11 @@ t_ready:
             (format!("TEST_DIRECT_PAGE_{i:02}"), source)
         })
         .collect();
-    DirectSuite { name: "DIRECT_PAGE".to_owned(), config, cells }
+    DirectSuite {
+        name: "DIRECT_PAGE".to_owned(),
+        config,
+        cells,
+    }
 }
 
 /// Generates the hardwired embedded-software suite (the Figure 7
@@ -422,8 +435,14 @@ mod tests {
 
     #[test]
     fn page_suite_bakes_derivative_values() {
-        let a = direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 2);
-        let b = direct_page_suite(SuiteConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel), 2);
+        let a = direct_page_suite(
+            SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            2,
+        );
+        let b = direct_page_suite(
+            SuiteConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel),
+            2,
+        );
         let src_a = a.cell("TEST_DIRECT_PAGE_01").unwrap();
         let src_b = b.cell("TEST_DIRECT_PAGE_01").unwrap();
         assert!(src_a.contains("INSERT d14, d14, #8, 0, 5"));
@@ -436,30 +455,50 @@ mod tests {
         let suite = direct_page_suite(config_a, 10);
         let config_b = SuiteConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel);
         let (_, changes) = port_suite(&suite, config_b, |c| direct_page_suite(c, 10));
-        assert_eq!(changes.files_touched(), 10, "every hardwired test refactored");
+        assert_eq!(
+            changes.files_touched(),
+            10,
+            "every hardwired test refactored"
+        );
     }
 
     #[test]
     fn es_suite_conventions_follow_release() {
-        let v1 = direct_es_suite(
-            SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
-        );
+        let v1 = direct_es_suite(SuiteConfig::new(
+            DerivativeId::Sc88A,
+            PlatformId::GoldenModel,
+        ));
         let v2 = direct_es_suite(
             SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
                 .with_es_version(EsVersion::V2),
         );
-        assert!(v1.cell("TEST_DIRECT_CHECKSUM").unwrap().contains("CMPI d2, #42"));
-        assert!(v2.cell("TEST_DIRECT_CHECKSUM").unwrap().contains("CMPI d3, #42"));
-        assert!(v1.cell("TEST_DIRECT_UART").unwrap().contains("LOAD d4, #0x42"));
-        assert!(v2.cell("TEST_DIRECT_UART").unwrap().contains("LOAD d5, #0x42"));
+        assert!(v1
+            .cell("TEST_DIRECT_CHECKSUM")
+            .unwrap()
+            .contains("CMPI d2, #42"));
+        assert!(v2
+            .cell("TEST_DIRECT_CHECKSUM")
+            .unwrap()
+            .contains("CMPI d3, #42"));
+        assert!(v1
+            .cell("TEST_DIRECT_UART")
+            .unwrap()
+            .contains("LOAD d4, #0x42"));
+        assert!(v2
+            .cell("TEST_DIRECT_UART")
+            .unwrap()
+            .contains("LOAD d5, #0x42"));
     }
 
     #[test]
     fn es_release_port_touches_convention_dependent_tests() {
         let config = SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
         let suite = direct_es_suite(config);
-        let (_, changes) =
-            port_suite(&suite, config.with_es_version(EsVersion::V2), direct_es_suite);
+        let (_, changes) = port_suite(
+            &suite,
+            config.with_es_version(EsVersion::V2),
+            direct_es_suite,
+        );
         // memcpy, checksum, nvm and uart bake conventions; init and the
         // locked check do not.
         assert_eq!(changes.files_touched(), 4, "{changes}");
@@ -467,7 +506,10 @@ mod tests {
 
     #[test]
     fn tree_paths_are_per_test_files() {
-        let suite = direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 3);
+        let suite = direct_page_suite(
+            SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            3,
+        );
         let tree = suite.tree();
         assert_eq!(tree.len(), 3);
         assert!(tree.contains_key("DIRECT_PAGE/TEST_DIRECT_PAGE_02.asm"));

@@ -65,5 +65,10 @@ fn bench_advm_unit(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_straight_line, bench_macro_expansion, bench_advm_unit);
+criterion_group!(
+    benches,
+    bench_straight_line,
+    bench_macro_expansion,
+    bench_advm_unit
+);
 criterion_main!(benches);

@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_port(c: &mut Criterion) {
     let mut group = c.benchmark_group("porting/derivative");
     for n in [10usize, 50, 200] {
-        let env = page_env(EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), n);
+        let env = page_env(
+            EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            n,
+        );
         let target = EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel);
         group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
             b.iter(|| {

@@ -11,19 +11,23 @@ fn bench_workers(c: &mut Criterion) {
     let mut group = c.benchmark_group("regression/workers");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
-            let config = RegressionConfig {
-                platforms: vec![PlatformId::GoldenModel],
-                workers,
-                fault: None,
-                fuel: advm_sim::DEFAULT_FUEL,
-            };
-            b.iter(|| {
-                let report = run_regression(&envs, &config).expect("builds");
-                assert_eq!(report.failed(), 0);
-                report.total()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let config = RegressionConfig {
+                    platforms: vec![PlatformId::GoldenModel],
+                    workers,
+                    fault: None,
+                    fuel: advm_sim::DEFAULT_FUEL,
+                };
+                b.iter(|| {
+                    let report = run_regression(&envs, &config).expect("builds");
+                    assert_eq!(report.failed(), 0);
+                    report.total()
+                });
+            },
+        );
     }
     group.finish();
 }

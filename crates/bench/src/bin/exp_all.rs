@@ -15,7 +15,10 @@ fn main() {
     let fig4 = e::fig4_system::run();
     println!("{}\n{}", fig4.env_table, fig4.tree_table);
 
-    println!("{}", e::fig6_spec_change::run(&[5, 10, 20, 50, 100], 10).table);
+    println!(
+        "{}",
+        e::fig6_spec_change::run(&[5, 10, 20, 50, 100], 10).table
+    );
     println!("{}", e::fig7_es_change::run().table);
 
     let platforms = e::platforms::run();

@@ -4,5 +4,8 @@
 fn main() {
     let result = advm_bench::experiments::fig4_system::run();
     println!("{}", result.tree_table);
-    println!("total tests in the system environment: {}", result.total_tests);
+    println!(
+        "total tests in the system environment: {}",
+        result.total_tests
+    );
 }

@@ -3,8 +3,7 @@
 //! (field widened), ADVM vs the hardwired baseline.
 
 fn main() {
-    let result =
-        advm_bench::experiments::fig6_spec_change::run(&[5, 10, 20, 50, 100], 10);
+    let result = advm_bench::experiments::fig6_spec_change::run(&[5, 10, 20, 50, 100], 10);
     println!("{}", result.table);
     println!("ADVM: O(1) abstraction-layer files; baseline: every test refactored.");
 }

@@ -7,7 +7,9 @@ fn main() {
     println!("{}", result.summary);
     println!(
         "clean failures: {} / {} runs | injected RTL fault -> {} divergent test(s) on {:?}",
-        result.clean_failures, result.total_runs, result.fault_divergences,
+        result.clean_failures,
+        result.total_runs,
+        result.fault_divergences,
         result.divergent_platforms
     );
 }

@@ -220,8 +220,14 @@ pub fn run() -> AblationResult {
     let home = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
     let styles: Vec<(&str, Vec<TestCell>)> = vec![
         ("full ADVM", vec![page_probe_advm(), nvm_probe_advm()]),
-        ("defines-only", vec![page_probe_defines_only(), nvm_probe_defines_only()]),
-        ("hardwired", vec![page_probe_hardwired(), nvm_probe_hardwired()]),
+        (
+            "defines-only",
+            vec![page_probe_defines_only(), nvm_probe_defines_only()],
+        ),
+        (
+            "hardwired",
+            vec![page_probe_hardwired(), nvm_probe_hardwired()],
+        ),
     ];
 
     let mut table = Table::new(
@@ -233,15 +239,19 @@ pub fn run() -> AblationResult {
     for (name, cells) in styles {
         let env = ModuleTestEnv::new("PROBE", home, cells);
         let home_pass = passes(&env);
-        let ported =
-            port_env(&env, EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel)).env;
+        let ported = port_env(
+            &env,
+            EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel),
+        )
+        .env;
         let derivative_pass = passes(&ported);
         // The ES revision arrives with the version-aware library (the
         // abstraction-layer fix is part of the ADVM response; the other
         // styles do not use it anyway).
         let es2 = port_env(
             &env,
-            home.with_es_version(EsVersion::V2).with_style(BaseFuncsStyle::VersionAware),
+            home.with_es_version(EsVersion::V2)
+                .with_style(BaseFuncsStyle::VersionAware),
         )
         .env;
         let es_pass = passes(&es2);
@@ -254,7 +264,11 @@ pub fn run() -> AblationResult {
         ]);
         outcomes.push((
             name.to_owned(),
-            StyleOutcome { home: home_pass, derivative_port: derivative_pass, es_revision: es_pass },
+            StyleOutcome {
+                home: home_pass,
+                derivative_port: derivative_pass,
+                es_revision: es_pass,
+            },
         ));
     }
 
@@ -285,7 +299,10 @@ mod tests {
         // Defines absorb the hardware change; hardwired geometry breaks.
         assert_eq!(advm.derivative_port, 2);
         assert_eq!(defines.derivative_port, 2);
-        assert_eq!(hardwired.derivative_port, 1, "page probe breaks, NVM survives");
+        assert_eq!(
+            hardwired.derivative_port, 1,
+            "page probe breaks, NVM survives"
+        );
         // Only wrappers absorb the software-interface change.
         assert_eq!(advm.es_revision, 2);
         assert_eq!(defines.es_revision, 1, "direct ES call breaks");

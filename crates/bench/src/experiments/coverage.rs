@@ -44,8 +44,7 @@ pub fn run() -> CoverageResult {
     );
 
     // PAGE only.
-    let page_report =
-        run_regression(&[page_env(config, 3)], &smoke).expect("builds");
+    let page_report = run_regression(&[page_env(config, 3)], &smoke).expect("builds");
     let page_coverage = RegisterCoverage::of_regression(&derivative, &page_report);
     growth_table.row(&[
         "PAGE only".to_owned(),
@@ -68,7 +67,11 @@ pub fn run() -> CoverageResult {
         ]);
     }
 
-    let holes = full_coverage.modules().iter().map(|m| m.missing.len()).sum();
+    let holes = full_coverage
+        .modules()
+        .iter()
+        .map(|m| m.missing.len())
+        .sum();
     CoverageResult {
         growth_table,
         final_table: full_coverage.table(),
@@ -91,6 +94,9 @@ mod tests {
             "the catalogued suite was coverage-closed to 100%"
         );
         assert_eq!(result.holes, 0);
-        assert!(result.page_only_ratio < 0.6, "one env cannot cover the chip");
+        assert!(
+            result.page_only_ratio < 0.6,
+            "one env cannot cover the chip"
+        );
     }
 }

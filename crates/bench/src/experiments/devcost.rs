@@ -40,13 +40,21 @@ pub fn run(max_tests: usize) -> DevCostResult {
     let advm_lines_per_test = probe.cells()[1].source().lines().count();
     let library_lines = probe.base_functions_text().lines().count();
 
-    let base_probe =
-        direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 2);
+    let base_probe = direct_page_suite(
+        SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+        2,
+    );
     let baseline_lines_per_test = base_probe.cells()[1].1.lines().count();
 
     let mut table = Table::new(
         "Marginal test-development cost (authored lines)",
-        &["tests", "ADVM cumulative", "baseline cumulative", "ADVM minutes", "baseline minutes"],
+        &[
+            "tests",
+            "ADVM cumulative",
+            "baseline cumulative",
+            "ADVM minutes",
+            "baseline minutes",
+        ],
     );
     let mut break_even_tests = None;
     for k in 1..=max_tests {

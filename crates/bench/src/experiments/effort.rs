@@ -56,15 +56,14 @@ pub fn run(n: usize) -> EffortResult {
     // Figure 6-style cells on both sides (page_env appends an extra
     // window-coverage cell, which has no baseline counterpart).
     let template = page_env(origin, n);
-    let advm_env = advm::env::ModuleTestEnv::new(
-        "PAGE",
-        origin,
-        template.cells()[..n].to_vec(),
-    );
-    let advm_test_lines: usize =
-        advm_env.cells().iter().map(|c| c.source().lines().count()).sum();
-    let abstraction_lines = advm_env.globals_text().lines().count()
-        + advm_env.base_functions_text().lines().count();
+    let advm_env = advm::env::ModuleTestEnv::new("PAGE", origin, template.cells()[..n].to_vec());
+    let advm_test_lines: usize = advm_env
+        .cells()
+        .iter()
+        .map(|c| c.source().lines().count())
+        .sum();
+    let abstraction_lines =
+        advm_env.globals_text().lines().count() + advm_env.base_functions_text().lines().count();
     // The globals file is tool-generated from the datasheet, but the
     // abstraction-layer *authoring* effort is real: count the base
     // functions at full new-code cost and the globals at a quarter (it
@@ -96,11 +95,20 @@ pub fn run(n: usize) -> EffortResult {
         PlatformId::Bondout,
         PlatformId::ProductSilicon,
     ] {
-        let advm_port = port_env(&advm_current, EnvConfig { platform, ..advm_current.config() });
+        let advm_port = port_env(
+            &advm_current,
+            EnvConfig {
+                platform,
+                ..advm_current.config()
+            },
+        );
         advm_total += model.apply_changeset(&advm_port.changes);
         advm_current = advm_port.env;
 
-        let target = SuiteConfig { platform, ..base_current.config() };
+        let target = SuiteConfig {
+            platform,
+            ..base_current.config()
+        };
         let (ported, changes) = port_suite(&base_current, target, |c| direct_page_suite(c, n));
         base_total += model.apply_changeset(&changes);
         base_current = ported;
@@ -113,7 +121,11 @@ pub fn run(n: usize) -> EffortResult {
     }
 
     // Stages 6..=8: derivatives.
-    for derivative in [DerivativeId::Sc88B, DerivativeId::Sc88C, DerivativeId::Sc88D] {
+    for derivative in [
+        DerivativeId::Sc88B,
+        DerivativeId::Sc88C,
+        DerivativeId::Sc88D,
+    ] {
         let advm_port = port_env(
             &advm_current,
             EnvConfig::new(derivative, advm_current.config().platform),
@@ -146,11 +158,20 @@ pub fn run(n: usize) -> EffortResult {
             s.stage.clone(),
             format!("{:.0}", s.advm_cumulative),
             format!("{:.0}", s.baseline_cumulative),
-            if s.advm_cumulative < s.baseline_cumulative { "yes" } else { "no" }.to_owned(),
+            if s.advm_cumulative < s.baseline_cumulative {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
         ]);
     }
 
-    EffortResult { table, stages, crossover_stage }
+    EffortResult {
+        table,
+        stages,
+        crossover_stage,
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +218,9 @@ mod tests {
     fn bigger_suites_cross_over_no_later() {
         let small = run(5).crossover_stage.unwrap_or(usize::MAX);
         let large = run(50).crossover_stage.unwrap_or(usize::MAX);
-        assert!(large <= small, "more tests amortise the abstraction layer faster");
+        assert!(
+            large <= small,
+            "more tests amortise the abstraction layer faster"
+        );
     }
 }

@@ -26,7 +26,10 @@ pub struct Fig1Result {
 
 /// Runs the experiment over a PAGE environment with `n` tests.
 pub fn run(n: usize) -> Fig1Result {
-    let env = page_env(EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), n);
+    let env = page_env(
+        EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+        n,
+    );
     let tree = env.tree();
 
     let mut layer_stats: Vec<(Layer, usize, usize)> = vec![
@@ -98,7 +101,12 @@ pub fn run(n: usize) -> Fig1Result {
         reuse_table.row(&[name.clone(), count.to_string(), sharing.to_string()]);
     }
 
-    Fig1Result { layer_table, reuse_table, base_functions_used: calls.len(), call_sites }
+    Fig1Result {
+        layer_table,
+        reuse_table,
+        base_functions_used: calls.len(),
+        call_sites,
+    }
 }
 
 #[cfg(test)]

@@ -50,7 +50,12 @@ pub fn run(total: usize, abuse_counts: &[usize]) -> Fig2Result {
 
     let mut table = Table::new(
         format!("Figure 2: cost of abstraction-layer abuse ({total} tests, port SC88-A -> SC88-B)"),
-        &["abusive tests", "violations found", "broken after port", "repair minutes"],
+        &[
+            "abusive tests",
+            "violations found",
+            "broken after port",
+            "repair minutes",
+        ],
     );
     let mut rows = Vec::new();
 

@@ -22,7 +22,10 @@ pub struct Fig3Result {
 
 /// Runs the experiment.
 pub fn run() -> Fig3Result {
-    let env = page_env(EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), 3);
+    let env = page_env(
+        EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+        3,
+    );
     let tree = env.tree();
 
     let mut tree_table = Table::new(
@@ -43,7 +46,10 @@ pub fn run() -> Fig3Result {
         issues_per_scenario.push((name.to_owned(), issues));
     };
 
-    record("well-formed environment", validate_layout("PAGE", &tree).len());
+    record(
+        "well-formed environment",
+        validate_layout("PAGE", &tree).len(),
+    );
 
     let mut t = tree.clone();
     t.remove("PAGE/TESTPLAN.TXT");
@@ -59,13 +65,26 @@ pub fn run() -> Fig3Result {
 
     let mut t = tree.clone();
     t.insert("PAGE/MY_TEST/test.asm".into(), "_main:\n RETURN\n".into());
-    record("cell without TEST_ prefix", validate_layout("PAGE", &t).len());
+    record(
+        "cell without TEST_ prefix",
+        validate_layout("PAGE", &t).len(),
+    );
 
     let mut t = tree.clone();
-    t.insert("PAGE/TEST_SC88A_ONLY/test.asm".into(), "_main:\n RETURN\n".into());
-    record("derivative-specific cell name", validate_layout("PAGE", &t).len());
+    t.insert(
+        "PAGE/TEST_SC88A_ONLY/test.asm".into(),
+        "_main:\n RETURN\n".into(),
+    );
+    record(
+        "derivative-specific cell name",
+        validate_layout("PAGE", &t).len(),
+    );
 
-    Fig3Result { tree_table, validation_table, issues_per_scenario }
+    Fig3Result {
+        tree_table,
+        validation_table,
+        issues_per_scenario,
+    }
 }
 
 #[cfg(test)]
@@ -85,8 +104,7 @@ mod tests {
     #[test]
     fn tree_contains_figure3_members() {
         let result = run();
-        let paths: Vec<&String> =
-            result.tree_table.rows().iter().map(|r| &r[0]).collect();
+        let paths: Vec<&String> = result.tree_table.rows().iter().map(|r| &r[0]).collect();
         assert!(paths.iter().any(|p| p.ends_with("TESTPLAN.TXT")));
         assert!(paths.iter().any(|p| p.contains("Abstraction_Layer")));
         assert!(paths.iter().any(|p| p.contains("TEST_PAGE_SELECT_01")));

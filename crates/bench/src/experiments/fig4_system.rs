@@ -39,10 +39,9 @@ pub fn run() -> Fig4Result {
         &["environment", "tests", "abstraction lines", "test lines"],
     );
     for env in sys.envs() {
-        let abstraction_lines = env.globals_text().lines().count()
-            + env.base_functions_text().lines().count();
-        let test_lines: usize =
-            env.cells().iter().map(|c| c.source().lines().count()).sum();
+        let abstraction_lines =
+            env.globals_text().lines().count() + env.base_functions_text().lines().count();
+        let test_lines: usize = env.cells().iter().map(|c| c.source().lines().count()).sum();
         env_table.row(&[
             env.name().to_owned(),
             env.cells().len().to_string(),

@@ -68,11 +68,12 @@ pub fn run(test_counts: &[usize], verify_up_to: usize) -> Fig6Result {
     for &n in test_counts {
         for target in [DerivativeId::Sc88B, DerivativeId::Sc88C] {
             let advm_env = page_env(source_config, n);
-            let advm_port =
-                port_env(&advm_env, EnvConfig::new(target, PlatformId::GoldenModel));
+            let advm_port = port_env(&advm_env, EnvConfig::new(target, PlatformId::GoldenModel));
 
-            let base_suite =
-                direct_page_suite(SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel), n);
+            let base_suite = direct_page_suite(
+                SuiteConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+                n,
+            );
             let (base_ported, base_changes) = port_suite(
                 &base_suite,
                 SuiteConfig::new(target, PlatformId::GoldenModel),
@@ -81,10 +82,14 @@ pub fn run(test_counts: &[usize], verify_up_to: usize) -> Fig6Result {
 
             let verified = if n <= verify_up_to {
                 let advm_ok = advm_port.env.cells().iter().all(|c| {
-                    run_cell(&advm_port.env, c.id()).map(|r| r.passed()).unwrap_or(false)
+                    run_cell(&advm_port.env, c.id())
+                        .map(|r| r.passed())
+                        .unwrap_or(false)
                 });
                 let base_ok = base_ported.cells().iter().all(|(id, _)| {
-                    run_direct_test(&base_ported, id).map(|r| r.passed()).unwrap_or(false)
+                    run_direct_test(&base_ported, id)
+                        .map(|r| r.passed())
+                        .unwrap_or(false)
                 });
                 advm_ok && base_ok
             } else {
@@ -109,7 +114,11 @@ pub fn run(test_counts: &[usize], verify_up_to: usize) -> Fig6Result {
                 row.advm_test_files.to_string(),
                 row.baseline_files.to_string(),
                 row.baseline_lines.to_string(),
-                if n <= verify_up_to { row.verified.to_string() } else { "skipped".to_owned() },
+                if n <= verify_up_to {
+                    row.verified.to_string()
+                } else {
+                    "skipped".to_owned()
+                },
             ]);
             rows.push(row);
         }
@@ -150,7 +159,11 @@ mod tests {
     fn ported_suites_verified_green() {
         let result = run(&[3], 3);
         for row in &result.rows {
-            assert!(row.verified, "{:?} port must pass post-port runs", row.target);
+            assert!(
+                row.verified,
+                "{:?} port must pass post-port runs",
+                row.target
+            );
         }
     }
 }

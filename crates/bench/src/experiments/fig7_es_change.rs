@@ -62,7 +62,11 @@ pub fn run() -> Fig7Result {
     let broken_before_fix = stale
         .cells()
         .iter()
-        .filter(|c| !run_cell(&stale, c.id()).map(|r| r.passed()).unwrap_or(false))
+        .filter(|c| {
+            !run_cell(&stale, c.id())
+                .map(|r| r.passed())
+                .unwrap_or(false)
+        })
         .count();
 
     // The ADVM fix: refactor the base functions once.
@@ -74,7 +78,11 @@ pub fn run() -> Fig7Result {
         .env
         .cells()
         .iter()
-        .filter(|c| run_cell(&fix.env, c.id()).map(|r| r.passed()).unwrap_or(false))
+        .filter(|c| {
+            run_cell(&fix.env, c.id())
+                .map(|r| r.passed())
+                .unwrap_or(false)
+        })
         .count();
 
     // The baseline: rewrite every convention-dependent hardwired test.
@@ -89,13 +97,21 @@ pub fn run() -> Fig7Result {
         .cells()
         .iter()
         .filter(|(id, _)| {
-            run_direct_test(&base_ported, id).map(|r| r.passed()).unwrap_or(false)
+            run_direct_test(&base_ported, id)
+                .map(|r| r.passed())
+                .unwrap_or(false)
         })
         .count();
 
     let mut table = Table::new(
         "Figure 7: ES v1 -> v2 (swapped input registers) under SC88-A",
-        &["approach", "files touched", "test files touched", "tests broken before fix", "tests passing after"],
+        &[
+            "approach",
+            "files touched",
+            "test files touched",
+            "tests broken before fix",
+            "tests passing after",
+        ],
     );
     table.row(&[
         "ADVM (refactor Base_Functions once)".to_owned(),
@@ -134,7 +150,10 @@ mod tests {
         let result = run();
         // The v2 release breaks the convention-dependent tests (4 of 5).
         assert!(result.broken_before_fix >= 3, "{result:?}");
-        assert!(result.broken_before_fix < result.advm_tests, "init test survives");
+        assert!(
+            result.broken_before_fix < result.advm_tests,
+            "init test survives"
+        );
         // The ADVM fix touches the abstraction layer only…
         assert_eq!(result.advm_test_files, 0);
         assert!(result.advm_files <= 2);

@@ -48,8 +48,11 @@ pub fn run() -> PlatformsResult {
         &["platform", "runs", "passed", "pass rate"],
     );
     for platform in clean.platforms() {
-        let runs: Vec<_> =
-            clean.runs().iter().filter(|r| r.platform == platform).collect();
+        let runs: Vec<_> = clean
+            .runs()
+            .iter()
+            .filter(|r| r.platform == platform)
+            .collect();
         let passed = runs.iter().filter(|r| r.result.passed()).count();
         summary.row(&[
             platform.to_string(),
@@ -60,8 +63,8 @@ pub fn run() -> PlatformsResult {
     }
 
     // Fault injection: a page-readback bug that exists only in the RTL.
-    let fault_config = RegressionConfig::full()
-        .with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
+    let fault_config =
+        RegressionConfig::full().with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
     let faulty = run_regression(&envs, &fault_config).expect("suite builds");
     let divergences = faulty.divergences();
     let mut divergent_platforms: Vec<PlatformId> = divergences
@@ -90,7 +93,10 @@ mod tests {
         let result = run();
         assert_eq!(result.clean_failures, 0, "matrix:\n{}", result.matrix);
         assert!(result.total_runs >= 6 * 15);
-        assert!(result.fault_divergences >= 1, "injected RTL bug must diverge");
+        assert!(
+            result.fault_divergences >= 1,
+            "injected RTL bug must diverge"
+        );
         assert_eq!(
             result.divergent_platforms,
             vec![PlatformId::RtlSim],

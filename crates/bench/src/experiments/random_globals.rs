@@ -51,10 +51,8 @@ pub fn run(instances: usize) -> RandomResult {
     let constraints = GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
         .with_test_page_count(2);
     let derivative = Derivative::sc88a();
-    let es = advm_asm::assemble_str(
-        EsRom::generate(&derivative, derivative.es_version()).source(),
-    )
-    .expect("ES ROM assembles");
+    let es = advm_asm::assemble_str(EsRom::generate(&derivative, derivative.es_version()).source())
+        .expect("ES ROM assembles");
 
     let mut coverage = PageCoverage::new(&constraints);
     let mut passed = 0;
@@ -85,7 +83,10 @@ pub fn run(instances: usize) -> RandomResult {
                 ),
             )
             .with("Globals.inc", globals.text())
-            .with("Base_Functions.asm", advm::base_functions(advm::BaseFuncsStyle::VersionAware))
+            .with(
+                "Base_Functions.asm",
+                advm::base_functions(advm::BaseFuncsStyle::VersionAware),
+            )
             .with("Vector_Table.inc", advm::runtime::vector_table())
             .with("Trap_Handlers.asm", advm::runtime::trap_handlers())
             .with("test.asm", RANDOM_TEST);
@@ -110,7 +111,12 @@ pub fn run(instances: usize) -> RandomResult {
         }
     }
 
-    RandomResult { table, instances, passed, final_coverage: coverage.ratio() }
+    RandomResult {
+        table,
+        instances,
+        passed,
+        final_coverage: coverage.ratio(),
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +126,10 @@ mod tests {
     #[test]
     fn every_instance_passes_and_coverage_grows() {
         let result = run(40);
-        assert_eq!(result.passed, result.instances, "random config, deterministic pass");
+        assert_eq!(
+            result.passed, result.instances,
+            "random config, deterministic pass"
+        );
         assert!(
             result.final_coverage > 0.7,
             "40 two-page instances should cover most of 32 pages, got {:.2}",

@@ -76,7 +76,9 @@ pub fn run() -> ReleaseResult {
         "ADVM_System_Verification_Environment",
         standard_system(config),
     );
-    let system = sys.compose_release(&mut store, "SYS-1.0").expect("labels fresh");
+    let system = sys
+        .compose_release(&mut store, "SYS-1.0")
+        .expect("labels fresh");
     let system_components = system.components().len();
     table.row(&[
         "compose SYS-1.0 from sub-labels".to_owned(),
@@ -101,7 +103,10 @@ mod tests {
         let result = run();
         assert_eq!(result.frozen_before, result.frozen_after);
         assert!(result.frozen_before >= 3);
-        assert!(!result.live_matches_after, "mutation must invalidate the label");
+        assert!(
+            !result.live_matches_after,
+            "mutation must invalidate the label"
+        );
         assert_eq!(result.system_components, 8);
     }
 }

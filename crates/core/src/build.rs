@@ -12,7 +12,9 @@ use advm_sim::{Platform, PlatformFault, RunResult};
 use advm_soc::{Derivative, EsRom};
 
 use crate::env::{ModuleTestEnv, BASE_FUNCTIONS_FILE, GLOBALS_FILE, TEST_SOURCE_FILE};
-use crate::runtime::{startup_stub, trap_handlers, vector_table, TRAP_HANDLERS_FILE, VECTOR_TABLE_FILE};
+use crate::runtime::{
+    startup_stub, trap_handlers, vector_table, TRAP_HANDLERS_FILE, VECTOR_TABLE_FILE,
+};
 
 /// Name of the synthesized unit entry file.
 pub const UNIT_FILE: &str = "__unit.asm";
@@ -28,7 +30,10 @@ pub const UNIT_FILE: &str = "__unit.asm";
 /// Returns an error if the cell does not exist.
 pub fn unit_sources(env: &ModuleTestEnv, cell_id: &str) -> Result<SourceSet, AsmError> {
     let cell = env.cell(cell_id).ok_or_else(|| {
-        AsmError::general(format!("no test cell `{cell_id}` in environment `{}`", env.name()))
+        AsmError::general(format!(
+            "no test cell `{cell_id}` in environment `{}`",
+            env.name()
+        ))
     })?;
     let unit = format!(
         "\
@@ -269,7 +274,10 @@ _main:
         );
         let result = run_cell(&env, "TEST_ONE").unwrap();
         assert!(!result.passed());
-        assert_eq!(result.outcome, Some(advm_soc::TestOutcome::Fail { detail: 11 }));
+        assert_eq!(
+            result.outcome,
+            Some(advm_soc::TestOutcome::Fail { detail: 11 })
+        );
     }
 
     #[test]

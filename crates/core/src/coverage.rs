@@ -114,7 +114,11 @@ impl RegisterCoverage {
                 m.module.clone(),
                 format!("{}/{}", m.touched, m.total),
                 format!("{:.0}%", 100.0 * m.ratio()),
-                if m.missing.is_empty() { "-".to_owned() } else { m.missing.join(", ") },
+                if m.missing.is_empty() {
+                    "-".to_owned()
+                } else {
+                    m.missing.join(", ")
+                },
             ]);
         }
         table
@@ -162,8 +166,7 @@ mod tests {
         let envs = standard_system(default_config());
         let report =
             run_regression(&envs, &RegressionConfig::smoke(PlatformId::GoldenModel)).unwrap();
-        let coverage =
-            RegisterCoverage::of_regression(&Derivative::sc88a(), &report);
+        let coverage = RegisterCoverage::of_regression(&Derivative::sc88a(), &report);
         assert!(
             coverage.overall_ratio() > 0.7,
             "catalogued suite should cover most registers:\n{coverage}"

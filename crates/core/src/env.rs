@@ -134,8 +134,15 @@ impl TestCell {
         source: impl Into<String>,
     ) -> Self {
         let id = id.into();
-        assert!(id.starts_with("TEST_"), "test cell id `{id}` must start with TEST_");
-        Self { id, description: description.into(), source: source.into() }
+        assert!(
+            id.starts_with("TEST_"),
+            "test cell id `{id}` must start with TEST_"
+        );
+        Self {
+            id,
+            description: description.into(),
+            source: source.into(),
+        }
     }
 
     /// The cell identifier (directory name).
@@ -287,7 +294,10 @@ impl ModuleTestEnv {
             self.config.render(),
         );
         for cell in &self.cells {
-            tree.insert(format!("{n}/{}/{TEST_SOURCE_FILE}", cell.id), cell.source.clone());
+            tree.insert(
+                format!("{n}/{}/{TEST_SOURCE_FILE}", cell.id),
+                cell.source.clone(),
+            );
         }
         tree
     }
@@ -303,8 +313,8 @@ impl ModuleTestEnv {
             tree.get(&path).ok_or(format!("missing `{path}`"))
         };
         let config_text = get(format!("{name}/{ABSTRACTION_DIR}/{ENV_CONFIG_FILE}"))?;
-        let config = EnvConfig::parse(config_text)
-            .ok_or_else(|| format!("malformed {ENV_CONFIG_FILE}"))?;
+        let config =
+            EnvConfig::parse(config_text).ok_or_else(|| format!("malformed {ENV_CONFIG_FILE}"))?;
         let globals_text = get(format!("{name}/{ABSTRACTION_DIR}/{GLOBALS_FILE}"))?.clone();
         let base_functions_text =
             get(format!("{name}/{ABSTRACTION_DIR}/{BASE_FUNCTIONS_FILE}"))?.clone();
@@ -398,7 +408,10 @@ impl fmt::Display for LayoutIssue {
                 write!(f, "test cell `{cell}` lacks {TEST_SOURCE_FILE}")
             }
             LayoutIssue::BadCellName(cell) => {
-                write!(f, "test cell `{cell}` does not follow the TEST_* convention")
+                write!(
+                    f,
+                    "test cell `{cell}` does not follow the TEST_* convention"
+                )
             }
             LayoutIssue::DerivativeSpecificName(name) => {
                 write!(f, "derivative-specific name `{name}`")
@@ -512,7 +525,10 @@ mod tests {
         ported.reconfigure(EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel));
         let after = ported.tree();
         // Tests and plan identical; abstraction layer files differ.
-        assert_eq!(before["PAGE/TEST_ALPHA/test.asm"], after["PAGE/TEST_ALPHA/test.asm"]);
+        assert_eq!(
+            before["PAGE/TEST_ALPHA/test.asm"],
+            after["PAGE/TEST_ALPHA/test.asm"]
+        );
         assert_eq!(before["PAGE/TESTPLAN.TXT"], after["PAGE/TESTPLAN.TXT"]);
         assert_ne!(
             before["PAGE/Abstraction_Layer/Globals.inc"],
@@ -549,8 +565,12 @@ mod tests {
         tree.insert("PAGE/BADCELL/test.asm".into(), "x".into());
         let issues = validate_layout("PAGE", &tree);
         assert!(issues.contains(&LayoutIssue::MissingTestplan));
-        assert!(issues.iter().any(|i| matches!(i, LayoutIssue::StrayFile(_))));
-        assert!(issues.iter().any(|i| matches!(i, LayoutIssue::BadCellName(_))));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LayoutIssue::StrayFile(_))));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LayoutIssue::BadCellName(_))));
     }
 
     #[test]

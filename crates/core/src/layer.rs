@@ -38,9 +38,7 @@ pub fn classify_path(path: &str) -> Layer {
     let mut parts = path.split('/');
     let _env = parts.next();
     match parts.next() {
-        Some(second) if second == ABSTRACTION_DIR || second == TESTPLAN_FILE => {
-            Layer::Abstraction
-        }
+        Some(second) if second == ABSTRACTION_DIR || second == TESTPLAN_FILE => Layer::Abstraction,
         Some(second) if second.starts_with("TEST_") => Layer::Test,
         _ => Layer::Global,
     }
@@ -53,10 +51,19 @@ mod tests {
     #[test]
     fn classification_matches_figure1() {
         assert_eq!(classify_path("PAGE/TEST_X/test.asm"), Layer::Test);
-        assert_eq!(classify_path("PAGE/Abstraction_Layer/Globals.inc"), Layer::Abstraction);
-        assert_eq!(classify_path("PAGE/Abstraction_Layer/Base_Functions.asm"), Layer::Abstraction);
+        assert_eq!(
+            classify_path("PAGE/Abstraction_Layer/Globals.inc"),
+            Layer::Abstraction
+        );
+        assert_eq!(
+            classify_path("PAGE/Abstraction_Layer/Base_Functions.asm"),
+            Layer::Abstraction
+        );
         assert_eq!(classify_path("PAGE/TESTPLAN.TXT"), Layer::Abstraction);
-        assert_eq!(classify_path("Global_Libraries/Trap_Handlers.asm"), Layer::Global);
+        assert_eq!(
+            classify_path("Global_Libraries/Trap_Handlers.asm"),
+            Layer::Global
+        );
         assert_eq!(classify_path("Embedded_Software.asm"), Layer::Global);
     }
 

@@ -27,7 +27,10 @@ pub fn port_env(env: &ModuleTestEnv, config: EnvConfig) -> PortOutcome {
     let mut ported = env.clone();
     ported.reconfigure(config);
     let after = ported.tree();
-    PortOutcome { env: ported, changes: diff_trees(&before, &after) }
+    PortOutcome {
+        env: ported,
+        changes: diff_trees(&before, &after),
+    }
 }
 
 /// Counts the test files a change-set touched (anything under a `TEST_*`
@@ -36,7 +39,12 @@ pub fn test_files_touched(changes: &ChangeSet) -> usize {
     changes
         .changes()
         .iter()
-        .filter(|c| c.path.split('/').nth(1).is_some_and(|d| d.starts_with("TEST_")))
+        .filter(|c| {
+            c.path
+                .split('/')
+                .nth(1)
+                .is_some_and(|d| d.starts_with("TEST_"))
+        })
         .count()
 }
 
@@ -84,22 +92,32 @@ t_fail:
         ModuleTestEnv::new(
             "PAGE",
             EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
-            vec![TestCell::new("TEST_PAGE_SELECT", "page select/readback", page_test_source())],
+            vec![TestCell::new(
+                "TEST_PAGE_SELECT",
+                "page select/readback",
+                page_test_source(),
+            )],
         )
     }
 
     #[test]
     fn port_to_derivative_touches_zero_test_files() {
         let env = page_env();
-        for target in [DerivativeId::Sc88B, DerivativeId::Sc88C, DerivativeId::Sc88D] {
-            let outcome =
-                port_env(&env, EnvConfig::new(target, PlatformId::GoldenModel));
+        for target in [
+            DerivativeId::Sc88B,
+            DerivativeId::Sc88C,
+            DerivativeId::Sc88D,
+        ] {
+            let outcome = port_env(&env, EnvConfig::new(target, PlatformId::GoldenModel));
             assert_eq!(
                 test_files_touched(&outcome.changes),
                 0,
                 "{target:?}: ADVM must not touch tests"
             );
-            assert!(abstraction_files_touched(&outcome.changes) >= 1, "{target:?}");
+            assert!(
+                abstraction_files_touched(&outcome.changes) >= 1,
+                "{target:?}"
+            );
         }
     }
 
@@ -112,9 +130,12 @@ t_fail:
         let env = page_env();
         let before = run_cell(&env, "TEST_PAGE_SELECT").unwrap();
         assert!(before.passed(), "baseline: {before}");
-        for target in [DerivativeId::Sc88B, DerivativeId::Sc88C, DerivativeId::Sc88D] {
-            let outcome =
-                port_env(&env, EnvConfig::new(target, PlatformId::GoldenModel));
+        for target in [
+            DerivativeId::Sc88B,
+            DerivativeId::Sc88C,
+            DerivativeId::Sc88D,
+        ] {
+            let outcome = port_env(&env, EnvConfig::new(target, PlatformId::GoldenModel));
             let result = run_cell(&outcome.env, "TEST_PAGE_SELECT").unwrap();
             assert!(result.passed(), "{target:?}: {result}");
         }
@@ -131,11 +152,13 @@ t_fail:
         // abstraction layer: simulate "forgot to port".
         let image = crate::build::build_cell(&stale, "TEST_PAGE_SELECT").unwrap();
         let derivative = advm_soc::Derivative::sc88b();
-        let mut platform =
-            advm_sim::Platform::new(PlatformId::GoldenModel, &derivative);
+        let mut platform = advm_sim::Platform::new(PlatformId::GoldenModel, &derivative);
         platform.load_image(&image);
         let result = platform.run();
-        assert!(!result.passed(), "stale build must fail on SC88-B: {result}");
+        assert!(
+            !result.passed(),
+            "stale build must fail on SC88-B: {result}"
+        );
         // And the properly ported build passes (proved in the test above).
         stale.reconfigure(EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel));
         let result = run_cell(&stale, "TEST_PAGE_SELECT").unwrap();
@@ -152,7 +175,11 @@ t_fail:
         assert_eq!(test_files_touched(&outcome.changes), 0);
         // Only Globals.inc changes (platform knobs); the base functions
         // are platform-independent text.
-        assert_eq!(outcome.changes.files_touched(), 2, "globals + env config record");
+        assert_eq!(
+            outcome.changes.files_touched(),
+            2,
+            "globals + env config record"
+        );
     }
 
     #[test]
@@ -164,7 +191,10 @@ t_fail:
                 .with_es_version(EsVersion::V2),
         );
         assert_eq!(test_files_touched(&outcome.changes), 0);
-        assert!(outcome.changes.change("PAGE/Abstraction_Layer/Globals.inc").is_some());
+        assert!(outcome
+            .changes
+            .change("PAGE/Abstraction_Layer/Globals.inc")
+            .is_some());
     }
 
     #[test]
@@ -174,10 +204,7 @@ t_fail:
             EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
                 .with_style(BaseFuncsStyle::V1Only),
         );
-        let outcome = port_env(
-            &env,
-            env.config().with_style(BaseFuncsStyle::VersionAware),
-        );
+        let outcome = port_env(&env, env.config().with_style(BaseFuncsStyle::VersionAware));
         assert_eq!(test_files_touched(&outcome.changes), 0);
         assert!(outcome
             .changes

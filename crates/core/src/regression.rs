@@ -45,7 +45,12 @@ impl RegressionConfig {
 
     /// A single-platform smoke regression.
     pub fn smoke(platform: PlatformId) -> Self {
-        Self { platforms: vec![platform], workers: 1, fault: None, fuel: advm_sim::DEFAULT_FUEL }
+        Self {
+            platforms: vec![platform],
+            workers: 1,
+            fault: None,
+            fuel: advm_sim::DEFAULT_FUEL,
+        }
     }
 
     /// Injects a hardware fault into one platform.
@@ -207,7 +212,10 @@ pub fn run_regression(
     for env in envs {
         for &platform in &config.platforms {
             let mut ported = env.clone();
-            ported.reconfigure(EnvConfig { platform, ..env.config() });
+            ported.reconfigure(EnvConfig {
+                platform,
+                ..env.config()
+            });
             let derivative = Derivative::from_id(ported.config().derivative);
             let fault = match config.fault {
                 Some((p, f)) if p == platform => f,
@@ -348,7 +356,11 @@ t_fail:
 
     #[test]
     fn parallel_and_serial_agree() {
-        let e = env(vec![passing_cell("TEST_A"), failing_cell("TEST_F"), passing_cell("TEST_C")]);
+        let e = env(vec![
+            passing_cell("TEST_A"),
+            failing_cell("TEST_F"),
+            passing_cell("TEST_C"),
+        ]);
         let mut serial_cfg = RegressionConfig::full();
         serial_cfg.workers = 1;
         let mut parallel_cfg = RegressionConfig::full();

@@ -29,7 +29,12 @@ impl Release {
     pub fn freeze(label: impl Into<String>, env: &ModuleTestEnv) -> Self {
         let tree = env.tree();
         let checksum = tree_checksum(&tree);
-        Self { label: label.into(), env_name: env.name().to_owned(), tree, checksum }
+        Self {
+            label: label.into(),
+            env_name: env.name().to_owned(),
+            tree,
+            checksum,
+        }
     }
 
     /// The release label.
@@ -75,7 +80,11 @@ impl Release {
 
 impl fmt::Display for Release {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@{} ({:016x})", self.env_name, self.label, self.checksum)
+        write!(
+            f,
+            "{}@{} ({:016x})",
+            self.env_name, self.label, self.checksum
+        )
     }
 }
 
@@ -202,7 +211,10 @@ impl ReleaseStore {
             }
             components.push((release.env_name().to_owned(), (*comp).to_owned()));
         }
-        let system = SystemRelease { label: label.clone(), components };
+        let system = SystemRelease {
+            label: label.clone(),
+            components,
+        };
         Ok(self.system_releases.entry(label).or_insert(system))
     }
 
@@ -290,8 +302,11 @@ mod tests {
     fn mutated_env_no_longer_matches_release() {
         let e = env();
         let release = Release::freeze("R1.0", &e);
-        let ported =
-            port_env(&e, EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel)).env;
+        let ported = port_env(
+            &e,
+            EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel),
+        )
+        .env;
         assert!(
             !release.matches(&ported),
             "abstraction-layer change must invalidate the frozen label"
@@ -330,7 +345,9 @@ mod tests {
         );
         store.freeze("PAGE-1.0", &page).unwrap();
         store.freeze("UART-1.0", &uart).unwrap();
-        let system = store.compose_system("SYS-1.0", &["PAGE-1.0", "UART-1.0"]).unwrap();
+        let system = store
+            .compose_system("SYS-1.0", &["PAGE-1.0", "UART-1.0"])
+            .unwrap();
         assert_eq!(system.components().len(), 2);
         assert!(system.to_string().contains("PAGE@PAGE-1.0"));
 
@@ -353,8 +370,11 @@ mod tests {
     fn checksum_is_content_sensitive() {
         let e = env();
         let r1 = Release::freeze("A", &e);
-        let ported =
-            port_env(&e, EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel)).env;
+        let ported = port_env(
+            &e,
+            EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel),
+        )
+        .env;
         let r2 = Release::freeze("B", &ported);
         assert_ne!(r1.checksum(), r2.checksum());
     }

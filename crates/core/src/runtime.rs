@@ -105,7 +105,9 @@ pub fn trap_handlers() -> String {
         line(&format!("{label}:"));
         line("    PUSH d15");
         line("    PUSHA a14");
-        line(&format!("    LOAD d15, [0x{hook:05X}]   ; runtime hook word"));
+        line(&format!(
+            "    LOAD d15, [0x{hook:05X}]   ; runtime hook word"
+        ));
         line("    CMPI d15, #0");
         line(&format!("    JEQ {label}_unhooked"));
         line("    MOV a14, d15");

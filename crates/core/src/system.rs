@@ -86,8 +86,14 @@ impl SystemVerificationEnv {
     ///
     /// Panics if `envs` is empty.
     pub fn new(name: impl Into<String>, envs: Vec<ModuleTestEnv>) -> Self {
-        assert!(!envs.is_empty(), "a system environment needs at least one module env");
-        Self { name: name.into(), envs }
+        assert!(
+            !envs.is_empty(),
+            "a system environment needs at least one module env"
+        );
+        Self {
+            name: name.into(),
+            envs,
+        }
     }
 
     /// The system environment name.
@@ -127,7 +133,10 @@ impl SystemVerificationEnv {
         let derivative = Derivative::from_id(config.derivative);
         let rom = EsRom::generate(&derivative, config.es_version);
         tree.insert(
-            format!("{}/{GLOBAL_LIBRARIES_DIR}/{EMBEDDED_SOFTWARE_FILE}", self.name),
+            format!(
+                "{}/{GLOBAL_LIBRARIES_DIR}/{EMBEDDED_SOFTWARE_FILE}",
+                self.name
+            ),
             rom.source().to_owned(),
         );
         for env in &self.envs {
@@ -184,7 +193,12 @@ impl SystemVerificationEnv {
                         continue;
                     }
                     let path = trimmed[".INCLUDE".len()..].trim();
-                    let path = path.split(';').next().unwrap_or("").trim().trim_matches('"');
+                    let path = path
+                        .split(';')
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .trim_matches('"');
                     let crosses = self
                         .envs
                         .iter()
@@ -208,10 +222,7 @@ impl SystemVerificationEnv {
     /// # Errors
     ///
     /// Propagates build errors from any component environment.
-    pub fn run_regression(
-        &self,
-        config: &RegressionConfig,
-    ) -> Result<RegressionReport, AsmError> {
+    pub fn run_regression(&self, config: &RegressionConfig) -> Result<RegressionReport, AsmError> {
         run_regression(&self.envs, config)
     }
 
@@ -299,10 +310,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_flagged() {
-        let sys = SystemVerificationEnv::new(
-            "SYS",
-            vec![module_env("PAGE"), module_env("PAGE")],
-        );
+        let sys = SystemVerificationEnv::new("SYS", vec![module_env("PAGE"), module_env("PAGE")]);
         assert!(sys
             .validate()
             .iter()

@@ -28,12 +28,18 @@ pub struct Testplan {
 impl Testplan {
     /// Creates an empty plan for a module.
     pub fn new(module: impl Into<String>) -> Self {
-        Self { module: module.into(), entries: Vec::new() }
+        Self {
+            module: module.into(),
+            entries: Vec::new(),
+        }
     }
 
     /// Adds an entry, builder style.
     pub fn with_entry(mut self, id: impl Into<String>, description: impl Into<String>) -> Self {
-        self.entries.push(TestplanEntry { id: id.into(), description: description.into() });
+        self.entries.push(TestplanEntry {
+            id: id.into(),
+            description: description.into(),
+        });
         self
     }
 
@@ -106,7 +112,9 @@ mod tests {
     fn plain_text_is_grepable() {
         let plan = Testplan::new("UART").with_entry("TEST_UART_LOOPBACK", "loopback echo");
         let text = plan.render();
-        assert!(text.lines().any(|l| l.contains("TEST_UART_LOOPBACK") && l.contains("loopback")));
+        assert!(text
+            .lines()
+            .any(|l| l.contains("TEST_UART_LOOPBACK") && l.contains("loopback")));
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}: {}", self.test_id, self.line, self.kind, self.detail)
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.test_id, self.line, self.kind, self.detail
+        )
     }
 }
 
@@ -77,7 +81,12 @@ pub fn check_source(test_id: &str, source: &str, out: &mut Vec<Violation>) {
         // Include discipline (text-level, like the preprocessor).
         if trimmed.to_ascii_uppercase().starts_with(".INCLUDE") {
             let path = trimmed[".INCLUDE".len()..].trim();
-            let path = path.split(';').next().unwrap_or("").trim().trim_matches('"');
+            let path = path
+                .split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_matches('"');
             if path != GLOBALS_FILE && path != BASE_FUNCTIONS_FILE {
                 out.push(Violation {
                     test_id: test_id.to_owned(),
@@ -254,6 +263,9 @@ _main:
             kind: ViolationKind::DirectEsReference,
             detail: "ES_DELAY".into(),
         };
-        assert_eq!(v.to_string(), "TEST_X:7: direct ES function reference: ES_DELAY");
+        assert_eq!(
+            v.to_string(),
+            "TEST_X:7: direct ES function reference: ES_DELAY"
+        );
     }
 }

@@ -144,7 +144,10 @@ pub struct PageCoverage {
 impl PageCoverage {
     /// Coverage over a constraint model's legal pages.
     pub fn new(constraints: &GlobalsConstraints) -> Self {
-        Self { seen: BTreeSet::new(), space: constraints.legal_pages().len() }
+        Self {
+            seen: BTreeSet::new(),
+            space: constraints.legal_pages().len(),
+        }
     }
 
     /// Records the pages an instance exercises.
@@ -213,7 +216,9 @@ mod tests {
 
     #[test]
     fn empty_constraint_space_rejected() {
-        let c = constraints().with_page_range(5..=5).with_forbidden_pages(vec![5]);
+        let c = constraints()
+            .with_page_range(5..=5)
+            .with_forbidden_pages(vec![5]);
         assert_eq!(generate(&c, 0), Err(EmptyConstraintError));
     }
 

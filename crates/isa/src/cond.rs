@@ -168,7 +168,11 @@ mod tests {
             let p = psw(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
             for cond in Cond::ALL {
                 assert_eq!(cond.negate().negate(), cond);
-                assert_ne!(cond.holds(p), cond.negate().holds(p), "{cond} on {bits:04b}");
+                assert_ne!(
+                    cond.holds(p),
+                    cond.negate().holds(p),
+                    "{cond} on {bits:04b}"
+                );
             }
         }
     }

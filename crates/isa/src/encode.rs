@@ -196,26 +196,64 @@ pub fn encode(insn: &Insn) -> u32 {
         Insn::StB { ab: b, off, rs } => op(OP_STB) | rd(rs) | ab(b) | off16(off),
         Insn::LdAbs { rd: d, addr } => op(OP_LDABS) | rd(d) | addr,
         Insn::StAbs { addr, rs } => op(OP_STABS) | rd(rs) | addr,
-        Insn::Add { rd: d, ra: a, rb: b } => op(OP_ADD) | rd(d) | ra(a) | rb(b),
+        Insn::Add {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_ADD) | rd(d) | ra(a) | rb(b),
         Insn::AddI { rd: d, ra: a, imm } => op(OP_ADDI) | rd(d) | ra(a) | off16(imm),
-        Insn::Sub { rd: d, ra: a, rb: b } => op(OP_SUB) | rd(d) | ra(a) | rb(b),
-        Insn::Mul { rd: d, ra: a, rb: b } => op(OP_MUL) | rd(d) | ra(a) | rb(b),
-        Insn::And { rd: d, ra: a, rb: b } => op(OP_AND) | rd(d) | ra(a) | rb(b),
+        Insn::Sub {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_SUB) | rd(d) | ra(a) | rb(b),
+        Insn::Mul {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_MUL) | rd(d) | ra(a) | rb(b),
+        Insn::And {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_AND) | rd(d) | ra(a) | rb(b),
         Insn::AndI { rd: d, ra: a, imm } => op(OP_ANDI) | rd(d) | ra(a) | imm16(imm),
-        Insn::Or { rd: d, ra: a, rb: b } => op(OP_OR) | rd(d) | ra(a) | rb(b),
+        Insn::Or {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_OR) | rd(d) | ra(a) | rb(b),
         Insn::OrI { rd: d, ra: a, imm } => op(OP_ORI) | rd(d) | ra(a) | imm16(imm),
-        Insn::Xor { rd: d, ra: a, rb: b } => op(OP_XOR) | rd(d) | ra(a) | rb(b),
+        Insn::Xor {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_XOR) | rd(d) | ra(a) | rb(b),
         Insn::XorI { rd: d, ra: a, imm } => op(OP_XORI) | rd(d) | ra(a) | imm16(imm),
-        Insn::Shl { rd: d, ra: a, rb: b } => op(OP_SHL) | rd(d) | ra(a) | rb(b),
+        Insn::Shl {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_SHL) | rd(d) | ra(a) | rb(b),
         Insn::ShlI { rd: d, ra: a, sh } => op(OP_SHLI) | rd(d) | ra(a) | u32::from(sh),
-        Insn::Shr { rd: d, ra: a, rb: b } => op(OP_SHR) | rd(d) | ra(a) | rb(b),
+        Insn::Shr {
+            rd: d,
+            ra: a,
+            rb: b,
+        } => op(OP_SHR) | rd(d) | ra(a) | rb(b),
         Insn::ShrI { rd: d, ra: a, sh } => op(OP_SHRI) | rd(d) | ra(a) | u32::from(sh),
         Insn::SarI { rd: d, ra: a, sh } => op(OP_SARI) | rd(d) | ra(a) | u32::from(sh),
         Insn::Not { rd: d, ra: a } => op(OP_NOT) | rd(d) | ra(a),
         Insn::Neg { rd: d, ra: a } => op(OP_NEG) | rd(d) | ra(a),
         Insn::Cmp { ra: a, rb: b } => op(OP_CMP) | ra(a) | rb(b),
         Insn::CmpI { ra: a, imm } => op(OP_CMPI) | (u32::from(a.index()) << 22) | off16(imm),
-        Insn::Insert { rd: d, ra: a, src, pos, width } => {
+        Insn::Insert {
+            rd: d,
+            ra: a,
+            src,
+            pos,
+            width,
+        } => {
             let (flag, src_bits) = match src {
                 BitSrc::Reg(r) => (0u32, u32::from(r.index())),
                 BitSrc::Imm(v) => (1u32, u32::from(v)),
@@ -228,9 +266,12 @@ pub fn encode(insn: &Insn) -> u32 {
                 | (u32::from(pos) << 5)
                 | u32::from(width - 1)
         }
-        Insn::Extract { rd: d, ra: a, pos, width } => {
-            op(OP_EXTRACT) | rd(d) | ra(a) | (u32::from(pos) << 5) | u32::from(width - 1)
-        }
+        Insn::Extract {
+            rd: d,
+            ra: a,
+            pos,
+            width,
+        } => op(OP_EXTRACT) | rd(d) | ra(a) | (u32::from(pos) << 5) | u32::from(width - 1),
         Insn::Jmp { target } => op(OP_JMP) | target,
         Insn::J { cond, target } => op(OP_JCOND) | (u32::from(cond.code()) << 22) | target,
         Insn::Call { target } => op(OP_CALL) | target,
@@ -257,7 +298,10 @@ struct Fields {
 impl Fields {
     fn new(word: u32) -> Self {
         // The opcode bits are always consumed.
-        Self { word, used: 0x3F << 26 }
+        Self {
+            word,
+            used: 0x3F << 26,
+        }
     }
 
     fn bits(&mut self, lo: u32, len: u32) -> u32 {
@@ -407,14 +451,46 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             let a = f.data_reg(18);
             let b = f.data_reg(14);
             f.finish(match opcode {
-                OP_ADD => Insn::Add { rd: d, ra: a, rb: b },
-                OP_SUB => Insn::Sub { rd: d, ra: a, rb: b },
-                OP_MUL => Insn::Mul { rd: d, ra: a, rb: b },
-                OP_AND => Insn::And { rd: d, ra: a, rb: b },
-                OP_OR => Insn::Or { rd: d, ra: a, rb: b },
-                OP_XOR => Insn::Xor { rd: d, ra: a, rb: b },
-                OP_SHL => Insn::Shl { rd: d, ra: a, rb: b },
-                _ => Insn::Shr { rd: d, ra: a, rb: b },
+                OP_ADD => Insn::Add {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                OP_SUB => Insn::Sub {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                OP_MUL => Insn::Mul {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                OP_AND => Insn::And {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                OP_OR => Insn::Or {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                OP_XOR => Insn::Xor {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                OP_SHL => Insn::Shl {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
+                _ => Insn::Shr {
+                    rd: d,
+                    ra: a,
+                    rb: b,
+                },
             })
         }
         OP_ADDI => {
@@ -484,7 +560,13 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
                         .expect("masked 4-bit index is always in range"),
                 )
             };
-            f.finish(Insn::Insert { rd: d, ra: a, src, pos, width })
+            f.finish(Insn::Insert {
+                rd: d,
+                ra: a,
+                src,
+                pos,
+                width,
+            })
         }
         OP_EXTRACT => {
             let d = f.data_reg(22);
@@ -494,7 +576,12 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             if u32::from(pos) + u32::from(width) > 32 {
                 return Err(DecodeError::BadBitField { pos, width });
             }
-            f.finish(Insn::Extract { rd: d, ra: a, pos, width })
+            f.finish(Insn::Extract {
+                rd: d,
+                ra: a,
+                pos,
+                width,
+            })
         }
         OP_JMP => {
             let target = f.addr20();
@@ -505,8 +592,7 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
         }
         OP_JCOND => {
             let code = f.bits(22, 3) as u8;
-            let cond =
-                Cond::from_code(code).ok_or(DecodeError::BadCondition { code })?;
+            let cond = Cond::from_code(code).ok_or(DecodeError::BadCondition { code })?;
             let target = f.addr20();
             if !target.is_multiple_of(4) {
                 return Err(DecodeError::NonCanonical { word });
@@ -549,7 +635,9 @@ pub fn decode(word: u32) -> Result<Insn, DecodeError> {
             let imm = f.off16();
             f.finish(Insn::AddA { ad: d, imm })
         }
-        other => Err(DecodeError::UnknownOpcode { opcode: other as u8 }),
+        other => Err(DecodeError::UnknownOpcode {
+            opcode: other as u8,
+        }),
     }
 }
 
@@ -565,44 +653,170 @@ mod tests {
             Insn::Halt { code: 0x5A },
             Insn::Trap { vector: 9 },
             Insn::Dbg { tag: 0xFF },
-            Insn::MovI { rd: D3, imm: 0xBEEF },
-            Insn::MovHi { rd: D3, imm: 0xDEAD },
+            Insn::MovI {
+                rd: D3,
+                imm: 0xBEEF,
+            },
+            Insn::MovHi {
+                rd: D3,
+                imm: 0xDEAD,
+            },
             Insn::Mov { rd: D1, ra: D2 },
-            Insn::MovDa { rd: D4, ab: AddrReg::A7 },
-            Insn::MovAd { ad: AddrReg::A9, rb: D5 },
-            Insn::MovAa { ad: AddrReg::A1, ab: AddrReg::A2 },
-            Insn::Lea { ad: AddrReg::A12, addr: 0xE_0100 },
-            Insn::Ld { rd: D6, ab: AddrReg::A3, off: -8 },
-            Insn::LdB { rd: D6, ab: AddrReg::A3, off: 127 },
-            Insn::St { ab: AddrReg::A3, off: 4, rs: D7 },
-            Insn::StB { ab: AddrReg::A3, off: -1, rs: D7 },
-            Insn::LdAbs { rd: D8, addr: 0x4_0000 },
-            Insn::StAbs { addr: 0xE_FF00, rs: D9 },
-            Insn::Add { rd: D0, ra: D1, rb: D2 },
-            Insn::AddI { rd: D0, ra: D1, imm: -300 },
-            Insn::Sub { rd: D0, ra: D1, rb: D2 },
-            Insn::Mul { rd: D0, ra: D1, rb: D2 },
-            Insn::And { rd: D0, ra: D1, rb: D2 },
-            Insn::AndI { rd: D0, ra: D1, imm: 0xFF00 },
-            Insn::Or { rd: D0, ra: D1, rb: D2 },
-            Insn::OrI { rd: D0, ra: D1, imm: 0x00FF },
-            Insn::Xor { rd: D0, ra: D1, rb: D2 },
-            Insn::XorI { rd: D0, ra: D1, imm: 0xAAAA },
-            Insn::Shl { rd: D0, ra: D1, rb: D2 },
-            Insn::ShlI { rd: D0, ra: D1, sh: 31 },
-            Insn::Shr { rd: D0, ra: D1, rb: D2 },
-            Insn::ShrI { rd: D0, ra: D1, sh: 1 },
-            Insn::SarI { rd: D0, ra: D1, sh: 16 },
+            Insn::MovDa {
+                rd: D4,
+                ab: AddrReg::A7,
+            },
+            Insn::MovAd {
+                ad: AddrReg::A9,
+                rb: D5,
+            },
+            Insn::MovAa {
+                ad: AddrReg::A1,
+                ab: AddrReg::A2,
+            },
+            Insn::Lea {
+                ad: AddrReg::A12,
+                addr: 0xE_0100,
+            },
+            Insn::Ld {
+                rd: D6,
+                ab: AddrReg::A3,
+                off: -8,
+            },
+            Insn::LdB {
+                rd: D6,
+                ab: AddrReg::A3,
+                off: 127,
+            },
+            Insn::St {
+                ab: AddrReg::A3,
+                off: 4,
+                rs: D7,
+            },
+            Insn::StB {
+                ab: AddrReg::A3,
+                off: -1,
+                rs: D7,
+            },
+            Insn::LdAbs {
+                rd: D8,
+                addr: 0x4_0000,
+            },
+            Insn::StAbs {
+                addr: 0xE_FF00,
+                rs: D9,
+            },
+            Insn::Add {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::AddI {
+                rd: D0,
+                ra: D1,
+                imm: -300,
+            },
+            Insn::Sub {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::Mul {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::And {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::AndI {
+                rd: D0,
+                ra: D1,
+                imm: 0xFF00,
+            },
+            Insn::Or {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::OrI {
+                rd: D0,
+                ra: D1,
+                imm: 0x00FF,
+            },
+            Insn::Xor {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::XorI {
+                rd: D0,
+                ra: D1,
+                imm: 0xAAAA,
+            },
+            Insn::Shl {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::ShlI {
+                rd: D0,
+                ra: D1,
+                sh: 31,
+            },
+            Insn::Shr {
+                rd: D0,
+                ra: D1,
+                rb: D2,
+            },
+            Insn::ShrI {
+                rd: D0,
+                ra: D1,
+                sh: 1,
+            },
+            Insn::SarI {
+                rd: D0,
+                ra: D1,
+                sh: 16,
+            },
             Insn::Not { rd: D10, ra: D11 },
             Insn::Neg { rd: D10, ra: D11 },
             Insn::Cmp { ra: D12, rb: D13 },
             Insn::CmpI { ra: D12, imm: 42 },
-            Insn::Insert { rd: D14, ra: D14, src: BitSrc::Imm(8), pos: 0, width: 5 },
-            Insn::Insert { rd: D14, ra: D14, src: BitSrc::Reg(D2), pos: 27, width: 5 },
-            Insn::Insert { rd: D1, ra: D2, src: BitSrc::Reg(D3), pos: 0, width: 32 },
-            Insn::Extract { rd: D5, ra: D6, pos: 12, width: 9 },
+            Insn::Insert {
+                rd: D14,
+                ra: D14,
+                src: BitSrc::Imm(8),
+                pos: 0,
+                width: 5,
+            },
+            Insn::Insert {
+                rd: D14,
+                ra: D14,
+                src: BitSrc::Reg(D2),
+                pos: 27,
+                width: 5,
+            },
+            Insn::Insert {
+                rd: D1,
+                ra: D2,
+                src: BitSrc::Reg(D3),
+                pos: 0,
+                width: 32,
+            },
+            Insn::Extract {
+                rd: D5,
+                ra: D6,
+                pos: 12,
+                width: 9,
+            },
             Insn::Jmp { target: 0x104 },
-            Insn::J { cond: Cond::Ne, target: 0xFFC },
+            Insn::J {
+                cond: Cond::Ne,
+                target: 0xFFC,
+            },
             Insn::Call { target: 0x2000 },
             Insn::CallR { ab: AddrReg::A12 },
             Insn::Ret,
@@ -613,7 +827,10 @@ mod tests {
             Insn::PopA { ad: AddrReg::A15 },
             Insn::Ei,
             Insn::Di,
-            Insn::AddA { ad: AddrReg::A4, imm: -4 },
+            Insn::AddA {
+                ad: AddrReg::A4,
+                imm: -4,
+            },
         ]
     }
 
@@ -634,7 +851,11 @@ mod tests {
         let mut words: Vec<u32> = insns.iter().map(encode).collect();
         words.sort_unstable();
         words.dedup();
-        assert_eq!(words.len(), insns.len(), "two instructions share an encoding");
+        assert_eq!(
+            words.len(),
+            insns.len(),
+            "two instructions share an encoding"
+        );
     }
 
     #[test]
@@ -664,7 +885,10 @@ mod tests {
     fn insert_field_overflow_rejected_at_decode() {
         // Hand-build INSERT with pos=30, width=5 (width-1=4).
         let word = op(OP_INSERT) | (1 << 17) | (30 << 5) | 4;
-        assert_eq!(decode(word), Err(DecodeError::BadBitField { pos: 30, width: 5 }));
+        assert_eq!(
+            decode(word),
+            Err(DecodeError::BadBitField { pos: 30, width: 5 })
+        );
     }
 
     #[test]
@@ -677,7 +901,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid instruction")]
     fn encode_panics_on_invalid() {
-        encode(&Insn::Lea { ad: AddrReg::A0, addr: 0xFFFF_FFFF });
+        encode(&Insn::Lea {
+            ad: AddrReg::A0,
+            addr: 0xFFFF_FFFF,
+        });
     }
 
     #[test]

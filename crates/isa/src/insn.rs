@@ -418,7 +418,10 @@ pub struct ValidateInsnError {
 
 impl ValidateInsnError {
     fn new(insn: &Insn, reason: impl Into<String>) -> Self {
-        Self { insn: format!("{insn:?}"), reason: reason.into() }
+        Self {
+            insn: format!("{insn:?}"),
+            reason: reason.into(),
+        }
     }
 
     /// Human-readable reason the instruction is invalid.
@@ -542,18 +545,30 @@ impl Insn {
     pub fn validate(&self) -> Result<(), ValidateInsnError> {
         let check_addr = |addr: u32| {
             if addr & !ADDR_MASK != 0 {
-                Err(ValidateInsnError::new(self, format!("address {addr:#x} exceeds 20 bits")))
+                Err(ValidateInsnError::new(
+                    self,
+                    format!("address {addr:#x} exceeds 20 bits"),
+                ))
             } else if !addr.is_multiple_of(4) && self.is_control_flow() {
-                Err(ValidateInsnError::new(self, format!("target {addr:#x} is not word aligned")))
+                Err(ValidateInsnError::new(
+                    self,
+                    format!("target {addr:#x} is not word aligned"),
+                ))
             } else {
                 Ok(())
             }
         };
         let check_field = |pos: u8, width: u8| {
             if width == 0 || width > 32 {
-                Err(ValidateInsnError::new(self, format!("field width {width} not in 1..=32")))
+                Err(ValidateInsnError::new(
+                    self,
+                    format!("field width {width} not in 1..=32"),
+                ))
             } else if pos > 31 {
-                Err(ValidateInsnError::new(self, format!("field position {pos} not in 0..=31")))
+                Err(ValidateInsnError::new(
+                    self,
+                    format!("field position {pos} not in 0..=31"),
+                ))
             } else if u32::from(pos) + u32::from(width) > 32 {
                 Err(ValidateInsnError::new(
                     self,
@@ -569,7 +584,10 @@ impl Insn {
             ),
             Insn::Lea { addr, .. } | Insn::LdAbs { addr, .. } | Insn::StAbs { addr, .. } => {
                 if addr & !ADDR_MASK != 0 {
-                    Err(ValidateInsnError::new(self, format!("address {addr:#x} exceeds 20 bits")))
+                    Err(ValidateInsnError::new(
+                        self,
+                        format!("address {addr:#x} exceeds 20 bits"),
+                    ))
                 } else {
                     Ok(())
                 }
@@ -578,9 +596,14 @@ impl Insn {
                 check_addr(target)
             }
             Insn::ShlI { sh, .. } | Insn::ShrI { sh, .. } | Insn::SarI { sh, .. } if sh > 31 => {
-                Err(ValidateInsnError::new(self, format!("shift amount {sh} not in 0..=31")))
+                Err(ValidateInsnError::new(
+                    self,
+                    format!("shift amount {sh} not in 0..=31"),
+                ))
             }
-            Insn::Insert { src, pos, width, .. } => {
+            Insn::Insert {
+                src, pos, width, ..
+            } => {
                 if let BitSrc::Imm(imm) = src {
                     if imm > 0x7F {
                         return Err(ValidateInsnError::new(
@@ -638,7 +661,13 @@ impl fmt::Display for Insn {
             Insn::Neg { rd, ra } => write!(f, "NEG {rd}, {ra}"),
             Insn::Cmp { ra, rb } => write!(f, "CMP {ra}, {rb}"),
             Insn::CmpI { ra, imm } => write!(f, "CMPI {ra}, #{imm}"),
-            Insn::Insert { rd, ra, src, pos, width } => match src {
+            Insn::Insert {
+                rd,
+                ra,
+                src,
+                pos,
+                width,
+            } => match src {
                 BitSrc::Reg(r) => write!(f, "INSERT {rd}, {ra}, {r}, {pos}, {width}"),
                 BitSrc::Imm(v) => write!(f, "INSERT {rd}, {ra}, #{v}, {pos}, {width}"),
             },
@@ -732,10 +761,23 @@ mod tests {
 
     #[test]
     fn address_range_enforced() {
-        assert!(Insn::Lea { ad: AddrReg::A12, addr: 0xF_FFFC }.validate().is_ok());
-        assert!(Insn::Lea { ad: AddrReg::A12, addr: 0x10_0000 }.validate().is_err());
+        assert!(Insn::Lea {
+            ad: AddrReg::A12,
+            addr: 0xF_FFFC
+        }
+        .validate()
+        .is_ok());
+        assert!(Insn::Lea {
+            ad: AddrReg::A12,
+            addr: 0x10_0000
+        }
+        .validate()
+        .is_err());
         assert!(Insn::Jmp { target: 0x10_0000 }.validate().is_err());
-        assert!(Insn::Jmp { target: 0x102 }.validate().is_err(), "misaligned jump");
+        assert!(
+            Insn::Jmp { target: 0x102 }.validate().is_err(),
+            "misaligned jump"
+        );
         assert!(Insn::Jmp { target: 0x104 }.validate().is_ok());
     }
 
@@ -747,23 +789,47 @@ mod tests {
 
     #[test]
     fn shift_range_enforced() {
-        assert!(Insn::ShlI { rd: DataReg::D0, ra: DataReg::D0, sh: 31 }.validate().is_ok());
-        assert!(Insn::ShlI { rd: DataReg::D0, ra: DataReg::D0, sh: 32 }.validate().is_err());
+        assert!(Insn::ShlI {
+            rd: DataReg::D0,
+            ra: DataReg::D0,
+            sh: 31
+        }
+        .validate()
+        .is_ok());
+        assert!(Insn::ShlI {
+            rd: DataReg::D0,
+            ra: DataReg::D0,
+            sh: 32
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn control_flow_classification() {
         assert!(Insn::Ret.is_control_flow());
         assert!(Insn::Call { target: 0 }.is_control_flow());
-        assert!(!Insn::Add { rd: DataReg::D0, ra: DataReg::D0, rb: DataReg::D0 }
-            .is_control_flow());
+        assert!(!Insn::Add {
+            rd: DataReg::D0,
+            ra: DataReg::D0,
+            rb: DataReg::D0
+        }
+        .is_control_flow());
     }
 
     #[test]
     fn memory_classification() {
         assert!(Insn::Push { rs: DataReg::D0 }.touches_memory());
-        assert!(Insn::StAbs { addr: 0, rs: DataReg::D0 }.touches_memory());
-        assert!(!Insn::Mov { rd: DataReg::D0, ra: DataReg::D1 }.touches_memory());
+        assert!(Insn::StAbs {
+            addr: 0,
+            rs: DataReg::D0
+        }
+        .touches_memory());
+        assert!(!Insn::Mov {
+            rd: DataReg::D0,
+            ra: DataReg::D1
+        }
+        .touches_memory());
     }
 
     #[test]

@@ -45,7 +45,9 @@ impl Psw {
 
     /// Reconstructs a status word from raw bits; undefined bits are masked.
     pub fn from_bits(bits: u32) -> Self {
-        Self { bits: bits & DEFINED }
+        Self {
+            bits: bits & DEFINED,
+        }
     }
 
     /// The raw bit representation.

@@ -17,7 +17,9 @@ pub struct ParseRegError {
 
 impl ParseRegError {
     fn new(text: &str) -> Self {
-        Self { text: text.to_owned() }
+        Self {
+            text: text.to_owned(),
+        }
     }
 
     /// The text that failed to parse.

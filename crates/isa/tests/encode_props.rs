@@ -30,9 +30,7 @@ fn arb_target() -> impl Strategy<Value = u32> {
 }
 
 fn arb_bitfield() -> impl Strategy<Value = (u8, u8)> {
-    (0u8..32).prop_flat_map(|pos| {
-        (Just(pos), 1u8..=(32 - pos))
-    })
+    (0u8..32).prop_flat_map(|pos| (Just(pos), 1u8..=(32 - pos)))
 }
 
 fn arb_insn() -> impl Strategy<Value = Insn> {
@@ -48,59 +46,120 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         (arb_addr_reg(), arb_data_reg()).prop_map(|(ad, rb)| Insn::MovAd { ad, rb }),
         (arb_addr_reg(), arb_addr_reg()).prop_map(|(ad, ab)| Insn::MovAa { ad, ab }),
         (arb_addr_reg(), arb_addr20()).prop_map(|(ad, addr)| Insn::Lea { ad, addr }),
-        (arb_data_reg(), arb_addr_reg(), any::<i16>())
-            .prop_map(|(rd, ab, off)| Insn::Ld { rd, ab, off }),
-        (arb_data_reg(), arb_addr_reg(), any::<i16>())
-            .prop_map(|(rd, ab, off)| Insn::LdB { rd, ab, off }),
-        (arb_addr_reg(), any::<i16>(), arb_data_reg())
-            .prop_map(|(ab, off, rs)| Insn::St { ab, off, rs }),
-        (arb_addr_reg(), any::<i16>(), arb_data_reg())
-            .prop_map(|(ab, off, rs)| Insn::StB { ab, off, rs }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>()).prop_map(|(rd, ab, off)| Insn::Ld {
+            rd,
+            ab,
+            off
+        }),
+        (arb_data_reg(), arb_addr_reg(), any::<i16>()).prop_map(|(rd, ab, off)| Insn::LdB {
+            rd,
+            ab,
+            off
+        }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg()).prop_map(|(ab, off, rs)| Insn::St {
+            ab,
+            off,
+            rs
+        }),
+        (arb_addr_reg(), any::<i16>(), arb_data_reg()).prop_map(|(ab, off, rs)| Insn::StB {
+            ab,
+            off,
+            rs
+        }),
         (arb_data_reg(), arb_addr20()).prop_map(|(rd, addr)| Insn::LdAbs { rd, addr }),
         (arb_addr20(), arb_data_reg()).prop_map(|(addr, rs)| Insn::StAbs { addr, rs }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Add { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<i16>())
-            .prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Sub { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::And { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::AndI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Or { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::OrI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Xor { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::XorI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Shl { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::ShlI { rd, ra, sh }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Shr { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::ShrI { rd, ra, sh }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::SarI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Add {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::AddI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Sub {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Mul {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::And {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::AndI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Or {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::OrI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Xor {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::XorI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Shl {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::ShlI {
+            rd,
+            ra,
+            sh
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Shr {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::ShrI {
+            rd,
+            ra,
+            sh
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::SarI {
+            rd,
+            ra,
+            sh
+        }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Not { rd, ra }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Neg { rd, ra }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(ra, rb)| Insn::Cmp { ra, rb }),
         (arb_data_reg(), any::<i16>()).prop_map(|(ra, imm)| Insn::CmpI { ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg(), arb_bitfield()).prop_map(
-            |(rd, ra, rs, (pos, width))| Insn::Insert {
+        (
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_bitfield()
+        )
+            .prop_map(|(rd, ra, rs, (pos, width))| Insn::Insert {
                 rd,
                 ra,
                 src: BitSrc::Reg(rs),
                 pos,
                 width
-            }
-        ),
+            }),
         (arb_data_reg(), arb_data_reg(), 0u8..128, arb_bitfield()).prop_map(
             |(rd, ra, imm, (pos, width))| Insn::Insert {
                 rd,
@@ -129,6 +188,9 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
 }
 
 proptest! {
+    // Pinned so CI case counts don't drift with proptest defaults.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
     #[test]
     fn encode_decode_roundtrip(insn in arb_insn()) {
         prop_assert!(insn.validate().is_ok(), "generator produced invalid insn {insn:?}");

@@ -109,7 +109,14 @@ impl fmt::Display for ChangeSet {
             self.lines_removed()
         )?;
         for c in &self.changes {
-            writeln!(f, "  {:>9} {} (+{} -{})", c.kind.to_string(), c.path, c.lines_added, c.lines_removed)?;
+            writeln!(
+                f,
+                "  {:>9} {} (+{} -{})",
+                c.kind.to_string(),
+                c.path,
+                c.lines_added,
+                c.lines_removed
+            )?;
         }
         Ok(())
     }
@@ -187,7 +194,10 @@ mod tests {
     use super::*;
 
     fn tree(files: &[(&str, &str)]) -> BTreeMap<String, String> {
-        files.iter().map(|(p, t)| (p.to_string(), t.to_string())).collect()
+        files
+            .iter()
+            .map(|(p, t)| (p.to_string(), t.to_string()))
+            .collect()
     }
 
     #[test]

@@ -45,7 +45,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_owned()).collect());
     }
 
     /// Number of data rows.
@@ -82,7 +83,15 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

@@ -106,8 +106,7 @@ impl SocBus {
                 .unwrap_or_else(|| panic!("missing field {module_name}.{reg}.{field_name}"))
         };
 
-        let cycle_accurate =
-            matches!(platform, PlatformId::RtlSim | PlatformId::GateSim);
+        let cycle_accurate = matches!(platform, PlatformId::RtlSim | PlatformId::GateSim);
 
         let mut uart = Uart::new(cycle_accurate);
         let mut page = PageModule::new(
@@ -125,14 +124,46 @@ impl SocBus {
         }
 
         let mappings = vec![
-            Mapping { base: module("UART").base(), size: module("UART").size(), periph: Periph::Uart },
-            Mapping { base: module("PAGE").base(), size: module("PAGE").size(), periph: Periph::Page },
-            Mapping { base: module("TIMER").base(), size: module("TIMER").size(), periph: Periph::Timer },
-            Mapping { base: module("INTC").base(), size: module("INTC").size(), periph: Periph::Intc },
-            Mapping { base: module("WDT").base(), size: module("WDT").size(), periph: Periph::Wdt },
-            Mapping { base: module("NVMC").base(), size: module("NVMC").size(), periph: Periph::Nvmc },
-            Mapping { base: module("CRC").base(), size: module("CRC").size(), periph: Periph::Crc },
-            Mapping { base: module("TB").base(), size: module("TB").size(), periph: Periph::Mailbox },
+            Mapping {
+                base: module("UART").base(),
+                size: module("UART").size(),
+                periph: Periph::Uart,
+            },
+            Mapping {
+                base: module("PAGE").base(),
+                size: module("PAGE").size(),
+                periph: Periph::Page,
+            },
+            Mapping {
+                base: module("TIMER").base(),
+                size: module("TIMER").size(),
+                periph: Periph::Timer,
+            },
+            Mapping {
+                base: module("INTC").base(),
+                size: module("INTC").size(),
+                periph: Periph::Intc,
+            },
+            Mapping {
+                base: module("WDT").base(),
+                size: module("WDT").size(),
+                periph: Periph::Wdt,
+            },
+            Mapping {
+                base: module("NVMC").base(),
+                size: module("NVMC").size(),
+                periph: Periph::Nvmc,
+            },
+            Mapping {
+                base: module("CRC").base(),
+                size: module("CRC").size(),
+                periph: Periph::Crc,
+            },
+            Mapping {
+                base: module("TB").base(),
+                size: module("TB").size(),
+                periph: Periph::Mailbox,
+            },
         ];
 
         Self {
@@ -238,7 +269,12 @@ impl SocBus {
     /// Direct NVM inspection for assertions in tests and experiments.
     pub fn nvm_word(&self, offset: u32) -> u32 {
         let o = offset as usize;
-        u32::from_le_bytes([self.nvm[o], self.nvm[o + 1], self.nvm[o + 2], self.nvm[o + 3]])
+        u32::from_le_bytes([
+            self.nvm[o],
+            self.nvm[o + 1],
+            self.nvm[o + 2],
+            self.nvm[o + 3],
+        ])
     }
 
     fn mapping_at(&self, addr: u32) -> Option<(Periph, u32)> {
@@ -286,9 +322,7 @@ impl SocBus {
         match self.memmap.region_at(addr).map(|r| r.kind()) {
             Some(RegionKind::Rom) => Ok(read_word(&self.rom, addr - ROM_START)),
             Some(RegionKind::Ram) => Ok(read_word(&self.ram, addr - RAM_START)),
-            Some(RegionKind::Nvm) => {
-                Ok(read_word(&self.nvm, addr - advm_soc::memmap::NVM_START))
-            }
+            Some(RegionKind::Nvm) => Ok(read_word(&self.nvm, addr - advm_soc::memmap::NVM_START)),
             Some(RegionKind::Mmio) => match self.mapping_at(addr) {
                 Some((p, offset)) => {
                     self.mmio_touched.insert(addr);
@@ -340,9 +374,7 @@ impl SocBus {
         match self.memmap.region_at(addr).map(|r| r.kind()) {
             Some(RegionKind::Rom) => Ok(self.rom[(addr - ROM_START) as usize]),
             Some(RegionKind::Ram) => Ok(self.ram[(addr - RAM_START) as usize]),
-            Some(RegionKind::Nvm) => {
-                Ok(self.nvm[(addr - advm_soc::memmap::NVM_START) as usize])
-            }
+            Some(RegionKind::Nvm) => Ok(self.nvm[(addr - advm_soc::memmap::NVM_START) as usize]),
             Some(RegionKind::Mmio) => Err(BusFault::ByteAccessToMmio(addr)),
             None => Err(BusFault::Unmapped(addr)),
         }
@@ -383,7 +415,11 @@ mod tests {
     use super::*;
 
     fn bus() -> SocBus {
-        SocBus::new(&Derivative::sc88a(), PlatformId::GoldenModel, PlatformFault::None)
+        SocBus::new(
+            &Derivative::sc88a(),
+            PlatformId::GoldenModel,
+            PlatformFault::None,
+        )
     }
 
     #[test]
@@ -407,7 +443,11 @@ mod tests {
         let mut b = bus();
         let nvm_base = advm_soc::memmap::NVM_START;
         assert!(matches!(b.write32(nvm_base, 1), Err(BusFault::ReadOnly(_))));
-        assert_eq!(b.read32(nvm_base).unwrap(), 0xFFFF_FFFF, "erased NVM reads 0xFF");
+        assert_eq!(
+            b.read32(nvm_base).unwrap(),
+            0xFFFF_FFFF,
+            "erased NVM reads 0xFF"
+        );
 
         // Unlock and program through the controller.
         let nvmc = 0xE_0500;
@@ -424,28 +464,47 @@ mod tests {
     #[test]
     fn misaligned_word_access_faults() {
         let mut b = bus();
-        assert_eq!(b.read32(RAM_START + 2), Err(BusFault::Misaligned(RAM_START + 2)));
-        assert_eq!(b.write32(RAM_START + 1, 0), Err(BusFault::Misaligned(RAM_START + 1)));
+        assert_eq!(
+            b.read32(RAM_START + 2),
+            Err(BusFault::Misaligned(RAM_START + 2))
+        );
+        assert_eq!(
+            b.write32(RAM_START + 1, 0),
+            Err(BusFault::Misaligned(RAM_START + 1))
+        );
     }
 
     #[test]
     fn unmapped_hole_faults() {
         let mut b = bus();
         assert!(matches!(b.read32(0x7_0000), Err(BusFault::Unmapped(_))));
-        assert!(matches!(b.read32(0xE_5000), Err(BusFault::Unmapped(_))), "MMIO hole");
+        assert!(
+            matches!(b.read32(0xE_5000), Err(BusFault::Unmapped(_))),
+            "MMIO hole"
+        );
     }
 
     #[test]
     fn mmio_byte_access_faults() {
         let mut b = bus();
-        assert!(matches!(b.read8(0xE_0100), Err(BusFault::ByteAccessToMmio(_))));
-        assert!(matches!(b.write8(0xE_0100, 1), Err(BusFault::ByteAccessToMmio(_))));
+        assert!(matches!(
+            b.read8(0xE_0100),
+            Err(BusFault::ByteAccessToMmio(_))
+        ));
+        assert!(matches!(
+            b.write8(0xE_0100, 1),
+            Err(BusFault::ByteAccessToMmio(_))
+        ));
     }
 
     #[test]
     fn uart_moves_with_derivative_d() {
         let mut a = bus();
-        let mut d = SocBus::new(&Derivative::sc88d(), PlatformId::GoldenModel, PlatformFault::None);
+        let mut d = SocBus::new(
+            &Derivative::sc88d(),
+            PlatformId::GoldenModel,
+            PlatformFault::None,
+        );
         // UART CTRL is at 0xE0000 on SC88-A but 0xE0800 on SC88-D.
         assert!(a.read32(0xE_0000).is_ok());
         assert!(matches!(d.read32(0xE_0000), Err(BusFault::Unmapped(_))));
@@ -456,7 +515,11 @@ mod tests {
     #[test]
     fn page_geometry_follows_derivative() {
         let mut a = bus();
-        let mut b2 = SocBus::new(&Derivative::sc88b(), PlatformId::GoldenModel, PlatformFault::None);
+        let mut b2 = SocBus::new(
+            &Derivative::sc88b(),
+            PlatformId::GoldenModel,
+            PlatformFault::None,
+        );
         // Writing 8|ENABLE selects page 8 on SC88-A but page 4 on SC88-B.
         a.write32(0xE_0100, 8 | (1 << 8)).unwrap();
         b2.write32(0xE_0100, 8 | (1 << 8)).unwrap();
@@ -490,7 +553,8 @@ mod tests {
     fn mailbox_reports_outcome() {
         let mut b = bus();
         let mb = Mailbox::new();
-        b.write32(mb.reg(Mailbox::RESULT), Mailbox::PASS_MAGIC).unwrap();
+        b.write32(mb.reg(Mailbox::RESULT), Mailbox::PASS_MAGIC)
+            .unwrap();
         b.write32(mb.reg(Mailbox::SIM_END), 1).unwrap();
         assert!(b.mailbox().sim_ended());
         assert!(b.mailbox().outcome().unwrap().passed());

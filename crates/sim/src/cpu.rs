@@ -32,17 +32,35 @@ pub struct CostModel {
 impl CostModel {
     /// One cycle per instruction (golden model, accelerator, silicon).
     pub fn functional() -> Self {
-        Self { base: 1, mem: 0, mul: 0, branch: 0, scale: 1 }
+        Self {
+            base: 1,
+            mem: 0,
+            mul: 0,
+            branch: 0,
+            scale: 1,
+        }
     }
 
     /// RTL-like pipeline costs.
     pub fn rtl() -> Self {
-        Self { base: 1, mem: 1, mul: 3, branch: 2, scale: 1 }
+        Self {
+            base: 1,
+            mem: 1,
+            mul: 3,
+            branch: 2,
+            scale: 1,
+        }
     }
 
     /// Gate-level: RTL costs at half clock (doubled cycles).
     pub fn gate() -> Self {
-        Self { base: 1, mem: 1, mul: 3, branch: 2, scale: 2 }
+        Self {
+            base: 1,
+            mem: 1,
+            mul: 3,
+            branch: 2,
+            scale: 2,
+        }
     }
 
     fn cost(&self, insn: &Insn, taken: bool) -> u32 {
@@ -122,7 +140,13 @@ impl Cpu {
     /// A CPU in the architectural reset state: `PC = RESET_PC`, the stack
     /// pointer (`a10`) at the top of RAM, interrupts disabled.
     pub fn new() -> Self {
-        let mut cpu = Self { d: [0; 16], a: [0; 16], pc: RESET_PC, psw: Psw::new(), retired: 0 };
+        let mut cpu = Self {
+            d: [0; 16],
+            a: [0; 16],
+            pc: RESET_PC,
+            psw: Psw::new(),
+            retired: 0,
+        };
         cpu.a[AddrReg::SP.index() as usize] = STACK_TOP;
         cpu
     }
@@ -167,14 +191,20 @@ impl Cpu {
         // Asynchronous causes first: watchdog (non-maskable), then IRQs.
         if bus.take_watchdog_bite() {
             return match self.enter_trap(bus, TrapKind::Watchdog, self.pc) {
-                Ok(()) => StepOutcome::Executed { cycles: cost.base * cost.scale, dbg: None },
+                Ok(()) => StepOutcome::Executed {
+                    cycles: cost.base * cost.scale,
+                    dbg: None,
+                },
                 Err(fatal) => StepOutcome::Fatal(fatal),
             };
         }
         if self.psw.interrupts_enabled() {
             if let Some(line) = bus.pending_irq() {
                 return match self.enter_trap(bus, TrapKind::Irq(line), self.pc) {
-                    Ok(()) => StepOutcome::Executed { cycles: cost.base * cost.scale, dbg: None },
+                    Ok(()) => StepOutcome::Executed {
+                        cycles: cost.base * cost.scale,
+                        dbg: None,
+                    },
                     Err(fatal) => StepOutcome::Fatal(fatal),
                 };
             }
@@ -188,9 +218,10 @@ impl Cpu {
             Ok(i) => i,
             Err(_) => {
                 return match self.enter_trap(bus, TrapKind::IllegalInsn, self.pc + 4) {
-                    Ok(()) => {
-                        StepOutcome::Executed { cycles: cost.base * cost.scale, dbg: None }
-                    }
+                    Ok(()) => StepOutcome::Executed {
+                        cycles: cost.base * cost.scale,
+                        dbg: None,
+                    },
                     Err(fatal) => StepOutcome::Fatal(fatal),
                 }
             }
@@ -218,7 +249,10 @@ impl Cpu {
             Insn::Trap { vector } => {
                 self.retired += 1;
                 return match self.enter_trap(bus, TrapKind::Software(vector), self.pc + 4) {
-                    Ok(()) => StepOutcome::Executed { cycles: cost.cost(&insn, true), dbg: None },
+                    Ok(()) => StepOutcome::Executed {
+                        cycles: cost.cost(&insn, true),
+                        dbg: None,
+                    },
                     Err(fatal) => StepOutcome::Fatal(fatal),
                 };
             }
@@ -249,9 +283,7 @@ impl Cpu {
                 let addr = self.a(ab).wrapping_add_signed(i32::from(off));
                 bus_try!(bus.write8(addr, (self.d(rs) & 0xFF) as u8));
             }
-            Insn::LdAbs { rd, addr } => {
-                self.d[rd.index() as usize] = bus_try!(bus.read32(addr))
-            }
+            Insn::LdAbs { rd, addr } => self.d[rd.index() as usize] = bus_try!(bus.read32(addr)),
             Insn::StAbs { addr, rs } => bus_try!(bus.write32(addr, self.d(rs))),
             Insn::Add { rd, ra, rb } => {
                 let (r, c) = self.d(ra).overflowing_add(self.d(rb));
@@ -327,20 +359,32 @@ impl Cpu {
                 self.set_arith(rd, r, c, v);
             }
             Insn::Cmp { ra, rb } => self.psw.set_compare(self.d(ra), self.d(rb)),
-            Insn::CmpI { ra, imm } => {
-                self.psw.set_compare(self.d(ra), i32::from(imm) as u32)
-            }
-            Insn::Insert { rd, ra, src, pos, width } => {
+            Insn::CmpI { ra, imm } => self.psw.set_compare(self.d(ra), i32::from(imm) as u32),
+            Insn::Insert {
+                rd,
+                ra,
+                src,
+                pos,
+                width,
+            } => {
                 let value = match src {
                     BitSrc::Reg(r) => self.d(r),
                     BitSrc::Imm(v) => u32::from(v),
                 };
-                let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+                let mask = if width == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
                 let r = (self.d(ra) & !(mask << pos)) | ((value & mask) << pos);
                 self.set_logic(rd, r);
             }
             Insn::Extract { rd, ra, pos, width } => {
-                let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+                let mask = if width == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << width) - 1
+                };
                 let r = (self.d(ra) >> pos) & mask;
                 self.set_logic(rd, r);
             }
@@ -394,7 +438,10 @@ impl Cpu {
 
         self.pc = next_pc;
         self.retired += 1;
-        StepOutcome::Executed { cycles: cost.cost(&insn, taken), dbg }
+        StepOutcome::Executed {
+            cycles: cost.cost(&insn, taken),
+            dbg,
+        }
     }
 
     fn set_arith(&mut self, rd: DataReg, result: u32, carry: bool, overflow: bool) {
@@ -429,7 +476,10 @@ impl Cpu {
             _ => TrapKind::BusError,
         };
         match self.enter_trap(bus, kind, self.pc + 4) {
-            Ok(()) => StepOutcome::Executed { cycles: 1, dbg: None },
+            Ok(()) => StepOutcome::Executed {
+                cycles: 1,
+                dbg: None,
+            },
             Err(fatal) => StepOutcome::Fatal(fatal),
         }
     }
@@ -447,7 +497,8 @@ impl Cpu {
         if handler == 0 {
             return Err(FatalError::UnhandledTrap { kind, at: self.pc });
         }
-        self.push(bus, return_pc).map_err(|_| FatalError::DoubleFault { at: self.pc })?;
+        self.push(bus, return_pc)
+            .map_err(|_| FatalError::DoubleFault { at: self.pc })?;
         self.push(bus, self.psw.bits())
             .map_err(|_| FatalError::DoubleFault { at: self.pc })?;
         self.psw.set_interrupts_enabled(false);
@@ -474,8 +525,11 @@ mod tests {
         let program = advm_asm::assemble_str(asm).unwrap_or_else(|e| panic!("{e}"));
         let mut image = advm_asm::Image::new();
         image.load_program(&program).unwrap();
-        let mut bus =
-            SocBus::new(&Derivative::sc88a(), PlatformId::GoldenModel, PlatformFault::None);
+        let mut bus = SocBus::new(
+            &Derivative::sc88a(),
+            PlatformId::GoldenModel,
+            PlatformFault::None,
+        );
         bus.load_image(&image);
         (Cpu::new(), bus)
     }
@@ -697,7 +751,11 @@ wdt_isr:
         let functional = CostModel::functional();
         let rtl = CostModel::rtl();
         let gate = CostModel::gate();
-        let mul = Insn::Mul { rd: DataReg::D0, ra: DataReg::D0, rb: DataReg::D0 };
+        let mul = Insn::Mul {
+            rd: DataReg::D0,
+            ra: DataReg::D0,
+            rb: DataReg::D0,
+        };
         assert_eq!(functional.cost(&mul, false), 1);
         assert_eq!(rtl.cost(&mul, false), 4);
         assert_eq!(gate.cost(&mul, false), 8);
@@ -732,6 +790,10 @@ HALT #0
 ",
         );
         run_until_halt(&mut cpu, &mut bus, 100);
-        assert_eq!(cpu.d(DataReg::D2), 0xFF, "byte store truncates, load zero-extends");
+        assert_eq!(
+            cpu.d(DataReg::D2),
+            0xFF,
+            "byte store truncates, load zero-extends"
+        );
     }
 }

@@ -27,7 +27,10 @@ pub struct CrcUnit {
 impl CrcUnit {
     /// Creates a unit with the accumulator initialised.
     pub fn new() -> Self {
-        Self { ctrl: 0, acc: 0xFFFF_FFFF }
+        Self {
+            ctrl: 0,
+            acc: 0xFFFF_FFFF,
+        }
     }
 
     /// Reads a register.
@@ -48,12 +51,11 @@ impl CrcUnit {
                     self.acc = 0xFFFF_FFFF;
                 }
             }
-            DATA_IN
-                if self.ctrl & CTRL_EN != 0 => {
-                    for byte in value.to_le_bytes() {
-                        self.acc = step(self.acc, byte);
-                    }
+            DATA_IN if self.ctrl & CTRL_EN != 0 => {
+                for byte in value.to_le_bytes() {
+                    self.acc = step(self.acc, byte);
                 }
+            }
             _ => {}
         }
     }

@@ -16,7 +16,13 @@ pub struct MailboxDevice {
 impl MailboxDevice {
     /// Creates the mailbox for a platform.
     pub fn new(platform: PlatformId) -> Self {
-        Self { platform, result: None, chars: Vec::new(), sim_end: false, scratch: 0 }
+        Self {
+            platform,
+            result: None,
+            chars: Vec::new(),
+            sim_end: false,
+            scratch: 0,
+        }
     }
 
     /// Reads a register (by offset within the mailbox block).
@@ -94,7 +100,10 @@ mod tests {
     #[test]
     fn platform_and_ticks_readable() {
         let mut mb = MailboxDevice::new(PlatformId::Accelerator);
-        assert_eq!(mb.read(Mailbox::PLATFORM, 0), PlatformId::Accelerator.code());
+        assert_eq!(
+            mb.read(Mailbox::PLATFORM, 0),
+            PlatformId::Accelerator.code()
+        );
         assert_eq!(mb.read(Mailbox::TICKS, 12345), 12345);
     }
 

@@ -139,8 +139,13 @@ impl NvmController {
         match cmd {
             CMD_WRITE => {
                 self.busy_until = now + WRITE_CYCLES;
-                self.pending =
-                    Some((self.busy_until, NvmOp::Write { offset: self.addr, value: self.data }));
+                self.pending = Some((
+                    self.busy_until,
+                    NvmOp::Write {
+                        offset: self.addr,
+                        value: self.data,
+                    },
+                ));
             }
             CMD_ERASE => {
                 self.busy_until = now + ERASE_CYCLES;
@@ -210,7 +215,10 @@ mod tests {
         assert_eq!(c.take_completed(5), None, "not done yet");
         assert_eq!(
             c.take_completed(WRITE_CYCLES),
-            Some(NvmOp::Write { offset: 0x100, value: 0xDEAD_BEEF })
+            Some(NvmOp::Write {
+                offset: 0x100,
+                value: 0xDEAD_BEEF
+            })
         );
         assert_eq!(c.read(STATUS, WRITE_CYCLES) & STATUS_BUSY, 0);
     }

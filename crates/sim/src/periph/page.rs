@@ -144,7 +144,11 @@ mod tests {
         // programs the wrong page: value 8 at bit 0 is page 4 at bit 1.
         let mut page = sc88b_page();
         page.write(CTRL, 8 | (1 << 8));
-        assert_eq!(page.selected_page(), 4, "stale geometry selects the wrong page");
+        assert_eq!(
+            page.selected_page(),
+            4,
+            "stale geometry selects the wrong page"
+        );
         // The correctly rebuilt test writes 8 << 1.
         page.write(CTRL, (8 << 1) | (1 << 8));
         assert_eq!(page.selected_page(), 8);

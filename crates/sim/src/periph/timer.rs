@@ -46,10 +46,7 @@ impl Timer {
             CTRL => self.ctrl,
             LOAD => self.load,
             VALUE => self.value,
-            STATUS
-                if self.expired => {
-                    STATUS_EXPIRED
-                }
+            STATUS if self.expired => STATUS_EXPIRED,
             _ => 0,
         }
     }
@@ -65,10 +62,9 @@ impl Timer {
                 }
             }
             LOAD => self.load = value,
-            STATUS
-                if value & STATUS_EXPIRED != 0 => {
-                    self.expired = false;
-                }
+            STATUS if value & STATUS_EXPIRED != 0 => {
+                self.expired = false;
+            }
             _ => {}
         }
     }

@@ -154,8 +154,16 @@ mod tests {
         uart.write(CTRL, CTRL_EN, 0);
         uart.write(BAUD, 4, 0);
         uart.write(DATA, 1, 100);
-        assert_eq!(uart.read(STATUS, 100) & STATUS_TX_READY, 0, "busy right after tx");
-        assert_ne!(uart.read(STATUS, 100 + 32) & STATUS_TX_READY, 0, "ready after 8*div");
+        assert_eq!(
+            uart.read(STATUS, 100) & STATUS_TX_READY,
+            0,
+            "busy right after tx"
+        );
+        assert_ne!(
+            uart.read(STATUS, 100 + 32) & STATUS_TX_READY,
+            0,
+            "ready after 8*div"
+        );
         // A write while busy is lost.
         uart.write(DATA, 2, 101);
         assert_eq!(uart.tx_log(), &[1]);
@@ -168,7 +176,11 @@ mod tests {
         uart.write(DATA, 0xAB, 0);
         assert_ne!(uart.read(STATUS, 0) & STATUS_RX_VALID, 0);
         uart.write(DATA, 0xCD, 0);
-        assert_ne!(uart.read(STATUS, 0) & STATUS_OVERRUN, 0, "second byte overruns");
+        assert_ne!(
+            uart.read(STATUS, 0) & STATUS_OVERRUN,
+            0,
+            "second byte overruns"
+        );
         assert_eq!(uart.read(DATA, 0), 0xCD);
         assert_eq!(uart.read(STATUS, 0) & STATUS_RX_VALID, 0, "fifo drained");
     }

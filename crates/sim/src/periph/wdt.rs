@@ -59,10 +59,9 @@ impl Watchdog {
                     self.counter = u64::from(self.period);
                 }
             }
-            SERVICE
-                if value & 0xFF == SERVICE_KEY => {
-                    self.counter = u64::from(self.period);
-                }
+            SERVICE if value & 0xFF == SERVICE_KEY => {
+                self.counter = u64::from(self.period);
+            }
             PERIOD => self.period = value & 0xFF_FFFF,
             _ => {}
         }

@@ -396,13 +396,20 @@ fail:
         bondout.run();
         let trace = bondout.trace().expect("bondout has debug visibility");
         assert!(!trace.records().is_empty());
-        assert!(trace.disassembly().contains("MOVI"), "{}", trace.disassembly());
+        assert!(
+            trace.disassembly().contains("MOVI"),
+            "{}",
+            trace.disassembly()
+        );
 
         let mut silicon = Platform::new(PlatformId::ProductSilicon, &Derivative::sc88a());
         silicon.enable_trace(64);
         silicon.load_image(&img);
         silicon.run();
-        assert!(silicon.trace().is_none(), "no logic analyser on product silicon");
+        assert!(
+            silicon.trace().is_none(),
+            "no logic analyser on product silicon"
+        );
     }
 
     #[test]

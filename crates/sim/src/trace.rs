@@ -78,7 +78,10 @@ impl ExecTrace {
     pub fn disassembly(&self) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier record(s) dropped ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier record(s) dropped ...\n",
+                self.dropped
+            ));
         }
         for r in &self.records {
             match decode(r.word) {
@@ -116,7 +119,11 @@ mod tests {
             small.record(pc, encode(&Insn::Nop));
             large.record(pc, encode(&Insn::Nop));
         }
-        assert_eq!(small.signature(), large.signature(), "window size is invisible");
+        assert_eq!(
+            small.signature(),
+            large.signature(),
+            "window size is invisible"
+        );
         assert_eq!(small.records().len(), 2);
         assert_eq!(small.dropped(), 14);
         assert_eq!(large.dropped(), 0);

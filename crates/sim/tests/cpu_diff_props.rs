@@ -28,47 +28,96 @@ fn arb_alu_insn() -> impl Strategy<Value = Insn> {
         (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovI { rd, imm }),
         (arb_data_reg(), any::<u16>()).prop_map(|(rd, imm)| Insn::MovHi { rd, imm }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Mov { rd, ra }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Add { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<i16>())
-            .prop_map(|(rd, ra, imm)| Insn::AddI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Sub { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Mul { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::And { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::AndI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Or { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::OrI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Xor { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), any::<u16>())
-            .prop_map(|(rd, ra, imm)| Insn::XorI { rd, ra, imm }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Shl { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::ShlI { rd, ra, sh }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg())
-            .prop_map(|(rd, ra, rb)| Insn::Shr { rd, ra, rb }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::ShrI { rd, ra, sh }),
-        (arb_data_reg(), arb_data_reg(), 0u8..32)
-            .prop_map(|(rd, ra, sh)| Insn::SarI { rd, ra, sh }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Add {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<i16>()).prop_map(|(rd, ra, imm)| Insn::AddI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Sub {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Mul {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::And {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::AndI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Or {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::OrI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Xor {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), any::<u16>()).prop_map(|(rd, ra, imm)| Insn::XorI {
+            rd,
+            ra,
+            imm
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Shl {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::ShlI {
+            rd,
+            ra,
+            sh
+        }),
+        (arb_data_reg(), arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra, rb)| Insn::Shr {
+            rd,
+            ra,
+            rb
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::ShrI {
+            rd,
+            ra,
+            sh
+        }),
+        (arb_data_reg(), arb_data_reg(), 0u8..32).prop_map(|(rd, ra, sh)| Insn::SarI {
+            rd,
+            ra,
+            sh
+        }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Not { rd, ra }),
         (arb_data_reg(), arb_data_reg()).prop_map(|(rd, ra)| Insn::Neg { rd, ra }),
-        (arb_data_reg(), arb_data_reg(), arb_data_reg(), arb_bitfield()).prop_map(
-            |(rd, ra, rs, (pos, width))| Insn::Insert {
+        (
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_data_reg(),
+            arb_bitfield()
+        )
+            .prop_map(|(rd, ra, rs, (pos, width))| Insn::Insert {
                 rd,
                 ra,
                 src: BitSrc::Reg(rs),
                 pos,
                 width
-            }
-        ),
+            }),
         (arb_data_reg(), arb_data_reg(), 0u8..128, arb_bitfield()).prop_map(
             |(rd, ra, imm, (pos, width))| Insn::Insert {
                 rd,
@@ -113,15 +162,11 @@ fn oracle(regs: &mut [u32; 16], insn: &Insn) {
             regs[rd.index() as usize] = r(regs, ra).wrapping_mul(r(regs, rb))
         }
         Insn::And { rd, ra, rb } => regs[rd.index() as usize] = r(regs, ra) & r(regs, rb),
-        Insn::AndI { rd, ra, imm } => {
-            regs[rd.index() as usize] = r(regs, ra) & u32::from(imm)
-        }
+        Insn::AndI { rd, ra, imm } => regs[rd.index() as usize] = r(regs, ra) & u32::from(imm),
         Insn::Or { rd, ra, rb } => regs[rd.index() as usize] = r(regs, ra) | r(regs, rb),
         Insn::OrI { rd, ra, imm } => regs[rd.index() as usize] = r(regs, ra) | u32::from(imm),
         Insn::Xor { rd, ra, rb } => regs[rd.index() as usize] = r(regs, ra) ^ r(regs, rb),
-        Insn::XorI { rd, ra, imm } => {
-            regs[rd.index() as usize] = r(regs, ra) ^ u32::from(imm)
-        }
+        Insn::XorI { rd, ra, imm } => regs[rd.index() as usize] = r(regs, ra) ^ u32::from(imm),
         Insn::Shl { rd, ra, rb } => {
             regs[rd.index() as usize] = r(regs, ra).wrapping_shl(r(regs, rb) & 31)
         }
@@ -139,14 +184,19 @@ fn oracle(regs: &mut [u32; 16], insn: &Insn) {
         }
         Insn::Not { rd, ra } => regs[rd.index() as usize] = !r(regs, ra),
         Insn::Neg { rd, ra } => regs[rd.index() as usize] = 0u32.wrapping_sub(r(regs, ra)),
-        Insn::Insert { rd, ra, src, pos, width } => {
+        Insn::Insert {
+            rd,
+            ra,
+            src,
+            pos,
+            width,
+        } => {
             let value = match src {
                 BitSrc::Reg(reg) => r(regs, reg),
                 BitSrc::Imm(v) => u32::from(v),
             };
             let m = mask(width);
-            regs[rd.index() as usize] =
-                (r(regs, ra) & !(m << pos)) | ((value & m) << pos);
+            regs[rd.index() as usize] = (r(regs, ra) & !(m << pos)) | ((value & m) << pos);
         }
         Insn::Extract { rd, ra, pos, width } => {
             regs[rd.index() as usize] = (r(regs, ra) >> pos) & mask(width);

@@ -127,28 +127,46 @@ impl ChangeOp {
     /// would create overlapping fields/registers/modules.
     pub fn apply(&self, map: &mut RegMap) -> Result<(), RegMapError> {
         match self {
-            ChangeOp::MoveField { module, register, field, new_pos } => map
-                .module_mut(module)?
-                .update_field(register, field, |f| Field::new(f.name(), *new_pos, f.width())),
-            ChangeOp::ResizeField { module, register, field, new_width } => map
-                .module_mut(module)?
-                .update_field(register, field, |f| Field::new(f.name(), f.pos(), *new_width)),
+            ChangeOp::MoveField {
+                module,
+                register,
+                field,
+                new_pos,
+            } => map.module_mut(module)?.update_field(register, field, |f| {
+                Field::new(f.name(), *new_pos, f.width())
+            }),
+            ChangeOp::ResizeField {
+                module,
+                register,
+                field,
+                new_width,
+            } => map.module_mut(module)?.update_field(register, field, |f| {
+                Field::new(f.name(), f.pos(), *new_width)
+            }),
             ChangeOp::RenameRegister { module, old, new } => {
                 map.module_mut(module)?.rename_register(old, new)
             }
-            ChangeOp::RelocateModule { module, new_base } => {
-                map.relocate_module(module, *new_base)
-            }
+            ChangeOp::RelocateModule { module, new_base } => map.relocate_module(module, *new_base),
         }
     }
 
     /// One-line description for change logs and experiment tables.
     pub fn describe(&self) -> String {
         match self {
-            ChangeOp::MoveField { module, register, field, new_pos } => {
+            ChangeOp::MoveField {
+                module,
+                register,
+                field,
+                new_pos,
+            } => {
                 format!("move field {module}.{register}.{field} to bit {new_pos}")
             }
-            ChangeOp::ResizeField { module, register, field, new_width } => {
+            ChangeOp::ResizeField {
+                module,
+                register,
+                field,
+                new_width,
+            } => {
                 format!("resize field {module}.{register}.{field} to {new_width} bits")
             }
             ChangeOp::RenameRegister { module, old, new } => {
@@ -255,7 +273,10 @@ impl Derivative {
                     old: "PAGE_CTRL".into(),
                     new: "PAGE_CONF".into(),
                 },
-                ChangeOp::RelocateModule { module: "UART".into(), new_base: 0xE_0800 },
+                ChangeOp::RelocateModule {
+                    module: "UART".into(),
+                    new_base: 0xE_0800,
+                },
             ],
             es_version: EsVersion::V2,
             renames: vec![("PAGE_CTRL".to_owned(), "PAGE_CONF".to_owned())],
@@ -342,7 +363,13 @@ impl Derivative {
 
 impl fmt::Display for Derivative {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (ES {}, {} changes)", self.id, self.es_version, self.changes.len())
+        write!(
+            f,
+            "{} (ES {}, {} changes)",
+            self.id,
+            self.es_version,
+            self.changes.len()
+        )
     }
 }
 
@@ -391,10 +418,22 @@ pub fn base_regmap() -> RegMap {
             ))
         })
         .and_then(|m| {
-            m.with_register(reg("DATA", 0x08, Access::ReadWrite, 0, vec![field("DATA", 0, 8)]))
+            m.with_register(reg(
+                "DATA",
+                0x08,
+                Access::ReadWrite,
+                0,
+                vec![field("DATA", 0, 8)],
+            ))
         })
         .and_then(|m| {
-            m.with_register(reg("BAUD", 0x0C, Access::ReadWrite, 0x10, vec![field("DIV", 0, 16)]))
+            m.with_register(reg(
+                "BAUD",
+                0x0C,
+                Access::ReadWrite,
+                0x10,
+                vec![field("DIV", 0, 16)],
+            ))
         })
         .expect("static UART module");
 
@@ -405,7 +444,11 @@ pub fn base_regmap() -> RegMap {
                 0x00,
                 Access::ReadWrite,
                 0,
-                vec![field("PAGE", 0, 5), field("ENABLE", 8, 1), field("MODE", 9, 2)],
+                vec![
+                    field("PAGE", 0, 5),
+                    field("ENABLE", 8, 1),
+                    field("MODE", 9, 2),
+                ],
             ))
         })
         .and_then(|m| {
@@ -449,14 +492,30 @@ pub fn base_regmap() -> RegMap {
                 0x00,
                 Access::ReadWrite,
                 0,
-                vec![field("EN", 0, 1), field("IE", 1, 1), field("PERIODIC", 2, 1)],
+                vec![
+                    field("EN", 0, 1),
+                    field("IE", 1, 1),
+                    field("PERIODIC", 2, 1),
+                ],
             ))
         })
         .and_then(|m| {
-            m.with_register(reg("LOAD", 0x04, Access::ReadWrite, 0, vec![field("VALUE", 0, 32)]))
+            m.with_register(reg(
+                "LOAD",
+                0x04,
+                Access::ReadWrite,
+                0,
+                vec![field("VALUE", 0, 32)],
+            ))
         })
         .and_then(|m| {
-            m.with_register(reg("VALUE", 0x08, Access::ReadOnly, 0, vec![field("VALUE", 0, 32)]))
+            m.with_register(reg(
+                "VALUE",
+                0x08,
+                Access::ReadOnly,
+                0,
+                vec![field("VALUE", 0, 32)],
+            ))
         })
         .and_then(|m| {
             m.with_register(reg(
@@ -489,16 +548,34 @@ pub fn base_regmap() -> RegMap {
             ))
         })
         .and_then(|m| {
-            m.with_register(reg("ACK", 0x08, Access::WriteOnly, 0, vec![field("LINE", 0, 4)]))
+            m.with_register(reg(
+                "ACK",
+                0x08,
+                Access::WriteOnly,
+                0,
+                vec![field("LINE", 0, 4)],
+            ))
         })
         .and_then(|m| {
-            m.with_register(reg("RAISE", 0x0C, Access::WriteOnly, 0, vec![field("LINE", 0, 4)]))
+            m.with_register(reg(
+                "RAISE",
+                0x0C,
+                Access::WriteOnly,
+                0,
+                vec![field("LINE", 0, 4)],
+            ))
         })
         .expect("static INTC module");
 
     let wdt = Module::new("WDT", 0xE_0400, 0x100)
         .and_then(|m| {
-            m.with_register(reg("CTRL", 0x00, Access::ReadWrite, 0, vec![field("EN", 0, 1)]))
+            m.with_register(reg(
+                "CTRL",
+                0x00,
+                Access::ReadWrite,
+                0,
+                vec![field("EN", 0, 1)],
+            ))
         })
         .and_then(|m| {
             m.with_register(reg(
@@ -522,7 +599,13 @@ pub fn base_regmap() -> RegMap {
 
     let nvmc = Module::new("NVMC", 0xE_0500, 0x100)
         .and_then(|m| {
-            m.with_register(reg("KEY", 0x00, Access::WriteOnly, 0, vec![field("KEY", 0, 8)]))
+            m.with_register(reg(
+                "KEY",
+                0x00,
+                Access::WriteOnly,
+                0,
+                vec![field("KEY", 0, 8)],
+            ))
         })
         .and_then(|m| {
             m.with_register(reg(
@@ -534,10 +617,22 @@ pub fn base_regmap() -> RegMap {
             ))
         })
         .and_then(|m| {
-            m.with_register(reg("ADDR", 0x08, Access::ReadWrite, 0, vec![field("ADDR", 0, 20)]))
+            m.with_register(reg(
+                "ADDR",
+                0x08,
+                Access::ReadWrite,
+                0,
+                vec![field("ADDR", 0, 20)],
+            ))
         })
         .and_then(|m| {
-            m.with_register(reg("DATA", 0x0C, Access::ReadWrite, 0, vec![field("VALUE", 0, 32)]))
+            m.with_register(reg(
+                "DATA",
+                0x0C,
+                Access::ReadWrite,
+                0,
+                vec![field("VALUE", 0, 32)],
+            ))
         })
         .and_then(|m| {
             m.with_register(reg(
@@ -545,11 +640,21 @@ pub fn base_regmap() -> RegMap {
                 0x10,
                 Access::ReadOnly,
                 0,
-                vec![field("BUSY", 0, 1), field("UNLOCKED", 1, 1), field("ERROR", 2, 1)],
+                vec![
+                    field("BUSY", 0, 1),
+                    field("UNLOCKED", 1, 1),
+                    field("ERROR", 2, 1),
+                ],
             ))
         })
         .and_then(|m| {
-            m.with_register(reg("CMD", 0x14, Access::WriteOnly, 0, vec![field("CMD", 0, 2)]))
+            m.with_register(reg(
+                "CMD",
+                0x14,
+                Access::WriteOnly,
+                0,
+                vec![field("CMD", 0, 2)],
+            ))
         })
         .expect("static NVMC module");
 

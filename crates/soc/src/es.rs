@@ -224,8 +224,12 @@ impl EsRom {
 
         // -- ES_Init_Register (Figure 7's function) -----------------------
         line("ES_Init_Register:");
-        line(&format!("    MOVI d15, #0x{reg_init_value:X}   ; REG_INIT_VALUE"));
-        line(&format!("    LOAD a14, #0x{page_ctrl:05X}    ; page control register"));
+        line(&format!(
+            "    MOVI d15, #0x{reg_init_value:X}   ; REG_INIT_VALUE"
+        ));
+        line(&format!(
+            "    LOAD a14, #0x{page_ctrl:05X}    ; page control register"
+        ));
         line("    STORE [a14], d15");
         line("    RETURN");
         line("");
@@ -264,7 +268,9 @@ impl EsRom {
             EsVersion::V1 => ("d4", "d5"),
             EsVersion::V2 => ("d5", "d4"), // the paper's swapped inputs
         };
-        line(&format!("    ; address in {nvm_addr_reg}, value in {nvm_val_reg}"));
+        line(&format!(
+            "    ; address in {nvm_addr_reg}, value in {nvm_val_reg}"
+        ));
         line(&format!("    LOAD a14, #0x{nvmc_addr:05X}"));
         line(&format!("    STORE [a14], {nvm_addr_reg}"));
         line(&format!("    LOAD a14, #0x{nvmc_data:05X}"));
@@ -287,7 +293,9 @@ impl EsRom {
             EsVersion::V1 => ("a4", "a5"),
             EsVersion::V2 => ("a5", "a4"), // swapped roles
         };
-        line(&format!("    ; dst in {mc_dst}, src in {mc_src}, word count in d4"));
+        line(&format!(
+            "    ; dst in {mc_dst}, src in {mc_src}, word count in d4"
+        ));
         line("es_mc_loop:");
         line("    CMPI d4, #0");
         line("    JEQ es_mc_done");
@@ -307,7 +315,9 @@ impl EsRom {
             EsVersion::V1 => "d2",
             EsVersion::V2 => "d3", // result register moved
         };
-        line(&format!("    ; base in a4, word count in d4, result in {cs_result}"));
+        line(&format!(
+            "    ; base in a4, word count in d4, result in {cs_result}"
+        ));
         line(&format!("    MOVI {cs_result}, #0"));
         line("es_cs_loop:");
         line("    CMPI d4, #0");

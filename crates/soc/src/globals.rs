@@ -57,7 +57,13 @@ impl GlobalsSpec {
     /// (`TEST1_TARGET_PAGE = 8`, `TEST2_TARGET_PAGE = 7`).
     pub fn new(derivative: Derivative, platform: PlatformId) -> Self {
         let es_version = derivative.es_version();
-        Self { derivative, platform, es_version, test_pages: vec![8, 7], extra: BTreeMap::new() }
+        Self {
+            derivative,
+            platform,
+            es_version,
+            test_pages: vec![8, 7],
+            extra: BTreeMap::new(),
+        }
     }
 
     /// Overrides the embedded-software release (the paper's Figure 7
@@ -83,7 +89,11 @@ impl GlobalsSpec {
     pub fn with_test_pages(mut self, pages: Vec<u32>) -> Self {
         let max = self.derivative.page_count();
         for &p in &pages {
-            assert!(p < max, "test page {p} exceeds page count {max} of {}", self.derivative.id());
+            assert!(
+                p < max,
+                "test page {p} exceeds page count {max} of {}",
+                self.derivative.id()
+            );
         }
         self.test_pages = pages;
         self
@@ -119,7 +129,10 @@ impl GlobalsSpec {
         let mem = MemoryMap::sc88();
         let mut defines: Vec<Define> = Vec::new();
         let mut num = |name: &str, value: u32| {
-            defines.push(Define { name: name.to_owned(), value: DefineValue::Num(value) });
+            defines.push(Define {
+                name: name.to_owned(),
+                value: DefineValue::Num(value),
+            });
         };
 
         // Identity.
@@ -185,11 +198,23 @@ impl GlobalsSpec {
         num("UART_STATUS_ADDR", reg_addr("UART", "STATUS"));
         num("UART_DATA_ADDR", reg_addr("UART", "DATA"));
         num("UART_BAUD_ADDR", reg_addr("UART", "BAUD"));
-        num("UART_TX_READY_MASK", field_of("UART", "STATUS", "TX_READY").mask());
-        num("UART_RX_VALID_MASK", field_of("UART", "STATUS", "RX_VALID").mask());
-        num("UART_OVERRUN_MASK", field_of("UART", "STATUS", "OVERRUN").mask());
+        num(
+            "UART_TX_READY_MASK",
+            field_of("UART", "STATUS", "TX_READY").mask(),
+        );
+        num(
+            "UART_RX_VALID_MASK",
+            field_of("UART", "STATUS", "RX_VALID").mask(),
+        );
+        num(
+            "UART_OVERRUN_MASK",
+            field_of("UART", "STATUS", "OVERRUN").mask(),
+        );
         num("UART_EN_MASK", field_of("UART", "CTRL", "EN").mask());
-        num("UART_LOOPBACK_MASK", field_of("UART", "CTRL", "LOOPBACK").mask());
+        num(
+            "UART_LOOPBACK_MASK",
+            field_of("UART", "CTRL", "LOOPBACK").mask(),
+        );
 
         // TIMER.
         num("TIMER_CTRL_ADDR", reg_addr("TIMER", "CTRL"));
@@ -198,8 +223,14 @@ impl GlobalsSpec {
         num("TIMER_STATUS_ADDR", reg_addr("TIMER", "STATUS"));
         num("TIMER_EN_MASK", field_of("TIMER", "CTRL", "EN").mask());
         num("TIMER_IE_MASK", field_of("TIMER", "CTRL", "IE").mask());
-        num("TIMER_PERIODIC_MASK", field_of("TIMER", "CTRL", "PERIODIC").mask());
-        num("TIMER_EXPIRED_MASK", field_of("TIMER", "STATUS", "EXPIRED").mask());
+        num(
+            "TIMER_PERIODIC_MASK",
+            field_of("TIMER", "CTRL", "PERIODIC").mask(),
+        );
+        num(
+            "TIMER_EXPIRED_MASK",
+            field_of("TIMER", "STATUS", "EXPIRED").mask(),
+        );
 
         // INTC.
         num("INTC_ENABLE_ADDR", reg_addr("INTC", "ENABLE"));
@@ -340,18 +371,22 @@ impl GlobalsFile {
 
     /// Looks up a numeric define by name.
     pub fn value(&self, name: &str) -> Option<u32> {
-        self.defines.iter().find_map(|d| match (&d.value, d.name == name) {
-            (DefineValue::Num(v), true) => Some(*v),
-            _ => None,
-        })
+        self.defines
+            .iter()
+            .find_map(|d| match (&d.value, d.name == name) {
+                (DefineValue::Num(v), true) => Some(*v),
+                _ => None,
+            })
     }
 
     /// Looks up an alias define by name.
     pub fn alias(&self, name: &str) -> Option<&str> {
-        self.defines.iter().find_map(|d| match (&d.value, d.name == name) {
-            (DefineValue::Alias(a), true) => Some(a.as_str()),
-            _ => None,
-        })
+        self.defines
+            .iter()
+            .find_map(|d| match (&d.value, d.name == name) {
+                (DefineValue::Alias(a), true) => Some(a.as_str()),
+                _ => None,
+            })
     }
 
     /// Renders the assembler source text of the file.
@@ -440,7 +475,10 @@ mod tests {
     #[test]
     fn es_entries_published() {
         let g = render(Derivative::sc88a(), PlatformId::GoldenModel);
-        assert_eq!(g.value("ES_INIT_REGISTER"), Some(EsFunction::InitRegister.entry_addr()));
+        assert_eq!(
+            g.value("ES_INIT_REGISTER"),
+            Some(EsFunction::InitRegister.entry_addr())
+        );
         assert_eq!(g.value("ES_MEMCPY"), Some(EsFunction::Memcpy.entry_addr()));
     }
 

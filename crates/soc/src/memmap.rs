@@ -224,7 +224,10 @@ mod tests {
         assert_eq!(map.region_at(0x4_0000).unwrap().kind(), RegionKind::Ram);
         assert_eq!(map.region_at(0x8_FFFF).unwrap().kind(), RegionKind::Nvm);
         assert_eq!(map.region_at(0xE_0100).unwrap().kind(), RegionKind::Mmio);
-        assert!(map.region_at(0x7_0000).is_none(), "hole between RAM and NVM");
+        assert!(
+            map.region_at(0x7_0000).is_none(),
+            "hole between RAM and NVM"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Field {
     pub fn new(name: impl Into<String>, pos: u8, width: u8) -> Result<Self, RegMapError> {
         let name = name.into();
         if width == 0 || width > 32 || pos > 31 || u32::from(pos) + u32::from(width) > 32 {
-            return Err(RegMapError::BadField { field: name, pos, width });
+            return Err(RegMapError::BadField {
+                field: name,
+                pos,
+                width,
+            });
         }
         Ok(Self { name, pos, width })
     }
@@ -141,9 +145,18 @@ impl Register {
     ) -> Result<Self, RegMapError> {
         let name = name.into();
         if !offset.is_multiple_of(4) {
-            return Err(RegMapError::MisalignedRegister { register: name, offset });
+            return Err(RegMapError::MisalignedRegister {
+                register: name,
+                offset,
+            });
         }
-        Ok(Self { name, offset, access, reset, fields: Vec::new() })
+        Ok(Self {
+            name,
+            offset,
+            access,
+            reset,
+            fields: Vec::new(),
+        })
     }
 
     /// Adds a field, builder style.
@@ -218,9 +231,18 @@ impl Module {
     pub fn new(name: impl Into<String>, base: u32, size: u32) -> Result<Self, RegMapError> {
         let name = name.into();
         if !base.is_multiple_of(4) || size == 0 {
-            return Err(RegMapError::BadModule { module: name, base, size });
+            return Err(RegMapError::BadModule {
+                module: name,
+                base,
+                size,
+            });
         }
-        Ok(Self { name, base, size, registers: Vec::new() })
+        Ok(Self {
+            name,
+            base,
+            size,
+            registers: Vec::new(),
+        })
     }
 
     /// Adds a register, builder style.
@@ -376,7 +398,10 @@ impl RegMap {
     /// duplicates a name.
     pub fn with_module(mut self, module: Module) -> Result<Self, RegMapError> {
         if self.modules.iter().any(|m| m.name == module.name) {
-            return Err(RegMapError::DuplicateName { kind: "module", name: module.name });
+            return Err(RegMapError::DuplicateName {
+                kind: "module",
+                name: module.name,
+            });
         }
         if let Some(clash) = self.modules.iter().find(|m| m.overlaps(&module)) {
             return Err(RegMapError::OverlappingModules {
@@ -402,7 +427,9 @@ impl RegMap {
         self.modules
             .iter_mut()
             .find(|m| m.name == name)
-            .ok_or_else(|| RegMapError::UnknownModule { module: name.to_owned() })
+            .ok_or_else(|| RegMapError::UnknownModule {
+                module: name.to_owned(),
+            })
     }
 
     /// Finds the module containing `addr`, if any.
@@ -412,13 +439,19 @@ impl RegMap {
 
     pub(crate) fn relocate_module(&mut self, name: &str, new_base: u32) -> Result<(), RegMapError> {
         if !new_base.is_multiple_of(4) {
-            return Err(RegMapError::BadModule { module: name.to_owned(), base: new_base, size: 1 });
+            return Err(RegMapError::BadModule {
+                module: name.to_owned(),
+                base: new_base,
+                size: 1,
+            });
         }
         let idx = self
             .modules
             .iter()
             .position(|m| m.name == name)
-            .ok_or_else(|| RegMapError::UnknownModule { module: name.to_owned() })?;
+            .ok_or_else(|| RegMapError::UnknownModule {
+                module: name.to_owned(),
+            })?;
         let mut moved = self.modules[idx].clone();
         moved.base = new_base;
         if let Some(clash) = self
@@ -529,13 +562,22 @@ impl fmt::Display for RegMapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RegMapError::BadField { field, pos, width } => {
-                write!(f, "field `{field}` (pos {pos}, width {width}) does not fit a 32-bit register")
+                write!(
+                    f,
+                    "field `{field}` (pos {pos}, width {width}) does not fit a 32-bit register"
+                )
             }
             RegMapError::MisalignedRegister { register, offset } => {
-                write!(f, "register `{register}` offset {offset:#x} is not word aligned")
+                write!(
+                    f,
+                    "register `{register}` offset {offset:#x} is not word aligned"
+                )
             }
             RegMapError::BadModule { module, base, size } => {
-                write!(f, "module `{module}` has invalid base {base:#x} / size {size:#x}")
+                write!(
+                    f,
+                    "module `{module}` has invalid base {base:#x} / size {size:#x}"
+                )
             }
             RegMapError::RegisterOutsideModule { module, register } => {
                 write!(f, "register `{register}` lies outside module `{module}`")
@@ -543,14 +585,31 @@ impl fmt::Display for RegMapError {
             RegMapError::DuplicateName { kind, name } => {
                 write!(f, "duplicate {kind} name `{name}`")
             }
-            RegMapError::OverlappingFields { register, first, second } => {
-                write!(f, "fields `{first}` and `{second}` overlap in register `{register}`")
+            RegMapError::OverlappingFields {
+                register,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "fields `{first}` and `{second}` overlap in register `{register}`"
+                )
             }
-            RegMapError::OverlappingRegisters { module, first, second } => {
-                write!(f, "registers `{first}` and `{second}` overlap in module `{module}`")
+            RegMapError::OverlappingRegisters {
+                module,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "registers `{first}` and `{second}` overlap in module `{module}`"
+                )
             }
             RegMapError::OverlappingModules { first, second } => {
-                write!(f, "modules `{first}` and `{second}` have overlapping address ranges")
+                write!(
+                    f,
+                    "modules `{first}` and `{second}` have overlapping address ranges"
+                )
             }
             RegMapError::UnknownModule { module } => write!(f, "unknown module `{module}`"),
             RegMapError::UnknownRegister { module, register } => {
@@ -703,7 +762,12 @@ mod tests {
             .update_field("PAGE_CTRL", "PAGE", |f| Field::new(f.name(), f.pos(), 6))
             .unwrap();
         assert_eq!(
-            module.register("PAGE_CTRL").unwrap().field("PAGE").unwrap().width(),
+            module
+                .register("PAGE_CTRL")
+                .unwrap()
+                .field("PAGE")
+                .unwrap()
+                .width(),
             6
         );
     }

@@ -160,8 +160,12 @@ impl Mailbox {
     /// Interprets a word written to `RESULT`.
     pub fn classify_result(word: u32) -> Option<TestOutcome> {
         match word & Self::MAGIC_MASK {
-            Self::PASS_MAGIC => Some(TestOutcome::Pass { detail: (word & 0xFFFF) as u16 }),
-            Self::FAIL_MAGIC => Some(TestOutcome::Fail { detail: (word & 0xFFFF) as u16 }),
+            Self::PASS_MAGIC => Some(TestOutcome::Pass {
+                detail: (word & 0xFFFF) as u16,
+            }),
+            Self::FAIL_MAGIC => Some(TestOutcome::Fail {
+                detail: (word & 0xFFFF) as u16,
+            }),
             _ => None,
         }
     }

@@ -62,7 +62,13 @@ t_fail:
     println!("\nbondout says:         {bondout_result}");
     println!("debug markers hit:    {:02X?}", bondout_result.dbg_markers);
     println!("\nlast retired instructions (bondout trace):");
-    print!("{}", bondout.trace().expect("bondout has a debug port").disassembly());
+    print!(
+        "{}",
+        bondout
+            .trace()
+            .expect("bondout has a debug port")
+            .disassembly()
+    );
 
     assert!(!bondout_result.passed());
     assert_eq!(bondout_result.dbg_markers, vec![0xAA, 0xFF]);

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = page_env(default_config(), 3);
     println!("origin: {env}\n");
 
-    for target in [DerivativeId::Sc88B, DerivativeId::Sc88C, DerivativeId::Sc88D] {
+    for target in [
+        DerivativeId::Sc88B,
+        DerivativeId::Sc88C,
+        DerivativeId::Sc88D,
+    ] {
         let derivative = advm_soc::Derivative::from_id(target);
         println!("== port to {target} ==");
         for change in derivative.changes() {
@@ -25,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let outcome = port_env(&env, EnvConfig::new(target, PlatformId::GoldenModel));
         println!("  change-set: {}", outcome.changes);
-        println!("  test files touched: {}", test_files_touched(&outcome.changes));
+        println!(
+            "  test files touched: {}",
+            test_files_touched(&outcome.changes)
+        );
 
         for cell in outcome.env.cells() {
             let result = run_cell(&outcome.env, cell.id())?;

@@ -26,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("injecting a page-readback bug into the RTL platform...\n");
-    let config = RegressionConfig::full()
-        .with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
+    let config =
+        RegressionConfig::full().with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
     let faulty = run_regression(&envs, &config)?;
     for (test, divergence) in faulty.divergences() {
         println!("divergence in {test}:\n{divergence}");

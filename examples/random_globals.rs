@@ -18,14 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let instance = generate(&constraints, 7)?;
     println!("--- instance (seed 7), test-target slice ---");
-    for line in instance.text().lines().filter(|l| {
-        l.starts_with("TEST") || l.starts_with("RANDOM")
-    }) {
+    for line in instance
+        .text()
+        .lines()
+        .filter(|l| l.starts_with("TEST") || l.starts_with("RANDOM"))
+    {
         println!("  {line}");
     }
 
     let mut coverage = PageCoverage::new(&constraints);
-    println!("\nseeds -> coverage of the {}-page legal space:", constraints.legal_pages().len());
+    println!(
+        "\nseeds -> coverage of the {}-page legal space:",
+        constraints.legal_pages().len()
+    );
     for seed in 0..200u64 {
         coverage.record(&generate(&constraints, seed)?);
         if (seed + 1) % 25 == 0 || coverage.complete() {

@@ -15,6 +15,45 @@ use advm::system::SystemVerificationEnv;
 use advm_sim::{Platform, PlatformFault};
 use advm_soc::{Derivative, DerivativeId, EsVersion, PlatformId};
 
+/// Workspace smoke test: the shortest possible pass — hand-assemble a
+/// raw mailbox-reporting program, run the identical image on all six
+/// platforms, and require the divergence checker to see full agreement.
+///
+/// This is the canary for the whole toolchain (assembler → image →
+/// every platform model → comparator); if it fails, ignore everything
+/// below it and fix this first.
+#[test]
+fn smoke_golden_path_agrees_everywhere() {
+    let program = advm_asm::assemble_str(
+        "\
+_main:
+    LOAD d1, #0x600D0000
+    STORE [0xEFF00], d1
+    STORE [0xEFF08], d1
+",
+    )
+    .expect("smoke program assembles");
+    let mut image = advm_asm::Image::new();
+    image.load_program(&program).expect("smoke program links");
+
+    let derivative = Derivative::sc88a();
+    let results: Vec<_> = PlatformId::ALL
+        .into_iter()
+        .map(|id| advm_sim::platform::run_image(id, &derivative, &image))
+        .collect();
+    assert_eq!(results.len(), 6, "the paper's six platforms");
+    for (id, result) in PlatformId::ALL.into_iter().zip(&results) {
+        assert!(result.passed(), "{id:?} failed the golden path: {result}");
+    }
+
+    let report = advm_sim::compare(&results);
+    assert!(report.consistent, "golden path must not diverge:\n{report}");
+    assert!(
+        report.divergent.is_empty(),
+        "no platform is the odd one out:\n{report}"
+    );
+}
+
 /// The complete Figure 6 narrative: one test source survives a spec
 /// change and a derivative change purely through `Globals.inc`.
 #[test]
@@ -23,23 +62,40 @@ fn figure6_full_narrative() {
 
     // Paper defaults visible in the generated globals.
     assert!(env.globals_text().contains("PAGE_FIELD_SIZE .EQU 0x5"));
-    assert!(env.globals_text().contains("PAGE_FIELD_START_POSITION .EQU 0x0"));
+    assert!(env
+        .globals_text()
+        .contains("PAGE_FIELD_START_POSITION .EQU 0x0"));
 
     let baseline_result = run_cell(&env, "TEST_PAGE_SELECT_01").expect("builds");
     assert!(baseline_result.passed());
 
     // Spec change: field shifted by one (SC88-B).
-    let spec_change = port_env(&env, EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel));
+    let spec_change = port_env(
+        &env,
+        EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel),
+    );
     assert_eq!(test_files_touched(&spec_change.changes), 0);
-    assert!(spec_change.env.globals_text().contains("PAGE_FIELD_START_POSITION .EQU 0x1"));
-    assert!(run_cell(&spec_change.env, "TEST_PAGE_SELECT_01").unwrap().passed());
+    assert!(spec_change
+        .env
+        .globals_text()
+        .contains("PAGE_FIELD_START_POSITION .EQU 0x1"));
+    assert!(run_cell(&spec_change.env, "TEST_PAGE_SELECT_01")
+        .unwrap()
+        .passed());
 
     // Derivative change: field widened (SC88-C), more pages available.
-    let derivative_change =
-        port_env(&env, EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel));
+    let derivative_change = port_env(
+        &env,
+        EnvConfig::new(DerivativeId::Sc88C, PlatformId::GoldenModel),
+    );
     assert_eq!(test_files_touched(&derivative_change.changes), 0);
-    assert!(derivative_change.env.globals_text().contains("PAGE_FIELD_SIZE .EQU 0x6"));
-    assert!(run_cell(&derivative_change.env, "TEST_PAGE_SELECT_01").unwrap().passed());
+    assert!(derivative_change
+        .env
+        .globals_text()
+        .contains("PAGE_FIELD_SIZE .EQU 0x6"));
+    assert!(run_cell(&derivative_change.env, "TEST_PAGE_SELECT_01")
+        .unwrap()
+        .passed());
 }
 
 /// The complete Figure 7 narrative: the ES library changes under the
@@ -50,7 +106,11 @@ fn figure7_full_narrative() {
     let v1_config = default_config().with_style(BaseFuncsStyle::V1Only);
     let env = es_env(v1_config);
     for cell in env.cells() {
-        assert!(run_cell(&env, cell.id()).unwrap().passed(), "{} green on v1", cell.id());
+        assert!(
+            run_cell(&env, cell.id()).unwrap().passed(),
+            "{} green on v1",
+            cell.id()
+        );
     }
 
     // Event: ES v2 ships (swapped input registers). Wrapped tests break.
@@ -61,18 +121,35 @@ fn figure7_full_narrative() {
         .filter(|c| !run_cell(&stale, c.id()).unwrap().passed())
         .map(|c| c.id())
         .collect();
-    assert!(broken.contains(&"TEST_ES_NVM_WRITE"), "swapped NVM args must break: {broken:?}");
-    assert!(broken.contains(&"TEST_ES_CHECKSUM"), "moved result register must break");
+    assert!(
+        broken.contains(&"TEST_ES_NVM_WRITE"),
+        "swapped NVM args must break: {broken:?}"
+    );
+    assert!(
+        broken.contains(&"TEST_ES_CHECKSUM"),
+        "moved result register must break"
+    );
 
     // Repair: one file — the base functions — adapts to ES_VERSION.
-    let fix = port_env(&stale, stale.config().with_style(BaseFuncsStyle::VersionAware));
-    assert_eq!(test_files_touched(&fix.changes), 0, "tests remain untouched");
+    let fix = port_env(
+        &stale,
+        stale.config().with_style(BaseFuncsStyle::VersionAware),
+    );
+    assert_eq!(
+        test_files_touched(&fix.changes),
+        0,
+        "tests remain untouched"
+    );
     assert!(fix
         .changes
         .change("ES_WRAP/Abstraction_Layer/Base_Functions.asm")
         .is_some());
     for cell in fix.env.cells() {
-        assert!(run_cell(&fix.env, cell.id()).unwrap().passed(), "{} green again", cell.id());
+        assert!(
+            run_cell(&fix.env, cell.id()).unwrap().passed(),
+            "{} green again",
+            cell.id()
+        );
     }
 }
 
@@ -85,8 +162,8 @@ fn platform_matrix_and_divergence() {
     assert_eq!(report.failed(), 0, "matrix:\n{}", report.matrix());
     assert!(report.total() >= 90, "8 envs x 6 platforms");
 
-    let fault = RegressionConfig::full()
-        .with_fault(PlatformId::GateSim, PlatformFault::TimerNeverExpires);
+    let fault =
+        RegressionConfig::full().with_fault(PlatformId::GateSim, PlatformFault::TimerNeverExpires);
     let report = run_regression(&envs, &fault).expect("builds");
     let divergences = report.divergences();
     assert!(!divergences.is_empty(), "a gate-sim timer bug must diverge");
@@ -106,13 +183,15 @@ fn release_flow() {
     );
     assert!(sys.validate().is_empty());
 
-    let release = sys.compose_release(&mut store, "SYS-1.0").expect("fresh labels");
+    let release = sys
+        .compose_release(&mut store, "SYS-1.0")
+        .expect("fresh labels");
     assert_eq!(release.components().len(), sys.envs().len());
 
     // Thaw and run a component from the frozen label.
     let thawed = store.thaw_system("SYS-1.0").expect("intact");
-    let report = run_regression(&thawed, &RegressionConfig::smoke(PlatformId::GoldenModel))
-        .expect("builds");
+    let report =
+        run_regression(&thawed, &RegressionConfig::smoke(PlatformId::GoldenModel)).expect("builds");
     assert_eq!(report.failed(), 0);
 }
 
@@ -129,7 +208,11 @@ fn violations_defeat_porting() {
     let violations = advm::check_env(&env);
     assert!(!violations.is_empty());
 
-    let ported = port_env(&env, EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel)).env;
+    let ported = port_env(
+        &env,
+        EnvConfig::new(DerivativeId::Sc88B, PlatformId::GoldenModel),
+    )
+    .env;
     assert!(run_cell(&ported, "TEST_PAGE_SELECT_01").unwrap().passed());
     assert!(!run_cell(&ported, "TEST_PAGE_ABUSE_01").unwrap().passed());
 }
@@ -168,7 +251,10 @@ _main:
     assert!(golden_result.passed() && silicon_result.passed());
     assert_eq!(golden_result.dbg_markers, vec![1, 2]);
     assert!(silicon_result.dbg_markers.is_empty());
-    assert_eq!(golden_result.insns, silicon_result.insns, "same instruction stream");
+    assert_eq!(
+        golden_result.insns, silicon_result.insns,
+        "same instruction stream"
+    );
 }
 
 /// Porting is involutive on the abstraction layer: A -> C -> A restores
@@ -176,7 +262,11 @@ _main:
 #[test]
 fn port_roundtrip_is_identity() {
     let env = page_env(default_config(), 4);
-    let there = port_env(&env, EnvConfig::new(DerivativeId::Sc88C, PlatformId::GateSim)).env;
+    let there = port_env(
+        &env,
+        EnvConfig::new(DerivativeId::Sc88C, PlatformId::GateSim),
+    )
+    .env;
     let back = port_env(&there, env.config()).env;
     assert_eq!(back.tree(), env.tree());
 }

@@ -1,0 +1,268 @@
+//! Offline stub of `criterion`.
+//!
+//! Runs each benchmark for a fixed number of timed samples and prints the
+//! mean wall-clock time per iteration (plus throughput when configured).
+//! No warm-up modelling, outlier statistics, plots or saved baselines —
+//! enough to smoke-run `cargo bench` and spot order-of-magnitude
+//! regressions by eye.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Samples per benchmark unless overridden by
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Per-iteration time floor: iterations are batched until one sample takes
+/// at least this long, so sub-microsecond bodies still measure sanely.
+const MIN_SAMPLE_TIME: Duration = Duration::from_millis(1);
+
+/// The benchmark manager passed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Mirrors the real builder method; CLI args are ignored by the stub.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Benchmarks one closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, DEFAULT_SAMPLE_SIZE, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, throughput and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks one closure under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, self.throughput, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmarks one closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units the measured time is divided by when reporting rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to each benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, batching iterations so each timed sample is long
+    /// enough for the clock to resolve.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: how many iterations does one sample need?
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_TIME || batch >= 1 << 20 {
+                self.samples.push(elapsed / batch as u32);
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn run_one<F>(name: &str, throughput: Option<Throughput>, sample_size: usize, mut body: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    body(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64()),
+        Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64()),
+    });
+    println!(
+        "{name:<50} {:>12.1} ns/iter{}",
+        mean.as_nanos() as f64,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            std::hint::black_box(count)
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(count >= 3);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(1), &5u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        c.bench_function("stub/one", |b| b.iter(|| 1 + 1));
+    }
+}

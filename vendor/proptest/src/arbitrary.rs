@@ -1,0 +1,75 @@
+//! The `any::<T>()` entry point.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns a strategy generating any value of `T`, uniformly.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for primitive integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy(PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_signed_values() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = any::<i16>();
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos, "any::<i16>() never changed sign");
+    }
+}

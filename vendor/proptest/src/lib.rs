@@ -1,0 +1,118 @@
+//! Offline stub of `proptest`.
+//!
+//! A real — if minimal — property-testing engine under the `proptest` crate
+//! name and module layout:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`, `boxed`;
+//!   strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`arbitrary::any`], [`strategy::Union`] (via [`prop_oneof!`]) and
+//!   [`collection::vec`];
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support, plus
+//!   [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assert_ne!`];
+//! * a deterministic runner ([`test_runner`]): case seeds derive from the
+//!   test's source file and name, failing seeds persist into
+//!   `proptest-regressions/<file>.txt` and replay first on later runs.
+//!
+//! Differences from real proptest, by design: no shrinking (the failing
+//! input prints whole), no forking, and the value space of `any::<T>()` is
+//! uniform rather than edge-biased.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest suite starts with.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Combines strategies producing the same value type, choosing one
+/// uniformly at random per generated case.
+///
+/// Weighted arms (`weight => strategy`) from real proptest are not
+/// supported — every arm is equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the failing
+/// case on panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        ::std::assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        ::std::assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        ::std::assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        ::std::assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        ::std::assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        ::std::assert_ne!($left, $right, $($fmt)*)
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs (after replaying any persisted failure seeds).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Build the (possibly expensive) strategies once per test,
+                // not once per generated case; the bindings' strategies
+                // combine into one tuple strategy, generated and
+                // destructured together.
+                let __proptest_strategy = ($(($strategy),)+);
+                $crate::test_runner::run_property_test(
+                    $config,
+                    ::std::file!(),
+                    ::std::stringify!($name),
+                    |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                        let ($($arg,)+) = $crate::strategy::Strategy::generate(
+                            &__proptest_strategy,
+                            __proptest_rng,
+                        );
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

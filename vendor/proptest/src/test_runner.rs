@@ -1,0 +1,233 @@
+//! Deterministic property-test execution with failure-seed persistence.
+
+use std::fs;
+use std::io::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (mirrors the real constructor).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep that, overridable per run
+        // with PROPTEST_CASES.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// The RNG strategies draw from: SplitMix64, seeded per case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from its identity so runs
+/// are deterministic without any global state.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Where failing seeds for the suite at `source_file` persist.
+///
+/// `source_file` is the `file!()` of the `proptest!` invocation, relative to
+/// the workspace root (e.g. `crates/isa/tests/encode_props.rs`); regressions
+/// live next to the suite in a `proptest-regressions` directory, like real
+/// proptest: `crates/isa/tests/proptest-regressions/encode_props.txt`.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let src = Path::new(source_file);
+    let stem = src.file_stem()?;
+    let dir = src.parent()?.join("proptest-regressions");
+    Some(dir.join(Path::new(stem).with_extension("txt")))
+}
+
+/// Resolves `source_file` (workspace-root-relative) against the filesystem.
+///
+/// Test binaries run with the *package* root as cwd, while `file!()` paths
+/// are relative to the *workspace* root, so walk up until the path exists.
+fn resolve_from_cwd(rel: &Path) -> PathBuf {
+    let mut base = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if base.join(rel).exists() || base.join("Cargo.lock").exists() {
+            return base.join(rel);
+        }
+        if !base.pop() {
+            return rel.to_path_buf();
+        }
+    }
+}
+
+/// Persisted seeds for one suite: lines of `seed = <u64>` (other lines are
+/// comments).
+fn read_persisted_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("seed ="))
+        .filter_map(|rest| rest.split('#').next()?.trim().parse().ok())
+        .collect()
+}
+
+fn persist_seed(path: &Path, test_name: &str, seed: u64) {
+    if read_persisted_seeds(path).contains(&seed) {
+        return;
+    }
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if file.metadata()?.len() == 0 {
+            writeln!(
+                file,
+                "# Seeds for failure cases proptest has generated in the past. It is\n\
+                 # automatically read and these particular cases re-run before any\n\
+                 # novel cases are generated. (Stub format: `seed = <u64>` lines.)"
+            )?;
+        }
+        writeln!(file, "seed = {seed} # {test_name}")?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "proptest: could not persist failing seed to {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Runs one property: replays persisted failure seeds, then
+/// `config.cases` fresh cases with seeds derived deterministically from
+/// the test identity. On failure the offending seed is persisted and the
+/// panic is propagated so the harness reports the test as failed.
+pub fn run_property_test<F>(config: ProptestConfig, source_file: &str, test_name: &str, body: F)
+where
+    F: Fn(&mut TestRng),
+{
+    let regressions = regression_path(source_file).map(|rel| resolve_from_cwd(&rel));
+    let persisted = regressions
+        .as_deref()
+        .map(read_persisted_seeds)
+        .unwrap_or_default();
+
+    let base = fnv1a(source_file.as_bytes()) ^ fnv1a(test_name.as_bytes()).rotate_left(17);
+    let fresh = (0..config.cases).map(|case| base.wrapping_add(u64::from(case)));
+
+    for (origin, seed) in persisted
+        .into_iter()
+        .map(|s| ("persisted", s))
+        .chain(fresh.map(|s| ("generated", s)))
+    {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = TestRng::from_seed(seed);
+            body(&mut rng);
+        }));
+        if let Err(cause) = outcome {
+            if origin == "generated" {
+                if let Some(path) = &regressions {
+                    persist_seed(path, test_name, seed);
+                }
+            }
+            eprintln!(
+                "proptest: property `{test_name}` ({source_file}) failed at {origin} seed \
+                 {seed}; rerun replays it first"
+            );
+            panic::resume_unwind(cause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_rng() {
+        let mut a = TestRng::from_seed(9);
+        let mut b = TestRng::from_seed(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seed_lines_parse() {
+        let dir = std::env::temp_dir().join("advm-proptest-stub-test");
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("suite.txt");
+        persist_seed(&path, "prop_x", 42);
+        persist_seed(&path, "prop_x", 42); // dedup
+        persist_seed(&path, "prop_y", 7);
+        assert_eq!(read_persisted_seeds(&path), vec![42, 7]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runner_executes_requested_cases() {
+        use std::cell::Cell;
+        let count = Cell::new(0u32);
+        run_property_test(
+            ProptestConfig::with_cases(10),
+            "vendor/x.rs",
+            "counts",
+            |_rng| {
+                count.set(count.get() + 1);
+            },
+        );
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    fn regression_path_mirrors_real_proptest() {
+        assert_eq!(
+            regression_path("crates/isa/tests/encode_props.rs").unwrap(),
+            PathBuf::from("crates/isa/tests/proptest-regressions/encode_props.txt")
+        );
+    }
+}

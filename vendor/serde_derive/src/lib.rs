@@ -1,0 +1,20 @@
+//! Offline no-op stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! forward compatibility but never serializes anything, so these derives
+//! accept the input (including `#[serde(...)]` helper attributes) and emit
+//! no code. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

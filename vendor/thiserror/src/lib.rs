@@ -1,0 +1,114 @@
+//! Offline stub of `thiserror`.
+//!
+//! Re-exports a subset `#[derive(Error)]`: `#[error("...")]` format
+//! attributes on structs and enums with unit, tuple or named fields;
+//! `{field}` / `{0}` (optionally with format specs, e.g. `{0:#x}`)
+//! interpolation; `#[source]` and `#[from]` fields (the latter also
+//! generating a `From` impl). Not supported: generics,
+//! `#[error(transparent)]`, extra format arguments after the literal, and
+//! `#[backtrace]`. The tests below are the authoritative list of
+//! supported shapes.
+
+pub use thiserror_impl::Error;
+
+#[cfg(test)]
+mod tests {
+    use crate::Error;
+    use std::error::Error as _;
+
+    #[derive(Debug, Error)]
+    #[error("unit failure")]
+    struct Unit;
+
+    #[derive(Debug, Error)]
+    #[error("named failure in {file} at line {line}")]
+    struct Named {
+        file: String,
+        line: u32,
+    }
+
+    #[derive(Debug, Error)]
+    #[error("tuple failure: {0} (code {1:#x})")]
+    struct Tuple(String, u32);
+
+    #[derive(Debug, Error)]
+    enum Many {
+        #[error("io-ish problem: {0}")]
+        Io(#[from] std::fmt::Error),
+        #[error("bad page {page} on {platform}")]
+        BadPage { page: u32, platform: String },
+        #[error("wrapped: {msg}")]
+        Wrapped {
+            msg: String,
+            #[source]
+            cause: Unit,
+        },
+        #[error("nothing to add")]
+        Empty,
+    }
+
+    // Fields whose *types* contain top-level commas or `->`: the derive's
+    // comma splitter must not cut fields apart inside generic arguments
+    // or after fn-pointer arrows.
+    #[derive(Debug, Error)]
+    #[error("{count} stale entries")]
+    struct GenericFields {
+        count: usize,
+        stale: std::collections::HashMap<String, Vec<(u32, u32)>>,
+        callback: fn(u32) -> u32,
+    }
+
+    #[test]
+    fn generic_and_fn_pointer_field_types_survive_splitting() {
+        let err = GenericFields {
+            count: 2,
+            stale: std::collections::HashMap::new(),
+            callback: |v| v,
+        };
+        assert_eq!(err.to_string(), "2 stale entries");
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn displays_render() {
+        assert_eq!(Unit.to_string(), "unit failure");
+        assert_eq!(
+            Named {
+                file: "a.rs".into(),
+                line: 7
+            }
+            .to_string(),
+            "named failure in a.rs at line 7"
+        );
+        assert_eq!(
+            Tuple("oops".into(), 255).to_string(),
+            "tuple failure: oops (code 0xff)"
+        );
+        assert_eq!(
+            Many::BadPage {
+                page: 3,
+                platform: "rtl".into()
+            }
+            .to_string(),
+            "bad page 3 on rtl"
+        );
+        assert_eq!(Many::Empty.to_string(), "nothing to add");
+    }
+
+    #[test]
+    fn from_and_source_work() {
+        let err: Many = std::fmt::Error.into();
+        assert_eq!(
+            err.to_string(),
+            "io-ish problem: an error occurred when formatting an argument"
+        );
+        assert!(err.source().is_some());
+
+        let wrapped = Many::Wrapped {
+            msg: "m".into(),
+            cause: Unit,
+        };
+        assert_eq!(wrapped.source().unwrap().to_string(), "unit failure");
+        assert!(Many::Empty.source().is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! Subset `#[derive(Error)]` implemented directly over `proc_macro`
+//! token trees (no `syn`/`quote` — the build environment is offline).
+//!
+//! Supported input shapes are documented and tested in the `thiserror`
+//! facade crate; anything outside the subset fails with a
+//! `compile_error!` naming the restriction.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Subset stand-in for `thiserror::Error`.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(code) => code.parse().expect("generated code parses"),
+        Err(msg) => format!("::std::compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// One parsed field.
+struct Field {
+    /// `Some` for named fields.
+    name: Option<String>,
+    /// Rendered type tokens.
+    ty: String,
+    has_from: bool,
+    has_source: bool,
+}
+
+/// One parsed variant (an entire struct is modelled as a single variant).
+struct Variant {
+    /// `None` for a struct.
+    name: Option<String>,
+    /// The `#[error("...")]` literal, quotes included.
+    format: String,
+    named: bool,
+    fields: Vec<Field>,
+}
+
+fn expand(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let outer_attrs = take_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            pos += 1;
+            tokens[pos - 1].to_string()
+        }
+        other => {
+            return Err(format!(
+                "derive(Error) stub: expected struct or enum, got {other:?}"
+            ))
+        }
+    };
+    let type_name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => {
+            pos += 1;
+            id.to_string()
+        }
+        other => {
+            return Err(format!(
+                "derive(Error) stub: expected type name, got {other:?}"
+            ))
+        }
+    };
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("derive(Error) stub: generic error types are not supported".into());
+    }
+
+    let variants = if kind == "enum" {
+        let Some(TokenTree::Group(body)) = tokens.get(pos) else {
+            return Err("derive(Error) stub: expected enum body".into());
+        };
+        parse_enum_body(body.stream())?
+    } else {
+        vec![parse_struct_body(&outer_attrs, &tokens[pos..])?]
+    };
+
+    Ok(render(&type_name, kind == "enum", &variants))
+}
+
+/// Collects `#[...]` attribute groups starting at `*pos`.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> Vec<TokenStream> {
+    let mut attrs = Vec::new();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        match tokens.get(*pos + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                attrs.push(g.stream());
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Extracts the string literal from an `error("...")` attribute body.
+fn error_literal(attrs: &[TokenStream]) -> Result<String, String> {
+    for attr in attrs {
+        let toks: Vec<TokenTree> = attr.clone().into_iter().collect();
+        match toks.first() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "error" => {}
+            _ => continue,
+        }
+        let Some(TokenTree::Group(args)) = toks.get(1) else {
+            return Err("derive(Error) stub: #[error] needs (\"...\")".into());
+        };
+        let arg_toks: Vec<TokenTree> = args.stream().into_iter().collect();
+        match arg_toks.first() {
+            Some(TokenTree::Literal(lit)) => {
+                let text = lit.to_string();
+                if !text.starts_with('"') {
+                    return Err(
+                        "derive(Error) stub: #[error] argument must be a string literal".into(),
+                    );
+                }
+                if arg_toks.len() > 1 {
+                    return Err(
+                        "derive(Error) stub: extra arguments after the format literal are not \
+                         supported; interpolate fields inline instead"
+                            .into(),
+                    );
+                }
+                return Ok(text);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "transparent" => {
+                return Err("derive(Error) stub: #[error(transparent)] is not supported".into());
+            }
+            other => {
+                return Err(format!(
+                    "derive(Error) stub: bad #[error] argument {other:?}"
+                ))
+            }
+        }
+    }
+    Err("derive(Error) stub: every variant/struct needs an #[error(\"...\")] attribute".into())
+}
+
+/// Splits a token stream at top-level commas.
+///
+/// `(...)`/`[...]`/`{...}` groups arrive as single token trees, but
+/// generic arguments do not — commas inside `Vec<(String, u32)>`-style
+/// types are flat in the stream — so angle-bracket depth is tracked
+/// explicitly (ignoring `->`, where `>` closes nothing).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0u32;
+    let mut prev_was_dash = false;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !prev_was_dash => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    prev_was_dash = false;
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+            prev_was_dash = p.as_char() == '-';
+        } else {
+            prev_was_dash = false;
+        }
+        chunks.last_mut().expect("nonempty").push(tree);
+    }
+    if chunks.last().is_some_and(Vec::is_empty) {
+        chunks.pop();
+    }
+    chunks
+}
+
+fn parse_field(chunk: &[TokenTree], named: bool) -> Result<Field, String> {
+    let mut pos = 0;
+    let attrs = take_attrs(chunk, &mut pos);
+    let has = |want: &str| {
+        attrs.iter().any(|a| {
+            matches!(a.clone().into_iter().next(), Some(TokenTree::Ident(id)) if id.to_string() == want)
+        })
+    };
+    skip_visibility(chunk, &mut pos);
+    let name = if named {
+        let Some(TokenTree::Ident(id)) = chunk.get(pos) else {
+            return Err(format!(
+                "derive(Error) stub: expected field name in {chunk:?}"
+            ));
+        };
+        pos += 1;
+        // Skip the `:`.
+        pos += 1;
+        Some(id.to_string())
+    } else {
+        None
+    };
+    let ty = TokenStream::from_iter(chunk[pos..].iter().cloned()).to_string();
+    Ok(Field {
+        name,
+        ty,
+        has_from: has("from"),
+        has_source: has("source"),
+    })
+}
+
+fn parse_fields(group: &TokenTree) -> Result<(bool, Vec<Field>), String> {
+    match group {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+            let fields = split_commas(g.stream())
+                .iter()
+                .map(|c| parse_field(c, true))
+                .collect::<Result<_, _>>()?;
+            Ok((true, fields))
+        }
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = split_commas(g.stream())
+                .iter()
+                .map(|c| parse_field(c, false))
+                .collect::<Result<_, _>>()?;
+            Ok((false, fields))
+        }
+        other => Err(format!("derive(Error) stub: unexpected fields {other:?}")),
+    }
+}
+
+fn parse_enum_body(body: TokenStream) -> Result<Vec<Variant>, String> {
+    split_commas(body)
+        .iter()
+        .map(|chunk| {
+            let mut pos = 0;
+            let attrs = take_attrs(chunk, &mut pos);
+            let format = error_literal(&attrs)?;
+            let Some(TokenTree::Ident(name)) = chunk.get(pos) else {
+                return Err(format!(
+                    "derive(Error) stub: expected variant name in {chunk:?}"
+                ));
+            };
+            pos += 1;
+            let (named, fields) = match chunk.get(pos) {
+                None => (false, Vec::new()),
+                Some(group) => parse_fields(group)?,
+            };
+            Ok(Variant {
+                name: Some(name.to_string()),
+                format,
+                named,
+                fields,
+            })
+        })
+        .collect()
+}
+
+fn parse_struct_body(outer_attrs: &[TokenStream], rest: &[TokenTree]) -> Result<Variant, String> {
+    let format = error_literal(outer_attrs)?;
+    let (named, fields) = match rest.first() {
+        None => (false, Vec::new()),
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => (false, Vec::new()),
+        Some(group) => parse_fields(group)?,
+    };
+    Ok(Variant {
+        name: None,
+        format,
+        named,
+        fields,
+    })
+}
+
+/// Rewrites positional interpolations (`{0}`, `{1:#x}`) in a quoted format
+/// literal to the tuple binding names (`{__f0}`, `{__f1:#x}`) so Rust's
+/// inline captured-identifier formatting can resolve them.
+fn rewrite_positional(literal: &str) -> String {
+    let mut out = String::with_capacity(literal.len());
+    let mut chars = literal.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '{' {
+            if chars.peek() == Some(&'{') {
+                out.push(chars.next().expect("peeked"));
+                continue;
+            }
+            if chars.peek().is_some_and(char::is_ascii_digit) {
+                out.push_str("__f");
+            }
+        }
+    }
+    out
+}
+
+fn binding_names(variant: &Variant) -> Vec<String> {
+    variant
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| f.name.clone().unwrap_or_else(|| format!("__f{i}")))
+        .collect()
+}
+
+/// Pattern like `{ a, b }` or `(__f0, __f1)`, or empty for unit shapes.
+fn binding_pattern(variant: &Variant) -> String {
+    let names = binding_names(variant);
+    if variant.fields.is_empty() {
+        String::new()
+    } else if variant.named {
+        format!("{{ {} }}", names.join(", "))
+    } else {
+        format!("({})", names.join(", "))
+    }
+}
+
+fn render(type_name: &str, is_enum: bool, variants: &[Variant]) -> String {
+    let mut display_arms = String::new();
+    let mut source_arms = String::new();
+    let mut from_impls = String::new();
+
+    for variant in variants {
+        let path = match &variant.name {
+            Some(v) => format!("{type_name}::{v}"),
+            None => type_name.to_string(),
+        };
+        let pattern = binding_pattern(variant);
+        let format = rewrite_positional(&variant.format);
+        display_arms.push_str(&format!(
+            "            {path} {pattern} => ::std::write!(f, {format}),\n"
+        ));
+
+        let names = binding_names(variant);
+        let source_field = variant
+            .fields
+            .iter()
+            .position(|f| f.has_source || f.has_from)
+            .map(|i| names[i].clone());
+        match source_field {
+            Some(field) => {
+                let pat = if variant.named {
+                    format!("{{ {field}, .. }}")
+                } else {
+                    // Bind every tuple position; only `field` is used.
+                    format!(
+                        "({})",
+                        names
+                            .iter()
+                            .map(|n| if *n == field { n.clone() } else { "_".into() })
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                source_arms.push_str(&format!(
+                    "            {path} {pat} => ::std::option::Option::Some({field} as &(dyn ::std::error::Error + 'static)),\n"
+                ));
+            }
+            None => {
+                let pat = match variant.fields.is_empty() {
+                    true => String::new(),
+                    false if variant.named => "{ .. }".to_string(),
+                    false => format!("({})", vec!["_"; variant.fields.len()].join(", ")),
+                };
+                source_arms.push_str(&format!(
+                    "            {path} {pat} => ::std::option::Option::None,\n"
+                ));
+            }
+        }
+
+        if let Some(from_idx) = variant.fields.iter().position(|f| f.has_from) {
+            let field = &variant.fields[from_idx];
+            let construct = match (&variant.name, variant.named, &field.name) {
+                (Some(v), true, Some(n)) => format!("{type_name}::{v} {{ {n}: value }}"),
+                (Some(v), false, _) => format!("{type_name}::{v}(value)"),
+                (None, true, Some(n)) => format!("{type_name} {{ {n}: value }}"),
+                (None, false, _) => format!("{type_name}(value)"),
+                _ => unreachable!("named field without a name"),
+            };
+            if variant.fields.len() != 1 {
+                return format!(
+                    "::std::compile_error!(\"derive(Error) stub: #[from] requires the variant to \
+                     have exactly one field ({path})\");"
+                );
+            }
+            from_impls.push_str(&format!(
+                "impl ::std::convert::From<{ty}> for {type_name} {{\n    fn from(value: {ty}) -> Self {{ {construct} }}\n}}\n",
+                ty = field.ty,
+            ));
+        }
+    }
+
+    let (display_body, source_body) = if is_enum || !variants[0].fields.is_empty() {
+        (
+            format!("match self {{\n{display_arms}        }}"),
+            format!("match self {{\n{source_arms}        }}"),
+        )
+    } else {
+        // Fieldless struct: a match would be `Type => ...` which is fine,
+        // but render directly for readability of the expansion.
+        (
+            format!(
+                "::std::write!(f, {})",
+                rewrite_positional(&variants[0].format)
+            ),
+            "::std::option::Option::None".to_string(),
+        )
+    };
+
+    format!(
+        "#[allow(unused_variables, clippy::all)]\n\
+         impl ::std::fmt::Display for {type_name} {{\n    \
+             fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n        \
+                 {display_body}\n    \
+             }}\n\
+         }}\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::std::error::Error for {type_name} {{\n    \
+             fn source(&self) -> ::std::option::Option<&(dyn ::std::error::Error + 'static)> {{\n        \
+                 {source_body}\n    \
+             }}\n\
+         }}\n\
+         {from_impls}"
+    )
+}
