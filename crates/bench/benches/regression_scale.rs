@@ -1,28 +1,28 @@
-//! Regression-runner scaling: wall time of a golden-model regression
-//! over the catalogued suite as the worker count grows.
+//! Campaign-runner scaling: wall time of a golden-model campaign over
+//! the catalogued suite as the worker count grows, the full six-platform
+//! matrix, and the build cache's effect on multi-platform campaigns.
 
+use advm::campaign::Campaign;
 use advm::presets::{default_config, standard_system};
-use advm::regression::{run_regression, RegressionConfig};
 use advm_soc::PlatformId;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_workers(c: &mut Criterion) {
     let envs = standard_system(default_config());
-    let mut group = c.benchmark_group("regression/workers");
+    let mut group = c.benchmark_group("campaign/workers");
     group.sample_size(10);
     for workers in [1usize, 2, 4, 8] {
         group.bench_with_input(
             BenchmarkId::from_parameter(workers),
             &workers,
             |b, &workers| {
-                let config = RegressionConfig {
-                    platforms: vec![PlatformId::GoldenModel],
-                    workers,
-                    fault: None,
-                    fuel: advm_sim::DEFAULT_FUEL,
-                };
                 b.iter(|| {
-                    let report = run_regression(&envs, &config).expect("builds");
+                    let report = Campaign::new()
+                        .envs(envs.iter().cloned())
+                        .platform(PlatformId::GoldenModel)
+                        .workers(workers)
+                        .run()
+                        .expect("builds");
                     assert_eq!(report.failed(), 0);
                     report.total()
                 });
@@ -34,11 +34,15 @@ fn bench_workers(c: &mut Criterion) {
 
 fn bench_full_matrix(c: &mut Criterion) {
     let envs = standard_system(default_config());
-    let mut group = c.benchmark_group("regression/full_matrix");
+    let mut group = c.benchmark_group("campaign/full_matrix");
     group.sample_size(10);
     group.bench_function("6_platforms_4_workers", |b| {
         b.iter(|| {
-            let report = run_regression(&envs, &RegressionConfig::full()).expect("builds");
+            let report = Campaign::new()
+                .envs(envs.iter().cloned())
+                .workers(4)
+                .run()
+                .expect("builds");
             assert_eq!(report.failed(), 0);
             report.total()
         });
@@ -46,5 +50,30 @@ fn bench_full_matrix(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workers, bench_full_matrix);
+/// The build-cache trajectory: the same six-platform campaign with the
+/// content-keyed cache on (platform-independent cells assemble once per
+/// distinct abstraction-layer knob set) and off (every job assembles).
+fn bench_build_cache(c: &mut Criterion) {
+    let envs = standard_system(default_config());
+    let mut group = c.benchmark_group("campaign/build_cache");
+    group.sample_size(10);
+    for (label, cached) in [("cached", true), ("uncached", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report = Campaign::new()
+                    .envs(envs.iter().cloned())
+                    .workers(4)
+                    .cache(cached)
+                    .run()
+                    .expect("builds");
+                assert_eq!(report.failed(), 0);
+                assert_eq!(report.cache_hits() > 0, cached);
+                report.unique_builds()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workers, bench_full_matrix, bench_build_cache);
 criterion_main!(benches);

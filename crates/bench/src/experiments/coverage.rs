@@ -6,10 +6,10 @@
 //! coverage growing as module environments are added, and names the
 //! remaining holes.
 
+use advm::campaign::Campaign;
 use advm::coverage::RegisterCoverage;
 use advm::env::EnvConfig;
 use advm::presets::{page_env, standard_system};
-use advm::regression::{run_regression, RegressionConfig};
 use advm_metrics::Table;
 use advm_soc::{Derivative, DerivativeId, PlatformId};
 
@@ -36,7 +36,13 @@ pub struct CoverageResult {
 pub fn run() -> CoverageResult {
     let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
     let derivative = Derivative::sc88a();
-    let smoke = RegressionConfig::smoke(PlatformId::GoldenModel);
+    let smoke = |envs: Vec<advm::ModuleTestEnv>| {
+        Campaign::new()
+            .envs(envs)
+            .platform(PlatformId::GoldenModel)
+            .workers(1)
+            .run()
+    };
 
     let mut growth_table = Table::new(
         "Register coverage as module environments are added",
@@ -44,7 +50,7 @@ pub fn run() -> CoverageResult {
     );
 
     // PAGE only.
-    let page_report = run_regression(&[page_env(config, 3)], &smoke).expect("builds");
+    let page_report = smoke(vec![page_env(config, 3)]).expect("builds");
     let page_coverage = RegisterCoverage::of_regression(&derivative, &page_report);
     growth_table.row(&[
         "PAGE only".to_owned(),
@@ -58,7 +64,7 @@ pub fn run() -> CoverageResult {
     let mut full_coverage = page_coverage.clone();
     for env in all {
         included.push(env);
-        let report = run_regression(&included, &smoke).expect("builds");
+        let report = smoke(included.clone()).expect("builds");
         full_coverage = RegisterCoverage::of_regression(&derivative, &report);
         growth_table.row(&[
             format!("+ {}", included.last().unwrap().name()),

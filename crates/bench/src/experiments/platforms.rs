@@ -7,9 +7,9 @@
 //! divergence — the paper's "a bug or issue has been found in that
 //! particular simulation domain".
 
+use advm::campaign::Campaign;
 use advm::env::EnvConfig;
 use advm::presets::standard_system;
-use advm::regression::{run_regression, RegressionConfig};
 use advm_metrics::Table;
 use advm_sim::PlatformFault;
 use advm_soc::{DerivativeId, PlatformId};
@@ -40,14 +40,17 @@ pub fn run() -> PlatformsResult {
     let config = EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
     let envs = standard_system(config);
 
-    let clean = run_regression(&envs, &RegressionConfig::full()).expect("suite builds");
+    let clean = Campaign::new()
+        .envs(envs.iter().cloned())
+        .run()
+        .expect("suite builds");
     let matrix = clean.matrix();
 
     let mut summary = Table::new(
         "Per-platform results (same binaries-from-source tests everywhere)",
         &["platform", "runs", "passed", "pass rate"],
     );
-    for platform in clean.platforms() {
+    for &platform in clean.platforms() {
         let runs: Vec<_> = clean
             .runs()
             .iter()
@@ -63,9 +66,11 @@ pub fn run() -> PlatformsResult {
     }
 
     // Fault injection: a page-readback bug that exists only in the RTL.
-    let fault_config =
-        RegressionConfig::full().with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
-    let faulty = run_regression(&envs, &fault_config).expect("suite builds");
+    let faulty = Campaign::new()
+        .envs(envs)
+        .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+        .run()
+        .expect("suite builds");
     let divergences = faulty.divergences();
     let mut divergent_platforms: Vec<PlatformId> = divergences
         .iter()

@@ -8,9 +8,9 @@
 //! after the mutation, the live environment no longer matches the label,
 //! and a system release composes per-environment sub-labels.
 
+use advm::campaign::Campaign;
 use advm::env::EnvConfig;
 use advm::presets::{page_env, standard_system};
-use advm::regression::{run_regression, RegressionConfig};
 use advm::release::ReleaseStore;
 use advm::system::SystemVerificationEnv;
 use advm_metrics::Table;
@@ -48,8 +48,14 @@ pub fn run() -> ReleaseResult {
 
     // Regression from the frozen label.
     let frozen_env = store.release("PAGE-1.0").unwrap().thaw().unwrap();
-    let smoke = RegressionConfig::smoke(PlatformId::GoldenModel);
-    let before = run_regression(&[frozen_env], &smoke).expect("builds");
+    let smoke = |env| {
+        Campaign::new()
+            .env(env)
+            .platform(PlatformId::GoldenModel)
+            .workers(1)
+            .run()
+    };
+    let before = smoke(frozen_env).expect("builds");
     table.row(&[
         "regression from frozen label".to_owned(),
         format!("{}/{} pass", before.passed(), before.total()),
@@ -65,7 +71,7 @@ pub fn run() -> ReleaseResult {
 
     // The frozen label is unaffected.
     let frozen_env = store.release("PAGE-1.0").unwrap().thaw().unwrap();
-    let after = run_regression(&[frozen_env], &smoke).expect("builds");
+    let after = smoke(frozen_env).expect("builds");
     table.row(&[
         "regression from frozen label (again)".to_owned(),
         format!("{}/{} pass", after.passed(), after.total()),

@@ -69,6 +69,15 @@ pub fn assemble_cell(env: &ModuleTestEnv, cell_id: &str) -> Result<Program, AsmE
     assemble(UNIT_FILE, &sources)
 }
 
+/// Generates the source of the embedded-software ROM the environment's
+/// configuration expects.
+pub fn es_rom_source(env: &ModuleTestEnv) -> String {
+    let derivative = Derivative::from_id(env.config().derivative);
+    EsRom::generate(&derivative, env.config().es_version)
+        .source()
+        .to_owned()
+}
+
 /// Assembles the embedded-software ROM the environment's configuration
 /// expects.
 ///
@@ -78,9 +87,40 @@ pub fn assemble_cell(env: &ModuleTestEnv, cell_id: &str) -> Result<Program, AsmE
 /// generator, but the error is surfaced rather than panicking because the
 /// experiments deliberately build historical/mismatched configurations).
 pub fn assemble_es_rom(env: &ModuleTestEnv) -> Result<Program, AsmError> {
-    let derivative = Derivative::from_id(env.config().derivative);
-    let rom = EsRom::generate(&derivative, env.config().es_version);
-    advm_asm::assemble_str(rom.source())
+    advm_asm::assemble_str(&es_rom_source(env))
+}
+
+/// Links an assembled unit and ES ROM into one loadable image.
+///
+/// This is the final stage of the [`crate::campaign::Campaign`] worker
+/// hot path; exposing it separately lets the campaign's build cache
+/// assemble the (campaign-wide identical) ES ROM once and re-link it
+/// against many units.
+///
+/// # Errors
+///
+/// Propagates image-overlap link errors.
+pub fn link_programs(unit: &Program, es: &Program) -> Result<Image, AsmError> {
+    let mut image = Image::new();
+    image
+        .load_program(unit)
+        .map_err(|e| AsmError::general(format!("unit link failed: {e}")))?;
+    image
+        .load_program(es)
+        .map_err(|e| AsmError::general(format!("ES ROM link failed: {e}")))?;
+    Ok(image)
+}
+
+/// Assembles and links one full image from pre-generated inputs: the
+/// cell's unit source set plus the ES ROM source.
+///
+/// # Errors
+///
+/// Propagates assembly errors and image-overlap link errors.
+pub fn build_from_sources(sources: &SourceSet, es_source: &str) -> Result<Image, AsmError> {
+    let unit = assemble(UNIT_FILE, sources)?;
+    let es = advm_asm::assemble_str(es_source)?;
+    link_programs(&unit, &es)
 }
 
 /// Builds the full loadable image for one cell: unit + ES ROM.
@@ -89,16 +129,8 @@ pub fn assemble_es_rom(env: &ModuleTestEnv) -> Result<Program, AsmError> {
 ///
 /// Propagates assembly errors and image-overlap link errors.
 pub fn build_cell(env: &ModuleTestEnv, cell_id: &str) -> Result<Image, AsmError> {
-    let unit = assemble_cell(env, cell_id)?;
-    let es = assemble_es_rom(env)?;
-    let mut image = Image::new();
-    image
-        .load_program(&unit)
-        .map_err(|e| AsmError::general(format!("unit link failed: {e}")))?;
-    image
-        .load_program(&es)
-        .map_err(|e| AsmError::general(format!("ES ROM link failed: {e}")))?;
-    Ok(image)
+    let sources = unit_sources(env, cell_id)?;
+    build_from_sources(&sources, &es_rom_source(env))
 }
 
 /// Builds and runs one cell on the environment's configured platform.

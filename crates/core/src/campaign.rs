@@ -1,0 +1,1433 @@
+//! The campaign execution pipeline — the regression layer, redesigned.
+//!
+//! A *campaign* runs every test cell of one or more environments across a
+//! set of platforms. Per the methodology, each (environment, platform)
+//! pair gets its own abstraction-layer build — re-targeting is a
+//! `Globals.inc` regeneration, never a test edit — and per-test results
+//! are compared across platforms for divergence.
+//!
+//! This module replaces the old `run_regression` free function with a
+//! builder-driven pipeline:
+//!
+//! * **Assembly on the workers.** Job planning only generates source
+//!   text; the expensive assemble-and-link happens inside the worker
+//!   pool, overlapped across jobs.
+//! * **Content-keyed build cache.** Jobs whose effective source content
+//!   is identical (e.g. a platform-independent cell targeted at two
+//!   platforms with the same abstraction-layer knobs) share one build.
+//!   The key hashes only content that can reach the emitted image:
+//!   comments are ignored, and `Globals.inc` defines count only when the
+//!   rest of the unit references them.
+//! * **Event streaming.** Typed [`CampaignEvent`]s (job started / built /
+//!   finished, planned cache hits, divergences) stream to pluggable
+//!   [`CampaignObserver`]s while the campaign runs.
+//! * **Indexed report.** [`CampaignReport`] pre-indexes runs by test and
+//!   platform, so [`CampaignReport::matrix`] and
+//!   [`CampaignReport::divergences`] are lookups, not rescans.
+//!
+//! ```
+//! use advm::campaign::Campaign;
+//! use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
+//! use advm_soc::{DerivativeId, PlatformId};
+//!
+//! # fn main() -> Result<(), advm::campaign::CampaignError> {
+//! let env = ModuleTestEnv::new(
+//!     "PAGE",
+//!     EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+//!     vec![TestCell::new(
+//!         "TEST_SMOKE",
+//!         "passes everywhere",
+//!         ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n",
+//!     )],
+//! );
+//! let report = Campaign::new()
+//!     .env(env)
+//!     .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+//!     .workers(2)
+//!     .run()?;
+//! assert_eq!(report.total(), 2);
+//! assert_eq!(report.failed(), 0);
+//! // Golden model and RTL share the abstraction-layer knobs, so the
+//! // platform-independent cell is assembled once and reused.
+//! assert_eq!(report.cache_hits(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use advm_asm::{AsmError, Image, SourceSet};
+use advm_metrics::Table;
+use advm_sim::diverge::{compare, DivergenceReport};
+use advm_sim::{Platform, PlatformFault, RunResult};
+use advm_soc::{Derivative, PlatformId};
+use parking_lot::Mutex;
+
+use crate::build::{es_rom_source, link_programs, unit_sources};
+use crate::env::{EnvConfig, ModuleTestEnv, GLOBALS_FILE};
+
+/// Picks a worker count from the machine's available parallelism.
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// One executed test run.
+#[derive(Debug, Clone)]
+pub struct TestRun {
+    /// Environment name.
+    pub env: String,
+    /// Test cell id.
+    pub test_id: String,
+    /// Platform the run executed on.
+    pub platform: PlatformId,
+    /// The execution result.
+    pub result: RunResult,
+}
+
+/// A typed event streamed to [`CampaignObserver`]s while a campaign runs.
+///
+/// Job-level events are emitted from worker threads, so their order
+/// interleaves under parallel execution; their *content* is deterministic
+/// for a given campaign.
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// The campaign's job graph is planned and the worker pool is about
+    /// to start.
+    Started {
+        /// Total jobs (cells × platforms, across all environments).
+        jobs: usize,
+        /// Distinct assemblies the build cache will perform.
+        unique_builds: usize,
+        /// Worker threads about to spawn.
+        workers: usize,
+    },
+    /// A worker picked up a job.
+    JobStarted {
+        /// Environment name.
+        env: String,
+        /// Test cell id.
+        test_id: String,
+        /// Target platform.
+        platform: PlatformId,
+    },
+    /// A job's image is ready (assembled here or served from the cache).
+    JobBuilt {
+        /// Environment name.
+        env: String,
+        /// Test cell id.
+        test_id: String,
+        /// Target platform.
+        platform: PlatformId,
+        /// Whether the image was deduplicated by the build cache.
+        cache_hit: bool,
+    },
+    /// A job executed to completion.
+    JobFinished {
+        /// Environment name.
+        env: String,
+        /// Test cell id.
+        test_id: String,
+        /// Target platform.
+        platform: PlatformId,
+        /// Whether the run passed.
+        passed: bool,
+    },
+    /// A job could not be built.
+    JobFailed {
+        /// Environment name.
+        env: String,
+        /// Test cell id.
+        test_id: String,
+        /// Target platform.
+        platform: PlatformId,
+        /// The build error, rendered.
+        error: String,
+    },
+    /// Platforms disagreed on a test (emitted during report analysis).
+    DivergenceDetected {
+        /// `env/test` label.
+        test: String,
+        /// Platforms that disagree with the majority.
+        divergent: Vec<PlatformId>,
+    },
+    /// The campaign finished and the report is sealed.
+    Finished {
+        /// Total runs.
+        total: usize,
+        /// Passing runs.
+        passed: usize,
+        /// Failing runs.
+        failed: usize,
+        /// Build-cache hits.
+        cache_hits: usize,
+    },
+}
+
+/// A sink for [`CampaignEvent`]s.
+///
+/// Observers are invoked under a dispatch lock, so implementations may
+/// keep mutable state without their own synchronisation; they must be
+/// `Send` because events originate on worker threads.
+pub trait CampaignObserver: Send {
+    /// Receives one event.
+    fn on_event(&mut self, event: &CampaignEvent);
+}
+
+/// An observer that prints one progress line per finished job to stderr.
+///
+/// Used by `advm-cli regress` for live feedback; output goes to stderr so
+/// machine-readable stdout (e.g. `--json`) stays clean.
+#[derive(Debug, Default)]
+pub struct ProgressObserver {
+    done: usize,
+    total: usize,
+    cached: HashMap<(String, String, PlatformId), bool>,
+}
+
+impl ProgressObserver {
+    /// Creates the observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CampaignObserver for ProgressObserver {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        match event {
+            CampaignEvent::Started { jobs, workers, .. } => {
+                self.total = *jobs;
+                eprintln!("campaign: {jobs} jobs on {workers} workers");
+            }
+            CampaignEvent::JobBuilt {
+                env,
+                test_id,
+                platform,
+                cache_hit,
+            } => {
+                self.cached
+                    .insert((env.clone(), test_id.clone(), *platform), *cache_hit);
+            }
+            CampaignEvent::JobFinished {
+                env,
+                test_id,
+                platform,
+                passed,
+            } => {
+                self.done += 1;
+                let verdict = if *passed { "pass" } else { "FAIL" };
+                let origin = match self
+                    .cached
+                    .remove(&(env.clone(), test_id.clone(), *platform))
+                {
+                    Some(true) => " (cached)",
+                    _ => "",
+                };
+                eprintln!(
+                    "[{}/{}] {env}/{test_id} @ {platform} {verdict}{origin}",
+                    self.done, self.total
+                );
+            }
+            CampaignEvent::JobFailed {
+                env,
+                test_id,
+                platform,
+                error,
+            } => {
+                self.done += 1;
+                eprintln!(
+                    "[{}/{}] {env}/{test_id} @ {platform} BUILD ERROR: {error}",
+                    self.done, self.total
+                );
+            }
+            CampaignEvent::DivergenceDetected { test, divergent } => {
+                let names: Vec<&str> = divergent.iter().map(|p| p.name()).collect();
+                eprintln!("divergence: {test} (odd platforms: {})", names.join(", "));
+            }
+            CampaignEvent::Finished {
+                passed,
+                failed,
+                cache_hits,
+                ..
+            } => {
+                eprintln!("campaign: {passed} passed, {failed} failed, {cache_hits} cache hits");
+            }
+            CampaignEvent::JobStarted { .. } => {}
+        }
+    }
+}
+
+/// An observer that records every event for later inspection.
+///
+/// Cloning the log clones the *handle*: all clones share one event list,
+/// so a test can keep a handle, hand a clone to the campaign, and read
+/// the stream afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Arc<Mutex<Vec<CampaignEvent>>>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<CampaignEvent> {
+        self.events.lock().clone()
+    }
+}
+
+impl CampaignObserver for EventLog {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// A structured campaign failure.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The campaign has no environments to run.
+    NoEnvironments,
+    /// The campaign has no target platforms.
+    NoPlatforms,
+    /// A job failed to build. Execution failures are results, not
+    /// errors; this is an assembler or link problem.
+    Build {
+        /// Environment name.
+        env: String,
+        /// Test cell id.
+        test_id: String,
+        /// Target platform.
+        platform: PlatformId,
+        /// The underlying assembler error.
+        source: AsmError,
+    },
+}
+
+impl CampaignError {
+    /// Converts into the bare [`AsmError`] the deprecated
+    /// `run_regression` shim still promises.
+    pub fn into_asm_error(self) -> AsmError {
+        match self {
+            CampaignError::Build { source, .. } => source,
+            other => AsmError::general(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::NoEnvironments => f.write_str("campaign has no environments"),
+            CampaignError::NoPlatforms => f.write_str("campaign has no target platforms"),
+            CampaignError::Build {
+                env,
+                test_id,
+                platform,
+                source,
+            } => write!(
+                f,
+                "build failed for {env}/{test_id} on {platform}: {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The collected campaign results, pre-indexed for lookup.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    runs: Vec<TestRun>,
+    /// Distinct `(env, test)` pairs in run order.
+    tests: Vec<(String, String)>,
+    /// Distinct platforms in run order.
+    platforms: Vec<PlatformId>,
+    /// `(env, test) -> test index`.
+    test_of: HashMap<(String, String), usize>,
+    /// `platform -> platform index`.
+    platform_of: HashMap<PlatformId, usize>,
+    /// `(test index, platform index) -> run index`.
+    cell_index: HashMap<(usize, usize), usize>,
+    divergences: Vec<(String, DivergenceReport)>,
+    passed: usize,
+    cache_hits: usize,
+    unique_builds: usize,
+}
+
+impl CampaignReport {
+    fn new(runs: Vec<TestRun>, cache_hits: usize, unique_builds: usize) -> Self {
+        let mut tests: Vec<(String, String)> = Vec::new();
+        let mut platforms: Vec<PlatformId> = Vec::new();
+        let mut test_of: HashMap<(String, String), usize> = HashMap::new();
+        let mut platform_of: HashMap<PlatformId, usize> = HashMap::new();
+        let mut cell_index = HashMap::new();
+        let mut runs_by_test: Vec<Vec<usize>> = Vec::new();
+        let mut passed = 0;
+        for (run_idx, run) in runs.iter().enumerate() {
+            let key = (run.env.clone(), run.test_id.clone());
+            let t = *test_of.entry(key.clone()).or_insert_with(|| {
+                tests.push(key);
+                runs_by_test.push(Vec::new());
+                tests.len() - 1
+            });
+            let p = *platform_of.entry(run.platform).or_insert_with(|| {
+                platforms.push(run.platform);
+                platforms.len() - 1
+            });
+            cell_index.insert((t, p), run_idx);
+            runs_by_test[t].push(run_idx);
+            if run.result.passed() {
+                passed += 1;
+            }
+        }
+        let mut divergences = Vec::new();
+        for (t, (env, test)) in tests.iter().enumerate() {
+            if runs_by_test[t].len() > 1 {
+                let results: Vec<RunResult> = runs_by_test[t]
+                    .iter()
+                    .map(|&i| runs[i].result.clone())
+                    .collect();
+                let report = compare(&results);
+                if !report.consistent {
+                    divergences.push((format!("{env}/{test}"), report));
+                }
+            }
+        }
+        Self {
+            runs,
+            tests,
+            platforms,
+            test_of,
+            platform_of,
+            cell_index,
+            divergences,
+            passed,
+            cache_hits,
+            unique_builds,
+        }
+    }
+
+    /// All runs, ordered by environment, platform, test.
+    pub fn runs(&self) -> &[TestRun] {
+        &self.runs
+    }
+
+    /// Total number of runs.
+    pub fn total(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of passing runs.
+    pub fn passed(&self) -> usize {
+        self.passed
+    }
+
+    /// Number of failing runs.
+    pub fn failed(&self) -> usize {
+        self.total() - self.passed
+    }
+
+    /// Pass rate in `0.0..=1.0` (1.0 for an empty campaign).
+    pub fn pass_rate(&self) -> f64 {
+        if self.runs.is_empty() {
+            1.0
+        } else {
+            self.passed as f64 / self.total() as f64
+        }
+    }
+
+    /// Build-cache hits: jobs served an image assembled for another job.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
+    }
+
+    /// Distinct assemblies the campaign performed.
+    pub fn unique_builds(&self) -> usize {
+        self.unique_builds
+    }
+
+    /// The distinct `(env, test)` pairs in run order.
+    pub fn tests(&self) -> &[(String, String)] {
+        &self.tests
+    }
+
+    /// The distinct platforms in run order.
+    pub fn platforms(&self) -> &[PlatformId] {
+        &self.platforms
+    }
+
+    /// The run of one test on one platform, if present. An indexed
+    /// lookup, not a scan.
+    pub fn run_of(&self, env: &str, test_id: &str, platform: PlatformId) -> Option<&TestRun> {
+        let t = *self.test_of.get(&(env.to_owned(), test_id.to_owned()))?;
+        let p = *self.platform_of.get(&platform)?;
+        self.cell_index.get(&(t, p)).map(|&i| &self.runs[i])
+    }
+
+    /// Renders the tests × platforms pass/fail matrix.
+    pub fn matrix(&self) -> Table {
+        let mut headers: Vec<String> = vec!["test".to_owned()];
+        headers.extend(self.platforms.iter().map(ToString::to_string));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new("Regression matrix", &header_refs);
+        for (t, (env, test)) in self.tests.iter().enumerate() {
+            let mut row = vec![format!("{env}/{test}")];
+            for p in 0..self.platforms.len() {
+                let cell = self
+                    .cell_index
+                    .get(&(t, p))
+                    .map(|&i| {
+                        if self.runs[i].result.passed() {
+                            "PASS"
+                        } else {
+                            "FAIL"
+                        }
+                    })
+                    .unwrap_or("-");
+                row.push(cell.to_owned());
+            }
+            table.row(&row);
+        }
+        table
+    }
+
+    /// Per-test cross-platform divergence analysis; returns only tests
+    /// where platforms disagree. Computed once when the report is sealed.
+    pub fn divergences(&self) -> &[(String, DivergenceReport)] {
+        &self.divergences
+    }
+
+    /// Renders the report as a JSON document (machine-readable form of
+    /// the matrix, counters, cache statistics and divergences).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"total\":{},\"passed\":{},\"failed\":{},\"pass_rate\":{:.4},",
+            self.total(),
+            self.passed(),
+            self.failed(),
+            self.pass_rate()
+        ));
+        s.push_str(&format!(
+            "\"cache\":{{\"hits\":{},\"unique_builds\":{}}},",
+            self.cache_hits, self.unique_builds
+        ));
+        s.push_str("\"platforms\":[");
+        for (i, p) in self.platforms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", p.name()));
+        }
+        s.push_str("],\"tests\":[");
+        for (t, (env, test)) in self.tests.iter().enumerate() {
+            if t > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"env\":{},\"test\":{},\"results\":{{",
+                json_string(env),
+                json_string(test)
+            ));
+            let mut first = true;
+            for (p, platform) in self.platforms.iter().enumerate() {
+                if let Some(&i) = self.cell_index.get(&(t, p)) {
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    let verdict = if self.runs[i].result.passed() {
+                        "pass"
+                    } else {
+                        "fail"
+                    };
+                    s.push_str(&format!("\"{}\":\"{verdict}\"", platform.name()));
+                }
+            }
+            s.push_str("}}");
+        }
+        s.push_str("],\"divergences\":[");
+        for (i, (test, report)) in self.divergences.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"test\":{},\"divergent\":[", json_string(test)));
+            for (j, p) in report.divergent.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\"", p.name()));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes a string for JSON embedding.
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// FNV-1a, the build cache's content hash: deterministic across runs,
+/// platforms and worker counts (unlike `DefaultHasher`, whose keys are
+/// unspecified).
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = if seed == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        seed
+    };
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Collects the identifier tokens of one line into `out`.
+fn collect_tokens(line: &str, out: &mut std::collections::HashSet<String>) {
+    let mut token = String::new();
+    for c in line.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            token.push(c);
+        } else if !token.is_empty() {
+            out.insert(std::mem::take(&mut token));
+        }
+    }
+    if !token.is_empty() {
+        out.insert(token);
+    }
+}
+
+/// Whether a line is pure comment or blank (cannot reach the image).
+fn is_inert_line(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    trimmed.is_empty() || trimmed.starts_with(';')
+}
+
+/// The platform-invariant half of a cell's content key: the hash of
+/// every non-comment line of the unit sources *except* `Globals.inc`
+/// (the one file re-targeting regenerates), plus the ES ROM source, plus
+/// the set of identifier tokens those lines reference. Computed once per
+/// (environment, cell) and reused across every target platform.
+struct CellFingerprint {
+    invariant_hash: u64,
+    referenced: std::collections::HashSet<String>,
+}
+
+impl CellFingerprint {
+    fn new(sources: &SourceSet, es_source: &str) -> Self {
+        let mut referenced = std::collections::HashSet::new();
+        let mut hash = 0;
+        for (name, text) in sources.iter() {
+            if name == GLOBALS_FILE {
+                continue;
+            }
+            hash = fnv1a(hash, name.as_bytes());
+            for line in text.lines().filter(|l| !is_inert_line(l)) {
+                collect_tokens(line, &mut referenced);
+                hash = fnv1a(hash, line.as_bytes());
+                hash = fnv1a(hash, b"\n");
+            }
+        }
+        hash = fnv1a(hash, b"\x00es\x00");
+        for line in es_source.lines().filter(|l| !is_inert_line(l)) {
+            hash = fnv1a(hash, line.as_bytes());
+            hash = fnv1a(hash, b"\n");
+        }
+        Self {
+            invariant_hash: hash,
+            referenced,
+        }
+    }
+
+    /// Completes the content key against one platform's generated
+    /// `Globals.inc`.
+    ///
+    /// The key must be *sound*: equal keys must imply equal images.
+    /// `Globals.inc` is a pure define file, so a define can only reach
+    /// the emitted image if the rest of the unit mentions its name; only
+    /// those live defines are hashed. A platform-independent cell
+    /// therefore keys identically on two platforms whose referenced
+    /// abstraction-layer knobs agree, and the campaign assembles it once.
+    fn content_key(&self, globals_text: &str) -> u64 {
+        // Parse the define list: `NAME .EQU value` puts the name first,
+        // `.DEFINE NAME value` puts it second.
+        let defines: Vec<(&str, &str)> = globals_text
+            .lines()
+            .filter(|l| !is_inert_line(l))
+            .map(|line| {
+                let mut words = line.split_whitespace();
+                let first = words.next().unwrap_or("");
+                let defined = if first.eq_ignore_ascii_case(".DEFINE") {
+                    words.next().unwrap_or("")
+                } else {
+                    first
+                };
+                (defined, line)
+            })
+            .collect();
+        // A define is live if the unit references its name — directly,
+        // or transitively through another live define's value expression
+        // (the assembler resolves symbolic `.EQU` expressions, so a live
+        // define's value tokens are references too).
+        let mut live = vec![false; defines.len()];
+        let mut extra: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, (name, line)) in defines.iter().enumerate() {
+                if !live[i] && (self.referenced.contains(*name) || extra.contains(*name)) {
+                    live[i] = true;
+                    collect_tokens(line, &mut extra);
+                    changed = true;
+                }
+            }
+        }
+        let mut hash = self.invariant_hash;
+        for (i, (_, line)) in defines.iter().enumerate() {
+            if live[i] {
+                hash = fnv1a(hash, line.as_bytes());
+                hash = fnv1a(hash, b"\n");
+            }
+        }
+        hash
+    }
+}
+
+/// Shared build slots. The image slot dedupes whole-image builds across
+/// jobs with equal content keys; the ES slot additionally dedupes the
+/// embedded-software ROM assembly across *all* jobs that share an ES
+/// source (campaign-wide, since the ROM ignores the target platform).
+type ImageSlot = Arc<OnceLock<Result<Image, AsmError>>>;
+type EsSlot = Arc<OnceLock<Result<advm_asm::Program, AsmError>>>;
+
+/// One planned job: everything a worker needs, plus the shared build
+/// slots its content keys mapped to.
+struct Job {
+    env_name: String,
+    test_id: String,
+    platform: PlatformId,
+    sources: SourceSet,
+    es_source: Arc<str>,
+    derivative: Arc<Derivative>,
+    fault: PlatformFault,
+    /// Shared once-cell: the first worker to arrive assembles, everyone
+    /// else reuses the image (or the error).
+    slot: ImageSlot,
+    /// Shared once-cell for the ES ROM program.
+    es_slot: EsSlot,
+    /// Whether the planner marked this job a cache hit (not the first
+    /// job of its content key). Deterministic, independent of scheduling.
+    planned_hit: bool,
+}
+
+impl Job {
+    /// Assembles this job's image: unit from its sources, ES ROM from
+    /// the shared slot, linked together. Runs on a worker thread, at
+    /// most once per image slot.
+    fn build(&self) -> Result<Image, AsmError> {
+        let unit = advm_asm::assemble(crate::build::UNIT_FILE, &self.sources)?;
+        let es = self
+            .es_slot
+            .get_or_init(|| advm_asm::assemble_str(&self.es_source))
+            .as_ref()
+            .map_err(Clone::clone)?;
+        link_programs(&unit, es)
+    }
+}
+
+/// A builder-driven, event-streaming, build-cached execution pipeline
+/// over module test environments.
+///
+/// See the [module docs](self) for the design; see
+/// [`Campaign::from_config`] for the bridge from the legacy
+/// [`RegressionConfig`](crate::regression::RegressionConfig).
+pub struct Campaign {
+    envs: Vec<ModuleTestEnv>,
+    platforms: Vec<PlatformId>,
+    workers: usize,
+    fuel: u64,
+    fault: Option<(PlatformId, PlatformFault)>,
+    cache: bool,
+    observers: Vec<Box<dyn CampaignObserver>>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("envs", &self.envs.len())
+            .field("platforms", &self.platforms)
+            .field("workers", &self.workers)
+            .field("fuel", &self.fuel)
+            .field("fault", &self.fault)
+            .field("cache", &self.cache)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Campaign {
+    /// An empty campaign: all six platforms, machine-derived worker
+    /// count, default fuel, build cache enabled.
+    pub fn new() -> Self {
+        Self {
+            envs: Vec::new(),
+            platforms: PlatformId::ALL.to_vec(),
+            workers: default_workers(),
+            fuel: advm_sim::DEFAULT_FUEL,
+            fault: None,
+            cache: true,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Bridges from the legacy [`RegressionConfig`]: same environments,
+    /// platforms, worker count, fault and fuel.
+    ///
+    /// [`RegressionConfig`]: crate::regression::RegressionConfig
+    pub fn from_config(
+        envs: &[ModuleTestEnv],
+        config: &crate::regression::RegressionConfig,
+    ) -> Self {
+        let mut campaign = Self::new()
+            .envs(envs.iter().cloned())
+            .platforms(config.platforms.iter().copied())
+            .workers(config.workers)
+            .fuel(config.fuel);
+        if let Some((platform, fault)) = config.fault {
+            campaign = campaign.fault(platform, fault);
+        }
+        campaign
+    }
+
+    /// Adds one environment.
+    pub fn env(mut self, env: ModuleTestEnv) -> Self {
+        self.envs.push(env);
+        self
+    }
+
+    /// Adds environments.
+    pub fn envs(mut self, envs: impl IntoIterator<Item = ModuleTestEnv>) -> Self {
+        self.envs.extend(envs);
+        self
+    }
+
+    /// Replaces the target platforms (default: all six).
+    pub fn platforms(mut self, platforms: impl IntoIterator<Item = PlatformId>) -> Self {
+        self.platforms = platforms.into_iter().collect();
+        self
+    }
+
+    /// Targets a single platform.
+    pub fn platform(self, platform: PlatformId) -> Self {
+        self.platforms(std::iter::once(platform))
+    }
+
+    /// Sets the worker-thread count (minimum 1; default: the machine's
+    /// available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-run instruction budget.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Injects a hardware fault into one platform (divergence
+    /// experiments).
+    pub fn fault(mut self, platform: PlatformId, fault: PlatformFault) -> Self {
+        self.fault = Some((platform, fault));
+        self
+    }
+
+    /// Enables or disables the content-keyed build cache (default:
+    /// enabled). Disabling forces every job to assemble its own image —
+    /// the uncached baseline the benches compare against.
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled;
+        self
+    }
+
+    /// Attaches an observer; every [`CampaignEvent`] streams to it.
+    pub fn observe(mut self, observer: impl CampaignObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Plans the job graph and runs it on the worker pool.
+    ///
+    /// Assembly happens inside the pool, deduplicated by the build
+    /// cache; results stream to observers; the sealed
+    /// [`CampaignReport`] indexes every run.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::NoEnvironments`] / [`CampaignError::NoPlatforms`]
+    /// for an unrunnable plan, [`CampaignError::Build`] for the first
+    /// (in job order) assembler or link failure. Execution failures are
+    /// results, not errors.
+    pub fn run(self) -> Result<CampaignReport, CampaignError> {
+        if self.envs.is_empty() {
+            return Err(CampaignError::NoEnvironments);
+        }
+        if self.platforms.is_empty() {
+            return Err(CampaignError::NoPlatforms);
+        }
+
+        // Plan: generate per-(env, platform) abstraction layers and the
+        // job list. Source *generation* is cheap string work and stays
+        // serial; source *assembly* is the hot path and moves to the
+        // workers below.
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut slots: HashMap<u64, ImageSlot> = HashMap::new();
+        let mut es_slots: HashMap<u64, EsSlot> = HashMap::new();
+        let mut cache_hits = 0;
+        for env in &self.envs {
+            // Per-env invariants: the ES ROM source and the derivative
+            // model depend only on derivative/ES release, never on the
+            // target platform the loop below re-targets to.
+            let es_source: Arc<str> = es_rom_source(env).into();
+            let derivative = Arc::new(Derivative::from_id(env.config().derivative));
+            let shared_es_slot = self.cache.then(|| {
+                let es_key = fnv1a(0, es_source.as_bytes());
+                Arc::clone(es_slots.entry(es_key).or_default())
+            });
+            // Platform-invariant fingerprints: one pass over each cell's
+            // sources, reused by every target platform below.
+            let fingerprints: Vec<CellFingerprint> = if self.cache {
+                env.cells()
+                    .iter()
+                    .map(|cell| {
+                        unit_sources(env, cell.id())
+                            .map(|sources| CellFingerprint::new(&sources, &es_source))
+                            .map_err(|source| CampaignError::Build {
+                                env: env.name().to_owned(),
+                                test_id: cell.id().to_owned(),
+                                platform: env.config().platform,
+                                source,
+                            })
+                    })
+                    .collect::<Result<_, _>>()?
+            } else {
+                Vec::new()
+            };
+            for &platform in &self.platforms {
+                let mut ported = env.clone();
+                ported.reconfigure(EnvConfig {
+                    platform,
+                    ..env.config()
+                });
+                let fault = match self.fault {
+                    Some((p, f)) if p == platform => f,
+                    _ => PlatformFault::None,
+                };
+                for (cell_idx, cell) in ported.cells().iter().enumerate() {
+                    let sources = unit_sources(&ported, cell.id()).map_err(|source| {
+                        CampaignError::Build {
+                            env: ported.name().to_owned(),
+                            test_id: cell.id().to_owned(),
+                            platform,
+                            source,
+                        }
+                    })?;
+                    let (slot, planned_hit) = if self.cache {
+                        let key = fingerprints[cell_idx].content_key(ported.globals_text());
+                        match slots.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(e) => {
+                                cache_hits += 1;
+                                (Arc::clone(e.get()), true)
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                (Arc::clone(e.insert(Arc::default())), false)
+                            }
+                        }
+                    } else {
+                        (Arc::default(), false)
+                    };
+                    jobs.push(Job {
+                        env_name: ported.name().to_owned(),
+                        test_id: cell.id().to_owned(),
+                        platform,
+                        sources,
+                        es_source: Arc::clone(&es_source),
+                        derivative: Arc::clone(&derivative),
+                        fault,
+                        slot,
+                        // Without the cache every job assembles its own
+                        // ES ROM too, matching the pre-redesign baseline.
+                        es_slot: shared_es_slot.clone().unwrap_or_default(),
+                        planned_hit,
+                    });
+                }
+            }
+        }
+        let unique_builds = jobs.len() - cache_hits;
+        let workers = self.workers.min(jobs.len().max(1));
+
+        // Event dispatch: with no observers (the common library case)
+        // events are neither constructed nor serialized on the lock.
+        let has_observers = !self.observers.is_empty();
+        let observers = Mutex::new(self.observers);
+        let emit = |make: &dyn Fn() -> CampaignEvent| {
+            if !has_observers {
+                return;
+            }
+            let event = make();
+            let mut observers = observers.lock();
+            for observer in observers.iter_mut() {
+                observer.on_event(&event);
+            }
+        };
+        emit(&|| CampaignEvent::Started {
+            jobs: jobs.len(),
+            unique_builds,
+            workers,
+        });
+
+        // Execute: workers pull jobs off a shared cursor, assemble (or
+        // reuse) the image, and run it on a fresh platform instance. The
+        // first build error aborts the campaign: in-flight jobs finish,
+        // queued ones are abandoned (their results would be discarded
+        // anyway).
+        let next = AtomicUsize::new(0);
+        let abort = std::sync::atomic::AtomicBool::new(false);
+        let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
+        let build_errors: Mutex<Vec<(usize, AsmError)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    emit(&|| CampaignEvent::JobStarted {
+                        env: job.env_name.clone(),
+                        test_id: job.test_id.clone(),
+                        platform: job.platform,
+                    });
+                    let built = job.slot.get_or_init(|| job.build());
+                    let image = match built {
+                        Ok(image) => image,
+                        Err(error) => {
+                            emit(&|| CampaignEvent::JobFailed {
+                                env: job.env_name.clone(),
+                                test_id: job.test_id.clone(),
+                                platform: job.platform,
+                                error: error.to_string(),
+                            });
+                            build_errors.lock().push((index, error.clone()));
+                            abort.store(true, Ordering::Relaxed);
+                            continue;
+                        }
+                    };
+                    emit(&|| CampaignEvent::JobBuilt {
+                        env: job.env_name.clone(),
+                        test_id: job.test_id.clone(),
+                        platform: job.platform,
+                        cache_hit: job.planned_hit,
+                    });
+                    let mut platform =
+                        Platform::with_fault(job.platform, &job.derivative, job.fault);
+                    platform.set_fuel(self.fuel);
+                    platform.load_image(image);
+                    let result = platform.run();
+                    emit(&|| CampaignEvent::JobFinished {
+                        env: job.env_name.clone(),
+                        test_id: job.test_id.clone(),
+                        platform: job.platform,
+                        passed: result.passed(),
+                    });
+                    results.lock()[index] = Some(TestRun {
+                        env: job.env_name.clone(),
+                        test_id: job.test_id.clone(),
+                        platform: job.platform,
+                        result,
+                    });
+                });
+            }
+        });
+
+        let mut errors = build_errors.into_inner();
+        if !errors.is_empty() {
+            errors.sort_by_key(|(index, _)| *index);
+            let (index, source) = errors.remove(0);
+            // Terminate the event stream even though the campaign
+            // errors: observers see what completed before the abort.
+            let results = results.into_inner();
+            let completed: Vec<&TestRun> = results.iter().flatten().collect();
+            emit(&|| CampaignEvent::Finished {
+                total: completed.len(),
+                passed: completed.iter().filter(|r| r.result.passed()).count(),
+                failed: completed.iter().filter(|r| !r.result.passed()).count(),
+                cache_hits,
+            });
+            let job = &jobs[index];
+            return Err(CampaignError::Build {
+                env: job.env_name.clone(),
+                test_id: job.test_id.clone(),
+                platform: job.platform,
+                source,
+            });
+        }
+
+        let runs: Vec<TestRun> = results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every job produces a result"))
+            .collect();
+        let report = CampaignReport::new(runs, cache_hits, unique_builds);
+        for (test, divergence) in report.divergences() {
+            emit(&|| CampaignEvent::DivergenceDetected {
+                test: test.clone(),
+                divergent: divergence.divergent.clone(),
+            });
+        }
+        emit(&|| CampaignEvent::Finished {
+            total: report.total(),
+            passed: report.passed(),
+            failed: report.failed(),
+            cache_hits: report.cache_hits(),
+        });
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_soc::DerivativeId;
+
+    use crate::env::TestCell;
+
+    use super::*;
+
+    fn passing_cell(id: &str) -> TestCell {
+        TestCell::new(
+            id,
+            "passes everywhere",
+            ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n",
+        )
+    }
+
+    fn failing_cell(id: &str) -> TestCell {
+        TestCell::new(
+            id,
+            "always fails",
+            ".INCLUDE Globals.inc\n_main:\n    LOAD ArgA, #9\n    CALL Base_Report_Fail\n    RETURN\n",
+        )
+    }
+
+    fn env(cells: Vec<TestCell>) -> ModuleTestEnv {
+        ModuleTestEnv::new(
+            "PAGE",
+            EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            cells,
+        )
+    }
+
+    #[test]
+    fn full_matrix_runs_every_combination() {
+        let e = env(vec![passing_cell("TEST_A"), passing_cell("TEST_B")]);
+        let report = Campaign::new().env(e).run().unwrap();
+        assert_eq!(report.total(), 2 * 6);
+        assert_eq!(report.passed(), 12);
+        assert!(report.divergences().is_empty());
+        let matrix = report.matrix().to_string();
+        assert!(matrix.contains("PAGE/TEST_A"), "{matrix}");
+        assert!(matrix.contains("golden"), "{matrix}");
+    }
+
+    #[test]
+    fn failures_counted_consistently() {
+        let e = env(vec![passing_cell("TEST_A"), failing_cell("TEST_F")]);
+        let report = Campaign::new()
+            .env(e)
+            .platform(PlatformId::GoldenModel)
+            .run()
+            .unwrap();
+        assert_eq!(report.total(), 2);
+        assert_eq!(report.passed(), 1);
+        assert_eq!(report.failed(), 1);
+        assert!((report.pass_rate() - 0.5).abs() < 1e-9);
+        // Failing everywhere is consistent, not a divergence.
+        assert!(report.divergences().is_empty());
+    }
+
+    #[test]
+    fn injected_fault_shows_up_as_divergence() {
+        // A read-back test that exercises the page readback path.
+        let cell = TestCell::new(
+            "TEST_READBACK",
+            "page readback",
+            "\
+.INCLUDE Globals.inc
+_main:
+    LOAD ArgA, #TEST1_TARGET_PAGE
+    CALL Base_Select_Page
+    LOAD ArgA, #TEST1_TARGET_PAGE
+    CALL Base_Check_Active_Page
+    CMP RetVal, #0
+    JNE t_fail
+    CALL Base_Report_Pass
+    RETURN
+t_fail:
+    LOAD ArgA, #1
+    CALL Base_Report_Fail
+    RETURN
+",
+        );
+        let e = env(vec![cell]);
+        let report = Campaign::new()
+            .env(e)
+            .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+            .run()
+            .unwrap();
+        let divergences = report.divergences();
+        assert_eq!(divergences.len(), 1, "exactly one divergent test");
+        assert!(divergences[0].1.divergent.contains(&PlatformId::RtlSim));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree_including_cache_hits() {
+        let e = env(vec![
+            passing_cell("TEST_A"),
+            failing_cell("TEST_F"),
+            passing_cell("TEST_C"),
+        ]);
+        let serial = Campaign::new().env(e.clone()).workers(1).run().unwrap();
+        let parallel = Campaign::new().env(e).workers(8).run().unwrap();
+        assert_eq!(serial.total(), parallel.total());
+        assert_eq!(serial.passed(), parallel.passed());
+        assert_eq!(serial.cache_hits(), parallel.cache_hits());
+        assert_eq!(serial.unique_builds(), parallel.unique_builds());
+        // Same (env, test, platform) → same verdict, independent of order.
+        for run in serial.runs() {
+            let twin = parallel
+                .run_of(&run.env, &run.test_id, run.platform)
+                .expect("same job set");
+            assert_eq!(twin.result.passed(), run.result.passed());
+        }
+    }
+
+    #[test]
+    fn cache_dedupes_platform_independent_cells() {
+        // Golden model and RTL simulation share every abstraction-layer
+        // knob, so a platform-independent cell builds once for both.
+        let e = env(vec![passing_cell("TEST_A")]);
+        let report = Campaign::new()
+            .env(e.clone())
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .run()
+            .unwrap();
+        assert_eq!(report.total(), 2);
+        assert_eq!(report.cache_hits(), 1);
+        assert_eq!(report.unique_builds(), 1);
+
+        // Disabling the cache forces per-job assembly.
+        let uncached = Campaign::new()
+            .env(e)
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .cache(false)
+            .run()
+            .unwrap();
+        assert_eq!(uncached.cache_hits(), 0);
+        assert_eq!(uncached.unique_builds(), 2);
+    }
+
+    #[test]
+    fn full_matrix_cache_hits_are_deterministic() {
+        let e = env(vec![passing_cell("TEST_A"), passing_cell("TEST_B")]);
+        let a = Campaign::new().env(e.clone()).workers(1).run().unwrap();
+        let b = Campaign::new().env(e).workers(6).run().unwrap();
+        // TEST_A and TEST_B have byte-identical sources, so they share
+        // builds with each other on every platform; across platforms
+        // only golden/RTL agree on every abstraction-layer knob. That
+        // leaves one distinct build per knob set: 5 of 12 jobs.
+        assert_eq!(a.unique_builds(), 5);
+        assert_eq!(a.cache_hits(), 7);
+        assert_eq!(a.cache_hits(), b.cache_hits());
+        assert_eq!(a.unique_builds(), b.unique_builds());
+    }
+
+    #[test]
+    fn events_stream_in_order_with_deterministic_content() {
+        let log = EventLog::new();
+        let e = env(vec![passing_cell("TEST_A")]);
+        let report = Campaign::new()
+            .env(e)
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .workers(1)
+            .observe(log.clone())
+            .run()
+            .unwrap();
+        let events = log.events();
+        assert!(matches!(
+            events.first(),
+            Some(CampaignEvent::Started {
+                jobs: 2,
+                unique_builds: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(CampaignEvent::Finished {
+                total: 2,
+                failed: 0,
+                cache_hits: 1,
+                ..
+            })
+        ));
+        let built: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e {
+                CampaignEvent::JobBuilt { cache_hit, .. } => Some(*cache_hit),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(built, vec![false, true], "second job reuses the build");
+        assert_eq!(report.cache_hits(), 1);
+    }
+
+    #[test]
+    fn build_error_is_structured() {
+        let e = env(vec![TestCell::new(
+            "TEST_BROKEN",
+            "does not assemble",
+            ".INCLUDE Globals.inc\n_main:\n    FROB d1\n    RETURN\n",
+        )]);
+        let log = EventLog::new();
+        let err = Campaign::new()
+            .env(e)
+            .platform(PlatformId::GoldenModel)
+            .observe(log.clone())
+            .run()
+            .unwrap_err();
+        // The event stream still terminates on the error path.
+        let events = log.events();
+        assert!(matches!(
+            events.last(),
+            Some(CampaignEvent::Finished { .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::JobFailed { .. })));
+        match &err {
+            CampaignError::Build {
+                env,
+                test_id,
+                platform,
+                ..
+            } => {
+                assert_eq!(env, "PAGE");
+                assert_eq!(test_id, "TEST_BROKEN");
+                assert_eq!(*platform, PlatformId::GoldenModel);
+            }
+            other => panic!("expected Build error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("PAGE/TEST_BROKEN"));
+    }
+
+    #[test]
+    fn empty_plans_are_rejected() {
+        assert!(matches!(
+            Campaign::new().run(),
+            Err(CampaignError::NoEnvironments)
+        ));
+        let e = env(vec![passing_cell("TEST_A")]);
+        assert!(matches!(
+            Campaign::new().env(e).platforms([]).run(),
+            Err(CampaignError::NoPlatforms)
+        ));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let e = env(vec![passing_cell("TEST_A"), failing_cell("TEST_F")]);
+        let report = Campaign::new()
+            .env(e)
+            .platform(PlatformId::GoldenModel)
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"total\":2"), "{json}");
+        assert!(json.contains("\"passed\":1"), "{json}");
+        assert!(json.contains("\"env\":\"PAGE\""), "{json}");
+        assert!(json.contains("\"TEST_F\""), "{json}");
+        assert!(json.contains("\"golden\":\"fail\""), "{json}");
+        // Balanced braces/brackets — the cheap structural check.
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn content_key_tracks_referenced_alias_defines() {
+        let sources = SourceSet::new()
+            .with(GLOBALS_FILE, "")
+            .with("test.asm", "_main:\n    MOV CallAddr, d1\n    RETURN\n");
+        let fp = CellFingerprint::new(&sources, "");
+        // `.DEFINE NAME value` lines put the name second; a changed alias
+        // binding must change the key (equal keys must imply equal
+        // images), while an unreferenced define must not.
+        let a = fp.content_key("X .EQU 0x1\n.DEFINE CallAddr a12\n");
+        let b = fp.content_key("X .EQU 0x2\n.DEFINE CallAddr a12\n");
+        let c = fp.content_key("X .EQU 0x1\n.DEFINE CallAddr a10\n");
+        assert_eq!(a, b, "unreferenced .EQU must not affect the key");
+        assert_ne!(a, c, "referenced alias binding must affect the key");
+    }
+
+    #[test]
+    fn content_key_follows_transitive_define_references() {
+        let sources = SourceSet::new()
+            .with(GLOBALS_FILE, "")
+            .with("test.asm", "_main:\n    LOAD d1, #TIMEOUT\n    RETURN\n");
+        let fp = CellFingerprint::new(&sources, "");
+        // The unit references only TIMEOUT, but TIMEOUT's value is a
+        // symbolic expression over POLL_LIMIT — a changed POLL_LIMIT
+        // changes the emitted image, so it must change the key.
+        let a = fp.content_key("TIMEOUT .EQU POLL_LIMIT\nPOLL_LIMIT .EQU 0x100\n");
+        let b = fp.content_key("TIMEOUT .EQU POLL_LIMIT\nPOLL_LIMIT .EQU 0x200\n");
+        assert_ne!(a, b, "transitively referenced define must affect the key");
+    }
+
+    #[test]
+    fn json_escaping_handles_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -13,7 +13,7 @@ use advm_metrics::Table;
 use advm_soc::Derivative;
 use serde::{Deserialize, Serialize};
 
-use crate::regression::RegressionReport;
+use crate::campaign::CampaignReport;
 
 /// Coverage of one module's registers.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,8 +72,8 @@ impl RegisterCoverage {
         Self { modules }
     }
 
-    /// Computes coverage from everything a regression touched.
-    pub fn of_regression(derivative: &Derivative, report: &RegressionReport) -> Self {
+    /// Computes coverage from everything a campaign touched.
+    pub fn of_regression(derivative: &Derivative, report: &CampaignReport) -> Self {
         let touched: BTreeSet<u32> = report
             .runs()
             .iter()
@@ -135,8 +135,8 @@ impl fmt::Display for RegisterCoverage {
 mod tests {
     use advm_soc::PlatformId;
 
+    use crate::campaign::Campaign;
     use crate::presets::{default_config, standard_system};
-    use crate::regression::{run_regression, RegressionConfig};
 
     use super::*;
 
@@ -164,8 +164,11 @@ mod tests {
     #[test]
     fn standard_suite_covers_most_of_the_chip() {
         let envs = standard_system(default_config());
-        let report =
-            run_regression(&envs, &RegressionConfig::smoke(PlatformId::GoldenModel)).unwrap();
+        let report = Campaign::new()
+            .envs(envs)
+            .platform(PlatformId::GoldenModel)
+            .run()
+            .unwrap();
         let coverage = RegisterCoverage::of_regression(&Derivative::sc88a(), &report);
         assert!(
             coverage.overall_ratio() > 0.7,

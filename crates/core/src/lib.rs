@@ -43,6 +43,7 @@
 
 pub mod basefuncs;
 pub mod build;
+pub mod campaign;
 pub mod coverage;
 pub mod env;
 pub mod fsio;
@@ -58,11 +59,17 @@ pub mod violation;
 
 pub use basefuncs::{base_functions, BaseFuncsStyle};
 pub use build::{build_cell, run_cell, run_cell_with_fault};
+pub use campaign::{
+    Campaign, CampaignError, CampaignEvent, CampaignObserver, CampaignReport, EventLog,
+    ProgressObserver, TestRun,
+};
 pub use coverage::{ModuleCoverage, RegisterCoverage};
 pub use env::{validate_layout, EnvConfig, LayoutIssue, ModuleTestEnv, TestCell};
 pub use layer::{classify_path, Layer};
 pub use porting::{port_env, PortOutcome};
-pub use regression::{run_regression, RegressionConfig, RegressionReport, TestRun};
+#[allow(deprecated)]
+pub use regression::run_regression;
+pub use regression::{RegressionConfig, RegressionReport};
 pub use release::{Release, ReleaseError, ReleaseStore, SystemRelease};
 pub use system::{SystemIssue, SystemVerificationEnv};
 pub use testplan::{Testplan, TestplanEntry};

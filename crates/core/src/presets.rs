@@ -751,7 +751,7 @@ pub fn standard_system(config: EnvConfig) -> Vec<ModuleTestEnv> {
 #[cfg(test)]
 mod tests {
     use crate::build::run_cell;
-    use crate::regression::{run_regression, RegressionConfig};
+    use crate::campaign::Campaign;
     use crate::system::SystemVerificationEnv;
 
     use super::*;
@@ -772,9 +772,11 @@ mod tests {
     #[test]
     fn standard_system_full_regression_is_green() {
         let envs = standard_system(default_config());
-        let report = run_regression(&envs, &RegressionConfig::full()).unwrap();
+        let report = Campaign::new().envs(envs).run().unwrap();
         assert_eq!(report.failed(), 0, "matrix:\n{}", report.matrix());
         assert!(report.divergences().is_empty());
+        // Platform-independent cells dedupe across golden/RTL at least.
+        assert!(report.cache_hits() > 0);
     }
 
     /// The preset system validates against Figure 4/5 rules.

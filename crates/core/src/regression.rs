@@ -1,22 +1,25 @@
-//! The parallel regression runner.
+//! The legacy regression entry point, now a shim over
+//! [`crate::campaign`].
 //!
-//! A regression runs every test cell of one or more environments across a
-//! set of platforms. Per the methodology, each (environment, platform)
-//! pair gets its own abstraction-layer build — that is the whole point:
-//! re-targeting is a `Globals.inc` regeneration, never a test edit — and
-//! per-test results are compared across platforms for divergence.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! The parallel runner that used to live here was redesigned into the
+//! builder-driven, event-streaming, build-cached [`Campaign`] pipeline.
+//! This module keeps the old vocabulary alive for one release:
+//! [`RegressionConfig`] remains the plain config carrier (and bridges
+//! via [`Campaign::from_config`]), [`RegressionReport`] is an alias of
+//! the indexed [`CampaignReport`], and [`run_regression`] forwards into
+//! the pipeline behind a deprecation warning.
 
 use advm_asm::AsmError;
-use advm_metrics::Table;
-use advm_sim::diverge::{compare, DivergenceReport};
-use advm_sim::{Platform, PlatformFault, RunResult};
-use advm_soc::{Derivative, PlatformId};
-use parking_lot::Mutex;
+use advm_sim::PlatformFault;
+use advm_soc::PlatformId;
 
-use crate::build::build_cell;
-use crate::env::{EnvConfig, ModuleTestEnv};
+use crate::campaign::{Campaign, CampaignError};
+pub use crate::campaign::{CampaignReport, TestRun};
+use crate::env::ModuleTestEnv;
+
+/// The old report name; the campaign redesign kept the surface (`runs`,
+/// `matrix`, `divergences`, …) but pre-indexes everything.
+pub type RegressionReport = CampaignReport;
 
 /// Configuration of one regression run.
 #[derive(Debug, Clone)]
@@ -33,11 +36,11 @@ pub struct RegressionConfig {
 }
 
 impl RegressionConfig {
-    /// All six platforms, four workers, no fault.
+    /// All six platforms, no fault, one worker per available core.
     pub fn full() -> Self {
         Self {
             platforms: PlatformId::ALL.to_vec(),
-            workers: 4,
+            workers: crate::campaign::default_workers(),
             fault: None,
             fuel: advm_sim::DEFAULT_FUEL,
         }
@@ -66,319 +69,94 @@ impl Default for RegressionConfig {
     }
 }
 
-/// One executed test run.
-#[derive(Debug, Clone)]
-pub struct TestRun {
-    /// Environment name.
-    pub env: String,
-    /// Test cell id.
-    pub test_id: String,
-    /// Platform the run executed on.
-    pub platform: PlatformId,
-    /// The execution result.
-    pub result: RunResult,
-}
-
-/// The collected regression results.
-#[derive(Debug, Clone, Default)]
-pub struct RegressionReport {
-    runs: Vec<TestRun>,
-}
-
-impl RegressionReport {
-    /// All runs, ordered by environment, test, platform.
-    pub fn runs(&self) -> &[TestRun] {
-        &self.runs
-    }
-
-    /// Total number of runs.
-    pub fn total(&self) -> usize {
-        self.runs.len()
-    }
-
-    /// Number of passing runs.
-    pub fn passed(&self) -> usize {
-        self.runs.iter().filter(|r| r.result.passed()).count()
-    }
-
-    /// Number of failing runs.
-    pub fn failed(&self) -> usize {
-        self.total() - self.passed()
-    }
-
-    /// Pass rate in `0.0..=1.0` (1.0 for an empty regression).
-    pub fn pass_rate(&self) -> f64 {
-        if self.runs.is_empty() {
-            1.0
-        } else {
-            self.passed() as f64 / self.total() as f64
-        }
-    }
-
-    /// The distinct `(env, test)` pairs in run order.
-    pub fn tests(&self) -> Vec<(String, String)> {
-        let mut seen = Vec::new();
-        for run in &self.runs {
-            let key = (run.env.clone(), run.test_id.clone());
-            if !seen.contains(&key) {
-                seen.push(key);
-            }
-        }
-        seen
-    }
-
-    /// The distinct platforms in run order.
-    pub fn platforms(&self) -> Vec<PlatformId> {
-        let mut seen = Vec::new();
-        for run in &self.runs {
-            if !seen.contains(&run.platform) {
-                seen.push(run.platform);
-            }
-        }
-        seen
-    }
-
-    /// Renders the tests × platforms pass/fail matrix.
-    pub fn matrix(&self) -> Table {
-        let platforms = self.platforms();
-        let mut headers: Vec<String> = vec!["test".to_owned()];
-        headers.extend(platforms.iter().map(ToString::to_string));
-        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-        let mut table = Table::new("Regression matrix", &header_refs);
-        for (env, test) in self.tests() {
-            let mut row = vec![format!("{env}/{test}")];
-            for platform in &platforms {
-                let cell = self
-                    .runs
-                    .iter()
-                    .find(|r| r.env == env && r.test_id == test && r.platform == *platform)
-                    .map(|r| if r.result.passed() { "PASS" } else { "FAIL" })
-                    .unwrap_or("-");
-                row.push(cell.to_owned());
-            }
-            table.row(&row);
-        }
-        table
-    }
-
-    /// Per-test cross-platform divergence analysis; returns only tests
-    /// where platforms disagree.
-    pub fn divergences(&self) -> Vec<(String, DivergenceReport)> {
-        let mut out = Vec::new();
-        for (env, test) in self.tests() {
-            let results: Vec<RunResult> = self
-                .runs
-                .iter()
-                .filter(|r| r.env == env && r.test_id == test)
-                .map(|r| r.result.clone())
-                .collect();
-            if results.len() > 1 {
-                let report = compare(&results);
-                if !report.consistent {
-                    out.push((format!("{env}/{test}"), report));
-                }
-            }
-        }
-        out
-    }
-}
-
 /// Runs a regression over the given environments.
 ///
-/// Each environment is re-targeted (abstraction layer regeneration only)
-/// to every requested platform; every cell is built and executed; work is
-/// distributed over `config.workers` threads.
+/// Deprecated shim over the [`Campaign`] pipeline — build the campaign
+/// directly to pick workers/fuel/platforms fluently, stream events, and
+/// get structured errors:
+///
+/// ```
+/// # use advm::campaign::Campaign;
+/// # use advm::presets::{default_config, page_env};
+/// # use advm_soc::PlatformId;
+/// let report = Campaign::new()
+///     .env(page_env(default_config(), 1))
+///     .platform(PlatformId::GoldenModel)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.failed(), 0);
+/// ```
 ///
 /// # Errors
 ///
 /// Returns the first *build* error encountered. Execution failures are
 /// results, not errors.
+#[deprecated(since = "0.1.0", note = "use advm::campaign::Campaign instead")]
 pub fn run_regression(
     envs: &[ModuleTestEnv],
     config: &RegressionConfig,
 ) -> Result<RegressionReport, AsmError> {
-    // Prepare per-(env, platform) builds up front; porting is cheap and
-    // keeps the hot loop allocation-free.
-    struct Job {
-        env_name: String,
-        test_id: String,
-        platform: PlatformId,
-        image: advm_asm::Image,
-        derivative: Derivative,
-        fault: PlatformFault,
-    }
-
-    let mut jobs = Vec::new();
-    for env in envs {
-        for &platform in &config.platforms {
-            let mut ported = env.clone();
-            ported.reconfigure(EnvConfig {
-                platform,
-                ..env.config()
-            });
-            let derivative = Derivative::from_id(ported.config().derivative);
-            let fault = match config.fault {
-                Some((p, f)) if p == platform => f,
-                _ => PlatformFault::None,
-            };
-            for cell in ported.cells() {
-                let image = build_cell(&ported, cell.id())?;
-                jobs.push(Job {
-                    env_name: ported.name().to_owned(),
-                    test_id: cell.id().to_owned(),
-                    platform,
-                    image,
-                    derivative: derivative.clone(),
-                    fault,
-                });
-            }
+    match Campaign::from_config(envs, config).run() {
+        Ok(report) => Ok(report),
+        // The old runner treated an empty plan as an empty (passing)
+        // report, not an error; the shim preserves that.
+        Err(CampaignError::NoEnvironments | CampaignError::NoPlatforms) => {
+            Ok(RegressionReport::default())
         }
+        Err(err) => Err(err.into_asm_error()),
     }
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
-    let workers = config.workers.max(1).min(jobs.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index) else { break };
-                let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
-                platform.set_fuel(config.fuel);
-                platform.load_image(&job.image);
-                let result = platform.run();
-                results.lock()[index] = Some(TestRun {
-                    env: job.env_name.clone(),
-                    test_id: job.test_id.clone(),
-                    platform: job.platform,
-                    result,
-                });
-            });
-        }
-    });
-
-    let runs: Vec<TestRun> = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every job produces a result"))
-        .collect();
-    Ok(RegressionReport { runs })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use advm_soc::DerivativeId;
 
-    use crate::env::TestCell;
+    use crate::env::{EnvConfig, TestCell};
 
     use super::*;
 
-    fn passing_cell(id: &str) -> TestCell {
-        TestCell::new(
-            id,
-            "passes everywhere",
-            ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n",
-        )
-    }
-
-    fn failing_cell(id: &str) -> TestCell {
-        TestCell::new(
-            id,
-            "always fails",
-            ".INCLUDE Globals.inc\n_main:\n    LOAD ArgA, #9\n    CALL Base_Report_Fail\n    RETURN\n",
-        )
-    }
-
-    fn env(cells: Vec<TestCell>) -> ModuleTestEnv {
-        ModuleTestEnv::new(
+    #[test]
+    fn shim_matches_campaign_semantics() {
+        let env = ModuleTestEnv::new(
             "PAGE",
             EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
-            cells,
-        )
-    }
-
-    #[test]
-    fn full_matrix_runs_every_combination() {
-        let e = env(vec![passing_cell("TEST_A"), passing_cell("TEST_B")]);
-        let report = run_regression(&[e], &RegressionConfig::full()).unwrap();
-        assert_eq!(report.total(), 2 * 6);
-        assert_eq!(report.passed(), 12);
-        assert!(report.divergences().is_empty());
-        let matrix = report.matrix().to_string();
-        assert!(matrix.contains("PAGE/TEST_A"), "{matrix}");
-        assert!(matrix.contains("golden"), "{matrix}");
-    }
-
-    #[test]
-    fn failures_counted_consistently() {
-        let e = env(vec![passing_cell("TEST_A"), failing_cell("TEST_F")]);
-        let report =
-            run_regression(&[e], &RegressionConfig::smoke(PlatformId::GoldenModel)).unwrap();
-        assert_eq!(report.total(), 2);
-        assert_eq!(report.passed(), 1);
-        assert_eq!(report.failed(), 1);
-        assert!((report.pass_rate() - 0.5).abs() < 1e-9);
-        // Failing everywhere is consistent, not a divergence.
-        assert!(report.divergences().is_empty());
-    }
-
-    #[test]
-    fn injected_fault_shows_up_as_divergence() {
-        // A read-back test that exercises the page readback path.
-        let cell = TestCell::new(
-            "TEST_READBACK",
-            "page readback",
-            "\
-.INCLUDE Globals.inc
-_main:
-    LOAD ArgA, #TEST1_TARGET_PAGE
-    CALL Base_Select_Page
-    LOAD ArgA, #TEST1_TARGET_PAGE
-    CALL Base_Check_Active_Page
-    CMP RetVal, #0
-    JNE t_fail
-    CALL Base_Report_Pass
-    RETURN
-t_fail:
-    LOAD ArgA, #1
-    CALL Base_Report_Fail
-    RETURN
-",
+            vec![TestCell::new(
+                "TEST_A",
+                "passes everywhere",
+                ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n",
+            )],
         );
-        let e = env(vec![cell]);
-        let config = RegressionConfig::full()
-            .with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
-        let report = run_regression(&[e], &config).unwrap();
-        let divergences = report.divergences();
-        assert_eq!(divergences.len(), 1, "exactly one divergent test");
-        assert!(divergences[0].1.divergent.contains(&PlatformId::RtlSim));
+        let report = run_regression(&[env], &RegressionConfig::full()).unwrap();
+        assert_eq!(report.total(), 6);
+        assert_eq!(report.failed(), 0);
+        assert!(report.divergences().is_empty());
     }
 
     #[test]
-    fn parallel_and_serial_agree() {
-        let e = env(vec![
-            passing_cell("TEST_A"),
-            failing_cell("TEST_F"),
-            passing_cell("TEST_C"),
-        ]);
-        let mut serial_cfg = RegressionConfig::full();
-        serial_cfg.workers = 1;
-        let mut parallel_cfg = RegressionConfig::full();
-        parallel_cfg.workers = 8;
-        let serial = run_regression(std::slice::from_ref(&e), &serial_cfg).unwrap();
-        let parallel = run_regression(&[e], &parallel_cfg).unwrap();
-        assert_eq!(serial.total(), parallel.total());
-        assert_eq!(serial.passed(), parallel.passed());
-        // Same (env, test, platform) → same verdict, independent of order.
-        for run in serial.runs() {
-            let twin = parallel
-                .runs()
-                .iter()
-                .find(|r| {
-                    r.env == run.env && r.test_id == run.test_id && r.platform == run.platform
-                })
-                .expect("same job set");
-            assert_eq!(twin.result.passed(), run.result.passed());
-        }
+    fn shim_flattens_build_errors_to_asm_error() {
+        let env = ModuleTestEnv::new(
+            "PAGE",
+            EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            vec![TestCell::new(
+                "TEST_BAD",
+                "does not assemble",
+                "_main:\n    FROB d1\n",
+            )],
+        );
+        let err = run_regression(&[env], &RegressionConfig::smoke(PlatformId::GoldenModel));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn full_config_derives_workers_from_the_machine() {
+        assert!(RegressionConfig::full().workers >= 1);
+    }
+
+    #[test]
+    fn empty_inputs_stay_an_empty_passing_report() {
+        let report = run_regression(&[], &RegressionConfig::full()).unwrap();
+        assert_eq!(report.total(), 0);
+        assert!((report.pass_rate() - 1.0).abs() < 1e-9);
     }
 }

@@ -8,12 +8,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use advm_asm::AsmError;
 use advm_soc::{Derivative, EsRom};
 use serde::{Deserialize, Serialize};
 
+use crate::campaign::{Campaign, CampaignError, CampaignReport};
 use crate::env::{validate_layout, LayoutIssue, ModuleTestEnv};
-use crate::regression::{run_regression, RegressionConfig, RegressionReport};
+use crate::regression::RegressionConfig;
 use crate::release::{ReleaseError, ReleaseStore, SystemRelease};
 use crate::runtime::{trap_handlers, vector_table, TRAP_HANDLERS_FILE, VECTOR_TABLE_FILE};
 
@@ -217,13 +217,22 @@ impl SystemVerificationEnv {
         issues
     }
 
-    /// Runs the full system regression.
+    /// A [`Campaign`] seeded with every component environment; chain
+    /// further builder calls to pick platforms, workers or observers.
+    pub fn campaign(&self) -> Campaign {
+        Campaign::new().envs(self.envs.iter().cloned())
+    }
+
+    /// Runs the full system regression through the campaign pipeline.
     ///
     /// # Errors
     ///
     /// Propagates build errors from any component environment.
-    pub fn run_regression(&self, config: &RegressionConfig) -> Result<RegressionReport, AsmError> {
-        run_regression(&self.envs, config)
+    pub fn run_regression(
+        &self,
+        config: &RegressionConfig,
+    ) -> Result<CampaignReport, CampaignError> {
+        Campaign::from_config(&self.envs, config).run()
     }
 
     /// Freezes every component under `<label>/<env>` sub-labels and
@@ -358,6 +367,21 @@ _main:
             .unwrap();
         assert_eq!(report.total(), 3);
         assert_eq!(report.passed(), 3);
+    }
+
+    #[test]
+    fn system_campaign_builder_composes() {
+        let report = system()
+            .campaign()
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .workers(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.total(), 6);
+        assert_eq!(report.failed(), 0);
+        // The three identical platform-independent cells dedupe down to
+        // three builds (golden/RTL share abstraction-layer knobs).
+        assert!(report.cache_hits() >= 3, "hits: {}", report.cache_hits());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! cargo run --example platform_sweep
 //! ```
 
+use advm::campaign::Campaign;
 use advm::presets::{default_config, standard_system};
-use advm::regression::{run_regression, RegressionConfig};
 use advm_sim::PlatformFault;
 use advm_soc::PlatformId;
 
@@ -16,19 +16,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let envs = standard_system(default_config());
 
     println!("running {} environments on 6 platforms...\n", envs.len());
-    let report = run_regression(&envs, &RegressionConfig::full())?;
+    let report = Campaign::new().envs(envs.iter().cloned()).run()?;
     println!("{}", report.matrix());
     println!(
-        "{} / {} runs passed ({:.0}%)\n",
+        "{} / {} runs passed ({:.0}%), {} assemblies deduplicated by the build cache\n",
         report.passed(),
         report.total(),
-        100.0 * report.pass_rate()
+        100.0 * report.pass_rate(),
+        report.cache_hits(),
     );
 
     println!("injecting a page-readback bug into the RTL platform...\n");
-    let config =
-        RegressionConfig::full().with_fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne);
-    let faulty = run_regression(&envs, &config)?;
+    let faulty = Campaign::new()
+        .envs(envs)
+        .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+        .run()?;
     for (test, divergence) in faulty.divergences() {
         println!("divergence in {test}:\n{divergence}");
     }

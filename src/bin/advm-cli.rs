@@ -6,6 +6,7 @@
 //! advm-cli check <dir> <env-name>              # abstraction-layer violations
 //! advm-cli run <dir> <env-name> <test-id>
 //! advm-cli regress <dir> <env-name> [--platform P | --all-platforms]
+//!                  [--workers N] [--fuel N] [--json]
 //! advm-cli port <dir> <env-name> --derivative D [--platform P]
 //! advm-cli asm <file.asm>                      # assemble + listing
 //! ```
@@ -17,10 +18,10 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use advm::campaign::{Campaign, ProgressObserver};
 use advm::env::{EnvConfig, ModuleTestEnv};
 use advm::fsio::{read_tree, write_tree};
 use advm::porting::port_env;
-use advm::regression::{run_regression, RegressionConfig};
 use advm_soc::{DerivativeId, PlatformId};
 
 fn main() -> ExitCode {
@@ -60,6 +61,7 @@ usage:
   advm-cli check <dir> <env-name>
   advm-cli run <dir> <env-name> <test-id>
   advm-cli regress <dir> <env-name> [--platform P | --all-platforms]
+                   [--workers N] [--fuel N] [--json]
   advm-cli port <dir> <env-name> --derivative D [--platform P]
   advm-cli asm <file.asm>
 
@@ -92,16 +94,25 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 fn positional(args: &[String], index: usize, what: &str) -> Result<String, String> {
     args.iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| {
-            // Skip values consumed by a preceding flag.
-            let pos = args.iter().position(|x| x == *a).expect("present");
-            pos == 0 || !args[pos - 1].starts_with("--")
+        .enumerate()
+        .filter(|(_, a)| !a.starts_with("--"))
+        .filter(|(i, _)| {
+            // Skip values consumed by a preceding value-taking flag. The
+            // real index matters: matching by value would misclassify a
+            // repeated argument (e.g. `run envs PAGE PAGE`) because every
+            // occurrence would resolve to the first one's position.
+            *i == 0
+                || !args[*i - 1].starts_with("--")
+                || FLAGS_WITHOUT_VALUE.contains(&args[*i - 1].as_str())
         })
+        .map(|(_, a)| a)
         .nth(index)
         .cloned()
         .ok_or_else(|| format!("missing {what}\n{}", usage()))
 }
+
+/// Flags that take no value; a positional may directly follow them.
+const FLAGS_WITHOUT_VALUE: [&str; 2] = ["--all-platforms", "--json"];
 
 fn load_env(dir: &str, name: &str) -> Result<ModuleTestEnv, String> {
     let tree = read_tree(Path::new(dir)).map_err(|e| format!("reading `{dir}`: {e}"))?;
@@ -190,20 +201,50 @@ fn regress(args: &[String]) -> Result<(), String> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let env = load_env(&dir, &name)?;
-    let config = if args.iter().any(|a| a == "--all-platforms") {
-        RegressionConfig::full()
+    let json = args.iter().any(|a| a == "--json");
+
+    let mut campaign = Campaign::new().env(env.clone());
+    campaign = if args.iter().any(|a| a == "--all-platforms") {
+        campaign.platforms(PlatformId::ALL)
     } else {
         let platform = flag_value(args, "--platform")
             .map(parse_platform)
             .transpose()?
             .unwrap_or(env.config().platform);
-        RegressionConfig::smoke(platform)
+        campaign.platform(platform)
     };
-    let report = run_regression(&[env], &config).map_err(|e| e.to_string())?;
-    println!("{}", report.matrix());
-    println!("{}/{} passed", report.passed(), report.total());
-    for (test, divergence) in report.divergences() {
-        println!("divergence in {test}:\n{divergence}");
+    if let Some(workers) = flag_value(args, "--workers") {
+        let workers: usize = workers
+            .parse()
+            .map_err(|_| format!("bad --workers value `{workers}`"))?;
+        campaign = campaign.workers(workers);
+    }
+    if let Some(fuel) = flag_value(args, "--fuel") {
+        let fuel: u64 = fuel
+            .parse()
+            .map_err(|_| format!("bad --fuel value `{fuel}`"))?;
+        campaign = campaign.fuel(fuel);
+    }
+    if !json {
+        // Live progress streams to stderr; verdicts stay on stdout.
+        campaign = campaign.observe(ProgressObserver::new());
+    }
+
+    let report = campaign.run().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.matrix());
+        println!(
+            "{}/{} passed ({} cache hits, {} builds)",
+            report.passed(),
+            report.total(),
+            report.cache_hits(),
+            report.unique_builds()
+        );
+        for (test, divergence) in report.divergences() {
+            println!("divergence in {test}:\n{divergence}");
+        }
     }
     if report.failed() == 0 {
         Ok(())
@@ -248,4 +289,40 @@ fn asm(args: &[String]) -> Result<(), String> {
     print!("{}", program.render_listing());
     println!("; {} bytes emitted", program.size_bytes());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn positional_skips_flag_values() {
+        let a = args(&["dir", "--platform", "rtl", "NAME"]);
+        assert_eq!(positional(&a, 0, "dir").unwrap(), "dir");
+        assert_eq!(positional(&a, 1, "name").unwrap(), "NAME");
+        assert!(positional(&a, 2, "extra").is_err());
+    }
+
+    #[test]
+    fn positional_handles_repeated_values() {
+        // A positional equal to a flag's value used to be misclassified:
+        // the old index lookup matched the first occurrence ("rtl" at
+        // index 2, consumed by --platform) and dropped the real one.
+        let a = args(&["dir", "--platform", "rtl", "rtl"]);
+        assert_eq!(positional(&a, 1, "name").unwrap(), "rtl");
+        let b = args(&["envs", "PAGE", "PAGE"]);
+        assert_eq!(positional(&b, 1, "name").unwrap(), "PAGE");
+        assert_eq!(positional(&b, 2, "test").unwrap(), "PAGE");
+    }
+
+    #[test]
+    fn positional_counts_after_boolean_flags() {
+        let a = args(&["--all-platforms", "dir", "NAME"]);
+        assert_eq!(positional(&a, 0, "dir").unwrap(), "dir");
+        assert_eq!(positional(&a, 1, "name").unwrap(), "NAME");
+    }
 }

@@ -1,7 +1,8 @@
 //! Cross-crate property tests: invariants that hold over randomised
 //! inputs spanning assembler, SoC model, simulator and methodology.
 
-use advm::env::EnvConfig;
+use advm::campaign::Campaign;
+use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
 use advm::porting::{port_env, test_files_touched};
 use advm::presets::page_env;
 use advm_soc::{DerivativeId, GlobalsSpec, PlatformId};
@@ -75,5 +76,63 @@ proptest! {
         let constraints = advm_gen::GlobalsConstraints::new(d, p).with_test_page_count(4);
         let file = advm_gen::generate(&constraints, seed).expect("space non-empty");
         prop_assert!(advm_asm::assemble_str(&file.text()).is_ok());
+    }
+
+    /// A campaign over a randomly generated multi-env suite is
+    /// scheduling-independent: serial (workers=1) and parallel
+    /// (workers=8) runs produce identical verdicts, cache-hit counts
+    /// and divergence sets.
+    #[test]
+    fn campaign_verdicts_independent_of_worker_count(
+        cells_a in 1u32..16, cells_b in 1u32..16, d in arb_derivative(),
+    ) {
+        // Each env's cell list is decoded from a bitmask: bit i set
+        // means TEST_i fails, clear means it passes.
+        let suite: Vec<ModuleTestEnv> = [("ALPHA", cells_a), ("BETA", cells_b)]
+            .into_iter()
+            .map(|(name, mask)| {
+                let cells: Vec<TestCell> = (0..4)
+                    .map(|i| {
+                        let source = if mask & (1 << i) != 0 {
+                            ".INCLUDE Globals.inc\n_main:\n    LOAD ArgA, #9\n    \
+                             CALL Base_Report_Fail\n    RETURN\n"
+                        } else {
+                            ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n"
+                        };
+                        TestCell::new(format!("TEST_{i}"), "generated", source)
+                    })
+                    .collect();
+                ModuleTestEnv::new(name, EnvConfig::new(d, PlatformId::GoldenModel), cells)
+            })
+            .collect();
+
+        let run = |workers: usize| {
+            Campaign::new()
+                .envs(suite.iter().cloned())
+                .platforms([PlatformId::GoldenModel, PlatformId::RtlSim, PlatformId::GateSim])
+                .workers(workers)
+                .run()
+                .expect("generated suite builds")
+        };
+        let serial = run(1);
+        let parallel = run(8);
+
+        prop_assert_eq!(serial.total(), parallel.total());
+        prop_assert_eq!(serial.passed(), parallel.passed());
+        prop_assert_eq!(serial.cache_hits(), parallel.cache_hits());
+        prop_assert_eq!(serial.unique_builds(), parallel.unique_builds());
+        // Platform-independent cells dedupe at least across golden/RTL,
+        // whose abstraction-layer knobs agree.
+        prop_assert!(serial.cache_hits() > 0);
+        for run in serial.runs() {
+            let twin = parallel
+                .run_of(&run.env, &run.test_id, run.platform)
+                .expect("same job set");
+            prop_assert_eq!(run.result.passed(), twin.result.passed());
+        }
+        let serial_div: Vec<&str> = serial.divergences().iter().map(|(t, _)| t.as_str()).collect();
+        let parallel_div: Vec<&str> =
+            parallel.divergences().iter().map(|(t, _)| t.as_str()).collect();
+        prop_assert_eq!(serial_div, parallel_div);
     }
 }

@@ -6,10 +6,10 @@
 
 use advm::basefuncs::BaseFuncsStyle;
 use advm::build::{build_cell, run_cell};
+use advm::campaign::Campaign;
 use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
 use advm::porting::{port_env, test_files_touched};
 use advm::presets::{default_config, es_env, page_env, standard_system};
-use advm::regression::{run_regression, RegressionConfig};
 use advm::release::ReleaseStore;
 use advm::system::SystemVerificationEnv;
 use advm_sim::{Platform, PlatformFault};
@@ -158,16 +158,25 @@ fn figure7_full_narrative() {
 #[test]
 fn platform_matrix_and_divergence() {
     let envs = standard_system(default_config());
-    let report = run_regression(&envs, &RegressionConfig::full()).expect("builds");
+    let report = Campaign::new()
+        .envs(envs.iter().cloned())
+        .run()
+        .expect("builds");
     assert_eq!(report.failed(), 0, "matrix:\n{}", report.matrix());
     assert!(report.total() >= 90, "8 envs x 6 platforms");
+    assert!(
+        report.cache_hits() > 0,
+        "platform-independent cells must dedupe across golden/RTL"
+    );
 
-    let fault =
-        RegressionConfig::full().with_fault(PlatformId::GateSim, PlatformFault::TimerNeverExpires);
-    let report = run_regression(&envs, &fault).expect("builds");
+    let report = Campaign::new()
+        .envs(envs)
+        .fault(PlatformId::GateSim, PlatformFault::TimerNeverExpires)
+        .run()
+        .expect("builds");
     let divergences = report.divergences();
     assert!(!divergences.is_empty(), "a gate-sim timer bug must diverge");
-    for (_, d) in &divergences {
+    for (_, d) in divergences {
         assert_eq!(d.divergent, vec![PlatformId::GateSim]);
     }
 }
@@ -190,8 +199,11 @@ fn release_flow() {
 
     // Thaw and run a component from the frozen label.
     let thawed = store.thaw_system("SYS-1.0").expect("intact");
-    let report =
-        run_regression(&thawed, &RegressionConfig::smoke(PlatformId::GoldenModel)).expect("builds");
+    let report = Campaign::new()
+        .envs(thawed)
+        .platform(PlatformId::GoldenModel)
+        .run()
+        .expect("builds");
     assert_eq!(report.failed(), 0);
 }
 
