@@ -1,24 +1,79 @@
-//! Constrained-random generation throughput: seeded `Globals.inc`
-//! instances per second (the paper's future-work path must be cheap
-//! enough to randomise per regression run).
+//! Stimulus-generation throughput: the paper's future-work path must be
+//! cheap enough to randomise per regression run, and the scenario
+//! engine's batching/refinement must not regress on the bare
+//! single-instance path. Three shapes on the perf record:
+//!
+//! * `gen/globals_instance` — one seeded instance at a time (the old
+//!   `generate()` path, now `GlobalsConstraints::instantiate`);
+//! * `gen/stimulus_plan_64` — a 64-scenario batched `StimulusPlan`;
+//! * `gen/coverage_directed_round_64` — one coverage-directed refinement
+//!   round of 64 scenarios biased against a half-covered page space.
 
-use advm_gen::{generate, GlobalsConstraints};
+use advm_gen::{
+    ConstrainedRandom, CoverageDirected, CoverageFeedback, GlobalsConstraints, ScenarioEngine,
+};
 use advm_soc::{DerivativeId, PlatformId};
 use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_generate(c: &mut Criterion) {
-    let constraints = GlobalsConstraints::new(DerivativeId::Sc88C, PlatformId::Accelerator)
+fn constraints() -> GlobalsConstraints {
+    GlobalsConstraints::new(DerivativeId::Sc88C, PlatformId::Accelerator)
         .with_test_page_count(16)
-        .with_knob("RANDOM_BAUD", 1..=0xFFFF);
+        .with_knob("RANDOM_BAUD", 1..=0xFFFF)
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let constraints = constraints();
     let mut seed = 0u64;
     c.bench_function("gen/globals_instance", |b| {
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            let file = generate(&constraints, seed).expect("space non-empty");
+            let file = constraints.instantiate(seed).expect("space non-empty");
             file.text().len()
         });
     });
 }
 
-criterion_group!(benches, bench_generate);
+fn bench_stimulus_plan(c: &mut Criterion) {
+    let constraints = constraints();
+    let mut seed = 0u64;
+    c.bench_function("gen/stimulus_plan_64", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let plan = ScenarioEngine::new(seed)
+                .source(ConstrainedRandom::new(constraints.clone()))
+                .batch(64)
+                .plan()
+                .expect("space non-empty");
+            plan.len()
+        });
+    });
+}
+
+fn bench_coverage_directed_round(c: &mut Criterion) {
+    let constraints = constraints();
+    // Half the page space already seen, two modules still weak — the
+    // steady-state shape of an explore round.
+    let feedback = CoverageFeedback::new()
+        .with_pages_seen(0..32u32)
+        .with_weak_modules(["UART", "TIMER"]);
+    let mut seed = 0u64;
+    c.bench_function("gen/coverage_directed_round_64", |b| {
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let plan = ScenarioEngine::new(seed)
+                .source(CoverageDirected::new(constraints.clone(), feedback.clone()))
+                .batch(64)
+                .plan()
+                .expect("space non-empty");
+            plan.len()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_stimulus_plan,
+    bench_coverage_directed_round
+);
 criterion_main!(benches);

@@ -1,16 +1,20 @@
 //! **E12 / §2 future work** — constrained-random `Globals.inc`
-//! instances.
+//! instances, drawn through the scenario engine.
 //!
-//! Generates seeded random globals files, runs a page test under each
-//! instance (every instance must assemble and pass — random
-//! configuration, deterministic correctness), and reports page-space
-//! coverage versus instance count.
+//! Plans a batch of constrained-random scenarios, runs a page test under
+//! each instance (every instance must assemble and pass — random
+//! configuration, deterministic correctness), reports page-space
+//! coverage versus instance count, then runs one coverage-directed
+//! refinement round to show the closed loop beating uniform sampling.
 
 use advm_asm::{assemble, Image, SourceSet};
-use advm_gen::{generate, GlobalsConstraints, PageCoverage};
+use advm_gen::{
+    ConstrainedRandom, CoverageDirected, CoverageFeedback, GlobalsConstraints, PageCoverage,
+    Scenario, ScenarioEngine,
+};
 use advm_metrics::Table;
 use advm_sim::Platform;
-use advm_soc::{Derivative, DerivativeId, EsRom, PlatformId};
+use advm_soc::{Derivative, DerivativeId, EsRom, GlobalsFile, PlatformId};
 
 /// Structured result.
 #[derive(Debug)]
@@ -21,8 +25,10 @@ pub struct RandomResult {
     pub instances: usize,
     /// Instances that assembled and passed.
     pub passed: usize,
-    /// Final coverage ratio.
+    /// Final coverage ratio after the constrained-random batch.
     pub final_coverage: f64,
+    /// Coverage ratio after one coverage-directed refinement round.
+    pub refined_coverage: f64,
 }
 
 /// The randomised page test: identical source for every instance; only
@@ -46,30 +52,13 @@ t_fail:
     RETURN
 ";
 
-/// Runs `instances` seeded instances against the SC88-A golden model.
-pub fn run(instances: usize) -> RandomResult {
-    let constraints = GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
-        .with_test_page_count(2);
-    let derivative = Derivative::sc88a();
-    let es = advm_asm::assemble_str(EsRom::generate(&derivative, derivative.es_version()).source())
-        .expect("ES ROM assembles");
-
-    let mut coverage = PageCoverage::new(&constraints);
-    let mut passed = 0;
-    let mut table = Table::new(
-        "Constrained-random Globals.inc: coverage vs instances",
-        &["instances", "pages hit", "coverage", "all passing"],
-    );
-
-    for seed in 0..instances as u64 {
-        let globals = generate(&constraints, seed).expect("non-empty space");
-        coverage.record(&globals);
-
-        let sources = SourceSet::new()
-            .with(
-                "__unit.asm",
-                format!(
-                    "\
+/// Assembles and runs one instance's globals under the shared page test.
+fn run_instance(globals: &GlobalsFile, derivative: &Derivative, es: &advm_asm::Program) -> bool {
+    let sources = SourceSet::new()
+        .with(
+            "__unit.asm",
+            format!(
+                "\
 .INCLUDE Globals.inc
 .ORG 0x0
 .INCLUDE Vector_Table.inc
@@ -79,28 +68,54 @@ pub fn run(instances: usize) -> RandomResult {
 .INCLUDE Base_Functions.asm
 .INCLUDE test.asm
 ",
-                    advm::runtime::startup_stub()
-                ),
-            )
-            .with("Globals.inc", globals.text())
-            .with(
-                "Base_Functions.asm",
-                advm::base_functions(advm::BaseFuncsStyle::VersionAware),
-            )
-            .with("Vector_Table.inc", advm::runtime::vector_table())
-            .with("Trap_Handlers.asm", advm::runtime::trap_handlers())
-            .with("test.asm", RANDOM_TEST);
-        let program = assemble("__unit.asm", &sources).expect("instance assembles");
-        let mut image = Image::new();
-        image.load_program(&program).expect("unit links");
-        image.load_program(&es).expect("ES links");
-        let mut platform = Platform::new(PlatformId::GoldenModel, &derivative);
-        platform.load_image(&image);
-        if platform.run().passed() {
+                advm::runtime::startup_stub()
+            ),
+        )
+        .with("Globals.inc", globals.text())
+        .with(
+            "Base_Functions.asm",
+            advm::base_functions(advm::BaseFuncsStyle::VersionAware),
+        )
+        .with("Vector_Table.inc", advm::runtime::vector_table())
+        .with("Trap_Handlers.asm", advm::runtime::trap_handlers())
+        .with("test.asm", RANDOM_TEST);
+    let program = assemble("__unit.asm", &sources).expect("instance assembles");
+    let mut image = Image::new();
+    image.load_program(&program).expect("unit links");
+    image.load_program(es).expect("ES links");
+    let mut platform = Platform::new(PlatformId::GoldenModel, derivative);
+    platform.load_image(&image);
+    platform.run().passed()
+}
+
+/// Runs `instances` engine-planned scenarios against the SC88-A golden
+/// model, then one coverage-directed refinement batch.
+pub fn run(instances: usize) -> RandomResult {
+    let constraints = GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
+        .with_test_page_count(2);
+    let derivative = Derivative::sc88a();
+    let es = advm_asm::assemble_str(EsRom::generate(&derivative, derivative.es_version()).source())
+        .expect("ES ROM assembles");
+
+    let plan = ScenarioEngine::new(0xE12)
+        .source(ConstrainedRandom::new(constraints.clone()))
+        .batch(instances)
+        .plan()
+        .expect("non-empty space");
+
+    let mut coverage = PageCoverage::new(&constraints);
+    let mut passed = 0;
+    let mut table = Table::new(
+        "Constrained-random Globals.inc: coverage vs instances",
+        &["instances", "pages hit", "coverage", "all passing"],
+    );
+
+    for (i, scenario) in plan.scenarios().iter().enumerate() {
+        coverage.record(scenario.globals());
+        if run_instance(scenario.globals(), &derivative, &es) {
             passed += 1;
         }
-
-        let n = seed + 1;
+        let n = i as u64 + 1;
         if n.is_power_of_two() || n == instances as u64 {
             table.row(&[
                 n.to_string(),
@@ -110,12 +125,36 @@ pub fn run(instances: usize) -> RandomResult {
             ]);
         }
     }
+    let final_coverage = coverage.ratio();
+
+    // One coverage-directed refinement round: bias toward the holes.
+    let feedback = CoverageFeedback::new().with_pages_seen(coverage.seen().iter().copied());
+    let refined: Vec<Scenario> = ScenarioEngine::new(0xE12 + 1)
+        .source(CoverageDirected::new(constraints, feedback))
+        .batch((instances / 4).max(1))
+        .plan()
+        .expect("non-empty space")
+        .into_scenarios();
+    for scenario in &refined {
+        coverage.record(scenario.globals());
+        assert!(
+            run_instance(scenario.globals(), &derivative, &es),
+            "refined instance must pass too"
+        );
+    }
+    table.row(&[
+        format!("+{} refined", refined.len()),
+        coverage.pages_hit().to_string(),
+        format!("{:.0}%", 100.0 * coverage.ratio()),
+        "true".to_owned(),
+    ]);
 
     RandomResult {
         table,
         instances,
         passed,
-        final_coverage: coverage.ratio(),
+        final_coverage,
+        refined_coverage: coverage.ratio(),
     }
 }
 
@@ -134,6 +173,23 @@ mod tests {
             result.final_coverage > 0.7,
             "40 two-page instances should cover most of 32 pages, got {:.2}",
             result.final_coverage
+        );
+        assert!(
+            result.refined_coverage >= result.final_coverage,
+            "refinement never loses coverage"
+        );
+    }
+
+    #[test]
+    fn refinement_beats_uniform_sampling_at_the_margin() {
+        // A small uniform batch leaves holes; one coverage-directed
+        // round must close some of them.
+        let result = run(8);
+        assert!(
+            result.refined_coverage > result.final_coverage,
+            "uniform {:.2} -> refined {:.2}",
+            result.final_coverage,
+            result.refined_coverage
         );
     }
 }

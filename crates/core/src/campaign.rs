@@ -60,6 +60,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use advm_asm::{AsmError, Image, SourceSet};
+use advm_gen::{Scenario, ScenarioMeta};
 use advm_metrics::Table;
 use advm_sim::diverge::{compare, DivergenceReport};
 use advm_sim::{Platform, PlatformFault, RunResult};
@@ -87,6 +88,9 @@ pub struct TestRun {
     pub platform: PlatformId,
     /// The execution result.
     pub result: RunResult,
+    /// Provenance of the scenario that produced this run's stimulus;
+    /// `None` for runs from hand-built environments.
+    pub scenario: Option<ScenarioMeta>,
 }
 
 /// A typed event streamed to [`CampaignObserver`]s while a campaign runs.
@@ -292,7 +296,7 @@ impl CampaignObserver for EventLog {
 /// A structured campaign failure.
 #[derive(Debug)]
 pub enum CampaignError {
-    /// The campaign has no environments to run.
+    /// The campaign has neither environments nor scenarios to run.
     NoEnvironments,
     /// The campaign has no target platforms.
     NoPlatforms,
@@ -345,6 +349,8 @@ impl std::error::Error for CampaignError {}
 #[derive(Debug, Clone, Default)]
 pub struct CampaignReport {
     runs: Vec<TestRun>,
+    /// Distinct scenario provenance records, in run order.
+    scenarios: Vec<ScenarioMeta>,
     /// Distinct `(env, test)` pairs in run order.
     tests: Vec<(String, String)>,
     /// Distinct platforms in run order.
@@ -369,8 +375,16 @@ impl CampaignReport {
         let mut platform_of: HashMap<PlatformId, usize> = HashMap::new();
         let mut cell_index = HashMap::new();
         let mut runs_by_test: Vec<Vec<usize>> = Vec::new();
+        let mut scenarios: Vec<ScenarioMeta> = Vec::new();
+        let mut scenario_names: std::collections::HashSet<String> =
+            std::collections::HashSet::new();
         let mut passed = 0;
         for (run_idx, run) in runs.iter().enumerate() {
+            if let Some(meta) = &run.scenario {
+                if scenario_names.insert(meta.name.clone()) {
+                    scenarios.push(meta.clone());
+                }
+            }
             let key = (run.env.clone(), run.test_id.clone());
             let t = *test_of.entry(key.clone()).or_insert_with(|| {
                 tests.push(key);
@@ -402,6 +416,7 @@ impl CampaignReport {
         }
         Self {
             runs,
+            scenarios,
             tests,
             platforms,
             test_of,
@@ -456,6 +471,12 @@ impl CampaignReport {
     /// The distinct `(env, test)` pairs in run order.
     pub fn tests(&self) -> &[(String, String)] {
         &self.tests
+    }
+
+    /// Provenance of every scenario that contributed runs, in run
+    /// order; empty for campaigns over hand-built environments only.
+    pub fn scenarios(&self) -> &[ScenarioMeta] {
+        &self.scenarios
     }
 
     /// The distinct platforms in run order.
@@ -519,6 +540,20 @@ impl CampaignReport {
             "\"cache\":{{\"hits\":{},\"unique_builds\":{}}},",
             self.cache_hits, self.unique_builds
         ));
+        s.push_str("\"scenarios\":[");
+        for (i, meta) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":{},\"kind\":\"{}\",\"seed\":{},\"detail\":{}}}",
+                json_string(&meta.name),
+                meta.kind.name(),
+                meta.seed,
+                json_string(&meta.detail)
+            ));
+        }
+        s.push_str("],");
         s.push_str("\"platforms\":[");
         for (i, p) in self.platforms.iter().enumerate() {
             if i > 0 {
@@ -531,8 +566,17 @@ impl CampaignReport {
             if t > 0 {
                 s.push(',');
             }
+            let scenario = self
+                .platforms
+                .iter()
+                .enumerate()
+                .find_map(|(p, _)| self.cell_index.get(&(t, p)))
+                .and_then(|&i| self.runs[i].scenario.as_ref());
+            let scenario_field = scenario
+                .map(|m| format!("\"scenario\":{},", json_string(&m.name)))
+                .unwrap_or_default();
             s.push_str(&format!(
-                "{{\"env\":{},\"test\":{},\"results\":{{",
+                "{{\"env\":{},\"test\":{},{scenario_field}\"results\":{{",
                 json_string(env),
                 json_string(test)
             ));
@@ -573,7 +617,7 @@ impl CampaignReport {
 }
 
 /// Escapes a string for JSON embedding.
-fn json_string(text: &str) -> String {
+pub(crate) fn json_string(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for c in text.chars() {
@@ -731,6 +775,8 @@ struct Job {
     env_name: String,
     test_id: String,
     platform: PlatformId,
+    /// Provenance of the scenario whose stimulus this job runs, if any.
+    scenario: Option<Arc<ScenarioMeta>>,
     sources: SourceSet,
     es_source: Arc<str>,
     derivative: Arc<Derivative>,
@@ -768,6 +814,7 @@ impl Job {
 /// [`RegressionConfig`](crate::regression::RegressionConfig).
 pub struct Campaign {
     envs: Vec<ModuleTestEnv>,
+    scenarios: Vec<Scenario>,
     platforms: Vec<PlatformId>,
     workers: usize,
     fuel: u64,
@@ -780,6 +827,7 @@ impl fmt::Debug for Campaign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Campaign")
             .field("envs", &self.envs.len())
+            .field("scenarios", &self.scenarios.len())
             .field("platforms", &self.platforms)
             .field("workers", &self.workers)
             .field("fuel", &self.fuel)
@@ -802,6 +850,7 @@ impl Campaign {
     pub fn new() -> Self {
         Self {
             envs: Vec::new(),
+            scenarios: Vec::new(),
             platforms: PlatformId::ALL.to_vec(),
             workers: default_workers(),
             fuel: advm_sim::DEFAULT_FUEL,
@@ -839,6 +888,22 @@ impl Campaign {
     /// Adds environments.
     pub fn envs(mut self, envs: impl IntoIterator<Item = ModuleTestEnv>) -> Self {
         self.envs.extend(envs);
+        self
+    }
+
+    /// Adds one generated scenario. The campaign materialises it into a
+    /// synthetic environment (see [`crate::stimulus::scenario_env`])
+    /// named after the scenario; its runs carry the scenario's
+    /// provenance in [`TestRun::scenario`] and the report's JSON.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Adds generated scenarios (e.g. a whole
+    /// [`StimulusPlan`](advm_gen::StimulusPlan) batch).
+    pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = Scenario>) -> Self {
+        self.scenarios.extend(scenarios);
         self
     }
 
@@ -900,11 +965,39 @@ impl Campaign {
     /// (in job order) assembler or link failure. Execution failures are
     /// results, not errors.
     pub fn run(self) -> Result<CampaignReport, CampaignError> {
-        if self.envs.is_empty() {
+        if self.envs.is_empty() && self.scenarios.is_empty() {
             return Err(CampaignError::NoEnvironments);
         }
         if self.platforms.is_empty() {
             return Err(CampaignError::NoPlatforms);
+        }
+
+        // Materialise generated scenarios into synthetic environments;
+        // their runs carry the scenario's provenance. Names are deduped
+        // against the hand-built envs and against each other — separately
+        // planned batches can mint the same engine names (`CR_000`, …),
+        // and a colliding env name would silently merge report cells.
+        let mut planned: Vec<(ModuleTestEnv, Option<Arc<ScenarioMeta>>)> =
+            self.envs.iter().cloned().map(|e| (e, None)).collect();
+        let mut used_names: std::collections::HashSet<String> =
+            planned.iter().map(|(e, _)| e.name().to_owned()).collect();
+        for s in &self.scenarios {
+            let mut scenario = s.clone();
+            if used_names.contains(scenario.name()) {
+                let base = scenario.name().to_owned();
+                let mut n = 1;
+                let mut candidate = format!("{base}_{n}");
+                while used_names.contains(&candidate) {
+                    n += 1;
+                    candidate = format!("{base}_{n}");
+                }
+                scenario = scenario.with_name(candidate);
+            }
+            used_names.insert(scenario.name().to_owned());
+            planned.push((
+                crate::stimulus::scenario_env(&scenario),
+                Some(Arc::new(scenario.meta().clone())),
+            ));
         }
 
         // Plan: generate per-(env, platform) abstraction layers and the
@@ -915,7 +1008,7 @@ impl Campaign {
         let mut slots: HashMap<u64, ImageSlot> = HashMap::new();
         let mut es_slots: HashMap<u64, EsSlot> = HashMap::new();
         let mut cache_hits = 0;
-        for env in &self.envs {
+        for (env, scenario) in &planned {
             // Per-env invariants: the ES ROM source and the derivative
             // model depend only on derivative/ES release, never on the
             // target platform the loop below re-targets to.
@@ -981,6 +1074,7 @@ impl Campaign {
                         env_name: ported.name().to_owned(),
                         test_id: cell.id().to_owned(),
                         platform,
+                        scenario: scenario.clone(),
                         sources,
                         es_source: Arc::clone(&es_source),
                         derivative: Arc::clone(&derivative),
@@ -1076,6 +1170,7 @@ impl Campaign {
                         test_id: job.test_id.clone(),
                         platform: job.platform,
                         result,
+                        scenario: job.scenario.as_deref().cloned(),
                     });
                 });
             }
@@ -1372,6 +1467,99 @@ t_fail:
             Campaign::new().env(e).platforms([]).run(),
             Err(CampaignError::NoPlatforms)
         ));
+    }
+
+    #[test]
+    fn scenario_campaign_carries_provenance() {
+        use advm_gen::{ConstrainedRandom, GlobalsConstraints, ScenarioEngine};
+        let plan = ScenarioEngine::new(11)
+            .source(ConstrainedRandom::new(GlobalsConstraints::new(
+                DerivativeId::Sc88A,
+                PlatformId::GoldenModel,
+            )))
+            .batch(2)
+            .plan()
+            .unwrap();
+        let report = Campaign::new()
+            .scenarios(plan.scenarios().iter().cloned())
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .run()
+            .unwrap();
+        // 2 scenarios × 2 page cells × 2 platforms.
+        assert_eq!(report.total(), 8);
+        assert_eq!(report.failed(), 0, "{}", report.matrix());
+        assert_eq!(report.scenarios().len(), 2);
+        assert_eq!(report.scenarios()[0].name, "CR_000");
+        for run in report.runs() {
+            let meta = run
+                .scenario
+                .as_ref()
+                .expect("scenario runs carry provenance");
+            assert_eq!(meta.name, run.env);
+            assert_eq!(meta.kind.name(), "constrained-random");
+        }
+        let json = report.to_json();
+        assert!(
+            json.contains("\"scenarios\":[{\"name\":\"CR_000\""),
+            "{json}"
+        );
+        assert!(json.contains("\"scenario\":\"CR_001\""), "{json}");
+    }
+
+    #[test]
+    fn colliding_scenario_names_across_batches_stay_distinct() {
+        use advm_gen::{ConstrainedRandom, GlobalsConstraints, ScenarioEngine};
+        // Two separately planned batches both mint CR_000; the campaign
+        // must keep their envs, runs and provenance distinct rather than
+        // silently merging report cells.
+        let plan = |seed| {
+            ScenarioEngine::new(seed)
+                .source(ConstrainedRandom::new(GlobalsConstraints::new(
+                    DerivativeId::Sc88A,
+                    PlatformId::GoldenModel,
+                )))
+                .batch(1)
+                .plan()
+                .unwrap()
+        };
+        let report = Campaign::new()
+            .scenarios(plan(1).into_scenarios())
+            .scenarios(plan(2).into_scenarios())
+            .platform(PlatformId::GoldenModel)
+            .run()
+            .unwrap();
+        assert_eq!(report.total(), 4, "2 scenarios x 2 page cells");
+        assert_eq!(report.scenarios().len(), 2);
+        let names: Vec<&str> = report.scenarios().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["CR_000", "CR_000_1"]);
+        // Both scenarios' seeds survive in the provenance.
+        assert_ne!(report.scenarios()[0].seed, report.scenarios()[1].seed);
+        assert!(report
+            .run_of("CR_000_1", "TEST_SCN_PAGE_01", PlatformId::GoldenModel)
+            .is_some());
+    }
+
+    #[test]
+    fn scenarios_and_envs_mix_in_one_campaign() {
+        use advm_gen::{ConstrainedRandom, GlobalsConstraints, ScenarioSource};
+        let scenario = ConstrainedRandom::new(GlobalsConstraints::new(
+            DerivativeId::Sc88A,
+            PlatformId::GoldenModel,
+        ))
+        .draw(0, 5)
+        .unwrap();
+        let report = Campaign::new()
+            .env(env(vec![passing_cell("TEST_A")]))
+            .scenario(scenario)
+            .platform(PlatformId::GoldenModel)
+            .run()
+            .unwrap();
+        assert_eq!(report.total(), 3);
+        let plain = report
+            .run_of("PAGE", "TEST_A", PlatformId::GoldenModel)
+            .unwrap();
+        assert!(plain.scenario.is_none());
+        assert_eq!(report.scenarios().len(), 1);
     }
 
     #[test]

@@ -114,6 +114,26 @@ impl EnvConfig {
     }
 }
 
+/// A stimulus override for the generated abstraction layer: explicit
+/// `TESTn_TARGET_PAGE` values and extra defines that survive
+/// re-targeting.
+///
+/// Without an override, [`ModuleTestEnv::rebuild_abstraction_layer`]
+/// derives default test pages from the cell count. A scenario-driven
+/// environment (see `crate::stimulus`) instead pins the pages and knobs
+/// its scenario drew; porting the environment to another platform or
+/// derivative regenerates the abstraction layer *around* the pinned
+/// stimulus — the paper's rule, extended to generated stimulus.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stimulus {
+    /// Explicit test-target pages; entry *i* becomes
+    /// `TEST{i+1}_TARGET_PAGE` (wrapped into the derivative's page
+    /// space on re-targeting).
+    pub test_pages: Vec<u32>,
+    /// Extra numeric defines rendered into `Globals.inc`.
+    pub extra: Vec<(String, u32)>,
+}
+
 /// One test cell: a directory containing a single test source.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TestCell {
@@ -170,6 +190,8 @@ pub struct ModuleTestEnv {
     base_functions_text: String,
     cells: Vec<TestCell>,
     testplan: Testplan,
+    #[serde(default)]
+    stimulus: Option<Stimulus>,
 }
 
 /// File name of the generated globals file.
@@ -215,9 +237,26 @@ impl ModuleTestEnv {
             base_functions_text: String::new(),
             cells,
             testplan,
+            stimulus: None,
         };
         env.rebuild_abstraction_layer();
         env
+    }
+
+    /// Pins an explicit stimulus (test pages + extra defines) into the
+    /// generated abstraction layer. The override survives
+    /// [`ModuleTestEnv::reconfigure`]: re-targeting regenerates
+    /// addresses, field geometry and platform knobs around the same
+    /// stimulus.
+    pub fn with_stimulus(mut self, stimulus: Stimulus) -> Self {
+        self.stimulus = Some(stimulus);
+        self.rebuild_abstraction_layer();
+        self
+    }
+
+    /// The pinned stimulus override, if any.
+    pub fn stimulus(&self) -> Option<&Stimulus> {
+        self.stimulus.as_ref()
     }
 
     /// Regenerates `Globals.inc` and `Base_Functions.asm` from the
@@ -225,9 +264,22 @@ impl ModuleTestEnv {
     /// "single point of change" of the methodology.
     pub fn rebuild_abstraction_layer(&mut self) {
         let derivative = Derivative::from_id(self.config.derivative);
-        let spec = GlobalsSpec::new(derivative, self.config.platform)
-            .with_es_version(self.config.es_version)
-            .with_generated_test_pages(self.cells.len().max(2));
+        let pages = derivative.page_count();
+        let mut spec = GlobalsSpec::new(derivative, self.config.platform)
+            .with_es_version(self.config.es_version);
+        spec = match &self.stimulus {
+            Some(stimulus) => {
+                // Wrap pinned pages into the (possibly narrower) page
+                // space of the derivative we are re-targeting to.
+                let mut spec =
+                    spec.with_test_pages(stimulus.test_pages.iter().map(|p| p % pages).collect());
+                for (name, value) in &stimulus.extra {
+                    spec = spec.with_extra(name.clone(), *value);
+                }
+                spec
+            }
+            None => spec.with_generated_test_pages(self.cells.len().max(2)),
+        };
         self.globals_text = spec.render().text();
         self.base_functions_text = base_functions(self.config.style);
     }
@@ -345,6 +397,7 @@ impl ModuleTestEnv {
             base_functions_text,
             cells,
             testplan,
+            stimulus: None,
         })
     }
 
@@ -599,6 +652,33 @@ mod tests {
         assert!(name_is_derivative_specific("sc88-b_tests"));
         assert!(!name_is_derivative_specific("UART"));
         assert!(!name_is_derivative_specific("REGISTER_TESTS"));
+    }
+
+    #[test]
+    fn stimulus_override_survives_reconfigure() {
+        let mut env = simple_env().with_stimulus(Stimulus {
+            test_pages: vec![13, 29],
+            extra: vec![("MY_KNOB".to_owned(), 77)],
+        });
+        assert!(env.globals_text().contains("TEST1_TARGET_PAGE .EQU 0xD"));
+        assert!(env.globals_text().contains("MY_KNOB .EQU 0x4D"));
+        env.reconfigure(EnvConfig::new(DerivativeId::Sc88C, PlatformId::Accelerator));
+        // Re-targeting regenerates the layer around the pinned stimulus.
+        assert!(env.globals_text().contains("TEST1_TARGET_PAGE .EQU 0xD"));
+        assert!(env.globals_text().contains("TEST2_TARGET_PAGE .EQU 0x1D"));
+        assert!(env.globals_text().contains("MY_KNOB .EQU 0x4D"));
+        assert!(env.stimulus().is_some());
+    }
+
+    #[test]
+    fn stimulus_pages_wrap_into_narrower_page_spaces() {
+        // SC88-A has 32 pages; a pinned page 40 wraps to 8 rather than
+        // tripping the GlobalsSpec bound panic.
+        let env = simple_env().with_stimulus(Stimulus {
+            test_pages: vec![40],
+            extra: Vec::new(),
+        });
+        assert!(env.globals_text().contains("TEST1_TARGET_PAGE .EQU 0x8"));
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod presets;
 pub mod regression;
 pub mod release;
 pub mod runtime;
+pub mod stimulus;
 pub mod system;
 pub mod testplan;
 pub mod violation;
@@ -64,13 +65,17 @@ pub use campaign::{
     ProgressObserver, TestRun,
 };
 pub use coverage::{ModuleCoverage, RegisterCoverage};
-pub use env::{validate_layout, EnvConfig, LayoutIssue, ModuleTestEnv, TestCell};
+pub use env::{validate_layout, EnvConfig, LayoutIssue, ModuleTestEnv, Stimulus, TestCell};
 pub use layer::{classify_path, Layer};
 pub use porting::{port_env, PortOutcome};
 #[allow(deprecated)]
 pub use regression::run_regression;
 pub use regression::{RegressionConfig, RegressionReport};
 pub use release::{Release, ReleaseError, ReleaseStore, SystemRelease};
+pub use stimulus::{
+    coverage_feedback, directed_source, scenario_env, Exploration, ExplorationError,
+    ExplorationReport, RoundReport,
+};
 pub use system::{SystemIssue, SystemVerificationEnv};
 pub use testplan::{Testplan, TestplanEntry};
 pub use violation::{check_env, Violation, ViolationKind};

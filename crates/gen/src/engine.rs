@@ -1,0 +1,259 @@
+//! The scenario engine: deterministic batching of scenario sources into
+//! a [`StimulusPlan`].
+//!
+//! The engine mirrors the campaign builder from the core crate: add
+//! sources fluently, pick a batch size and a master seed, call
+//! [`ScenarioEngine::plan`]. Planning is pure — every per-scenario seed
+//! is derived from `(master seed, source index, scenario index)` with a
+//! SplitMix64-style mixer, so the same `(sources, master seed)` pair
+//! yields a byte-identical batch whenever and wherever it is planned,
+//! independent of how many workers later execute it.
+
+use crate::constraints::ConstraintError;
+use crate::scenario::Scenario;
+use crate::source::ScenarioSource;
+
+/// Derives a per-scenario seed from the master seed and the scenario's
+/// position in the plan (SplitMix64 finalizer).
+fn derive_seed(master: u64, source: usize, index: usize) -> u64 {
+    let mut z = master
+        ^ (source as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (index as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builder for deterministic scenario batches.
+pub struct ScenarioEngine {
+    sources: Vec<Box<dyn ScenarioSource>>,
+    master_seed: u64,
+    batch: usize,
+}
+
+impl std::fmt::Debug for ScenarioEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioEngine")
+            .field("sources", &self.sources.len())
+            .field("master_seed", &self.master_seed)
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+impl ScenarioEngine {
+    /// Default number of scenarios an unbounded source contributes.
+    pub const DEFAULT_BATCH: usize = 8;
+
+    /// An engine with no sources yet, drawing under `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            sources: Vec::new(),
+            master_seed,
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Adds a scenario source.
+    pub fn source(mut self, source: impl ScenarioSource + 'static) -> Self {
+        self.sources.push(Box::new(source));
+        self
+    }
+
+    /// Sets how many scenarios each *unbounded* source contributes
+    /// (minimum 1). Finite sources (directed plans) always contribute
+    /// exactly their entry count.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The master seed every per-scenario seed derives from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Draws the whole batch: each finite source contributes all its
+    /// scenarios, each unbounded source contributes `batch` draws, in
+    /// source order. Deterministic in `(sources, master seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first unsatisfiable constraint model.
+    pub fn plan(&self) -> Result<StimulusPlan, ConstraintError> {
+        let mut scenarios: Vec<Scenario> = Vec::new();
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (si, source) in self.sources.iter().enumerate() {
+            let count = source.len_hint().unwrap_or(self.batch);
+            for i in 0..count {
+                let mut scenario = source.draw(i, derive_seed(self.master_seed, si, i))?;
+                // Two sources of the same family would mint colliding
+                // names (e.g. two `CR_000`); qualify by source position,
+                // then by a counter — duplicate test-plan ids can make
+                // even the source-qualified name collide.
+                if !used.insert(scenario.name().to_owned()) {
+                    let base = format!("{}_S{si}", scenario.name());
+                    let mut qualified = base.clone();
+                    let mut n = 1;
+                    while !used.insert(qualified.clone()) {
+                        qualified = format!("{base}_{n}");
+                        n += 1;
+                    }
+                    scenario.rename(qualified);
+                }
+                scenarios.push(scenario);
+            }
+        }
+        Ok(StimulusPlan {
+            master_seed: self.master_seed,
+            scenarios,
+        })
+    }
+}
+
+/// A deterministically planned batch of scenarios, ready to hand to a
+/// campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StimulusPlan {
+    master_seed: u64,
+    scenarios: Vec<Scenario>,
+}
+
+impl StimulusPlan {
+    /// The master seed the batch was derived from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The planned scenarios, in draw order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Consumes the plan into its scenarios.
+    pub fn into_scenarios(self) -> Vec<Scenario> {
+        self.scenarios
+    }
+
+    /// Number of planned scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_soc::{DerivativeId, PlatformId};
+
+    use crate::{
+        ConstrainedRandom, CoverageDirected, CoverageFeedback, Directed, GlobalsConstraints,
+    };
+
+    use super::*;
+
+    fn constraints() -> GlobalsConstraints {
+        GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
+    }
+
+    fn engine(seed: u64) -> ScenarioEngine {
+        ScenarioEngine::new(seed)
+            .source(Directed::new(
+                constraints(),
+                "PAGE",
+                [("TEST_A", "a"), ("TEST_B", "b")],
+            ))
+            .source(ConstrainedRandom::new(constraints()))
+            .batch(4)
+    }
+
+    #[test]
+    fn plans_replay_byte_identically() {
+        let a = engine(99).plan().unwrap();
+        let b = engine(99).plan().unwrap();
+        assert_eq!(a, b);
+        let texts: Vec<String> = a.scenarios().iter().map(|s| s.globals().text()).collect();
+        let texts_b: Vec<String> = b.scenarios().iter().map(|s| s.globals().text()).collect();
+        assert_eq!(texts, texts_b);
+    }
+
+    #[test]
+    fn finite_sources_contribute_all_entries_unbounded_the_batch() {
+        let plan = engine(1).plan().unwrap();
+        assert_eq!(plan.len(), 2 + 4);
+        assert_eq!(plan.scenarios()[0].name(), "DIR_A");
+        assert_eq!(plan.scenarios()[2].name(), "CR_000");
+    }
+
+    #[test]
+    fn master_seed_changes_the_random_half_only() {
+        let a = engine(1).plan().unwrap();
+        let b = engine(2).plan().unwrap();
+        // Directed scenarios are seed-independent in their stimulus…
+        assert_eq!(a.scenarios()[0].test_pages(), b.scenarios()[0].test_pages());
+        // …random scenarios are not.
+        assert_ne!(a.scenarios()[2].test_pages(), b.scenarios()[2].test_pages());
+    }
+
+    #[test]
+    fn colliding_names_are_qualified_by_source() {
+        let plan = ScenarioEngine::new(7)
+            .source(ConstrainedRandom::new(constraints()))
+            .source(ConstrainedRandom::new(
+                constraints().with_test_page_count(3),
+            ))
+            .batch(1)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.scenarios()[0].name(), "CR_000");
+        assert_eq!(plan.scenarios()[1].name(), "CR_000_S1");
+    }
+
+    #[test]
+    fn repeated_collisions_within_one_source_stay_unique() {
+        // A test plan with one id repeated three times draws three
+        // same-named scenarios from source index 0; every qualified name
+        // must still be distinct.
+        let plan = ScenarioEngine::new(5)
+            .source(Directed::new(
+                constraints(),
+                "M",
+                [("TEST_A", "1"), ("TEST_A", "2"), ("TEST_A", "3")],
+            ))
+            .plan()
+            .unwrap();
+        let names: std::collections::HashSet<&str> =
+            plan.scenarios().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3, "{:?}", plan.scenarios());
+    }
+
+    #[test]
+    fn coverage_directed_sources_plan_too() {
+        let feedback = CoverageFeedback::new().with_pages_seen(0..16u32);
+        let plan = ScenarioEngine::new(3)
+            .source(CoverageDirected::new(constraints(), feedback))
+            .batch(3)
+            .plan()
+            .unwrap();
+        assert_eq!(plan.len(), 3);
+        for s in plan.scenarios() {
+            for page in s.test_pages() {
+                assert!(*page >= 16, "must chase the unseen half: {page}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(clippy::reversed_empty_ranges)]
+    fn plan_errors_on_unsatisfiable_sources() {
+        let err = ScenarioEngine::new(0)
+            .source(ConstrainedRandom::new(constraints().with_page_range(9..=0)))
+            .plan()
+            .unwrap_err();
+        assert_eq!(err, crate::ConstraintError::EmptyPageSpace);
+    }
+}

@@ -1,264 +1,73 @@
-//! # advm-gen — constrained-random `Globals.inc` generation
+//! # advm-gen — the coverage-driven scenario engine
 //!
 //! §2 of the paper, looking forward: *"this test environment structure
 //! provides the ability to generate constrained-random instances of the
 //! 'Global Defines' file from a higher level language such as Specman e,
-//! Perl or even C/Cpp."* Rust is that higher-level language here.
+//! Perl or even C/Cpp."* Rust is that higher-level language here — and
+//! this crate closes the loop the paper only gestures at: stimulus is
+//! not just drawn at random, it is *planned*, *measured* and *refined*.
 //!
-//! A [`GlobalsConstraints`] describes the legal space (page ranges,
-//! forbidden pages, extra numeric knobs); [`generate`] draws a seeded,
-//! reproducible instance; [`PageCoverage`] tracks how much of the page
-//! space a batch of instances has exercised — the coverage argument that
-//! motivates constrained-random generation in the first place.
+//! * [`GlobalsConstraints`] describes the legal stimulus space;
+//!   [`GlobalsConstraints::instantiate`] draws one seeded instance.
+//! * A [`Scenario`] is a named, seeded, self-describing unit of
+//!   stimulus: the rendered `Globals.inc`, the structured values behind
+//!   it and its provenance ([`ScenarioMeta`]).
+//! * [`ScenarioSource`] is the extension point with three built-in
+//!   families: [`Directed`] (from a test plan), [`ConstrainedRandom`]
+//!   (uniform draws) and [`CoverageDirected`] (draws biased toward the
+//!   holes a prior campaign measured, via [`CoverageFeedback`]).
+//! * A [`ScenarioEngine`] batches sources into a deterministic
+//!   [`StimulusPlan`]; [`PageCoverage`] measures what a batch exercised.
+//!
+//! The old free function [`generate`] remains as a deprecated shim with
+//! byte-identical output.
+//!
+//! ```
+//! use advm_gen::{ConstrainedRandom, CoverageDirected, CoverageFeedback,
+//!                GlobalsConstraints, PageCoverage, ScenarioEngine};
+//! use advm_soc::{DerivativeId, PlatformId};
+//!
+//! # fn main() -> Result<(), advm_gen::ConstraintError> {
+//! let constraints = GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
+//!
+//! // Round 1: uniform constrained-random stimulus.
+//! let plan = ScenarioEngine::new(7)
+//!     .source(ConstrainedRandom::new(constraints.clone()))
+//!     .batch(4)
+//!     .plan()?;
+//! let mut coverage = PageCoverage::new(&constraints);
+//! for scenario in plan.scenarios() {
+//!     coverage.record(scenario.globals());
+//! }
+//!
+//! // Round 2: chase the pages round 1 missed.
+//! let feedback = CoverageFeedback::new().with_pages_seen(coverage.seen().iter().copied());
+//! let refined = ScenarioEngine::new(8)
+//!     .source(CoverageDirected::new(constraints, feedback))
+//!     .batch(4)
+//!     .plan()?;
+//! let before = coverage.pages_hit();
+//! for scenario in refined.scenarios() {
+//!     coverage.record(scenario.globals());
+//! }
+//! assert!(coverage.pages_hit() > before, "refinement must find new pages");
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeSet;
-use std::fmt;
-use std::ops::RangeInclusive;
+mod constraints;
+mod coverage;
+mod engine;
+mod scenario;
+mod source;
 
-use advm_soc::{Derivative, DerivativeId, GlobalsFile, GlobalsSpec, PlatformId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// The constraint model over a globals instance.
-#[derive(Debug, Clone)]
-pub struct GlobalsConstraints {
-    /// Target derivative (bounds the page space).
-    pub derivative: DerivativeId,
-    /// Target platform.
-    pub platform: PlatformId,
-    /// How many `TESTn_TARGET_PAGE` values to draw.
-    pub test_page_count: usize,
-    /// Inclusive page range to draw from (clamped to the derivative's
-    /// page count).
-    pub page_range: RangeInclusive<u32>,
-    /// Pages that must not be drawn (e.g. reserved system pages).
-    pub forbidden_pages: Vec<u32>,
-    /// Extra numeric knobs: `(define name, inclusive range)`.
-    pub extra_knobs: Vec<(String, RangeInclusive<u32>)>,
-}
-
-impl GlobalsConstraints {
-    /// Constraints spanning the derivative's whole page space, two test
-    /// pages, no extra knobs.
-    pub fn new(derivative: DerivativeId, platform: PlatformId) -> Self {
-        let pages = Derivative::from_id(derivative).page_count();
-        Self {
-            derivative,
-            platform,
-            test_page_count: 2,
-            page_range: 0..=(pages - 1),
-            forbidden_pages: Vec::new(),
-            extra_knobs: Vec::new(),
-        }
-    }
-
-    /// Sets the number of test pages.
-    pub fn with_test_page_count(mut self, count: usize) -> Self {
-        self.test_page_count = count;
-        self
-    }
-
-    /// Restricts the page range.
-    pub fn with_page_range(mut self, range: RangeInclusive<u32>) -> Self {
-        self.page_range = range;
-        self
-    }
-
-    /// Forbids specific pages.
-    pub fn with_forbidden_pages(mut self, pages: Vec<u32>) -> Self {
-        self.forbidden_pages = pages;
-        self
-    }
-
-    /// Adds a random knob rendered as an extra define.
-    pub fn with_knob(mut self, name: impl Into<String>, range: RangeInclusive<u32>) -> Self {
-        self.extra_knobs.push((name.into(), range));
-        self
-    }
-
-    /// The set of pages an instance may legally draw.
-    pub fn legal_pages(&self) -> Vec<u32> {
-        let max = Derivative::from_id(self.derivative).page_count();
-        self.page_range
-            .clone()
-            .filter(|p| *p < max && !self.forbidden_pages.contains(p))
-            .collect()
-    }
-}
-
-/// Error returned when the constraint space is empty.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EmptyConstraintError;
-
-impl fmt::Display for EmptyConstraintError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("constraint space contains no legal pages")
-    }
-}
-
-impl std::error::Error for EmptyConstraintError {}
-
-/// Draws one seeded globals instance. The same `(constraints, seed)` pair
-/// always produces the same file — regressions with random configuration
-/// must be reproducible.
-///
-/// # Errors
-///
-/// Fails if the constraints leave no legal page.
-pub fn generate(
-    constraints: &GlobalsConstraints,
-    seed: u64,
-) -> Result<GlobalsFile, EmptyConstraintError> {
-    let legal = constraints.legal_pages();
-    if legal.is_empty() {
-        return Err(EmptyConstraintError);
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pages: Vec<u32> = (0..constraints.test_page_count)
-        .map(|_| legal[rng.gen_range(0..legal.len())])
-        .collect();
-    let mut spec = GlobalsSpec::new(
-        Derivative::from_id(constraints.derivative),
-        constraints.platform,
-    )
-    .with_test_pages(pages)
-    .with_extra("RANDOM_SEED_LO", (seed & 0xFFFF_FFFF) as u32)
-    .with_extra("RANDOM_SEED_HI", (seed >> 32) as u32);
-    for (name, range) in &constraints.extra_knobs {
-        let value = rng.gen_range(*range.start()..=*range.end());
-        spec = spec.with_extra(name.clone(), value);
-    }
-    Ok(spec.render())
-}
-
-/// Coverage accounting over the page space.
-#[derive(Debug, Clone)]
-pub struct PageCoverage {
-    seen: BTreeSet<u32>,
-    space: usize,
-}
-
-impl PageCoverage {
-    /// Coverage over a constraint model's legal pages.
-    pub fn new(constraints: &GlobalsConstraints) -> Self {
-        Self {
-            seen: BTreeSet::new(),
-            space: constraints.legal_pages().len(),
-        }
-    }
-
-    /// Records the pages an instance exercises.
-    pub fn record(&mut self, globals: &GlobalsFile) {
-        let count = globals.value("TEST_PAGE_COUNT").unwrap_or(0);
-        for i in 1..=count {
-            if let Some(page) = globals.value(&format!("TEST{i}_TARGET_PAGE")) {
-                self.seen.insert(page);
-            }
-        }
-    }
-
-    /// Distinct pages exercised so far.
-    pub fn pages_hit(&self) -> usize {
-        self.seen.len()
-    }
-
-    /// Coverage ratio in `0.0..=1.0`.
-    pub fn ratio(&self) -> f64 {
-        if self.space == 0 {
-            1.0
-        } else {
-            self.seen.len() as f64 / self.space as f64
-        }
-    }
-
-    /// Whether the whole legal space has been exercised.
-    pub fn complete(&self) -> bool {
-        self.seen.len() >= self.space
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn constraints() -> GlobalsConstraints {
-        GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel)
-    }
-
-    #[test]
-    fn generation_is_deterministic_per_seed() {
-        let c = constraints().with_test_page_count(4);
-        let a = generate(&c, 42).unwrap();
-        let b = generate(&c, 42).unwrap();
-        assert_eq!(a.text(), b.text());
-        let other = generate(&c, 43).unwrap();
-        assert_ne!(a.text(), other.text());
-    }
-
-    #[test]
-    fn pages_respect_constraints() {
-        let c = constraints()
-            .with_test_page_count(16)
-            .with_page_range(4..=9)
-            .with_forbidden_pages(vec![6]);
-        for seed in 0..32 {
-            let g = generate(&c, seed).unwrap();
-            for i in 1..=16 {
-                let page = g.value(&format!("TEST{i}_TARGET_PAGE")).unwrap();
-                assert!((4..=9).contains(&page), "seed {seed}: page {page}");
-                assert_ne!(page, 6, "seed {seed}: forbidden page drawn");
-            }
-        }
-    }
-
-    #[test]
-    fn empty_constraint_space_rejected() {
-        let c = constraints()
-            .with_page_range(5..=5)
-            .with_forbidden_pages(vec![5]);
-        assert_eq!(generate(&c, 0), Err(EmptyConstraintError));
-    }
-
-    #[test]
-    fn knobs_rendered_in_range() {
-        let c = constraints().with_knob("MY_KNOB", 10..=20);
-        for seed in 0..16 {
-            let g = generate(&c, seed).unwrap();
-            let v = g.value("MY_KNOB").unwrap();
-            assert!((10..=20).contains(&v), "seed {seed}: {v}");
-        }
-    }
-
-    #[test]
-    fn seed_is_recorded_in_the_instance() {
-        let g = generate(&constraints(), 0xDEAD_BEEF_CAFE).unwrap();
-        assert_eq!(g.value("RANDOM_SEED_LO"), Some(0xBEEF_CAFE));
-        assert_eq!(g.value("RANDOM_SEED_HI"), Some(0xDEAD));
-    }
-
-    #[test]
-    fn coverage_grows_toward_complete() {
-        let c = constraints().with_test_page_count(4).with_page_range(0..=7);
-        let mut coverage = PageCoverage::new(&c);
-        assert_eq!(coverage.pages_hit(), 0);
-        let mut seeds = 0;
-        while !coverage.complete() && seeds < 1000 {
-            coverage.record(&generate(&c, seeds).unwrap());
-            seeds += 1;
-        }
-        assert!(coverage.complete(), "8-page space should saturate quickly");
-        assert!((coverage.ratio() - 1.0).abs() < 1e-9);
-        assert!(seeds < 100, "took {seeds} seeds to cover 8 pages");
-    }
-
-    #[test]
-    fn wider_derivative_has_larger_space() {
-        let a = GlobalsConstraints::new(DerivativeId::Sc88A, PlatformId::GoldenModel);
-        let c = GlobalsConstraints::new(DerivativeId::Sc88C, PlatformId::GoldenModel);
-        assert_eq!(a.legal_pages().len(), 32);
-        assert_eq!(c.legal_pages().len(), 64);
-    }
-}
+#[allow(deprecated)]
+pub use constraints::generate;
+pub use constraints::{ConstraintError, GlobalsConstraints};
+pub use coverage::{CoverageFeedback, PageCoverage};
+pub use engine::{ScenarioEngine, StimulusPlan};
+pub use scenario::{Scenario, ScenarioKind, ScenarioMeta};
+pub use source::{ConstrainedRandom, CoverageDirected, Directed, ScenarioSource};

@@ -1,12 +1,17 @@
 //! Constrained-random `Globals.inc` generation — the paper's §2 future
-//! work. Draws seeded instances under constraints, prints one instance,
-//! and reports page-space coverage as instances accumulate.
+//! work, upgraded to the closed loop: a scenario engine draws a batch of
+//! seeded instances, page coverage is measured, and a second
+//! coverage-directed batch chases exactly the pages the first one
+//! missed.
 //!
 //! ```sh
 //! cargo run --example random_globals
 //! ```
 
-use advm_gen::{generate, GlobalsConstraints, PageCoverage};
+use advm_gen::{
+    ConstrainedRandom, CoverageDirected, CoverageFeedback, GlobalsConstraints, PageCoverage,
+    ScenarioEngine,
+};
 use advm_soc::{DerivativeId, PlatformId};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,9 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_forbidden_pages(vec![0, 1]) // system pages stay out of bounds
         .with_knob("RANDOM_BAUD_DIV", 1..=255);
 
-    let instance = generate(&constraints, 7)?;
-    println!("--- instance (seed 7), test-target slice ---");
-    for line in instance
+    // Round 1: a uniform constrained-random batch.
+    let plan = ScenarioEngine::new(7)
+        .source(ConstrainedRandom::new(constraints.clone()))
+        .batch(12)
+        .plan()?;
+    let first = &plan.scenarios()[0];
+    println!(
+        "--- {} (seed {}), test-target slice ---",
+        first.name(),
+        first.seed()
+    );
+    for line in first
+        .globals()
         .text()
         .lines()
         .filter(|l| l.starts_with("TEST") || l.starts_with("RANDOM"))
@@ -26,25 +41,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {line}");
     }
 
+    let space = constraints.legal_pages().len();
     let mut coverage = PageCoverage::new(&constraints);
+    for scenario in plan.scenarios() {
+        coverage.record(scenario.globals());
+    }
     println!(
-        "\nseeds -> coverage of the {}-page legal space:",
-        constraints.legal_pages().len()
+        "\nround 1 (constrained-random): {} scenarios -> {}/{space} pages ({:.0}%)",
+        plan.len(),
+        coverage.pages_hit(),
+        100.0 * coverage.ratio()
     );
-    for seed in 0..200u64 {
-        coverage.record(&generate(&constraints, seed)?);
-        if (seed + 1) % 25 == 0 || coverage.complete() {
-            println!(
-                "  after {:3} instances: {:3} pages, {:.0}%",
-                seed + 1,
-                coverage.pages_hit(),
-                100.0 * coverage.ratio()
-            );
-            if coverage.complete() {
-                println!("  full coverage reached");
-                break;
-            }
+
+    // Round 2+: coverage-directed batches drain the unseen pages.
+    let mut round = 2;
+    while !coverage.complete() && round < 10 {
+        let feedback = CoverageFeedback::new().with_pages_seen(coverage.seen().iter().copied());
+        let refined = ScenarioEngine::new(7 + round as u64)
+            .source(CoverageDirected::new(constraints.clone(), feedback))
+            .batch(4)
+            .plan()?;
+        for scenario in refined.scenarios() {
+            coverage.record(scenario.globals());
         }
+        println!(
+            "round {round} (coverage-directed):  {} scenarios -> {}/{space} pages ({:.0}%)",
+            refined.len(),
+            coverage.pages_hit(),
+            100.0 * coverage.ratio()
+        );
+        round += 1;
+    }
+    if coverage.complete() {
+        println!("full coverage reached");
     }
     Ok(())
 }

@@ -7,6 +7,8 @@
 //! advm-cli run <dir> <env-name> <test-id>
 //! advm-cli regress <dir> <env-name> [--platform P | --all-platforms]
 //!                  [--workers N] [--fuel N] [--json]
+//! advm-cli explore [--rounds N] [--seed S] [--batch N] [--workers N]
+//!                  [--derivative D] [--all-platforms] [--json]
 //! advm-cli port <dir> <env-name> --derivative D [--platform P]
 //! advm-cli asm <file.asm>                      # assemble + listing
 //! ```
@@ -22,6 +24,7 @@ use advm::campaign::{Campaign, ProgressObserver};
 use advm::env::{EnvConfig, ModuleTestEnv};
 use advm::fsio::{read_tree, write_tree};
 use advm::porting::port_env;
+use advm::stimulus::Exploration;
 use advm_soc::{DerivativeId, PlatformId};
 
 fn main() -> ExitCode {
@@ -43,6 +46,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("check") => check(&args[1..]),
         Some("run") => run(&args[1..]),
         Some("regress") => regress(&args[1..]),
+        Some("explore") => explore(&args[1..]),
         Some("port") => port(&args[1..]),
         Some("asm") => asm(&args[1..]),
         Some("help") | None => {
@@ -62,8 +66,15 @@ usage:
   advm-cli run <dir> <env-name> <test-id>
   advm-cli regress <dir> <env-name> [--platform P | --all-platforms]
                    [--workers N] [--fuel N] [--json]
+  advm-cli explore [--rounds N] [--seed S] [--batch N] [--workers N]
+                   [--derivative D] [--all-platforms] [--json]
   advm-cli port <dir> <env-name> --derivative D [--platform P]
   advm-cli asm <file.asm>
+
+explore runs closed-loop coverage-directed stimulus: round 1 draws
+constrained-random Globals.inc scenarios, every later round biases its
+draws toward the coverage holes the previous campaigns measured, and
+each round prints its page/register coverage delta.
 
 derivatives: SC88-A SC88-B SC88-C SC88-D
 platforms:   golden rtl gate accel bondout silicon
@@ -250,6 +261,57 @@ fn regress(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} failure(s)", report.failed()))
+    }
+}
+
+/// Parses an integer-valued flag, reporting the flag name on failure.
+fn int_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    flag_value(args, flag)
+        .map(|v| v.parse().map_err(|_| format!("bad {flag} value `{v}`")))
+        .transpose()
+}
+
+fn explore(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    let mut exploration = Exploration::new();
+    if let Some(rounds) = int_flag(args, "--rounds")? {
+        exploration = exploration.rounds(rounds);
+    }
+    if let Some(seed) = int_flag(args, "--seed")? {
+        exploration = exploration.master_seed(seed);
+    }
+    if let Some(batch) = int_flag(args, "--batch")? {
+        exploration = exploration.batch(batch);
+    }
+    if let Some(workers) = int_flag(args, "--workers")? {
+        exploration = exploration.workers(workers);
+    }
+    if let Some(derivative) = flag_value(args, "--derivative") {
+        exploration = exploration.derivative(parse_derivative(derivative)?);
+    }
+    if args.iter().any(|a| a == "--all-platforms") {
+        exploration = exploration.platforms(PlatformId::ALL);
+    }
+
+    let report = exploration.run().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+        let last = report.rounds().last().expect("at least one round");
+        println!(
+            "final: {}/{} pages ({:.1}%), {:.1}% registers after {} rounds",
+            last.pages_hit,
+            report.page_space(),
+            100.0 * last.page_coverage,
+            100.0 * last.register_coverage,
+            report.rounds().len(),
+        );
+    }
+    if report.failed() == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} failing run(s)", report.failed()))
     }
 }
 

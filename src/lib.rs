@@ -1,8 +1,13 @@
 //! Umbrella crate re-exporting the ADVM reproduction workspace.
 //!
 //! See [`advm`] for the methodology engine, [`advm_asm`] for the assembler,
-//! [`advm_sim`] for the execution platforms and [`advm_soc`] for the SoC and
-//! derivative models.
+//! [`advm_sim`] for the execution platforms, [`advm_soc`] for the SoC and
+//! derivative models, and [`advm_gen`] for the coverage-driven scenario
+//! engine.
+//!
+//! The project README below is included verbatim, so its code examples
+//! compile and run as doc tests of this crate.
+#![doc = include_str!("../README.md")]
 
 pub use advm;
 pub use advm_asm;

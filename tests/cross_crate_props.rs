@@ -5,6 +5,11 @@ use advm::campaign::Campaign;
 use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
 use advm::porting::{port_env, test_files_touched};
 use advm::presets::page_env;
+use advm::testplan::Testplan;
+use advm_gen::{
+    ConstrainedRandom, CoverageDirected, CoverageFeedback, GlobalsConstraints, ScenarioEngine,
+    ScenarioSource, StimulusPlan,
+};
 use advm_soc::{DerivativeId, GlobalsSpec, PlatformId};
 use proptest::prelude::*;
 
@@ -70,12 +75,76 @@ proptest! {
     }
 
     /// Random seeded globals instances always assemble (gen crate x asm
-    /// crate).
+    /// crate) — whichever scenario source drew them.
     #[test]
     fn random_globals_assemble(d in arb_derivative(), p in arb_platform(), seed in 0u64..1000) {
-        let constraints = advm_gen::GlobalsConstraints::new(d, p).with_test_page_count(4);
-        let file = advm_gen::generate(&constraints, seed).expect("space non-empty");
+        let constraints = GlobalsConstraints::new(d, p).with_test_page_count(4);
+        let file = constraints.instantiate(seed).expect("space non-empty");
         prop_assert!(advm_asm::assemble_str(&file.text()).is_ok());
+        let directed = advm::stimulus::directed_source(
+            &Testplan::new("PAGE").with_entry("TEST_PAGE_SELECT_01", "plan entry"),
+            EnvConfig::new(d, p),
+        ).draw(0, seed).expect("space non-empty");
+        prop_assert!(advm_asm::assemble_str(&directed.globals().text()).is_ok());
+        let chased = CoverageDirected::new(
+            constraints,
+            CoverageFeedback::new().with_pages_seen(0..8u32),
+        ).draw(0, seed).expect("space non-empty");
+        prop_assert!(advm_asm::assemble_str(&chased.globals().text()).is_ok());
+    }
+
+    /// `StimulusPlan` batching is deterministic: the same (sources,
+    /// master seed) pair yields byte-identical scenario batches across
+    /// repeated plans, before and after campaigns, and regardless of the
+    /// campaign's worker count.
+    #[test]
+    fn stimulus_plan_is_deterministic(
+        seed in 0u64..1_000_000, batch in 1usize..4, d in arb_derivative(),
+    ) {
+        let make_plan = || -> StimulusPlan {
+            let constraints = GlobalsConstraints::new(d, PlatformId::GoldenModel)
+                .with_test_page_count(2)
+                .with_knob("RANDOM_BAUD_DIV", 1..=255);
+            ScenarioEngine::new(seed)
+                .source(advm::stimulus::directed_source(
+                    &Testplan::new("PAGE").with_entry("TEST_PAGE_SELECT_01", "directed entry"),
+                    EnvConfig::new(d, PlatformId::GoldenModel),
+                ))
+                .source(ConstrainedRandom::new(constraints.clone()))
+                .source(CoverageDirected::new(
+                    constraints,
+                    CoverageFeedback::new().with_pages_seen(0..16u32),
+                ))
+                .batch(batch)
+                .plan()
+                .expect("satisfiable constraints")
+        };
+        let fingerprint = |plan: &StimulusPlan| -> Vec<(String, u64, String)> {
+            plan.scenarios()
+                .iter()
+                .map(|s| (s.name().to_owned(), s.seed(), s.globals().text()))
+                .collect()
+        };
+        let reference = make_plan();
+        prop_assert_eq!(reference.len(), 1 + 2 * batch);
+        prop_assert_eq!(fingerprint(&make_plan()), fingerprint(&reference));
+
+        // Campaign execution must neither perturb planning nor depend on
+        // worker count for its verdicts.
+        let run = |workers: usize| {
+            Campaign::new()
+                .scenarios(reference.scenarios().iter().cloned())
+                .platform(PlatformId::GoldenModel)
+                .workers(workers)
+                .run()
+                .expect("scenario suite builds")
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        prop_assert_eq!(serial.total(), parallel.total());
+        prop_assert_eq!(serial.passed(), parallel.passed());
+        prop_assert_eq!(serial.scenarios().len(), parallel.scenarios().len());
+        prop_assert_eq!(fingerprint(&make_plan()), fingerprint(&reference));
     }
 
     /// A campaign over a randomly generated multi-env suite is
