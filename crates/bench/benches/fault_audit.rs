@@ -1,0 +1,90 @@
+//! Fault-matrix audit cost: what a suite-strength sweep adds on top of a
+//! plain campaign, how it scales with the audited platform count, and
+//! the price of the escape-driven scenario round.
+
+use advm::audit::FaultAudit;
+use advm::presets::{default_config, page_env, register_env, uart_env};
+use advm_sim::PlatformFault;
+use advm_soc::PlatformId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A compact suite that still kills most of the catalog: page read/write
+/// paths, the UART, and the testbench registers.
+fn bench_suite() -> Vec<advm::env::ModuleTestEnv> {
+    vec![
+        page_env(default_config(), 1),
+        uart_env(default_config()),
+        register_env(default_config()),
+    ]
+}
+
+fn bench_platform_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/platforms");
+    group.sample_size(10);
+    let sets: [(&str, &[PlatformId]); 2] = [
+        ("rtl", &[PlatformId::RtlSim]),
+        (
+            "rtl+gate+silicon",
+            &[
+                PlatformId::RtlSim,
+                PlatformId::GateSim,
+                PlatformId::ProductSilicon,
+            ],
+        ),
+    ];
+    for (label, platforms) in sets {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &platforms, |b, &ps| {
+            b.iter(|| {
+                let report = FaultAudit::new()
+                    .suite(bench_suite())
+                    .faults([
+                        PlatformFault::PageActiveOffByOne,
+                        PlatformFault::UartDropsBytes,
+                        PlatformFault::MailboxTicksFrozen,
+                    ])
+                    .platforms(ps.iter().copied())
+                    .escape_rounds(0)
+                    .fuel(200_000)
+                    .workers(4)
+                    .run()
+                    .expect("audit runs");
+                assert_eq!(report.broken(), 0);
+                report.detected()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The closed loop's price: a fault the seed suite masks, audited with
+/// and without the escape-driven scenario round that kills it.
+fn bench_escape_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit/escape_round");
+    group.sample_size(10);
+    for (label, rounds) in [("seed_only", 0usize), ("with_escape_round", 1)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let report = FaultAudit::new()
+                    .suite(bench_suite())
+                    .faults([PlatformFault::PageMapWriteIgnored])
+                    .platforms([PlatformId::RtlSim])
+                    .escape_rounds(rounds)
+                    .scenarios(4)
+                    .fuel(200_000)
+                    .workers(4)
+                    .run()
+                    .expect("audit runs");
+                assert_eq!(
+                    report.escapes().is_empty(),
+                    rounds > 0,
+                    "the escape round must kill the dead write-enable"
+                );
+                report.detected()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform_scaling, bench_escape_round);
+criterion_main!(benches);

@@ -1,0 +1,853 @@
+//! Suite-strength auditing — mutation-testing the testbench itself.
+//!
+//! ADVM's central claim (§1 of the paper) is that running one assembler
+//! suite across all simulation domains *detects* platform bugs as
+//! cross-platform divergences. Nothing else in this repo measures whether
+//! the suite actually would — a suite can be green everywhere and still
+//! be blind. [`FaultAudit`] answers the question the way module-level
+//! mutation testing does: inject every fault of the
+//! [`PlatformFault`] catalog into each audited platform, run the suite
+//! as a [`Campaign`] against the golden reference, and classify every
+//! `(fault, platform)` cell:
+//!
+//! * **detected** — a divergence surfaced and blamed the faulted
+//!   platform: the suite kills this bug;
+//! * **masked** — the suite passed despite the bug: an *escape*;
+//! * **broken** — failures occurred but the divergence analysis did not
+//!   attribute them to the faulted platform (a suite or harness
+//!   problem, not a verdict about the fault).
+//!
+//! Escapes then close the loop with the scenario engine: the escaped
+//! faults' modules become [`CoverageFeedback`] weak modules, a
+//! [`CoverageDirected`] source generates scenarios aimed at them (whose
+//! environments carry the
+//! [`fault_hunter_cells`](crate::stimulus::fault_hunter_cells)
+//! stimulus), and the surviving cells are re-audited against the
+//! generated suite. The
+//! sealed [`FaultAuditReport`] carries the detection matrix, per-test
+//! kill counts, the escape list and a JSON rendering; `advm-cli audit`
+//! is a thin veneer over it.
+//!
+//! ```no_run
+//! use advm::audit::FaultAudit;
+//! use advm_soc::PlatformId;
+//!
+//! # fn main() -> Result<(), advm::audit::AuditError> {
+//! let report = FaultAudit::new()
+//!     .platforms([PlatformId::RtlSim])
+//!     .scenarios(8)
+//!     .run()?;
+//! println!("{}", report.matrix());
+//! println!("kill rate: {:.0}%", 100.0 * report.kill_rate());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use advm_gen::{
+    ConstraintError, CoverageDirected, CoverageFeedback, GlobalsConstraints, ScenarioEngine,
+};
+use advm_metrics::Table;
+use advm_sim::{compare, PlatformFault};
+use advm_soc::{DerivativeId, PlatformId};
+
+use crate::campaign::{default_workers, json_string, Campaign, CampaignError, CampaignReport};
+use crate::env::ModuleTestEnv;
+use crate::presets;
+
+/// A structured audit failure.
+#[derive(Debug)]
+pub enum AuditError {
+    /// The audit has no faults to inject.
+    NoFaults,
+    /// The audit has no platforms to inject them into (the reference
+    /// platform is excluded automatically).
+    NoPlatforms,
+    /// A campaign failed to build.
+    Campaign(CampaignError),
+    /// Escape-driven scenario planning hit an unsatisfiable constraint.
+    Constraint(ConstraintError),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::NoFaults => f.write_str("audit has no faults to inject"),
+            AuditError::NoPlatforms => f.write_str("audit has no platforms to fault"),
+            AuditError::Campaign(e) => write!(f, "audit campaign failed: {e}"),
+            AuditError::Constraint(e) => write!(f, "escape scenario planning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+impl From<CampaignError> for AuditError {
+    fn from(e: CampaignError) -> Self {
+        AuditError::Campaign(e)
+    }
+}
+
+impl From<ConstraintError> for AuditError {
+    fn from(e: ConstraintError) -> Self {
+        AuditError::Constraint(e)
+    }
+}
+
+/// The classification of one `(fault, platform)` matrix cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// A divergence blamed the faulted platform.
+    Detected {
+        /// Audit round that killed it: 1 = seed suite, 2 = escape-driven
+        /// scenario round.
+        round: usize,
+        /// `env/test` labels of the tests whose divergence killed it.
+        killed_by: Vec<String>,
+    },
+    /// The suite passed despite the bug — an escape.
+    Masked,
+    /// Failures occurred but divergence analysis did not attribute them
+    /// to the faulted platform.
+    Broken {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl CellOutcome {
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Detected { .. } => "detected",
+            CellOutcome::Masked => "masked",
+            CellOutcome::Broken { .. } => "broken",
+        }
+    }
+}
+
+/// One sealed matrix cell.
+#[derive(Debug, Clone)]
+pub struct AuditCell {
+    /// The injected fault.
+    pub fault: PlatformFault,
+    /// The platform carrying it.
+    pub platform: PlatformId,
+    /// The classification.
+    pub outcome: CellOutcome,
+}
+
+/// The sealed result of a fault-matrix sweep.
+#[derive(Debug, Clone)]
+pub struct FaultAuditReport {
+    reference: PlatformId,
+    platforms: Vec<PlatformId>,
+    faults: Vec<PlatformFault>,
+    cells: Vec<AuditCell>,
+    suite_tests: usize,
+    scenarios_generated: usize,
+    kill_counts: Vec<(String, usize)>,
+}
+
+impl FaultAuditReport {
+    /// The reference platform every campaign compared against.
+    pub fn reference(&self) -> PlatformId {
+        self.reference
+    }
+
+    /// The audited (faulted) platforms, in matrix column order.
+    pub fn platforms(&self) -> &[PlatformId] {
+        &self.platforms
+    }
+
+    /// The injected faults, in matrix row order.
+    pub fn faults(&self) -> &[PlatformFault] {
+        &self.faults
+    }
+
+    /// Every matrix cell, fault-major.
+    pub fn cells(&self) -> &[AuditCell] {
+        &self.cells
+    }
+
+    /// Number of test cells in the seed suite.
+    pub fn suite_tests(&self) -> usize {
+        self.suite_tests
+    }
+
+    /// Scenarios generated by the escape-driven round (0 when no escape
+    /// round ran).
+    pub fn scenarios_generated(&self) -> usize {
+        self.scenarios_generated
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, fault: PlatformFault, platform: PlatformId) -> Option<&AuditCell> {
+        self.cells
+            .iter()
+            .find(|c| c.fault == fault && c.platform == platform)
+    }
+
+    /// Cells classified as detected.
+    pub fn detected(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Detected { .. }))
+            .count()
+    }
+
+    /// Cells classified as broken.
+    pub fn broken(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.outcome, CellOutcome::Broken { .. }))
+            .count()
+    }
+
+    /// The surviving escapes: cells the suite (plus any escape round)
+    /// still masks.
+    pub fn escapes(&self) -> Vec<&AuditCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.outcome == CellOutcome::Masked)
+            .collect()
+    }
+
+    /// Whether a fault is killed: detected on *every* platform it was
+    /// injected into.
+    pub fn killed(&self, fault: PlatformFault) -> bool {
+        let mut any = false;
+        for cell in self.cells.iter().filter(|c| c.fault == fault) {
+            any = true;
+            if !matches!(cell.outcome, CellOutcome::Detected { .. }) {
+                return false;
+            }
+        }
+        any
+    }
+
+    /// Fraction of catalog faults killed on every audited platform.
+    pub fn kill_rate(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 1.0;
+        }
+        let killed = self.faults.iter().filter(|&&f| self.killed(f)).count();
+        killed as f64 / self.faults.len() as f64
+    }
+
+    /// Per-test kill counts, strongest killer first: how many matrix
+    /// cells each `env/test` contributed to detecting.
+    pub fn kill_counts(&self) -> &[(String, usize)] {
+        &self.kill_counts
+    }
+
+    /// Renders the faults × platforms detection matrix.
+    pub fn matrix(&self) -> Table {
+        let mut headers: Vec<String> = vec!["fault".to_owned(), "module".to_owned()];
+        headers.extend(self.platforms.iter().map(ToString::to_string));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new("Fault detection matrix", &header_refs);
+        for &fault in &self.faults {
+            let mut row = vec![fault.to_string(), fault.module().unwrap_or("-").to_owned()];
+            for &p in &self.platforms {
+                row.push(match self.cell(fault, p).map(|c| &c.outcome) {
+                    Some(CellOutcome::Detected { round, .. }) => format!("KILL@{round}"),
+                    Some(CellOutcome::Masked) => "ESCAPE".to_owned(),
+                    Some(CellOutcome::Broken { .. }) => "BROKEN".to_owned(),
+                    None => "-".to_owned(),
+                });
+            }
+            table.row(&row);
+        }
+        table
+    }
+
+    /// Renders the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"reference\":\"{}\",\"suite_tests\":{},\"scenarios\":{},",
+            self.reference.name(),
+            self.suite_tests,
+            self.scenarios_generated
+        ));
+        s.push_str("\"platforms\":[");
+        for (i, p) in self.platforms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", p.name()));
+        }
+        s.push_str("],\"matrix\":[");
+        for (i, &fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"fault\":\"{fault}\",\"module\":{},\"cells\":[",
+                json_string(fault.module().unwrap_or(""))
+            ));
+            let mut first = true;
+            for cell in self.cells.iter().filter(|c| c.fault == fault) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!(
+                    "{{\"platform\":\"{}\",\"outcome\":\"{}\"",
+                    cell.platform.name(),
+                    cell.outcome.label()
+                ));
+                match &cell.outcome {
+                    CellOutcome::Detected { round, killed_by } => {
+                        s.push_str(&format!(",\"round\":{round},\"killed_by\":["));
+                        for (j, t) in killed_by.iter().enumerate() {
+                            if j > 0 {
+                                s.push(',');
+                            }
+                            s.push_str(&json_string(t));
+                        }
+                        s.push(']');
+                    }
+                    CellOutcome::Broken { reason } => {
+                        s.push_str(&format!(",\"reason\":{}", json_string(reason)));
+                    }
+                    CellOutcome::Masked => {}
+                }
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+        s.push_str("],\"kill_counts\":[");
+        for (i, (test, kills)) in self.kill_counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"test\":{},\"kills\":{kills}}}",
+                json_string(test)
+            ));
+        }
+        s.push_str("],\"escapes\":[");
+        for (i, cell) in self.escapes().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"fault\":\"{}\",\"platform\":\"{}\"}}",
+                cell.fault,
+                cell.platform.name()
+            ));
+        }
+        let killed = self.faults.iter().filter(|&&f| self.killed(f)).count();
+        s.push_str(&format!(
+            "],\"detected\":{},\"broken\":{},\"killed\":{killed},\"kill_rate\":{:.4}}}",
+            self.detected(),
+            self.broken(),
+            self.kill_rate()
+        ));
+        s
+    }
+}
+
+impl fmt::Display for FaultAuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.matrix())
+    }
+}
+
+/// Builder for a fault-matrix suite-strength sweep.
+///
+/// Defaults: the full catalogued [`presets::standard_system`] suite, the
+/// whole [`PlatformFault::ALL`] catalog, the RTL simulation as the
+/// audited platform, the golden model as reference, one escape-driven
+/// round of 8 scenarios.
+#[derive(Debug, Clone)]
+pub struct FaultAudit {
+    suite: Vec<ModuleTestEnv>,
+    faults: Vec<PlatformFault>,
+    platforms: Vec<PlatformId>,
+    reference: PlatformId,
+    scenarios: usize,
+    escape_rounds: usize,
+    seed: u64,
+    workers: usize,
+    fuel: u64,
+}
+
+impl Default for FaultAudit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultAudit {
+    /// An audit over the catalogued seed suite and the full fault
+    /// catalog.
+    pub fn new() -> Self {
+        Self {
+            suite: presets::standard_system(presets::default_config()),
+            faults: PlatformFault::ALL.to_vec(),
+            platforms: vec![PlatformId::RtlSim],
+            reference: PlatformId::GoldenModel,
+            scenarios: 8,
+            escape_rounds: 1,
+            seed: 0xFA017,
+            workers: default_workers(),
+            fuel: advm_sim::DEFAULT_FUEL,
+        }
+    }
+
+    /// Replaces the seed suite.
+    pub fn suite(mut self, envs: impl IntoIterator<Item = ModuleTestEnv>) -> Self {
+        self.suite = envs.into_iter().collect();
+        self
+    }
+
+    /// Replaces the fault list.
+    pub fn faults(mut self, faults: impl IntoIterator<Item = PlatformFault>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
+    /// Replaces the audited platforms. The reference platform is never
+    /// faulted; it is filtered out if listed.
+    pub fn platforms(mut self, platforms: impl IntoIterator<Item = PlatformId>) -> Self {
+        self.platforms = platforms.into_iter().collect();
+        self
+    }
+
+    /// Sets the reference platform campaigns compare against.
+    pub fn reference(mut self, reference: PlatformId) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Sets the scenario batch size of the escape-driven round
+    /// (minimum 1).
+    pub fn scenarios(mut self, scenarios: usize) -> Self {
+        self.scenarios = scenarios.max(1);
+        self
+    }
+
+    /// Sets the maximum number of escape-driven rounds: 0 disables the
+    /// loop, 1 (the default) runs one generation round over the escapes,
+    /// higher values keep drawing fresh batches (a new seed per round)
+    /// at the surviving cells. The loop stops early once nothing
+    /// escapes.
+    pub fn escape_rounds(mut self, rounds: usize) -> Self {
+        self.escape_rounds = rounds;
+        self
+    }
+
+    /// Sets the master seed of the escape-driven scenario plan.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the campaign worker count (minimum 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-run instruction budget. Faults that hang software
+    /// (stuck-busy polling) burn the whole budget on the faulted
+    /// platform, so audits over large suites may want a smaller one.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs the fault-free reference baseline for a stimulus set — once,
+    /// shared by every matrix cell of the sweep, instead of re-simulating
+    /// the reference inside each faulted campaign.
+    fn baseline(
+        &self,
+        envs: &[ModuleTestEnv],
+        scenarios: &[advm_gen::Scenario],
+    ) -> Result<CampaignReport, CampaignError> {
+        Campaign::new()
+            .envs(envs.iter().cloned())
+            .scenarios(scenarios.iter().cloned())
+            .platform(self.reference)
+            .workers(self.workers)
+            .fuel(self.fuel)
+            .run()
+    }
+
+    /// Runs one (fault, platform) campaign over the given stimulus on
+    /// the faulted platform only.
+    fn faulted(
+        &self,
+        fault: PlatformFault,
+        platform: PlatformId,
+        envs: &[ModuleTestEnv],
+        scenarios: &[advm_gen::Scenario],
+    ) -> Result<CampaignReport, CampaignError> {
+        Campaign::new()
+            .envs(envs.iter().cloned())
+            .scenarios(scenarios.iter().cloned())
+            .platform(platform)
+            .workers(self.workers)
+            .fuel(self.fuel)
+            .fault(platform, fault)
+            .run()
+    }
+
+    /// Classifies one cell by comparing every test's faulted run against
+    /// the shared reference baseline (golden-anchored 1-vs-1 votes).
+    fn classify(
+        &self,
+        platform: PlatformId,
+        round: usize,
+        baseline: &CampaignReport,
+        faulted: &CampaignReport,
+    ) -> CellOutcome {
+        let mut killed_by = Vec::new();
+        let mut missing = 0usize;
+        for (env, test) in faulted.tests() {
+            let Some(f) = faulted.run_of(env, test, platform) else {
+                continue;
+            };
+            let Some(g) = baseline.run_of(env, test, self.reference) else {
+                missing += 1;
+                continue;
+            };
+            if let Ok(report) = compare(&[g.result.clone(), f.result.clone()]) {
+                if !report.consistent && report.divergent.contains(&platform) {
+                    killed_by.push(format!("{env}/{test}"));
+                }
+            }
+        }
+        if missing > 0 {
+            return CellOutcome::Broken {
+                reason: format!("{missing} run(s) missing from the reference baseline"),
+            };
+        }
+        if !killed_by.is_empty() {
+            return CellOutcome::Detected { round, killed_by };
+        }
+        if faulted.failed() > 0 {
+            return CellOutcome::Broken {
+                reason: format!(
+                    "{} run(s) failed identically on the reference — a suite problem, not a divergence",
+                    faulted.failed()
+                ),
+            };
+        }
+        CellOutcome::Masked
+    }
+
+    /// Sweeps the (fault × platform) matrix through the campaign
+    /// pipeline, then closes the loop: escapes feed the scenario engine
+    /// and the surviving cells are re-audited against the generated
+    /// stimulus.
+    ///
+    /// # Errors
+    ///
+    /// [`AuditError::NoFaults`] / [`AuditError::NoPlatforms`] for an
+    /// unrunnable plan; build and constraint failures are propagated.
+    pub fn run(&self) -> Result<FaultAuditReport, AuditError> {
+        if self.faults.is_empty() {
+            return Err(AuditError::NoFaults);
+        }
+        // Never fault the reference, and audit each platform once —
+        // duplicates would double matrix cells and kill counts.
+        let mut platforms: Vec<PlatformId> = Vec::new();
+        for &p in &self.platforms {
+            if p != self.reference && !platforms.contains(&p) {
+                platforms.push(p);
+            }
+        }
+        if platforms.is_empty() {
+            return Err(AuditError::NoPlatforms);
+        }
+
+        let mut kill_counts: HashMap<String, usize> = HashMap::new();
+        let mut tally = |outcome: &CellOutcome| {
+            if let CellOutcome::Detected { killed_by, .. } = outcome {
+                for test in killed_by {
+                    *kill_counts.entry(test.clone()).or_default() += 1;
+                }
+            }
+        };
+
+        // Round 1: the seed suite against every (fault, platform) cell.
+        // The reference runs the suite exactly once; each cell simulates
+        // only its faulted platform and compares against that baseline.
+        let suite_baseline = self.baseline(&self.suite, &[])?;
+        let mut cells: Vec<AuditCell> = Vec::new();
+        for &fault in &self.faults {
+            for &platform in &platforms {
+                let report = self.faulted(fault, platform, &self.suite, &[])?;
+                let outcome = self.classify(platform, 1, &suite_baseline, &report);
+                tally(&outcome);
+                cells.push(AuditCell {
+                    fault,
+                    platform,
+                    outcome,
+                });
+            }
+        }
+
+        // Rounds 2..: escapes drive generation. The escaped faults'
+        // modules become weak-module feedback; a coverage-directed
+        // source draws scenarios whose environments carry the module's
+        // stimulus cell plus its fault hunters, and only the surviving
+        // cells re-run. Each round draws a fresh batch (new seed) until
+        // the budget runs out or nothing escapes.
+        let mut scenarios_generated = 0;
+        for round in 0..self.escape_rounds {
+            let escaped: Vec<usize> = cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.outcome == CellOutcome::Masked)
+                .map(|(i, _)| i)
+                .collect();
+            if escaped.is_empty() {
+                break;
+            }
+            let mut weak: Vec<&str> = Vec::new();
+            for &i in &escaped {
+                if let Some(module) = cells[i].fault.module() {
+                    if !weak.contains(&module) {
+                        weak.push(module);
+                    }
+                }
+            }
+            let derivative = self
+                .suite
+                .first()
+                .map(|e| e.config().derivative)
+                .unwrap_or(DerivativeId::Sc88A);
+            let constraints =
+                GlobalsConstraints::new(derivative, self.reference).with_test_page_count(2);
+            let feedback = CoverageFeedback::new().with_weak_modules(weak.iter().copied());
+            let plan = ScenarioEngine::new(self.seed.wrapping_add(round as u64))
+                .source(CoverageDirected::new(constraints, feedback))
+                .batch(self.scenarios)
+                .plan()?;
+            scenarios_generated += plan.len();
+            let scenario_baseline = self.baseline(&[], plan.scenarios())?;
+            for i in escaped {
+                let (fault, platform) = (cells[i].fault, cells[i].platform);
+                let report = self.faulted(fault, platform, &[], plan.scenarios())?;
+                let outcome = self.classify(platform, 2 + round, &scenario_baseline, &report);
+                if outcome != CellOutcome::Masked {
+                    tally(&outcome);
+                    cells[i].outcome = outcome;
+                }
+            }
+        }
+
+        let mut kill_counts: Vec<(String, usize)> = kill_counts.into_iter().collect();
+        kill_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        Ok(FaultAuditReport {
+            reference: self.reference,
+            platforms,
+            faults: self.faults.clone(),
+            cells,
+            suite_tests: self.suite.iter().map(|e| e.cells().len()).sum(),
+            scenarios_generated,
+            kill_counts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::env::EnvConfig;
+
+    use super::*;
+
+    fn tiny_suite() -> Vec<ModuleTestEnv> {
+        vec![
+            presets::page_env(presets::default_config(), 1),
+            presets::uart_env(presets::default_config()),
+        ]
+    }
+
+    #[test]
+    fn detected_fault_names_its_killing_tests() {
+        let report = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([PlatformFault::PageActiveOffByOne])
+            .platforms([PlatformId::RtlSim])
+            .escape_rounds(0)
+            .workers(2)
+            .run()
+            .unwrap();
+        let cell = report
+            .cell(PlatformFault::PageActiveOffByOne, PlatformId::RtlSim)
+            .unwrap();
+        match &cell.outcome {
+            CellOutcome::Detected { round, killed_by } => {
+                assert_eq!(*round, 1);
+                assert!(
+                    killed_by.iter().any(|t| t.contains("TEST_PAGE_SELECT_01")),
+                    "{killed_by:?}"
+                );
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+        assert!(report.killed(PlatformFault::PageActiveOffByOne));
+        assert!((report.kill_rate() - 1.0).abs() < 1e-9);
+        assert!(!report.kill_counts().is_empty());
+    }
+
+    #[test]
+    fn masked_fault_is_an_escape_without_the_loop() {
+        // The tiny suite never writes PAGE_MAP, so the dead write-enable
+        // escapes; with the escape round disabled it stays an escape.
+        let report = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([PlatformFault::PageMapWriteIgnored])
+            .platforms([PlatformId::RtlSim])
+            .escape_rounds(0)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.escapes().len(), 1);
+        assert!(!report.killed(PlatformFault::PageMapWriteIgnored));
+        assert_eq!(report.kill_rate(), 0.0);
+    }
+
+    #[test]
+    fn escape_round_kills_the_map_write_fault() {
+        let report = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([PlatformFault::PageMapWriteIgnored])
+            .platforms([PlatformId::RtlSim])
+            .scenarios(2)
+            .workers(2)
+            .run()
+            .unwrap();
+        let cell = report
+            .cell(PlatformFault::PageMapWriteIgnored, PlatformId::RtlSim)
+            .unwrap();
+        match &cell.outcome {
+            CellOutcome::Detected { round, killed_by } => {
+                assert_eq!(*round, 2, "killed by generated stimulus");
+                assert!(
+                    killed_by.iter().any(|t| t.contains("TEST_HUNT_PAGE_MAP")),
+                    "{killed_by:?}"
+                );
+            }
+            other => panic!("expected round-2 detection, got {other:?}"),
+        }
+        assert!(report.scenarios_generated() > 0);
+        assert!(report.escapes().is_empty());
+    }
+
+    #[test]
+    fn duplicate_platforms_audit_once() {
+        let report = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([PlatformFault::PageActiveOffByOne])
+            .platforms([
+                PlatformId::RtlSim,
+                PlatformId::RtlSim,
+                PlatformId::GoldenModel,
+            ])
+            .escape_rounds(0)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.platforms(), [PlatformId::RtlSim]);
+        assert_eq!(report.cells().len(), 1, "one cell per distinct platform");
+    }
+
+    #[test]
+    fn escape_rounds_run_up_to_the_budget_with_fresh_batches() {
+        // The one-shot poll cell cannot observe a periodic-reload bug,
+        // and the TIMER stimulus the escape round generates is the same
+        // one-shot poll — so the fault survives every round and the loop
+        // must draw a fresh batch per configured round.
+        let report = FaultAudit::new()
+            .suite([presets::page_env(presets::default_config(), 1)])
+            .faults([PlatformFault::TimerPeriodicNoReload])
+            .platforms([PlatformId::RtlSim])
+            .escape_rounds(2)
+            .scenarios(2)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.escapes().len(), 1);
+        assert_eq!(
+            report.scenarios_generated(),
+            4,
+            "two rounds of two scenarios each"
+        );
+    }
+
+    #[test]
+    fn broken_suite_is_not_counted_as_detection() {
+        // A suite that fails on the reference too produces failures with
+        // no divergence — that is a broken cell, not a kill.
+        let failing = ModuleTestEnv::new(
+            "ALWAYS",
+            EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            vec![crate::env::TestCell::new(
+                "TEST_ALWAYS_FAILS",
+                "fails everywhere",
+                ".INCLUDE Globals.inc\n_main:\n    LOAD ArgA, #9\n    CALL Base_Report_Fail\n    RETURN\n",
+            )],
+        );
+        let report = FaultAudit::new()
+            .suite([failing])
+            .faults([PlatformFault::PageMapWriteIgnored])
+            .platforms([PlatformId::RtlSim])
+            .escape_rounds(0)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert_eq!(report.broken(), 1);
+        assert_eq!(report.detected(), 0);
+    }
+
+    #[test]
+    fn empty_plans_are_rejected_and_reference_is_never_faulted() {
+        assert!(matches!(
+            FaultAudit::new().faults([]).run(),
+            Err(AuditError::NoFaults)
+        ));
+        assert!(matches!(
+            FaultAudit::new().platforms([PlatformId::GoldenModel]).run(),
+            Err(AuditError::NoPlatforms)
+        ));
+    }
+
+    #[test]
+    fn json_report_is_balanced_and_typed() {
+        let report = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([
+                PlatformFault::PageActiveOffByOne,
+                PlatformFault::PageMapWriteIgnored,
+            ])
+            .platforms([PlatformId::RtlSim])
+            .escape_rounds(0)
+            .workers(2)
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(
+            json.contains("\"fault\":\"page-active-off-by-one\""),
+            "{json}"
+        );
+        assert!(json.contains("\"outcome\":\"detected\""), "{json}");
+        assert!(json.contains("\"outcome\":\"masked\""), "{json}");
+        assert!(json.contains("\"kill_rate\":0.5000"), "{json}");
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
+        let matrix = report.matrix().to_string();
+        assert!(matrix.contains("KILL@1"), "{matrix}");
+        assert!(matrix.contains("ESCAPE"), "{matrix}");
+    }
+}

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod basefuncs;
 pub mod build;
 pub mod campaign;
@@ -58,6 +59,7 @@ pub mod system;
 pub mod testplan;
 pub mod violation;
 
+pub use audit::{AuditCell, AuditError, CellOutcome, FaultAudit, FaultAuditReport};
 pub use basefuncs::{base_functions, BaseFuncsStyle};
 pub use build::{build_cell, run_cell, run_cell_with_fault};
 pub use campaign::{
@@ -73,8 +75,8 @@ pub use regression::run_regression;
 pub use regression::{RegressionConfig, RegressionReport};
 pub use release::{Release, ReleaseError, ReleaseStore, SystemRelease};
 pub use stimulus::{
-    coverage_feedback, directed_source, scenario_env, Exploration, ExplorationError,
-    ExplorationReport, RoundReport,
+    coverage_feedback, directed_source, fault_hunter_cells, scenario_env, Exploration,
+    ExplorationError, ExplorationReport, RoundReport,
 };
 pub use system::{SystemIssue, SystemVerificationEnv};
 pub use testplan::{Testplan, TestplanEntry};

@@ -51,7 +51,12 @@ pub fn scenario_env(scenario: &Scenario) -> ModuleTestEnv {
         .map(page_readback_cell)
         .collect();
     for module in scenario.target_modules() {
+        let mut targeted: Vec<TestCell> = Vec::new();
         if let Some(cell) = module_stimulus_cell(module, config) {
+            targeted.push(cell);
+        }
+        targeted.extend(fault_hunter_cells(module));
+        for cell in targeted {
             if !cells.iter().any(|c| c.id() == cell.id()) {
                 cells.push(cell);
             }
@@ -114,9 +119,114 @@ pub fn module_stimulus_cell(module: &str, config: EnvConfig) -> Option<TestCell>
         "WDT" => (presets::wdt_env(config), "TEST_WDT_SERVICE"),
         "INTC" => (presets::register_env(config), "TEST_INTC_RAISE_ACK"),
         "TB" => (presets::register_env(config), "TEST_TB_IDENTITY"),
+        "ES" => (presets::es_env(config), "TEST_ES_INIT"),
         _ => return None,
     };
     env.cell(id).cloned()
+}
+
+/// Fault-hunting cells for one register-map module: stimulus that checks
+/// behaviours *no seed-suite test* pins down, written to kill the
+/// fault-catalog entries that escape the seed suite (see
+/// [`crate::audit::FaultAudit`]). Scenario environments targeting a
+/// module carry its hunters alongside the catalogued stimulus cell; all
+/// hunters pass on every clean platform and derivative.
+pub fn fault_hunter_cells(module: &str) -> Vec<TestCell> {
+    match module {
+        // A write/read-back sweep of the MAP register: reset-value tests
+        // pass over a dead write enable, this does not.
+        "PAGE" => vec![TestCell::new(
+            "TEST_HUNT_PAGE_MAP",
+            "PAGE_MAP accepts and returns a written value",
+            "\
+.INCLUDE Globals.inc
+_main:
+    LOAD d1, #0x1234
+    STORE [PAGE_MAP_ADDR], d1
+    LOAD d2, [PAGE_MAP_ADDR]
+    CMP d2, d1
+    JNE t_fail
+    CALL Base_Report_Pass
+    RETURN
+t_fail:
+    LOAD ArgA, #1
+    CALL Base_Report_Fail
+    RETURN
+",
+        )],
+        // A clean single-byte echo must not raise OVERRUN: a transmitter
+        // that duplicates bytes trips it even though the payload echoes
+        // correctly.
+        "UART" => vec![TestCell::new(
+            "TEST_HUNT_UART_CLEAN",
+            "single loopback byte echoes without receive overrun",
+            "\
+.INCLUDE Globals.inc
+_main:
+    CALL Base_Uart_Init_Loopback
+    LOAD ArgA, #0x42
+    CALL Base_Uart_Send
+    CALL Base_Uart_Recv
+    LOAD d1, #0x42
+    CMP RetVal, d1
+    JNE t_fail
+    LOAD d1, [UART_STATUS_ADDR]
+    AND d1, d1, #UART_OVERRUN_MASK
+    CMP d1, #0
+    JNE t_fail
+    CALL Base_Report_Pass
+    RETURN
+t_fail:
+    LOAD ArgA, #1
+    CALL Base_Report_Fail
+    RETURN
+",
+        )],
+        // Relative bus timing: an identical instruction sequence over
+        // MMIO and over RAM must cost (about) the same on every clean
+        // platform whatever its cost model, because per-instruction
+        // charges do not depend on the address. Extra MMIO wait-states
+        // blow the MMIO window past twice the RAM window.
+        "TB" => vec![TestCell::new(
+            "TEST_HUNT_BUS_TIMING",
+            "MMIO traffic is not slower than matched RAM traffic",
+            "\
+.INCLUDE Globals.inc
+_main:
+    LOAD d10, [TB_TICKS_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d1, [PAGE_MAP_ADDR]
+    LOAD d11, [TB_TICKS_ADDR]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d1, [TEST_DATA_BASE]
+    LOAD d12, [TB_TICKS_ADDR]
+    SUB d13, d11, d10       ; MMIO window
+    SUB d14, d12, d11       ; matched RAM window
+    ADD d15, d14, d14       ; 2x RAM budget
+    CMP d13, d15
+    JGT t_fail
+    CALL Base_Report_Pass
+    RETURN
+t_fail:
+    LOAD ArgA, #1
+    CALL Base_Report_Fail
+    RETURN
+",
+        )],
+        _ => Vec::new(),
+    }
 }
 
 /// Bridges a structured [`Testplan`] into a [`Directed`] scenario
@@ -535,6 +645,43 @@ mod tests {
         let env = scenario_env(&scenario);
         assert!(env.cell("TEST_UART_LOOPBACK").is_some());
         assert!(env.cell("TEST_CRC_UNIT").is_some());
+    }
+
+    #[test]
+    fn fault_hunter_cells_pass_clean_on_every_platform() {
+        use advm_soc::DerivativeId;
+        for module in ["PAGE", "UART", "TB"] {
+            let cells = fault_hunter_cells(module);
+            assert!(!cells.is_empty(), "{module} has hunters");
+            for platform in advm_soc::PlatformId::ALL {
+                let env = ModuleTestEnv::new(
+                    "HUNT",
+                    EnvConfig::new(DerivativeId::Sc88A, platform),
+                    cells.clone(),
+                );
+                for cell in env.cells() {
+                    let result = crate::build::run_cell(&env, cell.id()).unwrap();
+                    assert!(
+                        result.passed(),
+                        "{module}/{} on {platform}: {result}",
+                        cell.id()
+                    );
+                }
+            }
+        }
+        assert!(fault_hunter_cells("TIMER").is_empty(), "no hunters needed");
+    }
+
+    #[test]
+    fn targeted_modules_carry_their_hunters() {
+        let feedback = CoverageFeedback::new().with_weak_modules(["PAGE", "UART"]);
+        let scenario = CoverageDirected::new(constraints(), feedback)
+            .draw(0, 3)
+            .unwrap();
+        let env = scenario_env(&scenario);
+        assert!(env.cell("TEST_HUNT_PAGE_MAP").is_some());
+        assert!(env.cell("TEST_HUNT_UART_CLEAN").is_some());
+        assert!(env.cell("TEST_UART_LOOPBACK").is_some());
     }
 
     #[test]

@@ -89,13 +89,20 @@ impl CoverageFeedback {
     }
 
     /// Records modules whose register coverage still has holes, in
-    /// priority order (worst first).
+    /// priority order (worst first). Duplicates are dropped, keeping the
+    /// first occurrence: escape-driven audits fold several fault sites
+    /// into the same module, and a repeated entry would bias
+    /// [`crate::CoverageDirected`]'s rotation toward it.
     pub fn with_weak_modules<S: Into<String>>(
         mut self,
         modules: impl IntoIterator<Item = S>,
     ) -> Self {
-        self.weak_modules
-            .extend(modules.into_iter().map(Into::into));
+        for module in modules {
+            let module = module.into();
+            if !self.weak_modules.contains(&module) {
+                self.weak_modules.push(module);
+            }
+        }
         self
     }
 
@@ -151,5 +158,15 @@ mod tests {
             .with_weak_modules(["UART", "TIMER"]);
         assert_eq!(f.pages_seen().len(), 3);
         assert_eq!(f.weak_modules(), ["UART", "TIMER"]);
+    }
+
+    #[test]
+    fn weak_modules_dedupe_preserving_priority_order() {
+        // Escape-driven feedback folds several fault sites into the same
+        // module; the rotation must not be biased by repeats.
+        let f = CoverageFeedback::new()
+            .with_weak_modules(["PAGE", "UART", "PAGE"])
+            .with_weak_modules(["UART", "TB"]);
+        assert_eq!(f.weak_modules(), ["PAGE", "UART", "TB"]);
     }
 }

@@ -13,7 +13,7 @@ use advm_soc::memmap::{MemoryMap, NVM_SIZE, RAM_SIZE, RAM_START, ROM_SIZE, ROM_S
 use advm_soc::testbench::PlatformId;
 use advm_soc::{Derivative, RegionKind};
 
-use crate::fault::PlatformFault;
+use crate::fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 use crate::periph::{
     timer::TIMER_IRQ_LINE, CrcUnit, Intc, MailboxDevice, NvmController, PageModule, Timer, Uart,
     Watchdog,
@@ -81,6 +81,10 @@ pub struct SocBus {
     now: u64,
     watchdog_bite: bool,
     mmio_touched: std::collections::BTreeSet<u32>,
+    /// Fault injection: ES jump-table fetches return the next slot.
+    es_skew: bool,
+    /// Fault injection: extra cycles charged per MMIO access (0 = none).
+    mmio_wait: u64,
 }
 
 impl SocBus {
@@ -116,11 +120,24 @@ impl SocBus {
             field("PAGE", "PAGE_STATUS", "READY"),
         );
         let mut timer = Timer::new();
+        let mut mailbox = MailboxDevice::new(platform);
+        let mut es_skew = false;
+        let mut mmio_wait = 0;
         match fault {
             PlatformFault::None => {}
             PlatformFault::PageActiveOffByOne => page.inject_active_off_by_one(),
+            PlatformFault::PageSelectDropsLowBit => page.inject_select_drops_low_bit(),
+            PlatformFault::PageMapWriteIgnored => page.inject_map_write_ignored(),
             PlatformFault::UartDropsBytes => uart.inject_drop_bytes(),
+            PlatformFault::UartTxStuckBusy => uart.inject_tx_stuck_busy(),
+            PlatformFault::UartDuplicatesBytes => uart.inject_duplicate_bytes(),
             PlatformFault::TimerNeverExpires => timer.inject_never_expires(),
+            PlatformFault::TimerPeriodicNoReload => timer.inject_periodic_no_reload(),
+            PlatformFault::TimerIrqSuppressed => timer.inject_irq_suppressed(),
+            PlatformFault::MailboxScratchStuck => mailbox.inject_scratch_stuck(),
+            PlatformFault::MailboxTicksFrozen => mailbox.inject_ticks_frozen(),
+            PlatformFault::EsDispatchSkewed => es_skew = true,
+            PlatformFault::BusExtraWaitStates => mmio_wait = BUS_WAIT_STATE_CYCLES,
         }
 
         let mappings = vec![
@@ -178,11 +195,29 @@ impl SocBus {
             wdt: Watchdog::new(),
             nvmc: NvmController::new(NVM_SIZE),
             crc: CrcUnit::new(),
-            mailbox: MailboxDevice::new(platform),
+            mailbox,
             memmap: MemoryMap::sc88(),
             now: 0,
             watchdog_bite: false,
             mmio_touched: std::collections::BTreeSet::new(),
+            es_skew,
+            mmio_wait,
+        }
+    }
+
+    /// Applies the ES-dispatch-skew fault to a ROM fetch address: reads
+    /// inside the embedded-software jump table are redirected to the next
+    /// slot (wrapping), modelling an address decoder off by one row.
+    fn skewed_rom_addr(&self, addr: u32) -> u32 {
+        if !self.es_skew {
+            return addr;
+        }
+        let table_base = advm_soc::memmap::ES_BASE;
+        let table_bytes = 4 * advm_soc::EsFunction::ALL.len() as u32;
+        if addr >= table_base && addr < table_base + table_bytes {
+            table_base + (addr - table_base + 4) % table_bytes
+        } else {
+            addr
         }
     }
 
@@ -320,12 +355,17 @@ impl SocBus {
             return Err(BusFault::Misaligned(addr));
         }
         match self.memmap.region_at(addr).map(|r| r.kind()) {
-            Some(RegionKind::Rom) => Ok(read_word(&self.rom, addr - ROM_START)),
+            Some(RegionKind::Rom) => {
+                Ok(read_word(&self.rom, self.skewed_rom_addr(addr) - ROM_START))
+            }
             Some(RegionKind::Ram) => Ok(read_word(&self.ram, addr - RAM_START)),
             Some(RegionKind::Nvm) => Ok(read_word(&self.nvm, addr - advm_soc::memmap::NVM_START)),
             Some(RegionKind::Mmio) => match self.mapping_at(addr) {
                 Some((p, offset)) => {
                     self.mmio_touched.insert(addr);
+                    if self.mmio_wait > 0 {
+                        self.advance(self.mmio_wait);
+                    }
                     Ok(self.periph_read(p, offset))
                 }
                 None => Err(BusFault::Unmapped(addr)),
@@ -355,6 +395,9 @@ impl SocBus {
             Some(RegionKind::Mmio) => match self.mapping_at(addr) {
                 Some((p, offset)) => {
                     self.mmio_touched.insert(addr);
+                    if self.mmio_wait > 0 {
+                        self.advance(self.mmio_wait);
+                    }
                     self.periph_write(p, offset, value);
                     Ok(())
                 }
@@ -558,6 +601,59 @@ mod tests {
         b.write32(mb.reg(Mailbox::SIM_END), 1).unwrap();
         assert!(b.mailbox().sim_ended());
         assert!(b.mailbox().outcome().unwrap().passed());
+    }
+
+    #[test]
+    fn es_dispatch_skew_redirects_table_fetches_only() {
+        use advm_soc::memmap::ES_BASE;
+        // Eight distinct words starting at the jump-table base; the
+        // table itself is seven slots long.
+        let program = advm_asm::assemble_str(
+            ".ORG 0x30000\n    HALT #1\n    HALT #2\n    HALT #3\n    HALT #4\n    \
+             HALT #5\n    HALT #6\n    HALT #7\n    HALT #8\n",
+        )
+        .unwrap();
+        let mut image = advm_asm::Image::new();
+        image.load_program(&program).unwrap();
+        let mut clean = bus();
+        clean.load_image(&image);
+        let mut skewed = SocBus::new(
+            &Derivative::sc88a(),
+            PlatformId::GoldenModel,
+            PlatformFault::EsDispatchSkewed,
+        );
+        skewed.load_image(&image);
+        // Inside the table every fetch lands one slot down…
+        assert_eq!(
+            skewed.read32(ES_BASE).unwrap(),
+            clean.read32(ES_BASE + 4).unwrap()
+        );
+        // …the last slot wraps to the first…
+        assert_eq!(
+            skewed.read32(ES_BASE + 24).unwrap(),
+            clean.read32(ES_BASE).unwrap()
+        );
+        // …and fetches outside the table are untouched.
+        assert_eq!(
+            skewed.read32(ES_BASE + 28).unwrap(),
+            clean.read32(ES_BASE + 28).unwrap()
+        );
+    }
+
+    #[test]
+    fn bus_wait_states_charge_extra_cycles_on_mmio_only() {
+        let mut b = SocBus::new(
+            &Derivative::sc88a(),
+            PlatformId::GoldenModel,
+            PlatformFault::BusExtraWaitStates,
+        );
+        let t0 = b.now();
+        b.read32(0xE_FF10).unwrap(); // mailbox PLATFORM register
+        assert_eq!(b.now(), t0 + BUS_WAIT_STATE_CYCLES);
+        let t1 = b.now();
+        b.write32(RAM_START, 7).unwrap();
+        b.read32(RAM_START).unwrap();
+        assert_eq!(b.now(), t1, "plain memory traffic stays free");
     }
 
     #[test]

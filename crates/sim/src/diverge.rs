@@ -62,16 +62,41 @@ impl fmt::Display for DivergenceReport {
     }
 }
 
+/// A typed comparison failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceError {
+    /// There are no results to compare.
+    Empty,
+}
+
+impl fmt::Display for DivergenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DivergenceError::Empty => f.write_str("no run results to compare"),
+        }
+    }
+}
+
+impl std::error::Error for DivergenceError {}
+
 /// Compares run results of *the same test* across platforms.
 ///
-/// # Panics
+/// The majority verdict wins. A tied vote is anchored on the golden
+/// model when one is present — the reference model is the specification,
+/// so in a 2-vs-2 (or 1-vs-1) split the platforms disagreeing with it
+/// are the divergent ones. Without a golden model a tie resolves toward
+/// the first verdict seen, which keeps the result deterministic but
+/// arbitrary — campaigns should include the reference platform.
 ///
-/// Panics if `results` is empty.
-pub fn compare(results: &[RunResult]) -> DivergenceReport {
-    assert!(!results.is_empty(), "compare requires at least one result");
+/// # Errors
+///
+/// [`DivergenceError::Empty`] when `results` is empty.
+pub fn compare(results: &[RunResult]) -> Result<DivergenceReport, DivergenceError> {
+    if results.is_empty() {
+        return Err(DivergenceError::Empty);
+    }
     let verdicts: Vec<Verdict> = results.iter().map(verdict).collect();
 
-    // Majority verdict (ties resolved toward the first seen).
     let mut counts: Vec<(Verdict, usize)> = Vec::new();
     for v in &verdicts {
         match counts.iter_mut().find(|(cv, _)| cv == v) {
@@ -79,11 +104,20 @@ pub fn compare(results: &[RunResult]) -> DivergenceReport {
             None => counts.push((v.clone(), 1)),
         }
     }
-    let majority = counts
+    let top = counts.iter().map(|(_, n)| *n).max().expect("non-empty");
+    let tied = counts.iter().filter(|(_, n)| *n == top).count() > 1;
+    let golden = results
         .iter()
-        .max_by_key(|(_, n)| *n)
-        .map(|(v, _)| v.clone())
-        .expect("non-empty results");
+        .position(|r| r.platform == PlatformId::GoldenModel);
+    let majority = match (tied, golden) {
+        // Anchor tied votes on the reference model's verdict.
+        (true, Some(i)) => verdicts[i].clone(),
+        _ => counts
+            .iter()
+            .find(|(_, n)| *n == top)
+            .map(|(v, _)| v.clone())
+            .expect("non-empty"),
+    };
 
     let divergent: Vec<PlatformId> = results
         .iter()
@@ -92,11 +126,11 @@ pub fn compare(results: &[RunResult]) -> DivergenceReport {
         .map(|(r, _)| r.platform)
         .collect();
 
-    DivergenceReport {
+    Ok(DivergenceReport {
         consistent: divergent.is_empty(),
         divergent,
         summaries: results.iter().map(ToString::to_string).collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -131,7 +165,8 @@ mod tests {
             result(PlatformId::GoldenModel, true),
             result(PlatformId::RtlSim, true),
             result(PlatformId::GateSim, true),
-        ]);
+        ])
+        .unwrap();
         assert!(report.consistent);
         assert!(report.divergent.is_empty());
     }
@@ -143,7 +178,8 @@ mod tests {
             result(PlatformId::RtlSim, false),
             result(PlatformId::GateSim, true),
             result(PlatformId::Accelerator, true),
-        ]);
+        ])
+        .unwrap();
         assert!(!report.consistent);
         assert_eq!(report.divergent, vec![PlatformId::RtlSim]);
     }
@@ -155,8 +191,90 @@ mod tests {
         let report = compare(&[
             result(PlatformId::GoldenModel, false),
             result(PlatformId::RtlSim, false),
-        ]);
+        ])
+        .unwrap();
         assert!(report.consistent);
+    }
+
+    #[test]
+    fn one_vs_one_tie_anchors_on_golden() {
+        // The smallest audit campaign: reference + one audited platform.
+        let report = compare(&[
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::RtlSim, false),
+        ])
+        .unwrap();
+        assert!(!report.consistent);
+        assert_eq!(report.divergent, vec![PlatformId::RtlSim]);
+        // Order must not matter: the golden model still wins the tie.
+        let reversed = compare(&[
+            result(PlatformId::RtlSim, false),
+            result(PlatformId::GoldenModel, true),
+        ])
+        .unwrap();
+        assert_eq!(reversed.divergent, vec![PlatformId::RtlSim]);
+    }
+
+    #[test]
+    fn two_vs_two_tie_blames_the_non_golden_side() {
+        let report = compare(&[
+            result(PlatformId::RtlSim, false),
+            result(PlatformId::GateSim, false),
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::Bondout, true),
+        ])
+        .unwrap();
+        assert!(!report.consistent);
+        assert_eq!(
+            report.divergent,
+            vec![PlatformId::RtlSim, PlatformId::GateSim],
+            "the side disagreeing with the golden model is divergent"
+        );
+    }
+
+    #[test]
+    fn three_vs_three_tie_blames_the_non_golden_side() {
+        let report = compare(&[
+            result(PlatformId::RtlSim, false),
+            result(PlatformId::GateSim, false),
+            result(PlatformId::Accelerator, false),
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::Bondout, true),
+            result(PlatformId::ProductSilicon, true),
+        ])
+        .unwrap();
+        assert_eq!(
+            report.divergent,
+            vec![
+                PlatformId::RtlSim,
+                PlatformId::GateSim,
+                PlatformId::Accelerator
+            ]
+        );
+    }
+
+    #[test]
+    fn tie_without_golden_resolves_to_first_seen() {
+        // Documented fallback: deterministic but arbitrary.
+        let report = compare(&[
+            result(PlatformId::RtlSim, true),
+            result(PlatformId::GateSim, false),
+        ])
+        .unwrap();
+        assert_eq!(report.divergent, vec![PlatformId::GateSim]);
+    }
+
+    #[test]
+    fn clear_majority_can_still_outvote_golden() {
+        // No tie: if the reference model itself is the odd one out, the
+        // majority names *it* divergent — a golden-model bug.
+        let report = compare(&[
+            result(PlatformId::GoldenModel, false),
+            result(PlatformId::RtlSim, true),
+            result(PlatformId::GateSim, true),
+        ])
+        .unwrap();
+        assert_eq!(report.divergent, vec![PlatformId::GoldenModel]);
     }
 
     #[test]
@@ -165,15 +283,18 @@ mod tests {
             result(PlatformId::GoldenModel, true),
             result(PlatformId::RtlSim, false),
             result(PlatformId::Bondout, true),
-        ]);
+        ])
+        .unwrap();
         let text = report.to_string();
         assert!(text.contains("DIVERGENCE"), "{text}");
         assert!(text.contains("rtl"), "{text}");
     }
 
     #[test]
-    #[should_panic(expected = "at least one result")]
-    fn empty_comparison_panics() {
-        compare(&[]);
+    fn empty_comparison_is_a_typed_error() {
+        assert_eq!(compare(&[]), Err(DivergenceError::Empty));
+        assert!(DivergenceError::Empty
+            .to_string()
+            .contains("no run results"));
     }
 }

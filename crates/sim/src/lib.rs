@@ -46,7 +46,7 @@ pub mod trace;
 
 pub use bus::{BusFault, SocBus};
 pub use cpu::{CostModel, Cpu, FatalError, StepOutcome};
-pub use diverge::{compare, DivergenceReport};
-pub use fault::PlatformFault;
+pub use diverge::{compare, DivergenceError, DivergenceReport};
+pub use fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 pub use platform::{run_image, EndReason, Platform, RunResult, DEFAULT_FUEL};
 pub use trace::{ExecTrace, TraceRecord};

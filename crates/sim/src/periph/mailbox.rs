@@ -11,6 +11,10 @@ pub struct MailboxDevice {
     chars: Vec<u8>,
     sim_end: bool,
     scratch: u32,
+    /// Fault injection: `SCRATCH` writes are dropped.
+    scratch_stuck: bool,
+    /// Fault injection: `TICKS` reads zero forever.
+    ticks_frozen: bool,
 }
 
 impl MailboxDevice {
@@ -22,12 +26,25 @@ impl MailboxDevice {
             chars: Vec::new(),
             sim_end: false,
             scratch: 0,
+            scratch_stuck: false,
+            ticks_frozen: false,
         }
+    }
+
+    /// Enables the dead-scratch-write fault (platform fault injection).
+    pub fn inject_scratch_stuck(&mut self) {
+        self.scratch_stuck = true;
+    }
+
+    /// Enables the frozen-ticks fault (platform fault injection).
+    pub fn inject_ticks_frozen(&mut self) {
+        self.ticks_frozen = true;
     }
 
     /// Reads a register (by offset within the mailbox block).
     pub fn read(&mut self, offset: u32, now: u64) -> u32 {
         match offset {
+            Mailbox::TICKS if self.ticks_frozen => 0,
             Mailbox::TICKS => now as u32,
             Mailbox::PLATFORM => self.platform.code(),
             Mailbox::SCRATCH => self.scratch,
@@ -41,7 +58,7 @@ impl MailboxDevice {
             Mailbox::RESULT => self.result = Some(value),
             Mailbox::CHAROUT => self.chars.push((value & 0xFF) as u8),
             Mailbox::SIM_END => self.sim_end = true,
-            Mailbox::SCRATCH => self.scratch = value,
+            Mailbox::SCRATCH if !self.scratch_stuck => self.scratch = value,
             _ => {}
         }
     }
@@ -112,5 +129,23 @@ mod tests {
         let mut mb = MailboxDevice::new(PlatformId::GoldenModel);
         mb.write(Mailbox::SCRATCH, 0xFEED);
         assert_eq!(mb.read(Mailbox::SCRATCH, 0), 0xFEED);
+    }
+
+    #[test]
+    fn fault_scratch_stuck_drops_writes() {
+        let mut mb = MailboxDevice::new(PlatformId::GoldenModel);
+        mb.inject_scratch_stuck();
+        mb.write(Mailbox::SCRATCH, 0xFEED);
+        assert_eq!(mb.read(Mailbox::SCRATCH, 0), 0);
+        // The protocol registers stay intact.
+        mb.write(Mailbox::RESULT, Mailbox::PASS_MAGIC);
+        assert!(mb.outcome().unwrap().passed());
+    }
+
+    #[test]
+    fn fault_ticks_frozen_reads_zero() {
+        let mut mb = MailboxDevice::new(PlatformId::GoldenModel);
+        mb.inject_ticks_frozen();
+        assert_eq!(mb.read(Mailbox::TICKS, 12345), 0);
     }
 }

@@ -33,6 +33,10 @@ pub struct PageModule {
     ready_field: Field,
     /// Fault injection: report `ACTIVE_PAGE` off by one.
     active_off_by_one: bool,
+    /// Fault injection: bit 0 of the written page field is stuck at zero.
+    select_drops_low_bit: bool,
+    /// Fault injection: `MAP` writes are dropped (dead write enable).
+    map_write_ignored: bool,
 }
 
 impl PageModule {
@@ -51,12 +55,24 @@ impl PageModule {
             active_field,
             ready_field,
             active_off_by_one: false,
+            select_drops_low_bit: false,
+            map_write_ignored: false,
         }
     }
 
     /// Enables the off-by-one readback fault (platform fault injection).
     pub fn inject_active_off_by_one(&mut self) {
         self.active_off_by_one = true;
+    }
+
+    /// Enables the stuck-at-zero page-select bit 0 fault (write path).
+    pub fn inject_select_drops_low_bit(&mut self) {
+        self.select_drops_low_bit = true;
+    }
+
+    /// Enables the dead `MAP` write-enable fault.
+    pub fn inject_map_write_ignored(&mut self) {
+        self.map_write_ignored = true;
     }
 
     /// Reads a register.
@@ -85,8 +101,15 @@ impl PageModule {
     /// Writes a register.
     pub fn write(&mut self, offset: u32, value: u32) {
         match offset {
-            CTRL => self.ctrl = value,
-            MAP => self.map = value & 0xFFFF,
+            CTRL => {
+                let mut value = value;
+                if self.select_drops_low_bit {
+                    let page = self.page_field.extract(value) & !1;
+                    value = self.page_field.insert(value, page);
+                }
+                self.ctrl = value;
+            }
+            MAP if !self.map_write_ignored => self.map = value & 0xFFFF,
             _ => {}
         }
     }
@@ -161,6 +184,32 @@ mod tests {
         page.write(CTRL, 8 | (1 << 8));
         assert_eq!(page.selected_page(), 8, "selection is correct");
         assert_eq!(page.read(STATUS) & 0x1F, 9, "readback is faulty");
+    }
+
+    #[test]
+    fn select_drops_low_bit_fault_corrupts_odd_selections_only() {
+        let mut page = sc88a_page();
+        page.inject_select_drops_low_bit();
+        page.write(CTRL, 8 | (1 << 8));
+        assert_eq!(page.selected_page(), 8, "even pages unaffected");
+        assert_eq!(page.read(STATUS) & 0x1F, 8, "readback agrees");
+        page.write(CTRL, 7 | (1 << 8));
+        assert_eq!(page.selected_page(), 6, "odd page lands one below");
+        assert_eq!(
+            page.read(STATUS) & 0x1F,
+            6,
+            "write-path bug: readback is consistent"
+        );
+    }
+
+    #[test]
+    fn map_write_ignored_fault_keeps_reset_value() {
+        let mut page = sc88a_page();
+        page.inject_map_write_ignored();
+        page.write(MAP, 0x1234);
+        assert_eq!(page.read(MAP), 0, "write dropped, reset value persists");
+        page.write(CTRL, 8 | (1 << 8));
+        assert_eq!(page.selected_page(), 8, "other registers unaffected");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct Timer {
     irq_edge: bool,
     /// Fault injection: the timer never expires.
     never_expires: bool,
+    /// Fault injection: periodic mode fails to reload (acts one-shot).
+    periodic_no_reload: bool,
+    /// Fault injection: expiry never raises the interrupt edge.
+    irq_suppressed: bool,
 }
 
 impl Timer {
@@ -38,6 +42,17 @@ impl Timer {
     /// Enables the never-expires fault (platform fault injection).
     pub fn inject_never_expires(&mut self) {
         self.never_expires = true;
+    }
+
+    /// Enables the no-reload fault: periodic mode degrades to one-shot.
+    pub fn inject_periodic_no_reload(&mut self) {
+        self.periodic_no_reload = true;
+    }
+
+    /// Enables the dead-IRQ-wire fault: expiry sets `EXPIRED` but never
+    /// raises the interrupt edge.
+    pub fn inject_irq_suppressed(&mut self) {
+        self.irq_suppressed = true;
     }
 
     /// Reads a register.
@@ -84,10 +99,10 @@ impl Timer {
             remaining -= step;
             // Expiry.
             self.expired = true;
-            if self.ctrl & CTRL_IE != 0 {
+            if self.ctrl & CTRL_IE != 0 && !self.irq_suppressed {
                 self.irq_edge = true;
             }
-            if self.ctrl & CTRL_PERIODIC != 0 && self.load > 0 {
+            if self.ctrl & CTRL_PERIODIC != 0 && self.load > 0 && !self.periodic_no_reload {
                 self.value = self.load;
             } else {
                 self.ctrl &= !CTRL_EN;
@@ -160,6 +175,31 @@ mod tests {
         t.tick(1000);
         assert_eq!(t.read(STATUS), 0);
         assert!(!t.take_irq());
+    }
+
+    #[test]
+    fn fault_periodic_no_reload_degrades_to_one_shot() {
+        let mut t = Timer::new();
+        t.inject_periodic_no_reload();
+        t.write(LOAD, 5);
+        t.write(CTRL, CTRL_EN | CTRL_PERIODIC);
+        t.tick(5);
+        assert_eq!(t.read(STATUS), STATUS_EXPIRED, "first expiry happens");
+        assert_eq!(t.read(CTRL) & CTRL_EN, 0, "but the timer stops");
+        t.write(STATUS, 1);
+        t.tick(100);
+        assert_eq!(t.read(STATUS), 0, "no further expiry");
+    }
+
+    #[test]
+    fn fault_irq_suppressed_sets_status_without_edge() {
+        let mut t = Timer::new();
+        t.inject_irq_suppressed();
+        t.write(LOAD, 5);
+        t.write(CTRL, CTRL_EN | CTRL_IE);
+        t.tick(5);
+        assert_eq!(t.read(STATUS), STATUS_EXPIRED, "status path intact");
+        assert!(!t.take_irq(), "interrupt wire is dead");
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct Uart {
     cycle_accurate: bool,
     /// Fault injection: drop every other transmitted byte.
     drop_bytes: bool,
+    /// Fault injection: `TX_READY` never asserts.
+    tx_stuck_busy: bool,
+    /// Fault injection: every accepted byte transmits twice.
+    duplicate_bytes: bool,
     tx_count: u64,
 }
 
@@ -47,6 +51,8 @@ impl Uart {
             tx_busy_until: 0,
             cycle_accurate,
             drop_bytes: false,
+            tx_stuck_busy: false,
+            duplicate_bytes: false,
             tx_count: 0,
         }
     }
@@ -56,13 +62,25 @@ impl Uart {
         self.drop_bytes = true;
     }
 
+    /// Enables the stuck-busy transmitter fault: `TX_READY` never
+    /// asserts, so polling senders hang.
+    pub fn inject_tx_stuck_busy(&mut self) {
+        self.tx_stuck_busy = true;
+    }
+
+    /// Enables the byte-duplication fault: every accepted byte is
+    /// shifted out twice (and echoes twice through loopback).
+    pub fn inject_duplicate_bytes(&mut self) {
+        self.duplicate_bytes = true;
+    }
+
     /// Reads a register.
     pub fn read(&mut self, offset: u32, now: u64) -> u32 {
         match offset {
             CTRL => self.ctrl,
             STATUS => {
                 let mut s = 0;
-                if now >= self.tx_busy_until {
+                if now >= self.tx_busy_until && !self.tx_stuck_busy {
                     s |= STATUS_TX_READY;
                 }
                 if self.rx_byte.is_some() {
@@ -96,17 +114,22 @@ impl Uart {
                 let byte = (value & 0xFF) as u8;
                 self.tx_count += 1;
                 let dropped = self.drop_bytes && self.tx_count.is_multiple_of(2);
-                if !dropped {
+                let copies = match (dropped, self.duplicate_bytes) {
+                    (true, _) => 0,
+                    (false, true) => 2, // shift register reloads: byte goes out twice
+                    (false, false) => 1,
+                };
+                for _ in 0..copies {
                     self.tx_log.push(byte);
+                    if self.ctrl & CTRL_LOOPBACK != 0 {
+                        if self.rx_byte.is_some() {
+                            self.overrun = true;
+                        }
+                        self.rx_byte = Some(byte);
+                    }
                 }
                 if self.cycle_accurate {
                     self.tx_busy_until = now + 8 * u64::from(self.baud.max(1));
-                }
-                if self.ctrl & CTRL_LOOPBACK != 0 && !dropped {
-                    if self.rx_byte.is_some() {
-                        self.overrun = true;
-                    }
-                    self.rx_byte = Some(byte);
                 }
             }
             BAUD => self.baud = value & 0xFFFF,
@@ -194,5 +217,27 @@ mod tests {
             uart.write(DATA, b, 0);
         }
         assert_eq!(uart.tx_log(), &[1, 3]);
+    }
+
+    #[test]
+    fn fault_injection_tx_stuck_busy_never_reports_ready() {
+        let mut uart = Uart::new(false);
+        uart.inject_tx_stuck_busy();
+        uart.write(CTRL, CTRL_EN, 0);
+        assert_eq!(uart.read(STATUS, 0) & STATUS_TX_READY, 0);
+        assert_eq!(uart.read(STATUS, 1_000_000) & STATUS_TX_READY, 0);
+    }
+
+    #[test]
+    fn fault_injection_duplicates_bytes_and_overruns_loopback() {
+        let mut uart = Uart::new(false);
+        uart.inject_duplicate_bytes();
+        uart.write(CTRL, CTRL_EN | CTRL_LOOPBACK, 0);
+        uart.write(DATA, 0x5A, 0);
+        assert_eq!(uart.tx_log(), &[0x5A, 0x5A], "byte shifted out twice");
+        // The duplicate overruns the single receive register even though
+        // only one byte was sent — that is the observable escape hatch.
+        assert_ne!(uart.read(STATUS, 0) & STATUS_OVERRUN, 0);
+        assert_eq!(uart.read(DATA, 0), 0x5A, "payload still arrives");
     }
 }

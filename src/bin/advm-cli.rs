@@ -9,6 +9,8 @@
 //!                  [--workers N] [--fuel N] [--json]
 //! advm-cli explore [--rounds N] [--seed S] [--batch N] [--workers N]
 //!                  [--derivative D] [--all-platforms] [--json]
+//! advm-cli audit [--platforms P1,P2 | --all-platforms] [--workers N]
+//!                [--scenarios N] [--seed S] [--fuel N] [--json]
 //! advm-cli port <dir> <env-name> --derivative D [--platform P]
 //! advm-cli asm <file.asm>                      # assemble + listing
 //! ```
@@ -20,6 +22,7 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use advm::audit::FaultAudit;
 use advm::campaign::{Campaign, ProgressObserver};
 use advm::env::{EnvConfig, ModuleTestEnv};
 use advm::fsio::{read_tree, write_tree};
@@ -47,6 +50,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("run") => run(&args[1..]),
         Some("regress") => regress(&args[1..]),
         Some("explore") => explore(&args[1..]),
+        Some("audit") => audit(&args[1..]),
         Some("port") => port(&args[1..]),
         Some("asm") => asm(&args[1..]),
         Some("help") | None => {
@@ -68,6 +72,8 @@ usage:
                    [--workers N] [--fuel N] [--json]
   advm-cli explore [--rounds N] [--seed S] [--batch N] [--workers N]
                    [--derivative D] [--all-platforms] [--json]
+  advm-cli audit [--platforms P1,P2 | --all-platforms] [--workers N]
+                 [--scenarios N] [--seed S] [--fuel N] [--json]
   advm-cli port <dir> <env-name> --derivative D [--platform P]
   advm-cli asm <file.asm>
 
@@ -75,6 +81,13 @@ explore runs closed-loop coverage-directed stimulus: round 1 draws
 constrained-random Globals.inc scenarios, every later round biases its
 draws toward the coverage holes the previous campaigns measured, and
 each round prints its page/register coverage delta.
+
+audit mutation-tests the testbench itself: every catalog fault is
+injected into each audited platform (default: rtl), the seed suite runs
+against the golden model, and each (fault, platform) cell is classified
+detected / masked / broken. Escapes feed one coverage-directed scenario
+round (--scenarios controls the batch) aimed at killing the survivors;
+the final matrix, per-test kill counts and kill rate are printed.
 
 derivatives: SC88-A SC88-B SC88-C SC88-D
 platforms:   golden rtl gate accel bondout silicon
@@ -312,6 +325,64 @@ fn explore(args: &[String]) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} failing run(s)", report.failed()))
+    }
+}
+
+fn audit(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    let mut audit = FaultAudit::new();
+    if args.iter().any(|a| a == "--all-platforms") {
+        audit = audit.platforms(PlatformId::ALL);
+    } else if let Some(list) = flag_value(args, "--platforms") {
+        let platforms: Vec<PlatformId> = list
+            .split(',')
+            .map(parse_platform)
+            .collect::<Result<_, _>>()?;
+        audit = audit.platforms(platforms);
+    }
+    if let Some(workers) = int_flag(args, "--workers")? {
+        audit = audit.workers(workers);
+    }
+    if let Some(scenarios) = int_flag(args, "--scenarios")? {
+        audit = audit.scenarios(scenarios);
+    }
+    if let Some(seed) = int_flag(args, "--seed")? {
+        audit = audit.seed(seed);
+    }
+    if let Some(fuel) = int_flag(args, "--fuel")? {
+        audit = audit.fuel(fuel);
+    }
+
+    let report = audit.run().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.matrix());
+        let killed = report
+            .faults()
+            .iter()
+            .filter(|&&f| report.killed(f))
+            .count();
+        println!(
+            "kill rate: {killed}/{} faults ({:.1}%) across {} platform(s), {} suite tests, {} generated scenarios",
+            report.faults().len(),
+            100.0 * report.kill_rate(),
+            report.platforms().len(),
+            report.suite_tests(),
+            report.scenarios_generated(),
+        );
+        for cell in report.escapes() {
+            println!("ESCAPE: {} on {}", cell.fault, cell.platform);
+        }
+        println!("strongest killers:");
+        for (test, kills) in report.kill_counts().iter().take(5) {
+            println!("  {kills:>3}  {test}");
+        }
+    }
+    if report.broken() == 0 {
+        Ok(())
+    } else {
+        Err(format!("{} broken audit cell(s)", report.broken()))
     }
 }
 

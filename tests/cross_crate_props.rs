@@ -1,15 +1,17 @@
 //! Cross-crate property tests: invariants that hold over randomised
 //! inputs spanning assembler, SoC model, simulator and methodology.
 
+use advm::audit::FaultAudit;
 use advm::campaign::Campaign;
 use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
 use advm::porting::{port_env, test_files_touched};
-use advm::presets::page_env;
+use advm::presets::{default_config, page_env, uart_env};
 use advm::testplan::Testplan;
 use advm_gen::{
     ConstrainedRandom, CoverageDirected, CoverageFeedback, GlobalsConstraints, ScenarioEngine,
     ScenarioSource, StimulusPlan,
 };
+use advm_sim::PlatformFault;
 use advm_soc::{DerivativeId, GlobalsSpec, PlatformId};
 use proptest::prelude::*;
 
@@ -203,5 +205,50 @@ proptest! {
         let parallel_div: Vec<&str> =
             parallel.divergences().iter().map(|(t, _)| t.as_str()).collect();
         prop_assert_eq!(serial_div, parallel_div);
+    }
+}
+
+proptest! {
+    // Each case sweeps several fault campaigns; a handful of cases keeps
+    // the property meaningful without dominating the suite's runtime.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A fault audit is scheduling-independent: serial (workers=1) and
+    /// parallel (workers=8) sweeps of the same (fault × platform) matrix
+    /// produce identical classifications, kill counts and JSON — the
+    /// determinism the suite-strength numbers rely on.
+    #[test]
+    fn fault_audit_matrix_independent_of_worker_count(seed in 0u64..1_000) {
+        let audit = |workers: usize| {
+            FaultAudit::new()
+                .suite([page_env(default_config(), 1), uart_env(default_config())])
+                .faults([
+                    PlatformFault::PageActiveOffByOne,
+                    PlatformFault::PageMapWriteIgnored,
+                    PlatformFault::UartDropsBytes,
+                ])
+                .platforms([advm_soc::PlatformId::RtlSim, advm_soc::PlatformId::GateSim])
+                .scenarios(2)
+                .seed(seed)
+                .fuel(200_000)
+                .workers(workers)
+                .run()
+                .expect("audit runs")
+        };
+        let serial = audit(1);
+        let parallel = audit(8);
+        prop_assert_eq!(serial.cells().len(), parallel.cells().len());
+        for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+            prop_assert_eq!(a.fault, b.fault);
+            prop_assert_eq!(a.platform, b.platform);
+            prop_assert_eq!(&a.outcome, &b.outcome);
+        }
+        prop_assert_eq!(serial.kill_counts(), parallel.kill_counts());
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+        // The audited suite is strong enough to kill the read-path fault
+        // everywhere, and PAGE_MAP's dead write-enable dies only to the
+        // escape-driven round.
+        prop_assert!(serial.killed(PlatformFault::PageActiveOffByOne));
+        prop_assert!(serial.killed(PlatformFault::PageMapWriteIgnored));
     }
 }

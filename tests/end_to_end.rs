@@ -4,6 +4,7 @@
 //! simulator and methodology engine — the scenarios §2–§4 of the paper
 //! narrate.
 
+use advm::audit::{CellOutcome, FaultAudit};
 use advm::basefuncs::BaseFuncsStyle;
 use advm::build::{build_cell, run_cell};
 use advm::campaign::Campaign;
@@ -46,7 +47,7 @@ _main:
         assert!(result.passed(), "{id:?} failed the golden path: {result}");
     }
 
-    let report = advm_sim::compare(&results);
+    let report = advm_sim::compare(&results).expect("six results to compare");
     assert!(report.consistent, "golden path must not diverge:\n{report}");
     assert!(
         report.divergent.is_empty(),
@@ -179,6 +180,69 @@ fn platform_matrix_and_divergence() {
     for (_, d) in divergences {
         assert_eq!(d.divergent, vec![PlatformId::GateSim]);
     }
+}
+
+/// Faults the audited suite is *known* not to kill, listed explicitly so
+/// a new escape fails the gate instead of being silently accepted. Every
+/// entry must stay an escape; remove it when the suite learns to kill it.
+const KNOWN_ESCAPES: &[(PlatformFault, PlatformId)] = &[];
+
+/// The suite-strength gate: every catalog fault injected into the RTL
+/// platform must be killed by the seed suite plus one escape-driven
+/// exploration round — the paper's detection claim, measured instead of
+/// assumed.
+#[test]
+fn fault_matrix_suite_strength_gate() {
+    let report = FaultAudit::new()
+        .platforms([PlatformId::RtlSim])
+        .scenarios(8)
+        .fuel(400_000)
+        .run()
+        .expect("audit runs");
+    assert!(report.faults().len() >= 10, "catalog must stay ≥ 10 faults");
+    assert_eq!(report.broken(), 0, "no broken cells:\n{}", report.matrix());
+
+    for &fault in report.faults() {
+        let known = KNOWN_ESCAPES.iter().any(|(f, _)| *f == fault);
+        if known {
+            assert!(
+                !report.killed(fault),
+                "{fault} is killed now — remove it from KNOWN_ESCAPES"
+            );
+        } else {
+            assert!(
+                report.killed(fault),
+                "{fault} escaped the suite:\n{}",
+                report.matrix()
+            );
+        }
+    }
+    assert!(
+        report.kill_rate() >= 0.8,
+        "kill rate {:.2} below the 80% bar:\n{}",
+        report.kill_rate(),
+        report.matrix()
+    );
+
+    // The closed loop must have mattered: at least one fault survives the
+    // seed suite and dies only to escape-driven generated stimulus.
+    let second_round_kills: Vec<PlatformFault> = report
+        .cells()
+        .iter()
+        .filter(|c| matches!(c.outcome, CellOutcome::Detected { round: 2, .. }))
+        .map(|c| c.fault)
+        .collect();
+    assert!(
+        !second_round_kills.is_empty(),
+        "expected escapes closed by generation:\n{}",
+        report.matrix()
+    );
+    assert!(report.scenarios_generated() >= 8);
+
+    // Kill counts attribute detections to named tests.
+    assert!(!report.kill_counts().is_empty());
+    let (strongest, kills) = &report.kill_counts()[0];
+    assert!(*kills >= 1, "{strongest} must kill something");
 }
 
 /// The regression release discipline of §2–3: frozen labels are immune

@@ -1,0 +1,81 @@
+//! Golden snapshot of the instruction-level trace: the no-fault
+//! execution path must be byte-stable.
+//!
+//! The fault catalog threads injection hooks through every peripheral
+//! and the bus; this test pins the golden model's retirement stream for
+//! one seed cell against a committed snapshot, so a hook that perturbs
+//! the *no-fault* path (an accidental `if` inversion, a skew applied
+//! unconditionally) fails loudly instead of shifting verdicts silently.
+
+use advm::build::build_cell;
+use advm::presets::{default_config, page_env};
+use advm_sim::{ExecTrace, Platform, PlatformFault};
+use advm_soc::{Derivative, PlatformId};
+
+/// Committed golden-model trace of `PAGE/TEST_PAGE_SELECT_01`.
+const GOLDEN_TRACE: &str = include_str!("golden/trace_page_select_01.txt");
+
+/// Traces one run of the seed cell on a platform built by `make`.
+fn traced_run(make: impl FnOnce(&Derivative) -> Platform) -> ExecTrace {
+    let env = page_env(default_config(), 1);
+    let image = build_cell(&env, "TEST_PAGE_SELECT_01").expect("seed cell builds");
+    let derivative = Derivative::sc88a();
+    let mut platform = make(&derivative);
+    platform.enable_trace(1 << 16);
+    platform.load_image(&image);
+    let result = platform.run();
+    assert!(result.passed(), "seed cell stays green: {result}");
+    platform.trace().expect("debug-visible platform").clone()
+}
+
+fn golden() -> ExecTrace {
+    traced_run(|d| Platform::new(PlatformId::GoldenModel, d))
+}
+
+#[test]
+fn golden_trace_is_byte_stable_across_runs() {
+    let first = golden();
+    let second = golden();
+    assert_eq!(first.signature(), second.signature());
+    assert_eq!(first.disassembly(), second.disassembly());
+    assert_eq!(first.records(), second.records());
+    assert_eq!(first.dropped(), 0, "window must hold the whole run");
+}
+
+#[test]
+fn golden_trace_matches_committed_snapshot() {
+    let trace = golden();
+    assert_eq!(
+        trace.disassembly(),
+        GOLDEN_TRACE,
+        "the no-fault instruction stream changed; if intentional, \
+         regenerate tests/golden/trace_page_select_01.txt"
+    );
+}
+
+#[test]
+fn explicit_no_fault_platform_matches_the_default() {
+    // `Platform::with_fault(.., PlatformFault::None)` must be the same
+    // machine as `Platform::new` — the injection plumbing is inert.
+    let plain = golden();
+    let explicit =
+        traced_run(|d| Platform::with_fault(PlatformId::GoldenModel, d, PlatformFault::None));
+    assert_eq!(plain.signature(), explicit.signature());
+    assert_eq!(plain.disassembly(), explicit.disassembly());
+}
+
+#[test]
+fn timing_only_fault_leaves_the_instruction_stream_alone() {
+    // Extra bus wait-states change cycle counts, never the architectural
+    // stream of a test with no timing dependence: the trace signature is
+    // identical even on the faulted platform.
+    let plain = golden();
+    let waity = traced_run(|d| {
+        Platform::with_fault(
+            PlatformId::GoldenModel,
+            d,
+            PlatformFault::BusExtraWaitStates,
+        )
+    });
+    assert_eq!(plain.signature(), waity.signature());
+}
