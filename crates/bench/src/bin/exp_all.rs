@@ -29,4 +29,17 @@ fn main() {
     println!("{}", e::release_labels::run().table);
     println!("{}", e::random_globals::run(64).table);
     println!("{}", e::ablation_wrappers::run().table);
+
+    let throughput = e::sim_throughput::run(3);
+    for mode in e::sim_throughput::DecodeMode::ALL {
+        println!(
+            "sim throughput [{}]: {:.0} steps/s",
+            mode.name(),
+            throughput.sample(mode).steps_per_sec()
+        );
+    }
+    println!(
+        "sim throughput speedup (predecoded vs uncached): {:.2}x",
+        throughput.speedup()
+    );
 }

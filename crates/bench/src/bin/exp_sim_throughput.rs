@@ -1,0 +1,84 @@
+//! Measures simulator throughput (the no-fault six-platform sweep, all
+//! three decode modes) and maintains `BENCH_sim_throughput.json`, the
+//! committed perf trajectory.
+//!
+//! ```text
+//! exp_sim_throughput [--smoke] [--out FILE] [--check BASELINE [--tolerance F]]
+//! ```
+//!
+//! `--smoke` runs 3 repetitions instead of 20 (CI). `--check` compares
+//! the fresh measurement against a committed baseline and exits nonzero
+//! on a regression beyond the tolerance (default 0.8 = 20% slower) or a
+//! predecoded-vs-uncached speedup below 2×.
+
+use std::process::ExitCode;
+
+use advm_bench::experiments::sim_throughput::{check_against, run, DecodeMode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let reps = if args.iter().any(|a| a == "--smoke") {
+        3
+    } else {
+        20
+    };
+
+    let report = run(reps);
+    for mode in DecodeMode::ALL {
+        let sample = report.sample(mode);
+        eprintln!(
+            "{:>10}: {:>12.0} steps/s ({} insns in {:.1}ms)",
+            mode.name(),
+            sample.steps_per_sec(),
+            sample.insns,
+            sample.wall.as_secs_f64() * 1e3,
+        );
+    }
+    eprintln!(
+        "speedup (predecoded vs uncached): {:.2}x over {} reps",
+        report.speedup(),
+        reps
+    );
+
+    let json = report.to_json();
+    match flag_value("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("exp_sim_throughput: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if let Some(baseline_path) = flag_value("--check") {
+        let tolerance: f64 = match flag_value("--tolerance").map(str::parse) {
+            Some(Ok(t)) => t,
+            Some(Err(_)) => {
+                eprintln!("exp_sim_throughput: bad --tolerance value");
+                return ExitCode::FAILURE;
+            }
+            None => 0.8,
+        };
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("exp_sim_throughput: reading {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(reason) = check_against(&report, &baseline, tolerance) {
+            eprintln!("exp_sim_throughput: FAIL: {reason}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline check passed (tolerance {tolerance})");
+    }
+    ExitCode::SUCCESS
+}

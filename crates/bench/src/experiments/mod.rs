@@ -13,3 +13,4 @@ pub mod fig7_es_change;
 pub mod platforms;
 pub mod random_globals;
 pub mod release_labels;
+pub mod sim_throughput;

@@ -53,7 +53,9 @@ use advm_metrics::Table;
 use advm_sim::{compare, PlatformFault};
 use advm_soc::{DerivativeId, PlatformId};
 
-use crate::campaign::{default_workers, json_string, Campaign, CampaignError, CampaignReport};
+use crate::campaign::{
+    default_workers, json_string, Campaign, CampaignError, CampaignPerf, CampaignReport,
+};
 use crate::env::ModuleTestEnv;
 use crate::presets;
 
@@ -149,6 +151,7 @@ pub struct FaultAuditReport {
     suite_tests: usize,
     scenarios_generated: usize,
     kill_counts: Vec<(String, usize)>,
+    perf: CampaignPerf,
 }
 
 impl FaultAuditReport {
@@ -181,6 +184,12 @@ impl FaultAuditReport {
     /// round ran).
     pub fn scenarios_generated(&self) -> usize {
         self.scenarios_generated
+    }
+
+    /// Execution-performance telemetry aggregated over every campaign
+    /// the sweep ran (reference baselines and faulted cells alike).
+    pub fn perf(&self) -> &CampaignPerf {
+        &self.perf
     }
 
     /// Looks up one cell.
@@ -343,7 +352,8 @@ impl FaultAuditReport {
         }
         let killed = self.faults.iter().filter(|&&f| self.killed(f)).count();
         s.push_str(&format!(
-            "],\"detected\":{},\"broken\":{},\"killed\":{killed},\"kill_rate\":{:.4}}}",
+            "],\"perf\":{},\"detected\":{},\"broken\":{},\"killed\":{killed},\"kill_rate\":{:.4}}}",
+            self.perf.to_json(),
             self.detected(),
             self.broken(),
             self.kill_rate()
@@ -375,6 +385,7 @@ pub struct FaultAudit {
     seed: u64,
     workers: usize,
     fuel: u64,
+    decode: bool,
 }
 
 impl Default for FaultAudit {
@@ -397,6 +408,7 @@ impl FaultAudit {
             seed: 0xFA017,
             workers: default_workers(),
             fuel: advm_sim::DEFAULT_FUEL,
+            decode: true,
         }
     }
 
@@ -462,6 +474,15 @@ impl FaultAudit {
         self
     }
 
+    /// Enables or disables the predecoded-instruction cache in every
+    /// campaign the sweep runs (default: enabled). The detection matrix
+    /// is identical either way; disabling recovers the pre-refactor
+    /// simulation baseline.
+    pub fn decode_cache(mut self, enabled: bool) -> Self {
+        self.decode = enabled;
+        self
+    }
+
     /// Runs the fault-free reference baseline for a stimulus set — once,
     /// shared by every matrix cell of the sweep, instead of re-simulating
     /// the reference inside each faulted campaign.
@@ -476,6 +497,7 @@ impl FaultAudit {
             .platform(self.reference)
             .workers(self.workers)
             .fuel(self.fuel)
+            .decode_cache(self.decode)
             .run()
     }
 
@@ -494,6 +516,7 @@ impl FaultAudit {
             .platform(platform)
             .workers(self.workers)
             .fuel(self.fuel)
+            .decode_cache(self.decode)
             .fault(platform, fault)
             .run()
     }
@@ -579,11 +602,14 @@ impl FaultAudit {
         // Round 1: the seed suite against every (fault, platform) cell.
         // The reference runs the suite exactly once; each cell simulates
         // only its faulted platform and compares against that baseline.
+        let mut perf = CampaignPerf::default();
         let suite_baseline = self.baseline(&self.suite, &[])?;
+        perf.absorb(suite_baseline.perf());
         let mut cells: Vec<AuditCell> = Vec::new();
         for &fault in &self.faults {
             for &platform in &platforms {
                 let report = self.faulted(fault, platform, &self.suite, &[])?;
+                perf.absorb(report.perf());
                 let outcome = self.classify(platform, 1, &suite_baseline, &report);
                 tally(&outcome);
                 cells.push(AuditCell {
@@ -633,9 +659,11 @@ impl FaultAudit {
                 .plan()?;
             scenarios_generated += plan.len();
             let scenario_baseline = self.baseline(&[], plan.scenarios())?;
+            perf.absorb(scenario_baseline.perf());
             for i in escaped {
                 let (fault, platform) = (cells[i].fault, cells[i].platform);
                 let report = self.faulted(fault, platform, &[], plan.scenarios())?;
+                perf.absorb(report.perf());
                 let outcome = self.classify(platform, 2 + round, &scenario_baseline, &report);
                 if outcome != CellOutcome::Masked {
                     tally(&outcome);
@@ -654,6 +682,7 @@ impl FaultAudit {
             suite_tests: self.suite.iter().map(|e| e.cells().len()).sum(),
             scenarios_generated,
             kill_counts,
+            perf,
         })
     }
 }

@@ -58,12 +58,13 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use advm_asm::{AsmError, Image, SourceSet};
 use advm_gen::{Scenario, ScenarioMeta};
 use advm_metrics::Table;
 use advm_sim::diverge::{compare, DivergenceReport};
-use advm_sim::{Platform, PlatformFault, RunResult};
+use advm_sim::{DecodedProgram, Platform, PlatformFault, RunResult};
 use advm_soc::{Derivative, PlatformId};
 use parking_lot::Mutex;
 
@@ -345,6 +346,75 @@ impl fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+/// Execution-performance telemetry for one campaign (or an aggregate
+/// over several, see [`CampaignPerf::absorb`]).
+///
+/// The simulated-instruction total and decode-cache counters are
+/// deterministic for a given campaign; wall time and the derived
+/// steps-per-second rate are measured and vary run to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignPerf {
+    /// Instructions retired across every run.
+    pub instructions: u64,
+    /// Wall-clock time of the execution phase (planning excluded).
+    pub wall: Duration,
+    /// Decode-cache hits summed over every run.
+    pub decode_hits: u64,
+    /// Decode-cache misses summed over every run.
+    pub decode_misses: u64,
+    /// Decode slots seeded from shared predecode artifacts.
+    pub decode_preloaded: u64,
+}
+
+impl CampaignPerf {
+    /// Simulated instructions per wall-clock second (0.0 for an
+    /// unmeasured or empty campaign).
+    pub fn steps_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / secs
+        }
+    }
+
+    /// Decode-cache hit rate in `0.0..=1.0` (1.0 when nothing fetched).
+    pub fn decode_hit_rate(&self) -> f64 {
+        advm_sim::DecodeStats {
+            hits: self.decode_hits,
+            misses: self.decode_misses,
+            ..advm_sim::DecodeStats::default()
+        }
+        .hit_rate()
+    }
+
+    /// Folds another perf block into this one (used by multi-campaign
+    /// drivers such as the fault audit).
+    pub fn absorb(&mut self, other: &CampaignPerf) {
+        self.instructions += other.instructions;
+        self.wall += other.wall;
+        self.decode_hits += other.decode_hits;
+        self.decode_misses += other.decode_misses;
+        self.decode_preloaded += other.decode_preloaded;
+    }
+
+    /// Renders the JSON object embedded in report documents.
+    pub(crate) fn to_json(self) -> String {
+        format!(
+            "{{\"instructions\":{},\"wall_ms\":{:.3},\"steps_per_sec\":{:.0},\
+             \"decode_hits\":{},\"decode_misses\":{},\"decode_preloaded\":{},\
+             \"decode_hit_rate\":{:.4}}}",
+            self.instructions,
+            self.wall.as_secs_f64() * 1e3,
+            self.steps_per_sec(),
+            self.decode_hits,
+            self.decode_misses,
+            self.decode_preloaded,
+            self.decode_hit_rate()
+        )
+    }
+}
+
 /// The collected campaign results, pre-indexed for lookup.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignReport {
@@ -365,10 +435,11 @@ pub struct CampaignReport {
     passed: usize,
     cache_hits: usize,
     unique_builds: usize,
+    perf: CampaignPerf,
 }
 
 impl CampaignReport {
-    fn new(runs: Vec<TestRun>, cache_hits: usize, unique_builds: usize) -> Self {
+    fn new(runs: Vec<TestRun>, cache_hits: usize, unique_builds: usize, wall: Duration) -> Self {
         let mut tests: Vec<(String, String)> = Vec::new();
         let mut platforms: Vec<PlatformId> = Vec::new();
         let mut test_of: HashMap<(String, String), usize> = HashMap::new();
@@ -401,6 +472,16 @@ impl CampaignReport {
                 passed += 1;
             }
         }
+        let mut perf = CampaignPerf {
+            wall,
+            ..CampaignPerf::default()
+        };
+        for run in &runs {
+            perf.instructions += run.result.insns;
+            perf.decode_hits += run.result.decode.hits;
+            perf.decode_misses += run.result.decode.misses;
+            perf.decode_preloaded += run.result.decode.preloaded;
+        }
         let mut divergences = Vec::new();
         for (t, (env, test)) in tests.iter().enumerate() {
             if runs_by_test[t].len() > 1 {
@@ -428,6 +509,7 @@ impl CampaignReport {
             passed,
             cache_hits,
             unique_builds,
+            perf,
         }
     }
 
@@ -468,6 +550,12 @@ impl CampaignReport {
     /// Distinct assemblies the campaign performed.
     pub fn unique_builds(&self) -> usize {
         self.unique_builds
+    }
+
+    /// Execution-performance telemetry: simulated instructions, wall
+    /// time, steps/sec and decode-cache counters.
+    pub fn perf(&self) -> &CampaignPerf {
+        &self.perf
     }
 
     /// The distinct `(env, test)` pairs in run order.
@@ -542,6 +630,7 @@ impl CampaignReport {
             "\"cache\":{{\"hits\":{},\"unique_builds\":{}}},",
             self.cache_hits, self.unique_builds
         ));
+        s.push_str(&format!("\"perf\":{},", self.perf.to_json()));
         s.push_str("\"scenarios\":[");
         for (i, meta) in self.scenarios.iter().enumerate() {
             if i > 0 {
@@ -764,11 +853,22 @@ impl CellFingerprint {
     }
 }
 
+/// One deduplicated build product: the linked image plus its shared
+/// predecode artifact. The artifact is built exactly once per distinct
+/// image (behind the same content key that dedupes the assembly) and
+/// every worker seeds its platform's decode cache from the same `Arc` —
+/// decode once per deduped image, not once per test × platform.
+struct Prebuilt {
+    image: Image,
+    /// `None` when the campaign's decode cache is disabled.
+    decoded: Option<Arc<DecodedProgram>>,
+}
+
 /// Shared build slots. The image slot dedupes whole-image builds across
 /// jobs with equal content keys; the ES slot additionally dedupes the
 /// embedded-software ROM assembly across *all* jobs that share an ES
 /// source (campaign-wide, since the ROM ignores the target platform).
-type ImageSlot = Arc<OnceLock<Result<Image, AsmError>>>;
+type ImageSlot = Arc<OnceLock<Result<Prebuilt, AsmError>>>;
 type EsSlot = Arc<OnceLock<Result<advm_asm::Program, AsmError>>>;
 
 /// One planned job: everything a worker needs, plus the shared build
@@ -795,16 +895,19 @@ struct Job {
 
 impl Job {
     /// Assembles this job's image: unit from its sources, ES ROM from
-    /// the shared slot, linked together. Runs on a worker thread, at
-    /// most once per image slot.
-    fn build(&self) -> Result<Image, AsmError> {
+    /// the shared slot, linked together — then predecodes it once for
+    /// every platform the content key covers. Runs on a worker thread,
+    /// at most once per image slot.
+    fn build(&self, decode: bool) -> Result<Prebuilt, AsmError> {
         let unit = advm_asm::assemble(crate::build::UNIT_FILE, &self.sources)?;
         let es = self
             .es_slot
             .get_or_init(|| advm_asm::assemble_str(&self.es_source))
             .as_ref()
             .map_err(Clone::clone)?;
-        link_programs(&unit, es)
+        let image = link_programs(&unit, es)?;
+        let decoded = decode.then(|| Arc::new(DecodedProgram::from_image(&image)));
+        Ok(Prebuilt { image, decoded })
     }
 }
 
@@ -822,6 +925,7 @@ pub struct Campaign {
     fuel: u64,
     fault: Option<(PlatformId, PlatformFault)>,
     cache: bool,
+    decode: bool,
     observers: Vec<Box<dyn CampaignObserver>>,
 }
 
@@ -858,6 +962,7 @@ impl Campaign {
             fuel: advm_sim::DEFAULT_FUEL,
             fault: None,
             cache: true,
+            decode: true,
             observers: Vec::new(),
         }
     }
@@ -945,6 +1050,16 @@ impl Campaign {
     /// the uncached baseline the benches compare against.
     pub fn cache(mut self, enabled: bool) -> Self {
         self.cache = enabled;
+        self
+    }
+
+    /// Enables or disables the predecoded-instruction cache (default:
+    /// enabled). Disabling skips both the shared predecode artifacts and
+    /// every platform's runtime decode cache, re-decoding each fetched
+    /// word — the pre-refactor simulation baseline. Verdicts, matrices
+    /// and divergences are identical either way.
+    pub fn decode_cache(mut self, enabled: bool) -> Self {
+        self.decode = enabled;
         self
     }
 
@@ -1122,6 +1237,7 @@ impl Campaign {
         let abort = std::sync::atomic::AtomicBool::new(false);
         let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
         let build_errors: Mutex<Vec<(usize, AsmError)>> = Mutex::new(Vec::new());
+        let started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -1135,9 +1251,9 @@ impl Campaign {
                         test_id: job.test_id.clone(),
                         platform: job.platform,
                     });
-                    let built = job.slot.get_or_init(|| job.build());
-                    let image = match built {
-                        Ok(image) => image,
+                    let built = job.slot.get_or_init(|| job.build(self.decode));
+                    let prebuilt = match built {
+                        Ok(prebuilt) => prebuilt,
                         Err(error) => {
                             emit(&|| CampaignEvent::JobFailed {
                                 env: job.env_name.clone(),
@@ -1159,7 +1275,13 @@ impl Campaign {
                     let mut platform =
                         Platform::with_fault(job.platform, &job.derivative, job.fault);
                     platform.set_fuel(self.fuel);
-                    platform.load_image(image);
+                    match &prebuilt.decoded {
+                        Some(decoded) => platform.load_prebuilt(&prebuilt.image, decoded),
+                        None => {
+                            platform.set_decode_cache(false);
+                            platform.load_image(&prebuilt.image);
+                        }
+                    }
                     let result = platform.run();
                     emit(&|| CampaignEvent::JobFinished {
                         env: job.env_name.clone(),
@@ -1201,12 +1323,13 @@ impl Campaign {
             });
         }
 
+        let wall = started.elapsed();
         let runs: Vec<TestRun> = results
             .into_inner()
             .into_iter()
             .map(|r| r.expect("every job produces a result"))
             .collect();
-        let report = CampaignReport::new(runs, cache_hits, unique_builds);
+        let report = CampaignReport::new(runs, cache_hits, unique_builds, wall);
         for (test, divergence) in report.divergences() {
             emit(&|| CampaignEvent::DivergenceDetected {
                 test: test.clone(),
@@ -1377,6 +1500,72 @@ t_fail:
         assert_eq!(a.cache_hits(), 7);
         assert_eq!(a.cache_hits(), b.cache_hits());
         assert_eq!(a.unique_builds(), b.unique_builds());
+    }
+
+    #[test]
+    fn decode_artifacts_shared_across_platforms_and_modes_agree() {
+        // One platform-independent cell on golden + RTL: the build cache
+        // dedupes to a single image, whose predecode artifact seeds both
+        // platforms' decode caches — so both runs report preloaded slots
+        // and the hot path hits.
+        let e = env(vec![passing_cell("TEST_A")]);
+        let cached = Campaign::new()
+            .env(e.clone())
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .run()
+            .unwrap();
+        assert_eq!(cached.unique_builds(), 1);
+        for run in cached.runs() {
+            assert!(
+                run.result.decode.preloaded > 0,
+                "every run starts from the shared artifact: {:?}",
+                run.result.decode
+            );
+            assert_eq!(
+                run.result.decode.misses, 0,
+                "predecode covers the whole image: {:?}",
+                run.result.decode
+            );
+        }
+        let perf = cached.perf();
+        assert!(perf.instructions > 0);
+        assert!(perf.decode_hits > 0);
+        assert!(perf.decode_hit_rate() > 0.99, "{perf:?}");
+
+        // Disabling the decode cache must not change any verdict.
+        let uncached = Campaign::new()
+            .env(e)
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .decode_cache(false)
+            .run()
+            .unwrap();
+        assert_eq!(uncached.perf().decode_hits, 0);
+        assert_eq!(uncached.perf().instructions, perf.instructions);
+        for run in cached.runs() {
+            let twin = uncached
+                .run_of(&run.env, &run.test_id, run.platform)
+                .expect("same job set");
+            assert_eq!(twin.result.passed(), run.result.passed());
+            assert_eq!(twin.result.insns, run.result.insns);
+            assert_eq!(twin.result.cycles, run.result.cycles);
+        }
+    }
+
+    #[test]
+    fn perf_block_appears_in_json() {
+        let e = env(vec![passing_cell("TEST_A")]);
+        let report = Campaign::new()
+            .env(e)
+            .platform(PlatformId::GoldenModel)
+            .run()
+            .unwrap();
+        let json = report.to_json();
+        assert!(json.contains("\"perf\":{\"instructions\":"), "{json}");
+        assert!(json.contains("\"steps_per_sec\":"), "{json}");
+        assert!(json.contains("\"decode_hit_rate\":"), "{json}");
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
     }
 
     #[test]

@@ -9,10 +9,12 @@
 
 use std::fmt;
 
-use advm_soc::memmap::{MemoryMap, NVM_SIZE, RAM_SIZE, RAM_START, ROM_SIZE, ROM_START};
+use advm_isa::Insn;
+use advm_soc::memmap::{MemoryMap, NVM_SIZE, NVM_START, RAM_SIZE, RAM_START, ROM_SIZE, ROM_START};
 use advm_soc::testbench::PlatformId;
 use advm_soc::{Derivative, RegionKind};
 
+use crate::decoded::{DecodeCache, DecodeStats, DecodedProgram, ExecRegion};
 use crate::fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 use crate::periph::{
     timer::TIMER_IRQ_LINE, CrcUnit, Intc, MailboxDevice, NvmController, PageModule, Timer, Uart,
@@ -85,6 +87,16 @@ pub struct SocBus {
     es_skew: bool,
     /// Fault injection: extra cycles charged per MMIO access (0 = none).
     mmio_wait: u64,
+    /// Predecoded-instruction cache over ROM/RAM/NVM words.
+    decode: DecodeCache,
+    /// Hoisted attention flag: true iff a watchdog bite is latched or an
+    /// enabled interrupt line is pending. The CPU fast path tests this
+    /// one bool instead of polling the peripherals every step.
+    async_work: bool,
+    /// Hoisted timing flag: true iff advancing time can change any
+    /// state (timer or watchdog armed, NVM operation in flight). While
+    /// false, [`SocBus::advance`] is a bare cycle-counter add.
+    timing_active: bool,
 }
 
 impl SocBus {
@@ -202,7 +214,32 @@ impl SocBus {
             mmio_touched: std::collections::BTreeSet::new(),
             es_skew,
             mmio_wait,
+            decode: DecodeCache::default(),
+            async_work: false,
+            timing_active: false,
         }
+    }
+
+    /// Recomputes the hoisted attention flag. Must be called whenever
+    /// the watchdog latch or the interrupt controller's pending/enabled
+    /// state may have changed.
+    fn recompute_async(&mut self) {
+        self.async_work = self.watchdog_bite || self.intc.active_line().is_some();
+    }
+
+    /// Recomputes the hoisted timing flag. Must be called whenever a
+    /// peripheral's armed/busy state may have changed.
+    fn recompute_timing(&mut self) {
+        self.timing_active = self.timer.armed() || self.wdt.armed() || self.nvmc.op_in_flight();
+    }
+
+    /// Whether an asynchronous cause (watchdog bite or pending enabled
+    /// IRQ) needs the CPU's attention. A single-bool fast-path check;
+    /// the CPU consults [`SocBus::take_watchdog_bite`] /
+    /// [`SocBus::pending_irq`] only when this is true.
+    #[inline]
+    pub fn async_pending(&self) -> bool {
+        self.async_work
     }
 
     /// Applies the ES-dispatch-skew fault to a ROM fetch address: reads
@@ -235,6 +272,7 @@ impl SocBus {
     /// produced by the assembler against the SC88 memory map, so this
     /// indicates a corrupt build, not user input.
     pub fn load_image(&mut self, image: &advm_asm::Image) {
+        self.decode.invalidate_all();
         for (addr, byte) in image.iter() {
             match self.memmap.region_at(addr).map(|r| r.kind()) {
                 Some(RegionKind::Rom) => self.rom[(addr - ROM_START) as usize] = byte,
@@ -247,6 +285,31 @@ impl SocBus {
         }
     }
 
+    /// Seeds the decode cache from a shared predecode artifact (see
+    /// [`DecodedProgram`]). Call after [`SocBus::load_image`] with the
+    /// artifact built from the *same* image; a no-op while the cache is
+    /// disabled.
+    pub fn seed_decoded(&mut self, program: &DecodedProgram) {
+        self.decode.preload(program);
+    }
+
+    /// Enables or disables the predecoded-instruction cache (default:
+    /// enabled). Disabled, every fetch re-decodes — the pre-refactor
+    /// baseline the benches compare against.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.decode.set_enabled(enabled);
+    }
+
+    /// Whether the predecoded-instruction cache is enabled.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.decode.enabled()
+    }
+
+    /// The run's decode-cache counters.
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.decode.stats
+    }
+
     /// The current cycle count.
     pub fn now(&self) -> u64 {
         self.now
@@ -256,6 +319,11 @@ impl SocBus {
     /// route to the interrupt controller, watchdog expiry latches.
     pub fn advance(&mut self, cycles: u64) {
         self.now += cycles;
+        // Fast path: with no timer or watchdog armed and no NVM op in
+        // flight, advancing time cannot change any state.
+        if !self.timing_active {
+            return;
+        }
         self.timer.tick(cycles);
         if self.timer.take_irq() {
             self.intc.raise(TIMER_IRQ_LINE);
@@ -269,6 +337,8 @@ impl SocBus {
                 crate::periph::nvmc::NvmOp::Write { offset, value } => {
                     let o = offset as usize;
                     self.nvm[o..o + 4].copy_from_slice(&value.to_le_bytes());
+                    self.decode
+                        .invalidate_word(ExecRegion::Nvm, (offset >> 2) as usize);
                 }
                 crate::periph::nvmc::NvmOp::Erase { offset } => {
                     let page = (offset / crate::periph::nvmc::PAGE_BYTES)
@@ -276,9 +346,16 @@ impl SocBus {
                     let p = page as usize;
                     let end = (p + crate::periph::nvmc::PAGE_BYTES as usize).min(self.nvm.len());
                     self.nvm[p..end].fill(0xFF);
+                    self.decode.invalidate_range(
+                        ExecRegion::Nvm,
+                        (page >> 2) as usize,
+                        (end - p) / 4,
+                    );
                 }
             }
         }
+        self.recompute_async();
+        self.recompute_timing();
     }
 
     /// The lowest pending enabled interrupt line, if any.
@@ -288,7 +365,11 @@ impl SocBus {
 
     /// Takes the watchdog-expiry edge.
     pub fn take_watchdog_bite(&mut self) -> bool {
-        std::mem::take(&mut self.watchdog_bite)
+        let bite = std::mem::take(&mut self.watchdog_bite);
+        if bite {
+            self.recompute_async();
+        }
+        bite
     }
 
     /// The test-bench mailbox (outcome, console, sim-end flag).
@@ -347,51 +428,122 @@ impl SocBus {
 
     /// Reads a 32-bit word.
     ///
+    /// Plain ROM/RAM/NVM traffic takes a region-split fast path (three
+    /// range compares); only MMIO and unmapped addresses reach the
+    /// peripheral match.
+    ///
     /// # Errors
     ///
     /// Returns a [`BusFault`] for misaligned or unmapped accesses.
+    #[inline]
     pub fn read32(&mut self, addr: u32) -> Result<u32, BusFault> {
         if !addr.is_multiple_of(4) {
             return Err(BusFault::Misaligned(addr));
         }
+        if addr < ROM_START + ROM_SIZE {
+            let fetch = if self.es_skew {
+                self.skewed_rom_addr(addr)
+            } else {
+                addr
+            };
+            return Ok(read_word(&self.rom, fetch - ROM_START));
+        }
+        if addr.wrapping_sub(RAM_START) < RAM_SIZE {
+            return Ok(read_word(&self.ram, addr - RAM_START));
+        }
+        if addr.wrapping_sub(NVM_START) < NVM_SIZE {
+            return Ok(read_word(&self.nvm, addr - NVM_START));
+        }
+        self.mmio_read32(addr)
+    }
+
+    /// The MMIO/unmapped slow path of [`SocBus::read32`].
+    fn mmio_read32(&mut self, addr: u32) -> Result<u32, BusFault> {
         match self.memmap.region_at(addr).map(|r| r.kind()) {
-            Some(RegionKind::Rom) => {
-                Ok(read_word(&self.rom, self.skewed_rom_addr(addr) - ROM_START))
-            }
-            Some(RegionKind::Ram) => Ok(read_word(&self.ram, addr - RAM_START)),
-            Some(RegionKind::Nvm) => Ok(read_word(&self.nvm, addr - advm_soc::memmap::NVM_START)),
             Some(RegionKind::Mmio) => match self.mapping_at(addr) {
                 Some((p, offset)) => {
                     self.mmio_touched.insert(addr);
                     if self.mmio_wait > 0 {
                         self.advance(self.mmio_wait);
                     }
-                    Ok(self.periph_read(p, offset))
+                    let value = self.periph_read(p, offset);
+                    self.recompute_async();
+                    self.recompute_timing();
+                    Ok(value)
                 }
                 None => Err(BusFault::Unmapped(addr)),
             },
-            None => Err(BusFault::Unmapped(addr)),
+            _ => Err(BusFault::Unmapped(addr)),
+        }
+    }
+
+    /// Fetches and decodes the instruction word at `addr` through the
+    /// predecoded-instruction cache. Returns the raw word and its
+    /// decoding (`None` = illegal instruction).
+    ///
+    /// Architecturally identical to `read32` + `decode`: ES-skew
+    /// redirected fetches bypass the cache (re-fetching the skewed slot
+    /// every time), and RAM/NVM slots are invalidated by the stores that
+    /// rewrite them, so the cached and uncached instruction streams are
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// The same [`BusFault`] classes as [`SocBus::read32`].
+    #[inline]
+    pub fn fetch_decoded(&mut self, addr: u32) -> Result<(u32, Option<Insn>), BusFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(BusFault::Misaligned(addr));
+        }
+        if self.es_skew && addr < ROM_START + ROM_SIZE {
+            let fetch = self.skewed_rom_addr(addr);
+            if fetch != addr {
+                // Jump-table skew: the redirected word is never cached
+                // under the requested address — always re-decode.
+                self.decode.stats.misses += 1;
+                let word = read_word(&self.rom, fetch - ROM_START);
+                return Ok((word, advm_isa::decode(word).ok()));
+            }
+        }
+        match ExecRegion::classify(addr) {
+            Some((ExecRegion::Rom, idx)) => Ok(self.decode.fetch(ExecRegion::Rom, &self.rom, idx)),
+            Some((ExecRegion::Ram, idx)) => Ok(self.decode.fetch(ExecRegion::Ram, &self.ram, idx)),
+            Some((ExecRegion::Nvm, idx)) => Ok(self.decode.fetch(ExecRegion::Nvm, &self.nvm, idx)),
+            None => {
+                // Executing out of MMIO: architecturally allowed, never
+                // cached (register reads have side effects).
+                let word = self.mmio_read32(addr)?;
+                self.decode.stats.misses += 1;
+                Ok((word, advm_isa::decode(word).ok()))
+            }
         }
     }
 
     /// Writes a 32-bit word.
+    ///
+    /// RAM stores take the region-split fast path and precisely
+    /// invalidate the decode-cache word they hit (self-modifying code).
     ///
     /// # Errors
     ///
     /// Returns a [`BusFault`] for misaligned, unmapped or read-only
     /// targets (ROM, and the NVM region, which is programmed only through
     /// the NVM controller).
+    #[inline]
     pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), BusFault> {
         if !addr.is_multiple_of(4) {
             return Err(BusFault::Misaligned(addr));
         }
+        if addr.wrapping_sub(RAM_START) < RAM_SIZE {
+            write_word(&mut self.ram, addr - RAM_START, value);
+            self.decode
+                .invalidate_word(ExecRegion::Ram, ((addr - RAM_START) >> 2) as usize);
+            return Ok(());
+        }
+        if addr < ROM_START + ROM_SIZE || addr.wrapping_sub(NVM_START) < NVM_SIZE {
+            return Err(BusFault::ReadOnly(addr));
+        }
         match self.memmap.region_at(addr).map(|r| r.kind()) {
-            Some(RegionKind::Rom) => Err(BusFault::ReadOnly(addr)),
-            Some(RegionKind::Nvm) => Err(BusFault::ReadOnly(addr)),
-            Some(RegionKind::Ram) => {
-                write_word(&mut self.ram, addr - RAM_START, value);
-                Ok(())
-            }
             Some(RegionKind::Mmio) => match self.mapping_at(addr) {
                 Some((p, offset)) => {
                     self.mmio_touched.insert(addr);
@@ -399,11 +551,13 @@ impl SocBus {
                         self.advance(self.mmio_wait);
                     }
                     self.periph_write(p, offset, value);
+                    self.recompute_async();
+                    self.recompute_timing();
                     Ok(())
                 }
                 None => Err(BusFault::Unmapped(addr)),
             },
-            None => Err(BusFault::Unmapped(addr)),
+            _ => Err(BusFault::Unmapped(addr)),
         }
     }
 
@@ -413,13 +567,20 @@ impl SocBus {
     ///
     /// Returns a [`BusFault`] for unmapped addresses or MMIO (registers
     /// are word-only).
+    #[inline]
     pub fn read8(&mut self, addr: u32) -> Result<u8, BusFault> {
+        if addr < ROM_START + ROM_SIZE {
+            return Ok(self.rom[(addr - ROM_START) as usize]);
+        }
+        if addr.wrapping_sub(RAM_START) < RAM_SIZE {
+            return Ok(self.ram[(addr - RAM_START) as usize]);
+        }
+        if addr.wrapping_sub(NVM_START) < NVM_SIZE {
+            return Ok(self.nvm[(addr - NVM_START) as usize]);
+        }
         match self.memmap.region_at(addr).map(|r| r.kind()) {
-            Some(RegionKind::Rom) => Ok(self.rom[(addr - ROM_START) as usize]),
-            Some(RegionKind::Ram) => Ok(self.ram[(addr - RAM_START) as usize]),
-            Some(RegionKind::Nvm) => Ok(self.nvm[(addr - advm_soc::memmap::NVM_START) as usize]),
             Some(RegionKind::Mmio) => Err(BusFault::ByteAccessToMmio(addr)),
-            None => Err(BusFault::Unmapped(addr)),
+            _ => Err(BusFault::Unmapped(addr)),
         }
     }
 
@@ -428,15 +589,20 @@ impl SocBus {
     /// # Errors
     ///
     /// Same classes as [`SocBus::write32`], plus MMIO byte access.
+    #[inline]
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
+        if addr.wrapping_sub(RAM_START) < RAM_SIZE {
+            self.ram[(addr - RAM_START) as usize] = value;
+            self.decode
+                .invalidate_word(ExecRegion::Ram, ((addr - RAM_START) >> 2) as usize);
+            return Ok(());
+        }
+        if addr < ROM_START + ROM_SIZE || addr.wrapping_sub(NVM_START) < NVM_SIZE {
+            return Err(BusFault::ReadOnly(addr));
+        }
         match self.memmap.region_at(addr).map(|r| r.kind()) {
-            Some(RegionKind::Rom) | Some(RegionKind::Nvm) => Err(BusFault::ReadOnly(addr)),
-            Some(RegionKind::Ram) => {
-                self.ram[(addr - RAM_START) as usize] = value;
-                Ok(())
-            }
             Some(RegionKind::Mmio) => Err(BusFault::ByteAccessToMmio(addr)),
-            None => Err(BusFault::Unmapped(addr)),
+            _ => Err(BusFault::Unmapped(addr)),
         }
     }
 }

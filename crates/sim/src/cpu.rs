@@ -5,12 +5,11 @@
 //! architectural semantics — matching the paper's premise that the same
 //! test code runs everywhere.
 
-use advm_isa::{
-    decode, vector_entry_addr, AddrReg, BitSrc, DataReg, Insn, Psw, TrapKind, RESET_PC,
-};
+use advm_isa::{vector_entry_addr, AddrReg, BitSrc, DataReg, Insn, Psw, TrapKind, RESET_PC};
 use advm_soc::memmap::STACK_TOP;
 
 use crate::bus::{BusFault, SocBus};
+use crate::trace::ExecTrace;
 
 /// Per-instruction cycle costs. Functional platforms use all-ones;
 /// cycle-accurate platforms charge extra for memory, multiply and taken
@@ -126,6 +125,22 @@ pub enum StepOutcome {
     Fatal(FatalError),
 }
 
+/// Why a batched [`Cpu::run`] call returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchExit {
+    /// The test-bench mailbox's `SIM_END` register was written.
+    SimEnd,
+    /// A `HALT` instruction retired.
+    Halted {
+        /// The halt code.
+        code: u8,
+    },
+    /// Execution hit a fatal condition (unhandled trap, double fault).
+    Fatal(FatalError),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+}
+
 /// The SC88 CPU state.
 #[derive(Debug, Clone)]
 pub struct Cpu {
@@ -189,44 +204,110 @@ impl Cpu {
     /// Executes one instruction (or takes one pending trap/interrupt).
     pub fn step(&mut self, bus: &mut SocBus, cost: &CostModel) -> StepOutcome {
         // Asynchronous causes first: watchdog (non-maskable), then IRQs.
-        if bus.take_watchdog_bite() {
-            return match self.enter_trap(bus, TrapKind::Watchdog, self.pc) {
+        // The bus maintains a single hoisted attention flag, so the
+        // no-async common case costs one predictable branch.
+        if bus.async_pending() {
+            if let Some(outcome) = self.take_async(bus, cost) {
+                return outcome;
+            }
+        }
+
+        let (_, insn) = match bus.fetch_decoded(self.pc) {
+            Ok(fetched) => fetched,
+            Err(fault) => return self.fault_to_trap(bus, fault),
+        };
+        let Some(insn) = insn else {
+            return match self.enter_trap(bus, TrapKind::IllegalInsn, self.pc + 4) {
                 Ok(()) => StepOutcome::Executed {
                     cycles: cost.base * cost.scale,
                     dbg: None,
                 },
                 Err(fatal) => StepOutcome::Fatal(fatal),
             };
+        };
+        self.exec(bus, cost, insn)
+    }
+
+    /// Takes one pending asynchronous cause, if any: watchdog bite
+    /// (non-maskable) first, then the lowest pending enabled IRQ.
+    fn take_async(&mut self, bus: &mut SocBus, cost: &CostModel) -> Option<StepOutcome> {
+        if bus.take_watchdog_bite() {
+            return Some(match self.enter_trap(bus, TrapKind::Watchdog, self.pc) {
+                Ok(()) => StepOutcome::Executed {
+                    cycles: cost.base * cost.scale,
+                    dbg: None,
+                },
+                Err(fatal) => StepOutcome::Fatal(fatal),
+            });
         }
         if self.psw.interrupts_enabled() {
             if let Some(line) = bus.pending_irq() {
-                return match self.enter_trap(bus, TrapKind::Irq(line), self.pc) {
+                return Some(match self.enter_trap(bus, TrapKind::Irq(line), self.pc) {
                     Ok(()) => StepOutcome::Executed {
                         cycles: cost.base * cost.scale,
                         dbg: None,
                     },
                     Err(fatal) => StepOutcome::Fatal(fatal),
-                };
+                });
             }
         }
+        None
+    }
 
-        let word = match bus.read32(self.pc) {
-            Ok(w) => w,
-            Err(fault) => return self.fault_to_trap(bus, fault),
-        };
-        let insn = match decode(word) {
-            Ok(i) => i,
-            Err(_) => {
-                return match self.enter_trap(bus, TrapKind::IllegalInsn, self.pc + 4) {
-                    Ok(()) => StepOutcome::Executed {
-                        cycles: cost.base * cost.scale,
-                        dbg: None,
-                    },
-                    Err(fatal) => StepOutcome::Fatal(fatal),
+    /// Runs until the mailbox ends the simulation, a `HALT` retires, a
+    /// fatal condition hits, or `fuel` further instructions have retired
+    /// — the batched alternative to calling [`Cpu::step`] in a loop,
+    /// with the end-of-run and asynchronous-cause checks hoisted to one
+    /// cheap test each per instruction.
+    ///
+    /// Time advances by each retired instruction's cycle cost, exactly
+    /// as the per-step loop does.
+    pub fn run(&mut self, bus: &mut SocBus, cost: &CostModel, fuel: u64) -> BatchExit {
+        self.run_observed(bus, cost, fuel, None, None)
+    }
+
+    /// [`Cpu::run`] with observation hooks: `trace` records each retired
+    /// `(pc, word)` (exactly as the legacy per-step driver did), `dbg`
+    /// collects `DBG` marker tags.
+    pub fn run_observed(
+        &mut self,
+        bus: &mut SocBus,
+        cost: &CostModel,
+        fuel: u64,
+        mut trace: Option<&mut ExecTrace>,
+        mut dbg: Option<&mut Vec<u8>>,
+    ) -> BatchExit {
+        let limit = self.retired.saturating_add(fuel);
+        loop {
+            if bus.mailbox().sim_ended() {
+                return BatchExit::SimEnd;
+            }
+            if self.retired >= limit {
+                return BatchExit::OutOfFuel;
+            }
+            if let Some(trace) = trace.as_deref_mut() {
+                if let Ok(word) = bus.read32(self.pc) {
+                    trace.record(self.pc, word);
                 }
             }
-        };
+            match self.step(bus, cost) {
+                StepOutcome::Executed {
+                    cycles,
+                    dbg: marker,
+                } => {
+                    bus.advance(u64::from(cycles));
+                    if let (Some(tag), Some(sink)) = (marker, dbg.as_deref_mut()) {
+                        sink.push(tag);
+                    }
+                }
+                StepOutcome::Halted { code } => return BatchExit::Halted { code },
+                StepOutcome::Fatal(fatal) => return BatchExit::Fatal(fatal),
+            }
+        }
+    }
 
+    /// Executes one decoded instruction.
+    fn exec(&mut self, bus: &mut SocBus, cost: &CostModel, insn: Insn) -> StepOutcome {
         let mut next_pc = self.pc + 4;
         let mut taken = false;
         let mut dbg = None;

@@ -1,0 +1,432 @@
+//! Predecoded instruction artifacts — decode once, dispatch many.
+//!
+//! The execution hot path used to re-fetch and re-decode every word
+//! through the full bus match on every step. This module provides the
+//! two halves of the cure:
+//!
+//! * [`DecodedProgram`] — an immutable, shareable predecode of a loaded
+//!   [`Image`]: every word the image covers, already run through
+//!   [`advm_isa::decode`]. Campaigns build one per *deduplicated* image
+//!   (behind the content-keyed build cache) and seed every worker's
+//!   platform from the same `Arc`, so a cell targeted at six platforms
+//!   decodes once, not six times.
+//! * `DecodeCache` (crate-internal) — the per-bus mutable cache the CPU
+//!   fetches through. Slots memoise `(word, decode(word))` per aligned word of
+//!   ROM, RAM and NVM; they are invalidated *precisely*: a RAM store
+//!   clears the word it hits (self-modifying code), an NVM-controller
+//!   program/erase clears the words it commits, and the ES-ROM
+//!   jump-table-skew fault bypasses the cache for redirected fetches —
+//!   so fault-audit matrices and golden traces are byte-identical with
+//!   the cache on or off.
+//!
+//! [`DecodeStats`] reports hits/misses/invalidations/preloads; the
+//! campaign layer aggregates them into its `perf` block.
+
+use advm_asm::Image;
+use advm_isa::{decode, Insn};
+use advm_soc::memmap::{MemoryMap, NVM_SIZE, NVM_START, RAM_SIZE, RAM_START, ROM_SIZE, ROM_START};
+use advm_soc::RegionKind;
+
+/// One predecoded word slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// Not decoded yet, or invalidated by a write.
+    Unknown,
+    /// The word decodes to an instruction.
+    Insn {
+        /// The raw fetched word.
+        word: u32,
+        /// Its decoding.
+        insn: Insn,
+    },
+    /// The word does not decode (illegal instruction).
+    Illegal {
+        /// The raw fetched word.
+        word: u32,
+    },
+}
+
+impl Slot {
+    fn of(word: u32) -> Self {
+        match decode(word) {
+            Ok(insn) => Slot::Insn { word, insn },
+            Err(_) => Slot::Illegal { word },
+        }
+    }
+}
+
+/// Decode-cache counters for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeStats {
+    /// Fetches served from a live slot.
+    pub hits: u64,
+    /// Fetches that had to decode (cold slot, invalidated slot, cache
+    /// disabled, or a skew-redirected / non-cacheable address).
+    pub misses: u64,
+    /// Slots cleared by writes (self-modifying RAM stores, NVM
+    /// programming, image loads).
+    pub invalidations: u64,
+    /// Slots seeded from a shared [`DecodedProgram`] artifact.
+    pub preloaded: u64,
+}
+
+impl DecodeStats {
+    /// Hit rate in `0.0..=1.0` (1.0 when nothing was fetched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An immutable predecode of every word an [`Image`] covers.
+///
+/// Built once per distinct image (the campaign layer keys it by the same
+/// content hash that dedupes builds) and shared across workers and
+/// platforms via `Arc`; [`crate::Platform::load_prebuilt`] seeds a
+/// platform's decode cache from it.
+#[derive(Debug, Clone, Default)]
+pub struct DecodedProgram {
+    /// `(word address, slot)` pairs, address-ascending.
+    entries: Vec<(u32, Slot)>,
+}
+
+impl DecodedProgram {
+    /// Predecodes every aligned word the image covers.
+    ///
+    /// Partially covered words are filled with the backing region's
+    /// reset byte (`0xFF` for NVM, `0` elsewhere) so the predecoded word
+    /// equals exactly what the bus would fetch after
+    /// [`crate::SocBus::load_image`]. Bytes outside ROM/RAM/NVM are
+    /// skipped (they are not executable memory).
+    pub fn from_image(image: &Image) -> Self {
+        let map = MemoryMap::sc88();
+        let mut entries = Vec::new();
+        let mut current: Option<(u32, [u8; 4], RegionKind)> = None;
+        let flush = |pending: &mut Option<(u32, [u8; 4], RegionKind)>,
+                     out: &mut Vec<(u32, Slot)>| {
+            if let Some((addr, bytes, _)) = pending.take() {
+                out.push((addr, Slot::of(u32::from_le_bytes(bytes))));
+            }
+        };
+        for (addr, byte) in image.iter() {
+            let word_addr = addr & !3;
+            let kind = match map.region_at(addr).map(|r| r.kind()) {
+                Some(kind @ (RegionKind::Rom | RegionKind::Ram | RegionKind::Nvm)) => kind,
+                _ => continue,
+            };
+            match &mut current {
+                Some((pending_addr, bytes, _)) if *pending_addr == word_addr => {
+                    bytes[(addr & 3) as usize] = byte;
+                }
+                _ => {
+                    flush(&mut current, &mut entries);
+                    let fill = if kind == RegionKind::Nvm { 0xFF } else { 0 };
+                    let mut bytes = [fill; 4];
+                    bytes[(addr & 3) as usize] = byte;
+                    current = Some((word_addr, bytes, kind));
+                }
+            }
+        }
+        flush(&mut current, &mut entries);
+        Self { entries }
+    }
+
+    /// Number of predecoded words.
+    pub fn words(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the artifact is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn entries(&self) -> &[(u32, Slot)] {
+        &self.entries
+    }
+}
+
+const ROM_WORDS: usize = (ROM_SIZE / 4) as usize;
+const RAM_WORDS: usize = (RAM_SIZE / 4) as usize;
+const NVM_WORDS: usize = (NVM_SIZE / 4) as usize;
+
+/// The per-bus decode cache: one lazily allocated slot array per
+/// executable region, plus the run's [`DecodeStats`].
+#[derive(Debug, Clone)]
+pub(crate) struct DecodeCache {
+    rom: Vec<Slot>,
+    ram: Vec<Slot>,
+    nvm: Vec<Slot>,
+    enabled: bool,
+    pub(crate) stats: DecodeStats,
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        Self {
+            rom: Vec::new(),
+            ram: Vec::new(),
+            nvm: Vec::new(),
+            enabled: true,
+            stats: DecodeStats::default(),
+        }
+    }
+}
+
+/// Which executable region a cached fetch targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExecRegion {
+    /// Read-only program memory.
+    Rom,
+    /// Volatile memory (self-modifying code lives here).
+    Ram,
+    /// Non-volatile memory (reprogrammed through the NVM controller).
+    Nvm,
+}
+
+impl ExecRegion {
+    /// Classifies an address, returning the region and its word index.
+    pub(crate) fn classify(addr: u32) -> Option<(Self, usize)> {
+        if addr < ROM_START + ROM_SIZE {
+            Some((ExecRegion::Rom, ((addr - ROM_START) >> 2) as usize))
+        } else if (RAM_START..RAM_START + RAM_SIZE).contains(&addr) {
+            Some((ExecRegion::Ram, ((addr - RAM_START) >> 2) as usize))
+        } else if (NVM_START..NVM_START + NVM_SIZE).contains(&addr) {
+            Some((ExecRegion::Nvm, ((addr - NVM_START) >> 2) as usize))
+        } else {
+            None
+        }
+    }
+}
+
+impl DecodeCache {
+    /// Enables or disables memoisation. Disabled, every fetch decodes
+    /// fresh (the pre-refactor baseline the benches compare against).
+    pub(crate) fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.rom.clear();
+            self.ram.clear();
+            self.nvm.clear();
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The slot array and word count of one region. A macro-free free
+    /// function keeps the borrow of the slot vector disjoint from the
+    /// stats counters.
+    fn region_of<'a>(
+        rom: &'a mut Vec<Slot>,
+        ram: &'a mut Vec<Slot>,
+        nvm: &'a mut Vec<Slot>,
+        region: ExecRegion,
+    ) -> (&'a mut Vec<Slot>, usize) {
+        match region {
+            ExecRegion::Rom => (rom, ROM_WORDS),
+            ExecRegion::Ram => (ram, RAM_WORDS),
+            ExecRegion::Nvm => (nvm, NVM_WORDS),
+        }
+    }
+
+    /// Fetches through the cache: `mem` is the region's backing array,
+    /// `idx` the word index within it. Returns the raw word and its
+    /// decoding (`None` = illegal).
+    pub(crate) fn fetch(
+        &mut self,
+        region: ExecRegion,
+        mem: &[u8],
+        idx: usize,
+    ) -> (u32, Option<Insn>) {
+        if !self.enabled {
+            self.stats.misses += 1;
+            let word = word_at(mem, idx);
+            return (word, decode(word).ok());
+        }
+        let (slots, words) = Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
+        if slots.is_empty() {
+            *slots = vec![Slot::Unknown; words];
+        }
+        let slot = match slots[idx] {
+            Slot::Unknown => {
+                let fresh = Slot::of(word_at(mem, idx));
+                slots[idx] = fresh;
+                self.stats.misses += 1;
+                fresh
+            }
+            live => {
+                self.stats.hits += 1;
+                live
+            }
+        };
+        match slot {
+            Slot::Insn { word, insn } => (word, Some(insn)),
+            Slot::Illegal { word } => (word, None),
+            Slot::Unknown => unreachable!("slot was just filled"),
+        }
+    }
+
+    /// Invalidates one word slot (no-op while the region is cold).
+    pub(crate) fn invalidate_word(&mut self, region: ExecRegion, idx: usize) {
+        let (slots, _) = Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
+        if !slots.is_empty() && slots[idx] != Slot::Unknown {
+            slots[idx] = Slot::Unknown;
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Invalidates a word range (NVM page erase).
+    pub(crate) fn invalidate_range(&mut self, region: ExecRegion, idx: usize, words: usize) {
+        for i in idx..idx + words {
+            self.invalidate_word(region, i);
+        }
+    }
+
+    /// Drops every slot (image load replaces backing memory wholesale).
+    pub(crate) fn invalidate_all(&mut self) {
+        for slots in [&mut self.rom, &mut self.ram, &mut self.nvm] {
+            if !slots.is_empty() {
+                self.stats.invalidations += 1;
+                slots.clear();
+            }
+        }
+    }
+
+    /// Seeds slots from a shared predecode artifact.
+    pub(crate) fn preload(&mut self, program: &DecodedProgram) {
+        if !self.enabled {
+            return;
+        }
+        for &(addr, slot) in program.entries() {
+            let Some((region, idx)) = ExecRegion::classify(addr) else {
+                continue;
+            };
+            let (slots, words) =
+                Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
+            if slots.is_empty() {
+                *slots = vec![Slot::Unknown; words];
+            }
+            slots[idx] = slot;
+            self.stats.preloaded += 1;
+        }
+    }
+}
+
+fn word_at(mem: &[u8], idx: usize) -> u32 {
+    let o = idx * 4;
+    u32::from_le_bytes([mem[o], mem[o + 1], mem[o + 2], mem[o + 3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_isa::encode;
+
+    use super::*;
+
+    #[test]
+    fn from_image_predecodes_loaded_words() {
+        let program = advm_asm::assemble_str("_main:\n    NOP\n    HALT #3\n").unwrap();
+        let mut image = Image::new();
+        image.load_program(&program).unwrap();
+        let decoded = DecodedProgram::from_image(&image);
+        assert_eq!(decoded.words(), 2);
+        let (addr, slot) = decoded.entries()[0];
+        assert_eq!(addr, 0x100, "reset PC word first");
+        assert_eq!(
+            slot,
+            Slot::Insn {
+                word: encode(&Insn::Nop),
+                insn: Insn::Nop
+            }
+        );
+    }
+
+    #[test]
+    fn nvm_fill_matches_erased_state() {
+        // One byte loaded into an NVM word: the other three must read as
+        // erased (0xFF), exactly what the bus fetch would return.
+        let mut image = Image::new();
+        let program = advm_asm::assemble_str(&format!(".ORG 0x{NVM_START:X}\n.BYTE 1\n")).unwrap();
+        image.load_program(&program).unwrap();
+        let decoded = DecodedProgram::from_image(&image);
+        assert_eq!(decoded.words(), 1);
+        let (_, slot) = decoded.entries()[0];
+        let word = match slot {
+            Slot::Insn { word, .. } | Slot::Illegal { word } => word,
+            Slot::Unknown => panic!("loaded word must be decoded"),
+        };
+        assert_eq!(word, 0xFFFF_FF01);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut cache = DecodeCache::default();
+        let mem = encode(&Insn::Nop).to_le_bytes().to_vec();
+        let (word, insn) = cache.fetch(ExecRegion::Rom, &mem, 0);
+        assert_eq!(word, encode(&Insn::Nop));
+        assert_eq!(insn, Some(Insn::Nop));
+        assert_eq!(cache.stats.misses, 1);
+        cache.fetch(ExecRegion::Rom, &mem, 0);
+        assert_eq!(cache.stats.hits, 1);
+    }
+
+    #[test]
+    fn invalidation_forces_redecode() {
+        let mut cache = DecodeCache::default();
+        let mut mem = encode(&Insn::Nop).to_le_bytes().to_vec();
+        cache.fetch(ExecRegion::Ram, &mem, 0);
+        mem.copy_from_slice(&encode(&Insn::Halt { code: 7 }).to_le_bytes());
+        // Stale without invalidation…
+        let (_, insn) = cache.fetch(ExecRegion::Ram, &mem, 0);
+        assert_eq!(insn, Some(Insn::Nop));
+        // …fresh after it.
+        cache.invalidate_word(ExecRegion::Ram, 0);
+        assert_eq!(cache.stats.invalidations, 1);
+        let (_, insn) = cache.fetch(ExecRegion::Ram, &mem, 0);
+        assert_eq!(insn, Some(Insn::Halt { code: 7 }));
+    }
+
+    #[test]
+    fn disabled_cache_always_decodes() {
+        let mut cache = DecodeCache::default();
+        cache.set_enabled(false);
+        let mem = encode(&Insn::Nop).to_le_bytes().to_vec();
+        cache.fetch(ExecRegion::Rom, &mem, 0);
+        cache.fetch(ExecRegion::Rom, &mem, 0);
+        assert_eq!(cache.stats.hits, 0);
+        assert_eq!(cache.stats.misses, 2);
+    }
+
+    #[test]
+    fn preload_seeds_slots_as_hits() {
+        let program = advm_asm::assemble_str("_main:\n    NOP\n    HALT #0\n").unwrap();
+        let mut image = Image::new();
+        image.load_program(&program).unwrap();
+        let decoded = DecodedProgram::from_image(&image);
+        let mut cache = DecodeCache::default();
+        cache.preload(&decoded);
+        assert_eq!(cache.stats.preloaded, 2);
+        let mem = vec![0u8; 0x200];
+        let (_, insn) = cache.fetch(ExecRegion::Rom, &mem, 0x100 / 4);
+        assert_eq!(insn, Some(Insn::Nop));
+        assert_eq!(cache.stats.hits, 1);
+        assert_eq!(cache.stats.misses, 0);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let stats = DecodeStats {
+            hits: 3,
+            misses: 1,
+            ..DecodeStats::default()
+        };
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(DecodeStats::default().hit_rate(), 1.0);
+    }
+}

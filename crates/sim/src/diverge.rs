@@ -156,6 +156,7 @@ mod tests {
             uart_tx: Vec::new(),
             dbg_markers: Vec::new(),
             mmio_touched: Vec::new(),
+            decode: crate::decoded::DecodeStats::default(),
         }
     }
 

@@ -38,6 +38,7 @@
 
 pub mod bus;
 pub mod cpu;
+pub mod decoded;
 pub mod diverge;
 pub mod fault;
 pub mod periph;
@@ -45,7 +46,8 @@ pub mod platform;
 pub mod trace;
 
 pub use bus::{BusFault, SocBus};
-pub use cpu::{CostModel, Cpu, FatalError, StepOutcome};
+pub use cpu::{BatchExit, CostModel, Cpu, FatalError, StepOutcome};
+pub use decoded::{DecodeStats, DecodedProgram};
 pub use diverge::{compare, DivergenceError, DivergenceReport};
 pub use fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 pub use platform::{run_image, EndReason, Platform, RunResult, DEFAULT_FUEL};

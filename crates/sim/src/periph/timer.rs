@@ -116,6 +116,12 @@ impl Timer {
     pub fn take_irq(&mut self) -> bool {
         std::mem::take(&mut self.irq_edge)
     }
+
+    /// Whether the timer is enabled — i.e. ticking it can change state.
+    /// The bus skips peripheral ticking entirely while nothing is armed.
+    pub fn armed(&self) -> bool {
+        self.ctrl & CTRL_EN != 0
+    }
 }
 
 #[cfg(test)]

@@ -84,6 +84,12 @@ impl Watchdog {
     pub fn take_expiry(&mut self) -> bool {
         std::mem::take(&mut self.expired_edge)
     }
+
+    /// Whether the watchdog is enabled — i.e. ticking it can change
+    /// state. The bus skips peripheral ticking while nothing is armed.
+    pub fn armed(&self) -> bool {
+        self.ctrl & CTRL_EN != 0
+    }
 }
 
 impl Default for Watchdog {

@@ -20,7 +20,8 @@ use advm_soc::testbench::{PlatformId, TestOutcome};
 use advm_soc::Derivative;
 
 use crate::bus::SocBus;
-use crate::cpu::{CostModel, Cpu, StepOutcome};
+use crate::cpu::{BatchExit, CostModel, Cpu};
+use crate::decoded::{DecodeStats, DecodedProgram};
 use crate::fault::PlatformFault;
 use crate::trace::ExecTrace;
 
@@ -69,6 +70,9 @@ pub struct RunResult {
     pub dbg_markers: Vec<u8>,
     /// Every MMIO register address the run touched (register coverage).
     pub mmio_touched: Vec<u32>,
+    /// Decode-cache counters for the run (perf telemetry, never part of
+    /// the architectural verdict).
+    pub decode: DecodeStats,
 }
 
 impl RunResult {
@@ -170,6 +174,25 @@ impl Platform {
         self.bus.load_image(image);
     }
 
+    /// Loads an image together with its shared predecode artifact: the
+    /// decode cache is seeded from `decoded` instead of decoding each
+    /// word on first fetch. The artifact must be built from the same
+    /// image (see [`DecodedProgram::from_image`]); campaigns build it
+    /// once per deduplicated image and share it across every worker and
+    /// platform.
+    pub fn load_prebuilt(&mut self, image: &Image, decoded: &DecodedProgram) {
+        self.bus.load_image(image);
+        self.bus.seed_decoded(decoded);
+    }
+
+    /// Enables or disables the predecoded-instruction cache (default:
+    /// enabled). The architectural stream is identical either way;
+    /// disabling re-decodes every fetch, the baseline the benches
+    /// compare against.
+    pub fn set_decode_cache(&mut self, enabled: bool) {
+        self.bus.set_decode_cache(enabled);
+    }
+
     /// Direct bus access for white-box assertions in tests/experiments.
     pub fn bus(&mut self) -> &mut SocBus {
         &mut self.bus
@@ -189,29 +212,21 @@ impl Platform {
 
         let mut dbg_markers = Vec::new();
         let debug_visible = self.id.has_debug_visibility();
-        let end = loop {
-            if self.bus.mailbox().sim_ended() {
-                break EndReason::SimEnd;
-            }
-            if self.cpu.retired() >= self.fuel {
-                break EndReason::OutOfFuel;
-            }
-            if let Some(trace) = &mut self.trace {
-                let pc = self.cpu.pc();
-                if let Ok(word) = self.bus.read32(pc) {
-                    trace.record(pc, word);
-                }
-            }
-            match self.cpu.step(&mut self.bus, &self.cost) {
-                StepOutcome::Executed { cycles, dbg } => {
-                    self.bus.advance(u64::from(cycles));
-                    if let (Some(tag), true) = (dbg, debug_visible) {
-                        dbg_markers.push(tag);
-                    }
-                }
-                StepOutcome::Halted { code } => break EndReason::Halt(code),
-                StepOutcome::Fatal(fatal) => break EndReason::Fatal(fatal.to_string()),
-            }
+        // The budget is absolute across repeated `run` calls, matching
+        // the legacy per-step driver's `retired >= fuel` check.
+        let remaining = self.fuel.saturating_sub(self.cpu.retired());
+        let exit = self.cpu.run_observed(
+            &mut self.bus,
+            &self.cost,
+            remaining,
+            self.trace.as_mut(),
+            debug_visible.then_some(&mut dbg_markers),
+        );
+        let end = match exit {
+            BatchExit::SimEnd => EndReason::SimEnd,
+            BatchExit::Halted { code } => EndReason::Halt(code),
+            BatchExit::OutOfFuel => EndReason::OutOfFuel,
+            BatchExit::Fatal(fatal) => EndReason::Fatal(fatal.to_string()),
         };
 
         RunResult {
@@ -224,6 +239,7 @@ impl Platform {
             uart_tx: self.bus.uart_tx().to_vec(),
             dbg_markers,
             mmio_touched: self.bus.mmio_touched().collect(),
+            decode: self.bus.decode_stats(),
         }
     }
 }

@@ -22,9 +22,17 @@ pub struct TraceRecord {
 }
 
 /// A bounded execution trace with a full-history signature.
+///
+/// The retained window is a true ring buffer: recording is O(1) at any
+/// capacity (the previous implementation shifted the whole window with
+/// `Vec::remove(0)` once full — O(capacity) per retired instruction on
+/// long exploration runs).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecTrace {
-    records: Vec<TraceRecord>,
+    /// Ring storage; once `ring.len() == capacity`, `head` is the
+    /// oldest record's index and new records overwrite in place.
+    ring: Vec<TraceRecord>,
+    head: usize,
     capacity: usize,
     dropped: u64,
     signature: u64,
@@ -35,7 +43,8 @@ impl ExecTrace {
     /// signature always covers the full history).
     pub fn new(capacity: usize) -> Self {
         Self {
-            records: Vec::new(),
+            ring: Vec::new(),
+            head: 0,
             capacity,
             dropped: 0,
             signature: 0xcbf2_9ce4_8422_2325,
@@ -52,16 +61,28 @@ impl ExecTrace {
             self.dropped += 1;
             return;
         }
-        if self.records.len() == self.capacity {
-            self.records.remove(0);
-            self.dropped += 1;
+        if self.ring.len() < self.capacity {
+            self.ring.push(TraceRecord { pc, word });
+            return;
         }
-        self.records.push(TraceRecord { pc, word });
+        self.ring[self.head] = TraceRecord { pc, word };
+        self.head = (self.head + 1) % self.capacity;
+        self.dropped += 1;
     }
 
-    /// The retained (most recent) records.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// The retained (most recent) records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.iter().copied().collect()
+    }
+
+    /// Iterates the retained window, oldest record first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring[self.head..].iter().chain(&self.ring[..self.head])
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Records that fell off the front of the window.
@@ -83,7 +104,7 @@ impl ExecTrace {
                 self.dropped
             ));
         }
-        for r in &self.records {
+        for r in self.iter() {
             match decode(r.word) {
                 Ok(insn) => out.push_str(&format!("{:05X}: {insn}\n", r.pc)),
                 Err(_) => out.push_str(&format!("{:05X}: .WORD 0x{:08X}\n", r.pc, r.word)),
@@ -98,7 +119,7 @@ impl fmt::Display for ExecTrace {
         write!(
             f,
             "trace[{} records, {} dropped, sig {:016x}]",
-            self.records.len(),
+            self.ring.len(),
             self.dropped,
             self.signature
         )
@@ -146,6 +167,22 @@ mod tests {
         let text = trace.disassembly();
         assert!(text.contains("00100: RETURN"), "{text}");
         assert!(text.contains(".WORD 0xFFFFFFFF"), "{text}");
+    }
+
+    #[test]
+    fn ring_window_keeps_most_recent_in_order() {
+        let mut trace = ExecTrace::new(3);
+        for pc in (0x100..0x118).step_by(4) {
+            trace.record(pc, encode(&Insn::Nop));
+        }
+        let pcs: Vec<u32> = trace.records().iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0x10C, 0x110, 0x114], "oldest first after wrap");
+        assert_eq!(trace.dropped(), 3);
+        assert_eq!(trace.capacity(), 3);
+        let listing = trace.disassembly();
+        assert!(listing.starts_with("... 3 earlier record(s) dropped ...\n"));
+        let first_insn = listing.lines().nth(1).unwrap();
+        assert!(first_insn.starts_with("0010C:"), "{listing}");
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Decode-cache invalidation: every path that can change an executable
+//! word must force a re-decode, and the cached instruction stream must
+//! be byte-identical to the uncached one.
+//!
+//! Three mutation paths exist: self-modifying RAM stores, NVM-controller
+//! programming, and the ES-ROM jump-table-skew fault (which redirects
+//! fetches away from the predecoded slot). Each is exercised end to end
+//! through guest code — no test reaches into the cache by hand.
+
+use advm_asm::{assemble_str, Image};
+use advm_isa::{encode, Insn};
+use advm_sim::{DecodedProgram, Platform, PlatformFault, RunResult};
+use advm_soc::{Derivative, PlatformId};
+
+fn image(asm: &str) -> Image {
+    let program = assemble_str(asm).unwrap_or_else(|e| panic!("{e}"));
+    let mut image = Image::new();
+    image.load_program(&program).unwrap();
+    image
+}
+
+/// Runs an image on the golden model four ways — decode cache enabled,
+/// disabled, and enabled with a predecoded artifact, plus a traced
+/// cached run — and asserts the architectural results are identical.
+/// Returns the cached run for further assertions.
+fn run_all_modes(img: &Image) -> RunResult {
+    let derivative = Derivative::sc88a();
+    let cached = {
+        let mut p = Platform::new(PlatformId::GoldenModel, &derivative);
+        p.load_image(img);
+        p.run()
+    };
+    let uncached = {
+        let mut p = Platform::new(PlatformId::GoldenModel, &derivative);
+        p.set_decode_cache(false);
+        p.load_image(img);
+        p.run()
+    };
+    let preloaded = {
+        let mut p = Platform::new(PlatformId::GoldenModel, &derivative);
+        p.load_prebuilt(img, &DecodedProgram::from_image(img));
+        p.run()
+    };
+    for other in [&uncached, &preloaded] {
+        assert_eq!(cached.end, other.end);
+        assert_eq!(cached.outcome, other.outcome);
+        assert_eq!(cached.insns, other.insns);
+        assert_eq!(cached.cycles, other.cycles);
+        assert_eq!(cached.console, other.console);
+    }
+    assert_eq!(uncached.decode.hits, 0, "disabled cache never hits");
+    cached
+}
+
+#[test]
+fn self_modifying_ram_write_forces_redecode() {
+    // Copy a two-instruction routine (LOAD d5, #1; RETURN) into RAM,
+    // call it, then overwrite the first word with LOAD d5, #2 and call
+    // again. A stale decode slot would return 1 twice.
+    let load1 = encode(&Insn::MovI {
+        rd: advm_isa::DataReg::D5,
+        imm: 1,
+    });
+    let load2 = encode(&Insn::MovI {
+        rd: advm_isa::DataReg::D5,
+        imm: 2,
+    });
+    let ret = encode(&Insn::Ret);
+    let img = image(&format!(
+        "\
+RAM_CODE .EQU 0x50000
+_main:
+    LOAD a4, #RAM_CODE
+    LOAD d1, #0x{load1:X}
+    STORE [a4], d1
+    LOAD d1, #0x{ret:X}
+    STORE [a4 + 4], d1
+    CALL a4
+    MOV d10, d5              ; first call: 1
+    LOAD d1, #0x{load2:X}
+    STORE [a4], d1           ; self-modify the RAM routine
+    CALL a4
+    MOV d11, d5              ; second call: 2
+    HALT #0
+"
+    ));
+    let derivative = Derivative::sc88a();
+    let mut platform = Platform::new(PlatformId::GoldenModel, &derivative);
+    platform.load_image(&img);
+    let result = platform.run();
+    assert_eq!(result.end, advm_sim::EndReason::Halt(0));
+    assert_eq!(platform.cpu().d(advm_isa::DataReg::D10), 1);
+    assert_eq!(
+        platform.cpu().d(advm_isa::DataReg::D11),
+        2,
+        "stale decode slot served the old instruction"
+    );
+    assert!(
+        result.decode.invalidations > 0,
+        "RAM stores over executed code must invalidate: {:?}",
+        result.decode
+    );
+    run_all_modes(&img);
+}
+
+#[test]
+fn nvmc_programming_forces_redecode() {
+    // Program `LOAD d5, #7; RETURN` into NVM through the controller,
+    // call it, then reprogram the first word (erase + write) to
+    // `LOAD d5, #9` and call again. The NVM commit happens inside
+    // `SocBus::advance`, which must invalidate the decoded words.
+    let load7 = encode(&Insn::MovI {
+        rd: advm_isa::DataReg::D5,
+        imm: 7,
+    });
+    let load9 = encode(&Insn::MovI {
+        rd: advm_isa::DataReg::D5,
+        imm: 9,
+    });
+    let ret = encode(&Insn::Ret);
+    let img = image(&format!(
+        "\
+NVMC .EQU 0xE0500
+NVM_BASE .EQU 0x80000
+_main:
+    CALL unlock
+    LOAD d1, #0              ; offset 0
+    LOAD d2, #0x{load7:X}
+    CALL program
+    LOAD d1, #4
+    LOAD d2, #0x{ret:X}
+    CALL program
+    LOAD a4, #NVM_BASE
+    CALL a4
+    MOV d10, d5              ; first call: 7
+    CALL unlock
+    LOAD d1, #0
+    STORE [NVMC + 0x08], d1
+    LOAD d1, #2              ; CMD_ERASE (page 0)
+    STORE [NVMC + 0x14], d1
+    CALL wait
+    CALL unlock
+    LOAD d1, #0
+    LOAD d2, #0x{load9:X}
+    CALL program
+    LOAD d1, #4
+    LOAD d2, #0x{ret:X}
+    CALL program
+    CALL a4
+    MOV d11, d5              ; second call: 9
+    HALT #0
+unlock:
+    LOAD d1, #0x55
+    STORE [NVMC], d1
+    LOAD d1, #0xAA
+    STORE [NVMC], d1
+    RETURN
+program:                     ; d1 = offset, d2 = word
+    STORE [NVMC + 0x08], d1
+    STORE [NVMC + 0x0C], d2
+    LOAD d3, #1              ; CMD_WRITE
+    STORE [NVMC + 0x14], d3
+wait:
+    LOAD d3, [NVMC + 0x10]   ; STATUS
+    ANDI d3, d3, #1          ; BUSY
+    CMP d3, #0
+    JNE wait
+    RETURN
+"
+    ));
+    let derivative = Derivative::sc88a();
+    let mut platform = Platform::new(PlatformId::GoldenModel, &derivative);
+    platform.load_image(&img);
+    let result = platform.run();
+    assert_eq!(result.end, advm_sim::EndReason::Halt(0), "{result}");
+    assert_eq!(platform.cpu().d(advm_isa::DataReg::D10), 7);
+    assert_eq!(
+        platform.cpu().d(advm_isa::DataReg::D11),
+        9,
+        "NVM reprogram must invalidate the decoded slots"
+    );
+    assert!(
+        result.decode.invalidations > 0,
+        "NVM commits over executed code must invalidate: {:?}",
+        result.decode
+    );
+    run_all_modes(&img);
+}
+
+#[test]
+fn es_jump_table_skew_bypasses_preloaded_decode() {
+    // Eight distinct HALT codes across the seven-slot ES jump table plus
+    // one word after it. On the skewed platform a jump into slot 0 must
+    // execute slot 1's word — even when the decode cache was preloaded
+    // from the *clean* image, which predecodes slot 0's own word at that
+    // address.
+    let img = image(
+        "\
+.ORG 0x30000
+    HALT #1
+    HALT #2
+    HALT #3
+    HALT #4
+    HALT #5
+    HALT #6
+    HALT #7
+    HALT #8
+_main:
+    JMP 0x30000
+",
+    );
+    let derivative = Derivative::sc88a();
+    let run_with = |fault: PlatformFault, preload: bool| {
+        let mut p = Platform::with_fault(PlatformId::GoldenModel, &derivative, fault);
+        if preload {
+            p.load_prebuilt(&img, &DecodedProgram::from_image(&img));
+        } else {
+            p.load_image(&img);
+        }
+        p.run()
+    };
+    let clean = run_with(PlatformFault::None, true);
+    assert_eq!(clean.end, advm_sim::EndReason::Halt(1));
+
+    for preload in [false, true] {
+        let skewed = run_with(PlatformFault::EsDispatchSkewed, preload);
+        assert_eq!(
+            skewed.end,
+            advm_sim::EndReason::Halt(2),
+            "skew must redirect the table fetch (preload={preload})"
+        );
+    }
+}
+
+#[test]
+fn decode_stats_reflect_loop_reuse() {
+    // A 100-iteration countdown: ~5 distinct words execute ~500 times.
+    // The cache must serve the overwhelming majority from hits.
+    let img = image(
+        "\
+_main:
+    LOAD d1, #100
+loop:
+    SUB d1, d1, #1
+    CMP d1, #0
+    JNE loop
+    HALT #0
+",
+    );
+    let result = run_all_modes(&img);
+    assert!(
+        result.decode.hits > 10 * result.decode.misses,
+        "loop fetches must hit: {:?}",
+        result.decode
+    );
+    assert!(result.decode.hit_rate() > 0.9, "{:?}", result.decode);
+}
+
+#[test]
+fn preloaded_artifact_starts_hot() {
+    let img = image("_main:\n    NOP\n    NOP\n    HALT #0\n");
+    let decoded = DecodedProgram::from_image(&img);
+    assert_eq!(decoded.words(), 3);
+    let derivative = Derivative::sc88a();
+    let mut platform = Platform::new(PlatformId::GoldenModel, &derivative);
+    platform.load_prebuilt(&img, &decoded);
+    let result = platform.run();
+    assert_eq!(result.decode.misses, 0, "{:?}", result.decode);
+    assert_eq!(result.decode.preloaded, 3);
+    assert_eq!(result.decode.hits, result.insns);
+}

@@ -266,6 +266,7 @@ fn regress(args: &[String]) -> Result<(), String> {
             report.cache_hits(),
             report.unique_builds()
         );
+        println!("{}", perf_line(report.perf()));
         for (test, divergence) in report.divergences() {
             println!("divergence in {test}:\n{divergence}");
         }
@@ -275,6 +276,17 @@ fn regress(args: &[String]) -> Result<(), String> {
     } else {
         Err(format!("{} failure(s)", report.failed()))
     }
+}
+
+/// Renders one human-readable execution-perf line.
+fn perf_line(perf: &advm::campaign::CampaignPerf) -> String {
+    format!(
+        "perf: {} insns in {:.1}ms ({:.2}M steps/s, decode hit rate {:.1}%)",
+        perf.instructions,
+        perf.wall.as_secs_f64() * 1e3,
+        perf.steps_per_sec() / 1e6,
+        100.0 * perf.decode_hit_rate(),
+    )
 }
 
 /// Parses an integer-valued flag, reporting the flag name on failure.
@@ -371,6 +383,7 @@ fn audit(args: &[String]) -> Result<(), String> {
             report.suite_tests(),
             report.scenarios_generated(),
         );
+        println!("{}", perf_line(report.perf()));
         for cell in report.escapes() {
             println!("ESCAPE: {} on {}", cell.fault, cell.platform);
         }

@@ -208,18 +208,54 @@ proptest! {
     }
 }
 
+/// Strips the measured `"perf":{...}` object out of a report JSON: wall
+/// time and the derived steps/sec vary run to run (and decode counters
+/// vary with the decode-cache mode), while everything else must be
+/// byte-identical across schedules and cache modes.
+fn strip_perf(json: &str) -> String {
+    let mut out = json.to_owned();
+    while let Some(start) = out.find("\"perf\":{") {
+        let brace = start + "\"perf\":".len();
+        let mut depth = 0usize;
+        let mut end = brace;
+        for (i, c) in out[brace..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = brace + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Also swallow one adjacent comma so the remainder stays valid.
+        let end = if out[end..].starts_with(',') {
+            end + 1
+        } else {
+            end
+        };
+        out.replace_range(start..end, "");
+    }
+    out
+}
+
 proptest! {
     // Each case sweeps several fault campaigns; a handful of cases keeps
     // the property meaningful without dominating the suite's runtime.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// A fault audit is scheduling-independent: serial (workers=1) and
-    /// parallel (workers=8) sweeps of the same (fault × platform) matrix
-    /// produce identical classifications, kill counts and JSON — the
-    /// determinism the suite-strength numbers rely on.
+    /// A fault audit is scheduling- and decode-cache-independent: serial
+    /// (workers=1) and parallel (workers=8) sweeps of the same
+    /// (fault × platform) matrix produce identical classifications, kill
+    /// counts and (perf-stripped) JSON, and running the whole sweep with
+    /// the predecoded-instruction cache disabled changes nothing either
+    /// — the determinism the suite-strength numbers rely on.
     #[test]
     fn fault_audit_matrix_independent_of_worker_count(seed in 0u64..1_000) {
-        let audit = |workers: usize| {
+        let audit = |workers: usize, decode: bool| {
             FaultAudit::new()
                 .suite([page_env(default_config(), 1), uart_env(default_config())])
                 .faults([
@@ -232,19 +268,31 @@ proptest! {
                 .seed(seed)
                 .fuel(200_000)
                 .workers(workers)
+                .decode_cache(decode)
                 .run()
                 .expect("audit runs")
         };
-        let serial = audit(1);
-        let parallel = audit(8);
-        prop_assert_eq!(serial.cells().len(), parallel.cells().len());
-        for (a, b) in serial.cells().iter().zip(parallel.cells()) {
-            prop_assert_eq!(a.fault, b.fault);
-            prop_assert_eq!(a.platform, b.platform);
-            prop_assert_eq!(&a.outcome, &b.outcome);
+        let serial = audit(1, true);
+        let parallel = audit(8, true);
+        let undecoded = audit(8, false);
+        for other in [&parallel, &undecoded] {
+            prop_assert_eq!(serial.cells().len(), other.cells().len());
+            for (a, b) in serial.cells().iter().zip(other.cells()) {
+                prop_assert_eq!(a.fault, b.fault);
+                prop_assert_eq!(a.platform, b.platform);
+                prop_assert_eq!(&a.outcome, &b.outcome);
+            }
+            prop_assert_eq!(serial.kill_counts(), other.kill_counts());
+            prop_assert_eq!(strip_perf(&serial.to_json()), strip_perf(&other.to_json()));
+            // The simulated-instruction total is deterministic even
+            // though wall time is not — and the decode cache must not
+            // change how many instructions retire.
+            prop_assert_eq!(serial.perf().instructions, other.perf().instructions);
         }
-        prop_assert_eq!(serial.kill_counts(), parallel.kill_counts());
-        prop_assert_eq!(serial.to_json(), parallel.to_json());
+        // The cached sweep shares predecoded artifacts; the uncached one
+        // must never hit.
+        prop_assert!(serial.perf().decode_hits > 0);
+        prop_assert_eq!(undecoded.perf().decode_hits, 0);
         // The audited suite is strong enough to kill the read-path fault
         // everywhere, and PAGE_MAP's dead write-enable dies only to the
         // escape-driven round.

@@ -9,7 +9,7 @@
 
 use advm::build::build_cell;
 use advm::presets::{default_config, page_env};
-use advm_sim::{ExecTrace, Platform, PlatformFault};
+use advm_sim::{DecodedProgram, ExecTrace, Platform, PlatformFault};
 use advm_soc::{Derivative, PlatformId};
 
 /// Committed golden-model trace of `PAGE/TEST_PAGE_SELECT_01`.
@@ -62,6 +62,35 @@ fn explicit_no_fault_platform_matches_the_default() {
         traced_run(|d| Platform::with_fault(PlatformId::GoldenModel, d, PlatformFault::None));
     assert_eq!(plain.signature(), explicit.signature());
     assert_eq!(plain.disassembly(), explicit.disassembly());
+}
+
+#[test]
+fn decode_cache_modes_preserve_the_golden_trace() {
+    // The predecoded-instruction cache is a pure memoisation: the traced
+    // stream must be byte-identical with the cache disabled, enabled
+    // (lazy), and seeded from a shared predecode artifact.
+    let plain = golden();
+    let uncached = traced_run(|d| {
+        let mut p = Platform::new(PlatformId::GoldenModel, d);
+        p.set_decode_cache(false);
+        p
+    });
+    assert_eq!(plain.signature(), uncached.signature());
+    assert_eq!(plain.disassembly(), uncached.disassembly());
+
+    let env = page_env(default_config(), 1);
+    let image = build_cell(&env, "TEST_PAGE_SELECT_01").expect("seed cell builds");
+    let decoded = DecodedProgram::from_image(&image);
+    let derivative = Derivative::sc88a();
+    let mut preloaded = Platform::new(PlatformId::GoldenModel, &derivative);
+    preloaded.enable_trace(1 << 16);
+    preloaded.load_prebuilt(&image, &decoded);
+    let result = preloaded.run();
+    assert!(result.passed(), "{result}");
+    assert_eq!(result.decode.misses, 0, "artifact covers the whole image");
+    let trace = preloaded.trace().expect("debug-visible platform");
+    assert_eq!(plain.signature(), trace.signature());
+    assert_eq!(plain.disassembly(), GOLDEN_TRACE);
 }
 
 #[test]
