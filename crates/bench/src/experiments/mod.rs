@@ -14,3 +14,4 @@ pub mod platforms;
 pub mod random_globals;
 pub mod release_labels;
 pub mod sim_throughput;
+pub mod snapshot_fork;

@@ -45,6 +45,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use advm_gen::{
     ConstraintError, CoverageDirected, CoverageFeedback, GlobalsConstraints, ScenarioEngine,
@@ -57,6 +58,7 @@ use crate::campaign::{
     default_workers, json_string, Campaign, CampaignError, CampaignPerf, CampaignReport,
 };
 use crate::env::ModuleTestEnv;
+use crate::prefix::{PrefixPool, DEFAULT_PREFIX_BUDGET};
 use crate::presets;
 
 /// A structured audit failure.
@@ -386,6 +388,8 @@ pub struct FaultAudit {
     workers: usize,
     fuel: u64,
     decode: bool,
+    fork_prefix: bool,
+    prefix_budget: u64,
 }
 
 impl Default for FaultAudit {
@@ -409,6 +413,8 @@ impl FaultAudit {
             workers: default_workers(),
             fuel: advm_sim::DEFAULT_FUEL,
             decode: true,
+            fork_prefix: true,
+            prefix_budget: DEFAULT_PREFIX_BUDGET,
         }
     }
 
@@ -483,6 +489,26 @@ impl FaultAudit {
         self
     }
 
+    /// Enables or disables snapshot-based prefix forking (default:
+    /// enabled). When enabled, one [`PrefixPool`] is shared by every
+    /// faulted campaign of the sweep: each deduplicated image's shared
+    /// fault-free prefix executes once per platform and every matrix
+    /// cell forks from the snapshot when that is provably
+    /// byte-identical to running from reset. The detection matrix,
+    /// verdicts and kill counts are identical either way — only the
+    /// `prefix_saved`/`forked_runs` perf counters and wall time change.
+    pub fn fork_prefix(mut self, enabled: bool) -> Self {
+        self.fork_prefix = enabled;
+        self
+    }
+
+    /// Sets the instruction budget of the shared prefix (default
+    /// [`DEFAULT_PREFIX_BUDGET`]); ignored when forking is disabled.
+    pub fn prefix_budget(mut self, budget: u64) -> Self {
+        self.prefix_budget = budget;
+        self
+    }
+
     /// Runs the fault-free reference baseline for a stimulus set — once,
     /// shared by every matrix cell of the sweep, instead of re-simulating
     /// the reference inside each faulted campaign.
@@ -509,16 +535,20 @@ impl FaultAudit {
         platform: PlatformId,
         envs: &[ModuleTestEnv],
         scenarios: &[advm_gen::Scenario],
+        pool: Option<&Arc<PrefixPool>>,
     ) -> Result<CampaignReport, CampaignError> {
-        Campaign::new()
+        let mut campaign = Campaign::new()
             .envs(envs.iter().cloned())
             .scenarios(scenarios.iter().cloned())
             .platform(platform)
             .workers(self.workers)
             .fuel(self.fuel)
             .decode_cache(self.decode)
-            .fault(platform, fault)
-            .run()
+            .fault(platform, fault);
+        if let Some(pool) = pool {
+            campaign = campaign.prefix_pool(Arc::clone(pool));
+        }
+        campaign.run()
     }
 
     /// Classifies one cell by comparing every test's faulted run against
@@ -602,13 +632,22 @@ impl FaultAudit {
         // Round 1: the seed suite against every (fault, platform) cell.
         // The reference runs the suite exactly once; each cell simulates
         // only its faulted platform and compares against that baseline.
+        // One prefix pool for the whole sweep: the matrix re-runs the
+        // same images dozens of times (13 faults × platforms), so the
+        // shared fault-free prefixes pay for themselves many times
+        // over. The fault-free baselines are excluded — they are run
+        // once anyway, and they are what the snapshots must be proven
+        // against.
+        let pool = self
+            .fork_prefix
+            .then(|| Arc::new(PrefixPool::new(self.prefix_budget)));
         let mut perf = CampaignPerf::default();
         let suite_baseline = self.baseline(&self.suite, &[])?;
         perf.absorb(suite_baseline.perf());
         let mut cells: Vec<AuditCell> = Vec::new();
         for &fault in &self.faults {
             for &platform in &platforms {
-                let report = self.faulted(fault, platform, &self.suite, &[])?;
+                let report = self.faulted(fault, platform, &self.suite, &[], pool.as_ref())?;
                 perf.absorb(report.perf());
                 let outcome = self.classify(platform, 1, &suite_baseline, &report);
                 tally(&outcome);
@@ -662,7 +701,7 @@ impl FaultAudit {
             perf.absorb(scenario_baseline.perf());
             for i in escaped {
                 let (fault, platform) = (cells[i].fault, cells[i].platform);
-                let report = self.faulted(fault, platform, &[], plan.scenarios())?;
+                let report = self.faulted(fault, platform, &[], plan.scenarios(), pool.as_ref())?;
                 perf.absorb(report.perf());
                 let outcome = self.classify(platform, 2 + round, &scenario_baseline, &report);
                 if outcome != CellOutcome::Masked {
@@ -848,6 +887,59 @@ mod tests {
             FaultAudit::new().platforms([PlatformId::GoldenModel]).run(),
             Err(AuditError::NoPlatforms)
         ));
+    }
+
+    #[test]
+    fn forked_audit_matrix_matches_from_reset_and_saves_prefix_work() {
+        let from_reset = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([
+                PlatformFault::PageActiveOffByOne,
+                PlatformFault::UartDropsBytes,
+                PlatformFault::TimerNeverExpires,
+            ])
+            .platforms([PlatformId::RtlSim, PlatformId::ProductSilicon])
+            .escape_rounds(0)
+            .workers(2)
+            .fork_prefix(false)
+            .run()
+            .unwrap();
+        assert_eq!(from_reset.perf().prefix_saved, 0);
+        assert_eq!(from_reset.perf().forked_runs, 0);
+
+        let forked = FaultAudit::new()
+            .suite(tiny_suite())
+            .faults([
+                PlatformFault::PageActiveOffByOne,
+                PlatformFault::UartDropsBytes,
+                PlatformFault::TimerNeverExpires,
+            ])
+            .platforms([PlatformId::RtlSim, PlatformId::ProductSilicon])
+            .escape_rounds(0)
+            .workers(2)
+            .run()
+            .unwrap();
+        assert!(
+            forked.perf().prefix_saved > 0,
+            "shared prefixes must skip re-execution: {:?}",
+            forked.perf()
+        );
+        assert!(forked.perf().forked_runs > 0);
+        let json = forked.to_json();
+        assert!(json.contains("\"prefix_saved\":"), "{json}");
+
+        // Cell-for-cell identical classifications and kill counts.
+        assert_eq!(forked.cells().len(), from_reset.cells().len());
+        for cell in from_reset.cells() {
+            let twin = forked.cell(cell.fault, cell.platform).unwrap();
+            assert_eq!(
+                twin.outcome, cell.outcome,
+                "{:?} on {:?}",
+                cell.fault, cell.platform
+            );
+        }
+        assert_eq!(forked.kill_counts(), from_reset.kill_counts());
+        assert_eq!(forked.kill_rate(), from_reset.kill_rate());
     }
 
     #[test]

@@ -56,7 +56,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -64,12 +64,16 @@ use advm_asm::{AsmError, Image, SourceSet};
 use advm_gen::{Scenario, ScenarioMeta};
 use advm_metrics::Table;
 use advm_sim::diverge::{compare, DivergenceReport};
-use advm_sim::{DecodedProgram, Platform, PlatformFault, RunResult};
+use advm_sim::{
+    bisect_divergence, DecodedProgram, EndReason, FirstDivergence, Platform, PlatformFault,
+    RunResult,
+};
 use advm_soc::{Derivative, PlatformId};
 use parking_lot::Mutex;
 
 use crate::build::{es_rom_source, link_programs, unit_sources};
 use crate::env::{EnvConfig, ModuleTestEnv, GLOBALS_FILE};
+use crate::prefix::{PrefixEntry, PrefixPool};
 
 /// Picks a worker count from the machine's available parallelism.
 pub(crate) fn default_workers() -> usize {
@@ -364,6 +368,12 @@ pub struct CampaignPerf {
     pub decode_misses: u64,
     /// Decode slots seeded from shared predecode artifacts.
     pub decode_preloaded: u64,
+    /// Prefix instructions runs skipped by forking from a shared
+    /// snapshot instead of re-executing from reset (see
+    /// [`crate::prefix::PrefixPool`]).
+    pub prefix_saved: u64,
+    /// Runs that started from a forked snapshot rather than reset.
+    pub forked_runs: u64,
 }
 
 impl CampaignPerf {
@@ -396,6 +406,8 @@ impl CampaignPerf {
         self.decode_hits += other.decode_hits;
         self.decode_misses += other.decode_misses;
         self.decode_preloaded += other.decode_preloaded;
+        self.prefix_saved += other.prefix_saved;
+        self.forked_runs += other.forked_runs;
     }
 
     /// Renders the JSON object embedded in report documents.
@@ -403,14 +415,16 @@ impl CampaignPerf {
         format!(
             "{{\"instructions\":{},\"wall_ms\":{:.3},\"steps_per_sec\":{:.0},\
              \"decode_hits\":{},\"decode_misses\":{},\"decode_preloaded\":{},\
-             \"decode_hit_rate\":{:.4}}}",
+             \"decode_hit_rate\":{:.4},\"prefix_saved\":{},\"forked_runs\":{}}}",
             self.instructions,
             self.wall.as_secs_f64() * 1e3,
             self.steps_per_sec(),
             self.decode_hits,
             self.decode_misses,
             self.decode_preloaded,
-            self.decode_hit_rate()
+            self.decode_hit_rate(),
+            self.prefix_saved,
+            self.forked_runs
         )
     }
 }
@@ -693,14 +707,33 @@ impl CampaignReport {
             if i > 0 {
                 s.push(',');
             }
-            s.push_str(&format!("{{\"test\":{},\"divergent\":[", json_string(test)));
+            s.push_str(&format!(
+                "{{\"test\":{},\"ambiguous\":{},\"divergent\":[",
+                json_string(test),
+                report.ambiguous
+            ));
             for (j, p) in report.divergent.iter().enumerate() {
                 if j > 0 {
                     s.push(',');
                 }
                 s.push_str(&format!("\"{}\"", p.name()));
             }
-            s.push_str("]}");
+            s.push(']');
+            if let Some(b) = &report.bisection {
+                s.push_str(&format!(
+                    ",\"bisection\":{{\"step\":{},\"platform_a\":\"{}\",\
+                     \"platform_b\":\"{}\",\"pc_a\":\"0x{:05X}\",\"pc_b\":\"0x{:05X}\",\
+                     \"insn_a\":{},\"insn_b\":{}}}",
+                    b.step,
+                    b.platform_a.name(),
+                    b.platform_b.name(),
+                    b.pc_a,
+                    b.pc_b,
+                    json_string(&b.insn_a),
+                    json_string(&b.insn_b)
+                ));
+            }
+            s.push('}');
         }
         s.push_str("]}");
         s
@@ -891,6 +924,9 @@ struct Job {
     /// Whether the planner marked this job a cache hit (not the first
     /// job of its content key). Deterministic, independent of scheduling.
     planned_hit: bool,
+    /// The build cache's content key, when the cache is enabled; also
+    /// keys shared prefix snapshots in a [`PrefixPool`].
+    content_key: Option<u64>,
 }
 
 impl Job {
@@ -926,6 +962,8 @@ pub struct Campaign {
     fault: Option<(PlatformId, PlatformFault)>,
     cache: bool,
     decode: bool,
+    prefix_pool: Option<Arc<PrefixPool>>,
+    bisect: bool,
     observers: Vec<Box<dyn CampaignObserver>>,
 }
 
@@ -939,6 +977,8 @@ impl fmt::Debug for Campaign {
             .field("fuel", &self.fuel)
             .field("fault", &self.fault)
             .field("cache", &self.cache)
+            .field("prefix_pool", &self.prefix_pool.is_some())
+            .field("bisect", &self.bisect)
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -963,6 +1003,8 @@ impl Campaign {
             fault: None,
             cache: true,
             decode: true,
+            prefix_pool: None,
+            bisect: false,
             observers: Vec::new(),
         }
     }
@@ -1060,6 +1102,30 @@ impl Campaign {
     /// and divergences are identical either way.
     pub fn decode_cache(mut self, enabled: bool) -> Self {
         self.decode = enabled;
+        self
+    }
+
+    /// Attaches a shared [`PrefixPool`]: runs fork from a shared
+    /// fault-free prefix snapshot whenever that is provably
+    /// byte-identical to running from reset, skipping the prefix's
+    /// re-execution. Requires the build cache (the pool keys on content
+    /// keys); with the cache disabled the pool is ignored. Verdicts,
+    /// matrices and divergences are identical with or without a pool —
+    /// only the `prefix_saved`/`forked_runs` perf counters and wall
+    /// time change.
+    pub fn prefix_pool(mut self, pool: Arc<PrefixPool>) -> Self {
+        self.prefix_pool = Some(pool);
+        self
+    }
+
+    /// Enables divergence bisection: for every divergent test, the
+    /// sealed report's [`DivergenceReport::bisection`] pinpoints the
+    /// first retired instruction at which the divergent platform's
+    /// architectural state departs from the majority side
+    /// (snapshot-powered binary search, see
+    /// [`advm_sim::bisect_divergence`]).
+    pub fn bisect(mut self, enabled: bool) -> Self {
+        self.bisect = enabled;
         self
     }
 
@@ -1173,9 +1239,11 @@ impl Campaign {
                             source,
                         }
                     })?;
-                    let (slot, planned_hit) = if self.cache {
-                        let key = fingerprints[cell_idx].content_key(ported.globals_text());
-                        match slots.entry(key) {
+                    let content_key = self
+                        .cache
+                        .then(|| fingerprints[cell_idx].content_key(ported.globals_text()));
+                    let (slot, planned_hit) = match content_key {
+                        Some(key) => match slots.entry(key) {
                             std::collections::hash_map::Entry::Occupied(e) => {
                                 cache_hits += 1;
                                 (Arc::clone(e.get()), true)
@@ -1183,9 +1251,8 @@ impl Campaign {
                             std::collections::hash_map::Entry::Vacant(e) => {
                                 (Arc::clone(e.insert(Arc::default())), false)
                             }
-                        }
-                    } else {
-                        (Arc::default(), false)
+                        },
+                        None => (Arc::default(), false),
                     };
                     jobs.push(Job {
                         env_name: ported.name().to_owned(),
@@ -1201,6 +1268,7 @@ impl Campaign {
                         // ES ROM too, matching the pre-redesign baseline.
                         es_slot: shared_es_slot.clone().unwrap_or_default(),
                         planned_hit,
+                        content_key,
                     });
                 }
             }
@@ -1237,6 +1305,8 @@ impl Campaign {
         let abort = std::sync::atomic::AtomicBool::new(false);
         let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
         let build_errors: Mutex<Vec<(usize, AsmError)>> = Mutex::new(Vec::new());
+        let prefix_saved = AtomicU64::new(0);
+        let forked_runs = AtomicU64::new(0);
         let started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -1272,17 +1342,14 @@ impl Campaign {
                         platform: job.platform,
                         cache_hit: job.planned_hit,
                     });
-                    let mut platform =
-                        Platform::with_fault(job.platform, &job.derivative, job.fault);
-                    platform.set_fuel(self.fuel);
-                    match &prebuilt.decoded {
-                        Some(decoded) => platform.load_prebuilt(&prebuilt.image, decoded),
-                        None => {
-                            platform.set_decode_cache(false);
-                            platform.load_image(&prebuilt.image);
-                        }
-                    }
-                    let result = platform.run();
+                    let result = execute_job(
+                        job,
+                        prebuilt,
+                        self.fuel,
+                        self.prefix_pool.as_deref(),
+                        &prefix_saved,
+                        &forked_runs,
+                    );
                     emit(&|| CampaignEvent::JobFinished {
                         env: job.env_name.clone(),
                         test_id: job.test_id.clone(),
@@ -1329,7 +1396,14 @@ impl Campaign {
             .into_iter()
             .map(|r| r.expect("every job produces a result"))
             .collect();
-        let report = CampaignReport::new(runs, cache_hits, unique_builds, wall);
+        let mut report = CampaignReport::new(runs, cache_hits, unique_builds, wall);
+        report.perf.prefix_saved = prefix_saved.into_inner();
+        report.perf.forked_runs = forked_runs.into_inner();
+        if self.bisect {
+            for (test, divergence) in report.divergences.iter_mut() {
+                divergence.bisection = bisect_test(self.fuel, test, divergence, &jobs);
+            }
+        }
         for (test, divergence) in report.divergences() {
             emit(&|| CampaignEvent::DivergenceDetected {
                 test: test.clone(),
@@ -1344,6 +1418,120 @@ impl Campaign {
         });
         Ok(report)
     }
+}
+
+/// Runs one job — forked from a shared prefix snapshot when a pool is
+/// attached and the fork is provably byte-identical to running from
+/// reset, from reset otherwise.
+fn execute_job(
+    job: &Job,
+    prebuilt: &Prebuilt,
+    fuel: u64,
+    pool: Option<&PrefixPool>,
+    prefix_saved: &AtomicU64,
+    forked_runs: &AtomicU64,
+) -> RunResult {
+    if let (Some(pool), Some(key)) = (pool, job.content_key) {
+        let slot = pool.slot(key, job.platform);
+        let entry = slot.get_or_init(|| {
+            // The shared prefix is always fault-free: every run of the
+            // campaign (whatever its fault) forks from the same
+            // machine, and per-fault safety is decided below.
+            let budget = pool.budget().min(fuel);
+            if budget == 0 {
+                return None;
+            }
+            let mut prefix = Platform::new(job.platform, &job.derivative);
+            prefix.set_fuel(budget);
+            load_into(&mut prefix, prebuilt);
+            let result = prefix.run();
+            // A prefix that ended for any reason other than budget
+            // exhaustion finished the test: nothing left to fork.
+            (result.end == EndReason::OutOfFuel)
+                .then(|| PrefixEntry::capture(&prefix, result.insns, result.dbg_markers))
+        });
+        // Fork-safety is checked on the captured mask so an unsafe
+        // fault falls back to from-reset without ever deserializing
+        // the snapshot.
+        if let Some(entry) = entry.as_ref().filter(|e| e.fork_safe(job.fault)) {
+            if let Ok(mut platform) =
+                Platform::from_snapshot(&entry.state, &job.derivative, job.fault)
+            {
+                platform.set_fuel(fuel);
+                if let Some(decoded) = &prebuilt.decoded {
+                    // The snapshot restores decode *stats* but not
+                    // slots; re-seed from the shared artifact so the
+                    // continuation stays hot.
+                    platform.bus().seed_decoded(decoded);
+                }
+                let mut result = platform.run();
+                // Markers are collected per run() call; the
+                // continuation inherits the prefix's.
+                let mut markers = entry.dbg_markers.clone();
+                markers.append(&mut result.dbg_markers);
+                result.dbg_markers = markers;
+                prefix_saved.fetch_add(entry.retired, Ordering::Relaxed);
+                forked_runs.fetch_add(1, Ordering::Relaxed);
+                return result;
+            }
+        }
+    }
+    let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
+    platform.set_fuel(fuel);
+    load_into(&mut platform, prebuilt);
+    platform.run()
+}
+
+/// Loads a built image (and its predecode artifact, when enabled) into
+/// a fresh platform.
+fn load_into(platform: &mut Platform, prebuilt: &Prebuilt) {
+    match &prebuilt.decoded {
+        Some(decoded) => platform.load_prebuilt(&prebuilt.image, decoded),
+        None => {
+            platform.set_decode_cache(false);
+            platform.load_image(&prebuilt.image);
+        }
+    }
+}
+
+/// Bisects one divergent test: re-runs the first divergent platform
+/// against a majority-side anchor (the golden model when present) under
+/// snapshot binary search, yielding the first retired instruction at
+/// which their architectural states depart.
+fn bisect_test(
+    fuel: u64,
+    test: &str,
+    divergence: &DivergenceReport,
+    jobs: &[Job],
+) -> Option<FirstDivergence> {
+    let (env, test_id) = test.split_once('/')?;
+    let target = *divergence.divergent.first()?;
+    let candidates: Vec<&Job> = jobs
+        .iter()
+        .filter(|j| j.env_name == env && j.test_id == test_id)
+        .collect();
+    let anchor = candidates
+        .iter()
+        .find(|j| {
+            j.platform == PlatformId::GoldenModel && !divergence.divergent.contains(&j.platform)
+        })
+        .or_else(|| {
+            candidates
+                .iter()
+                .find(|j| !divergence.divergent.contains(&j.platform))
+        })?;
+    let target = candidates.iter().find(|j| j.platform == target)?;
+    let fresh = |job: &Job| -> Option<Platform> {
+        let prebuilt = job.slot.get()?.as_ref().ok()?;
+        let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
+        platform.set_fuel(fuel);
+        platform.enable_trace(16);
+        load_into(&mut platform, prebuilt);
+        Some(platform)
+    };
+    let mut a = fresh(anchor)?;
+    let mut b = fresh(target)?;
+    bisect_divergence(&mut a, &mut b, fuel).ok().flatten()
 }
 
 #[cfg(test)]
@@ -1406,10 +1594,10 @@ mod tests {
         assert!(report.divergences().is_empty());
     }
 
-    #[test]
-    fn injected_fault_shows_up_as_divergence() {
-        // A read-back test that exercises the page readback path.
-        let cell = TestCell::new(
+    /// A read-back test that exercises the page readback path — the
+    /// cell that page-module faults visibly break.
+    fn readback_cell() -> TestCell {
+        TestCell::new(
             "TEST_READBACK",
             "page readback",
             "\
@@ -1428,8 +1616,12 @@ t_fail:
     CALL Base_Report_Fail
     RETURN
 ",
-        );
-        let e = env(vec![cell]);
+        )
+    }
+
+    #[test]
+    fn injected_fault_shows_up_as_divergence() {
+        let e = env(vec![readback_cell()]);
         let report = Campaign::new()
             .env(e)
             .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
@@ -1563,6 +1755,100 @@ t_fail:
         assert!(json.contains("\"perf\":{\"instructions\":"), "{json}");
         assert!(json.contains("\"steps_per_sec\":"), "{json}");
         assert!(json.contains("\"decode_hit_rate\":"), "{json}");
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn forked_campaign_is_run_for_run_identical_to_from_reset() {
+        let e = env(vec![
+            passing_cell("TEST_A"),
+            failing_cell("TEST_F"),
+            readback_cell(),
+        ]);
+        let baseline = Campaign::new().env(e.clone()).run().unwrap();
+        assert_eq!(baseline.perf().forked_runs, 0);
+        assert_eq!(baseline.perf().prefix_saved, 0);
+
+        // An 8-instruction prefix stops mid-preamble: every fault-free
+        // run forks from the shared snapshot instead of re-resetting.
+        let pool = Arc::new(PrefixPool::new(8));
+        let forked = Campaign::new()
+            .env(e)
+            .prefix_pool(Arc::clone(&pool))
+            .run()
+            .unwrap();
+        assert!(forked.perf().forked_runs > 0, "{:?}", forked.perf());
+        assert!(forked.perf().prefix_saved > 0, "{:?}", forked.perf());
+        assert!(!pool.is_empty());
+
+        // Forking is perf-only: every observable per-run result is
+        // byte-identical to the from-reset campaign.
+        assert_eq!(forked.total(), baseline.total());
+        assert_eq!(forked.perf().instructions, baseline.perf().instructions);
+        for run in baseline.runs() {
+            let twin = forked
+                .run_of(&run.env, &run.test_id, run.platform)
+                .expect("same job set");
+            assert_eq!(twin.result.passed(), run.result.passed());
+            assert_eq!(twin.result.insns, run.result.insns);
+            assert_eq!(twin.result.cycles, run.result.cycles);
+            assert_eq!(twin.result.dbg_markers, run.result.dbg_markers);
+            assert_eq!(twin.result.console, run.result.console);
+            assert_eq!(twin.result.uart_tx, run.result.uart_tx);
+        }
+        assert_eq!(
+            forked.divergences().len(),
+            baseline.divergences().len(),
+            "forking must not invent or hide divergences"
+        );
+    }
+
+    #[test]
+    fn faulted_campaign_with_pool_keeps_its_divergence() {
+        // The page fault's divergence survives prefix forking: the
+        // faulted job either forks safely (prefix never touched the
+        // page module) or silently falls back to from-reset.
+        let e = env(vec![readback_cell()]);
+        let pool = Arc::new(PrefixPool::new(8));
+        let report = Campaign::new()
+            .env(e)
+            .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+            .prefix_pool(pool)
+            .run()
+            .unwrap();
+        let divergences = report.divergences();
+        assert_eq!(divergences.len(), 1);
+        assert!(divergences[0].1.divergent.contains(&PlatformId::RtlSim));
+        assert!(report.perf().forked_runs > 0, "{:?}", report.perf());
+    }
+
+    #[test]
+    fn bisect_pinpoints_first_divergent_step_in_report_and_json() {
+        let e = env(vec![readback_cell()]);
+        let report = Campaign::new()
+            .env(e)
+            .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+            .bisect(true)
+            .run()
+            .unwrap();
+        let divergences = report.divergences();
+        assert_eq!(divergences.len(), 1);
+        let bisection = divergences[0]
+            .1
+            .bisection
+            .as_ref()
+            .expect("bisect(true) fills the report");
+        assert!(bisection.step > 0);
+        assert_eq!(bisection.platform_a, PlatformId::GoldenModel);
+        assert_eq!(bisection.platform_b, PlatformId::RtlSim);
+        assert!(!bisection.insn_b.is_empty());
+
+        let json = report.to_json();
+        assert!(json.contains("\"ambiguous\":false"), "{json}");
+        assert!(json.contains("\"bisection\":{\"step\":"), "{json}");
+        assert!(json.contains("\"platform_b\":\"rtl\""), "{json}");
         let opens = json.matches('{').count() + json.matches('[').count();
         let closes = json.matches('}').count() + json.matches(']').count();
         assert_eq!(opens, closes, "{json}");

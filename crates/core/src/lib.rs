@@ -50,6 +50,7 @@ pub mod env;
 pub mod fsio;
 pub mod layer;
 pub mod porting;
+pub mod prefix;
 pub mod presets;
 pub mod regression;
 pub mod release;
@@ -70,6 +71,7 @@ pub use coverage::{ModuleCoverage, RegisterCoverage};
 pub use env::{validate_layout, EnvConfig, LayoutIssue, ModuleTestEnv, Stimulus, TestCell};
 pub use layer::{classify_path, Layer};
 pub use porting::{port_env, PortOutcome};
+pub use prefix::{PrefixPool, DEFAULT_PREFIX_BUDGET};
 #[allow(deprecated)]
 pub use regression::run_regression;
 pub use regression::{RegressionConfig, RegressionReport};

@@ -1,0 +1,239 @@
+//! First-divergence bisection over machine snapshots.
+//!
+//! When two platforms end a test in different states, the final-state
+//! diff says *that* they disagree but not *where*. Because the fuel
+//! budget is absolute (`set_fuel(n)` + [`crate::Platform::run`] runs to
+//! exactly `n` retired instructions) and snapshots rewind a machine
+//! byte-exactly, "machine state after n steps" is a pure function of
+//! `n` — so the first divergent retired instruction can be found by
+//! binary search: probe the midpoint from the last known-converged
+//! snapshot, compare [`crate::Platform::state_digest`], and halve.
+//! A 2-million-instruction run localizes in ~21 probes instead of a
+//! lockstep instruction-by-instruction replay.
+
+use std::fmt;
+
+use advm_isa::decode;
+use advm_soc::testbench::PlatformId;
+
+use crate::platform::Platform;
+use crate::savestate::{SaveState, SaveStateError};
+
+/// The first retired instruction at which two platforms disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirstDivergence {
+    /// 1-based retired-instruction count: executing this step first
+    /// makes the architectural digests differ.
+    pub step: u64,
+    /// The platform on each side of the comparison.
+    pub platform_a: PlatformId,
+    /// Second compared platform.
+    pub platform_b: PlatformId,
+    /// Program counter each side was about to retire from.
+    pub pc_a: u32,
+    /// Program counter on side B.
+    pub pc_b: u32,
+    /// Disassembly of the instruction at `pc_a`.
+    pub insn_a: String,
+    /// Disassembly of the instruction at `pc_b`.
+    pub insn_b: String,
+    /// Trailing [`crate::ExecTrace`] disassembly through the divergent
+    /// step on side A (empty when the platform has no debug
+    /// visibility or tracing was not armed).
+    pub context_a: String,
+    /// Trace context on side B.
+    pub context_b: String,
+}
+
+impl fmt::Display for FirstDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "first divergence at step {}: [{}] {} vs [{}] {}",
+            self.step, self.platform_a, self.insn_a, self.platform_b, self.insn_b
+        )?;
+        if !self.context_a.is_empty() {
+            writeln!(f, "[{}] trailing trace:", self.platform_a)?;
+            for line in self.context_a.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        if !self.context_b.is_empty() {
+            writeln!(f, "[{}] trailing trace:", self.platform_b)?;
+            for line in self.context_b.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn run_to(p: &mut Platform, snap: &SaveState, step: u64) -> Result<(), SaveStateError> {
+    p.restore(snap)?;
+    p.set_fuel(step);
+    p.run();
+    Ok(())
+}
+
+fn disasm(p: &mut Platform, pc: u32) -> String {
+    match p.bus().read32(pc) {
+        Ok(word) => match decode(word) {
+            Ok(insn) => format!("{pc:05X}: {insn}"),
+            Err(_) => format!("{pc:05X}: .WORD 0x{word:08X}"),
+        },
+        Err(fault) => format!("{pc:05X}: <{fault}>"),
+    }
+}
+
+/// Binary-searches the first retired instruction at which `a` and `b`
+/// architecturally diverge, probing up to `max_steps` instructions.
+///
+/// Both machines must be freshly constructed and loaded with the same
+/// test image (zero instructions retired); enable tracing beforehand to
+/// get disassembly context in the report. Returns `Ok(None)` when the
+/// digests still agree after `max_steps` instructions.
+///
+/// # Errors
+///
+/// Propagates [`SaveStateError`] from snapshot restore — impossible for
+/// machines this function itself snapshots, but surfaced rather than
+/// panicking.
+pub fn bisect_divergence(
+    a: &mut Platform,
+    b: &mut Platform,
+    max_steps: u64,
+) -> Result<Option<FirstDivergence>, SaveStateError> {
+    let mut snap_a = a.snapshot();
+    let mut snap_b = b.snapshot();
+
+    // Establish divergence at the horizon.
+    run_to(a, &snap_a, max_steps)?;
+    run_to(b, &snap_b, max_steps)?;
+    if a.state_digest() == b.state_digest() {
+        return Ok(None);
+    }
+
+    // Invariant: digests agree at `lo` (snapshots held), differ at `hi`.
+    let mut lo = 0u64;
+    let mut hi = max_steps;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        run_to(a, &snap_a, mid)?;
+        run_to(b, &snap_b, mid)?;
+        if a.state_digest() == b.state_digest() {
+            lo = mid;
+            snap_a = a.snapshot();
+            snap_b = b.snapshot();
+        } else {
+            hi = mid;
+        }
+    }
+
+    // Park both machines just before the divergent step for context.
+    a.restore(&snap_a)?;
+    b.restore(&snap_b)?;
+    let pc_a = a.cpu().pc();
+    let pc_b = b.cpu().pc();
+    let insn_a = disasm(a, pc_a);
+    let insn_b = disasm(b, pc_b);
+    // Re-restore (disassembly reads may touch MMIO coverage), then run
+    // through the divergent step so the trace window includes it.
+    run_to(a, &snap_a, hi)?;
+    run_to(b, &snap_b, hi)?;
+    let context_a = a.trace().map(|t| t.disassembly()).unwrap_or_default();
+    let context_b = b.trace().map(|t| t.disassembly()).unwrap_or_default();
+
+    Ok(Some(FirstDivergence {
+        step: hi,
+        platform_a: a.id(),
+        platform_b: b.id(),
+        pc_a,
+        pc_b,
+        insn_a,
+        insn_b,
+        context_a,
+        context_b,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use advm_asm::{assemble_str, Image};
+    use advm_soc::Derivative;
+
+    use super::*;
+    use crate::fault::PlatformFault;
+
+    fn image(asm: &str) -> Image {
+        let program = assemble_str(asm).unwrap_or_else(|e| panic!("{e}"));
+        let mut image = Image::new();
+        image.load_program(&program).unwrap();
+        image
+    }
+
+    /// A scratch write-read-back program: under `MailboxScratchStuck`
+    /// the read back at the 4th instruction returns 0 instead of 0x5A,
+    /// which is the first architecturally visible difference.
+    fn scratch_test() -> Image {
+        image(
+            "\
+_main:
+    NOP
+    LOAD d1, #0x5A
+    STORE [0xEFF14], d1
+    LOAD d2, [0xEFF14]
+    LOAD d3, #0x600D0000
+    STORE [0xEFF00], d3
+    STORE [0xEFF08], d3
+    HALT #0
+",
+        )
+    }
+
+    #[test]
+    fn bisection_finds_planted_single_instruction_divergence() {
+        let deriv = Derivative::sc88a();
+        let img = scratch_test();
+        let mut clean = Platform::new(PlatformId::GoldenModel, &deriv);
+        clean.enable_trace(16);
+        clean.load_image(&img);
+        let mut faulty = Platform::with_fault(
+            PlatformId::ProductSilicon,
+            &deriv,
+            PlatformFault::MailboxScratchStuck,
+        );
+        faulty.load_image(&img);
+
+        let report = bisect_divergence(&mut clean, &mut faulty, 1000)
+            .unwrap()
+            .expect("the scratch fault must diverge");
+        // The digest covers mailbox scratch, so the stuck store is the
+        // first divergent retired instruction (the clean side's scratch
+        // becomes 0x5A, the faulty side's stays 0). `LOAD d1, #0x5A`
+        // assembles to a two-instruction immediate sequence, so the
+        // store retires as instruction 4: NOP, imm pair, STABS.
+        assert_eq!(report.step, 4, "{report}");
+        assert!(report.insn_a.contains("STABS"), "{}", report.insn_a);
+        assert_eq!(report.pc_a, report.pc_b, "same stream up to the fault");
+        assert!(
+            report.context_a.contains("STABS"),
+            "golden model trace context present: {}",
+            report.context_a
+        );
+        assert!(
+            report.context_b.is_empty(),
+            "product silicon has no debug visibility"
+        );
+    }
+
+    #[test]
+    fn agreeing_platforms_bisect_to_none() {
+        let deriv = Derivative::sc88a();
+        let img = scratch_test();
+        let mut a = Platform::new(PlatformId::GoldenModel, &deriv);
+        a.load_image(&img);
+        let mut b = Platform::new(PlatformId::Accelerator, &deriv);
+        b.load_image(&img);
+        assert_eq!(bisect_divergence(&mut a, &mut b, 1000).unwrap(), None);
+    }
+}

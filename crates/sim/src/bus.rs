@@ -20,6 +20,7 @@ use crate::periph::{
     timer::TIMER_IRQ_LINE, CrcUnit, Intc, MailboxDevice, NvmController, PageModule, Timer, Uart,
     Watchdog,
 };
+use crate::savestate::{put_bool, put_u32, put_u64, SaveReader, SaveStateError};
 
 /// A bus access fault, mapped to a CPU trap by the execution core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -380,6 +381,106 @@ impl SocBus {
     /// UART transmit log (for checking UART tests end to end).
     pub fn uart_tx(&self) -> &[u8] {
         self.uart.tx_log()
+    }
+
+    /// Serializes the bus's dynamic state: cycle counter, latched
+    /// watchdog bite, the three memories (run-length encoded), the MMIO
+    /// coverage set (sorted — `BTreeSet` iteration order), the decode
+    /// cache counters, and all eight peripherals in fixed order.
+    /// Configuration (mappings, memory map, fault wiring) is re-derived
+    /// from the constructor on restore.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.now);
+        put_bool(out, self.watchdog_bite);
+        crate::savestate::put_rle(out, &self.rom);
+        crate::savestate::put_rle(out, &self.ram);
+        crate::savestate::put_rle(out, &self.nvm);
+        put_u32(out, self.mmio_touched.len() as u32);
+        for addr in &self.mmio_touched {
+            put_u32(out, *addr);
+        }
+        self.decode.save_state(out);
+        self.uart.save_state(out);
+        self.page.save_state(out);
+        self.timer.save_state(out);
+        self.intc.save_state(out);
+        self.wdt.save_state(out);
+        self.nvmc.save_state(out);
+        self.crc.save_state(out);
+        self.mailbox.save_state(out);
+    }
+
+    /// Restores the bus's dynamic state, then recomputes the hoisted
+    /// attention/timing flags from the restored peripherals.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.now = r.take_u64()?;
+        self.watchdog_bite = r.take_bool()?;
+        r.take_rle_into(&mut self.rom)?;
+        r.take_rle_into(&mut self.ram)?;
+        r.take_rle_into(&mut self.nvm)?;
+        self.mmio_touched.clear();
+        for _ in 0..r.take_u32()? {
+            self.mmio_touched.insert(r.take_u32()?);
+        }
+        self.decode.apply_state(r)?;
+        self.uart.apply_state(r)?;
+        self.page.apply_state(r)?;
+        self.timer.apply_state(r)?;
+        self.intc.apply_state(r)?;
+        self.wdt.apply_state(r)?;
+        self.nvmc.apply_state(r)?;
+        self.crc.apply_state(r)?;
+        self.mailbox.apply_state(r)?;
+        self.recompute_async();
+        self.recompute_timing();
+        Ok(())
+    }
+
+    /// Appends the architectural (timing-free) bus state for divergence
+    /// digests: RAM, NVM, and the externally observable peripheral state
+    /// (mailbox protocol registers, UART transmit log, page selection).
+    /// Cycle counters and busy-until deadlines are excluded so platforms
+    /// that share a cost model digest equal while architecturally equal.
+    pub(crate) fn arch_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ram);
+        out.extend_from_slice(&self.nvm);
+        self.mailbox.arch_bytes(out);
+        self.uart.arch_bytes(out);
+        self.page.arch_bytes(out);
+    }
+
+    /// Whether forking a run with `fault` injected from this machine's
+    /// current state is *provably* equivalent to running it from reset:
+    /// true iff the fault's observable surface was never exercised so
+    /// far. Page/UART/timer/mailbox faults are safe iff no register of
+    /// that module was touched; extra bus wait states are safe iff no
+    /// MMIO at all was touched; the ES jump-table skew redirects ROM
+    /// fetches the coverage set never records, so it is never safe.
+    pub fn fault_fork_safe(&self, fault: PlatformFault) -> bool {
+        let module = match fault {
+            PlatformFault::None => return true,
+            PlatformFault::EsDispatchSkewed => return false,
+            PlatformFault::BusExtraWaitStates => return self.mmio_touched.is_empty(),
+            PlatformFault::PageActiveOffByOne
+            | PlatformFault::PageSelectDropsLowBit
+            | PlatformFault::PageMapWriteIgnored => Periph::Page,
+            PlatformFault::UartDropsBytes
+            | PlatformFault::UartTxStuckBusy
+            | PlatformFault::UartDuplicatesBytes => Periph::Uart,
+            PlatformFault::TimerNeverExpires
+            | PlatformFault::TimerPeriodicNoReload
+            | PlatformFault::TimerIrqSuppressed => Periph::Timer,
+            PlatformFault::MailboxScratchStuck | PlatformFault::MailboxTicksFrozen => {
+                Periph::Mailbox
+            }
+        };
+        let Some(m) = self.mappings.iter().find(|m| m.periph == module) else {
+            return false;
+        };
+        self.mmio_touched
+            .range(m.base..m.base + m.size)
+            .next()
+            .is_none()
     }
 
     /// Direct NVM inspection for assertions in tests and experiments.

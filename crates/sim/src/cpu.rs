@@ -9,6 +9,7 @@ use advm_isa::{vector_entry_addr, AddrReg, BitSrc, DataReg, Insn, Psw, TrapKind,
 use advm_soc::memmap::STACK_TOP;
 
 use crate::bus::{BusFault, SocBus};
+use crate::savestate::{put_u32, put_u64, SaveReader, SaveStateError};
 use crate::trace::ExecTrace;
 
 /// Per-instruction cycle costs. Functional platforms use all-ones;
@@ -199,6 +200,47 @@ impl Cpu {
     /// Instructions retired since reset.
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Serializes the full register state (snapshot body).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        for v in self.d {
+            put_u32(out, v);
+        }
+        for v in self.a {
+            put_u32(out, v);
+        }
+        put_u32(out, self.pc);
+        put_u32(out, self.psw.bits());
+        put_u64(out, self.retired);
+    }
+
+    /// Restores register state from a snapshot body.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        for v in &mut self.d {
+            *v = r.take_u32()?;
+        }
+        for v in &mut self.a {
+            *v = r.take_u32()?;
+        }
+        self.pc = r.take_u32()?;
+        self.psw = Psw::from_bits(r.take_u32()?);
+        self.retired = r.take_u64()?;
+        Ok(())
+    }
+
+    /// Appends the architectural (timing-free) register state for
+    /// divergence digests.
+    pub(crate) fn arch_bytes(&self, out: &mut Vec<u8>) {
+        for v in self.d {
+            put_u32(out, v);
+        }
+        for v in self.a {
+            put_u32(out, v);
+        }
+        put_u32(out, self.pc);
+        put_u32(out, self.psw.bits());
+        put_u64(out, self.retired);
     }
 
     /// Executes one instruction (or takes one pending trap/interrupt).

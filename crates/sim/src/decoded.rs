@@ -298,6 +298,38 @@ impl DecodeCache {
         }
     }
 
+    /// Serializes the cache's dynamic state: the enabled flag and the
+    /// run counters. Slot contents are *not* serialized — they are a
+    /// pure memoisation over backing memory, lazily re-derived after
+    /// restore — so snapshots stay small and byte-stable.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        crate::savestate::put_bool(out, self.enabled);
+        crate::savestate::put_u64(out, self.stats.hits);
+        crate::savestate::put_u64(out, self.stats.misses);
+        crate::savestate::put_u64(out, self.stats.invalidations);
+        crate::savestate::put_u64(out, self.stats.preloaded);
+    }
+
+    /// Restores the cache's dynamic state, dropping any live slots (they
+    /// may describe different backing memory). Stats are restored last:
+    /// clearing the slots must not perturb the serialized counters.
+    pub(crate) fn apply_state(
+        &mut self,
+        r: &mut crate::savestate::SaveReader<'_>,
+    ) -> Result<(), crate::savestate::SaveStateError> {
+        let enabled = r.take_bool()?;
+        let stats = DecodeStats {
+            hits: r.take_u64()?,
+            misses: r.take_u64()?,
+            invalidations: r.take_u64()?,
+            preloaded: r.take_u64()?,
+        };
+        self.set_enabled(enabled);
+        self.invalidate_all();
+        self.stats = stats;
+        Ok(())
+    }
+
     /// Seeds slots from a shared predecode artifact.
     pub(crate) fn preload(&mut self, program: &DecodedProgram) {
         if !self.enabled {

@@ -10,6 +10,7 @@ use std::fmt;
 
 use advm_soc::testbench::PlatformId;
 
+use crate::bisect::FirstDivergence;
 use crate::platform::RunResult;
 
 /// The comparable verdict extracted from a run.
@@ -36,8 +37,17 @@ pub struct DivergenceReport {
     pub consistent: bool,
     /// Platforms disagreeing with the majority verdict.
     pub divergent: Vec<PlatformId>,
+    /// Whether the blame assignment is arbitrary: the vote tied and no
+    /// golden model was present to anchor it, so `divergent` names the
+    /// side that happened to be seen second — not a platform proven
+    /// wrong. Consumers should treat such reports as "platforms
+    /// disagree" rather than "these platforms are broken".
+    pub ambiguous: bool,
     /// Per-platform one-line summaries.
     pub summaries: Vec<String>,
+    /// First divergent retired instruction, when a bisection was run
+    /// (see [`crate::bisect::bisect_divergence`]).
+    pub bisection: Option<FirstDivergence>,
 }
 
 impl fmt::Display for DivergenceReport {
@@ -47,7 +57,12 @@ impl fmt::Display for DivergenceReport {
         } else {
             writeln!(
                 f,
-                "DIVERGENCE: {}",
+                "DIVERGENCE{}: {}",
+                if self.ambiguous {
+                    " (ambiguous tie — no golden model to anchor blame)"
+                } else {
+                    ""
+                },
                 self.divergent
                     .iter()
                     .map(ToString::to_string)
@@ -57,6 +72,9 @@ impl fmt::Display for DivergenceReport {
         }
         for s in &self.summaries {
             writeln!(f, "  {s}")?;
+        }
+        if let Some(bisection) = &self.bisection {
+            write!(f, "{bisection}")?;
         }
         Ok(())
     }
@@ -86,7 +104,10 @@ impl std::error::Error for DivergenceError {}
 /// so in a 2-vs-2 (or 1-vs-1) split the platforms disagreeing with it
 /// are the divergent ones. Without a golden model a tie resolves toward
 /// the first verdict seen, which keeps the result deterministic but
-/// arbitrary — campaigns should include the reference platform.
+/// arbitrary — the report carries
+/// [`ambiguous`](DivergenceReport::ambiguous)` = true` so consumers can
+/// tell this apart from a true majority verdict. Campaigns should
+/// include the reference platform.
 ///
 /// # Errors
 ///
@@ -128,8 +149,10 @@ pub fn compare(results: &[RunResult]) -> Result<DivergenceReport, DivergenceErro
 
     Ok(DivergenceReport {
         consistent: divergent.is_empty(),
+        ambiguous: tied && golden.is_none() && !divergent.is_empty(),
         divergent,
         summaries: results.iter().map(ToString::to_string).collect(),
+        bisection: None,
     })
 }
 
@@ -255,14 +278,34 @@ mod tests {
     }
 
     #[test]
-    fn tie_without_golden_resolves_to_first_seen() {
-        // Documented fallback: deterministic but arbitrary.
+    fn tie_without_golden_resolves_to_first_seen_but_is_flagged_ambiguous() {
+        // Documented fallback: deterministic but arbitrary — and the
+        // report says so instead of silently blaming one side.
         let report = compare(&[
             result(PlatformId::RtlSim, true),
             result(PlatformId::GateSim, false),
         ])
         .unwrap();
         assert_eq!(report.divergent, vec![PlatformId::GateSim]);
+        assert!(report.ambiguous, "arbitrary tie-break must be flagged");
+        let text = report.to_string();
+        assert!(text.contains("ambiguous tie"), "{text}");
+
+        // Golden-anchored ties and true majorities are NOT ambiguous.
+        let anchored = compare(&[
+            result(PlatformId::GoldenModel, true),
+            result(PlatformId::GateSim, false),
+        ])
+        .unwrap();
+        assert!(!anchored.ambiguous);
+        assert!(!anchored.to_string().contains("ambiguous"), "{anchored}");
+        let majority = compare(&[
+            result(PlatformId::RtlSim, true),
+            result(PlatformId::GateSim, true),
+            result(PlatformId::Bondout, false),
+        ])
+        .unwrap();
+        assert!(!majority.ambiguous);
     }
 
     #[test]

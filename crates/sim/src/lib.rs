@@ -14,7 +14,11 @@
 //!   behaviour and the run loop,
 //! * [`fault`] — injectable platform bugs,
 //! * [`diverge`] — cross-platform result comparison (the "if they don't
-//!   execute the code the same way, a bug has been found" check).
+//!   execute the code the same way, a bug has been found" check),
+//! * [`savestate`] — versioned, byte-stable whole-machine snapshots
+//!   ([`Platform::snapshot`]/[`Platform::restore`]/[`Platform::fork`]),
+//! * [`bisect`] — snapshot-powered binary search for the first retired
+//!   instruction at which two platforms diverge.
 //!
 //! ```
 //! use advm_asm::{assemble_str, Image};
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bisect;
 pub mod bus;
 pub mod cpu;
 pub mod decoded;
@@ -43,12 +48,15 @@ pub mod diverge;
 pub mod fault;
 pub mod periph;
 pub mod platform;
+pub mod savestate;
 pub mod trace;
 
+pub use bisect::{bisect_divergence, FirstDivergence};
 pub use bus::{BusFault, SocBus};
 pub use cpu::{BatchExit, CostModel, Cpu, FatalError, StepOutcome};
 pub use decoded::{DecodeStats, DecodedProgram};
 pub use diverge::{compare, DivergenceError, DivergenceReport};
 pub use fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 pub use platform::{run_image, EndReason, Platform, RunResult, DEFAULT_FUEL};
+pub use savestate::{SaveState, SaveStateError, SAVESTATE_MAGIC, SAVESTATE_VERSION};
 pub use trace::{ExecTrace, TraceRecord};

@@ -1,5 +1,7 @@
 //! CRC-32 acceleration unit.
 
+use crate::savestate::{put_u32, SaveReader, SaveStateError};
+
 /// Control register offset.
 pub const CTRL: u32 = 0x00;
 /// Data-input register offset.
@@ -58,6 +60,19 @@ impl CrcUnit {
             }
             _ => {}
         }
+    }
+
+    /// Serializes the unit state.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ctrl);
+        put_u32(out, self.acc);
+    }
+
+    /// Restores the unit state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.ctrl = r.take_u32()?;
+        self.acc = r.take_u32()?;
+        Ok(())
     }
 }
 

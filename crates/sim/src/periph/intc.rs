@@ -1,5 +1,7 @@
 //! Interrupt controller: 16 lines, enable mask, pending latch.
 
+use crate::savestate::{put_u32, SaveReader, SaveStateError};
+
 /// Enable-mask register offset.
 pub const ENABLE: u32 = 0x00;
 /// Pending-lines register offset.
@@ -61,6 +63,19 @@ impl Intc {
         } else {
             Some(masked.trailing_zeros() as u8)
         }
+    }
+
+    /// Serializes the controller state.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.enable);
+        put_u32(out, self.pending);
+    }
+
+    /// Restores the controller state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.enable = r.take_u32()?;
+        self.pending = r.take_u32()?;
+        Ok(())
     }
 }
 

@@ -3,6 +3,8 @@
 
 use advm_soc::testbench::{Mailbox, PlatformId, TestOutcome};
 
+use crate::savestate::{put_bool, put_bytes, put_u32, SaveReader, SaveStateError};
+
 /// The mailbox peripheral state.
 #[derive(Debug, Clone)]
 pub struct MailboxDevice {
@@ -81,6 +83,48 @@ impl MailboxDevice {
     /// Console output accumulated through `CHAROUT`.
     pub fn console(&self) -> &[u8] {
         &self.chars
+    }
+
+    /// Serializes the dynamic state (the platform identity and fault
+    /// wiring are configuration, re-derived on restore).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        match self.result {
+            Some(v) => {
+                put_bool(out, true);
+                put_u32(out, v);
+            }
+            None => put_bool(out, false),
+        }
+        put_bytes(out, &self.chars);
+        put_bool(out, self.sim_end);
+        put_u32(out, self.scratch);
+    }
+
+    /// Restores the dynamic state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.result = if r.take_bool()? {
+            Some(r.take_u32()?)
+        } else {
+            None
+        };
+        self.chars = r.take_bytes()?.to_vec();
+        self.sim_end = r.take_bool()?;
+        self.scratch = r.take_u32()?;
+        Ok(())
+    }
+
+    /// Appends architectural (timing-free) state for divergence digests.
+    pub(crate) fn arch_bytes(&self, out: &mut Vec<u8>) {
+        match self.result {
+            Some(v) => {
+                put_bool(out, true);
+                put_u32(out, v);
+            }
+            None => put_bool(out, false),
+        }
+        put_bytes(out, &self.chars);
+        put_bool(out, self.sim_end);
+        put_u32(out, self.scratch);
     }
 }
 

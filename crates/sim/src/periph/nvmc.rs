@@ -5,6 +5,8 @@
 //! `ES_Nvm_Unlock` / `ES_Nvm_Write_Word`, and why the abstraction layer
 //! wraps them.
 
+use crate::savestate::{put_bool, put_u32, put_u64, put_u8, SaveReader, SaveStateError};
+
 /// Key register offset (write `0x55` then `0xAA` to unlock).
 pub const KEY: u32 = 0x00;
 /// Control register offset.
@@ -170,6 +172,71 @@ impl NvmController {
             }
             _ => None,
         }
+    }
+
+    /// Serializes the dynamic state, including the in-flight operation
+    /// (`nvm_size` is configuration, re-derived on restore).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u8(
+            out,
+            match self.key_state {
+                KeyState::Locked => 0,
+                KeyState::HalfKey => 1,
+                KeyState::Unlocked => 2,
+            },
+        );
+        put_u32(out, self.addr);
+        put_u32(out, self.data);
+        put_bool(out, self.error);
+        put_u64(out, self.busy_until);
+        match self.pending {
+            None => put_bool(out, false),
+            Some((due, op)) => {
+                put_bool(out, true);
+                put_u64(out, due);
+                match op {
+                    NvmOp::Write { offset, value } => {
+                        put_u8(out, 0);
+                        put_u32(out, offset);
+                        put_u32(out, value);
+                    }
+                    NvmOp::Erase { offset } => {
+                        put_u8(out, 1);
+                        put_u32(out, offset);
+                        put_u32(out, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restores the dynamic state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.key_state = match r.take_u8()? {
+            0 => KeyState::Locked,
+            1 => KeyState::HalfKey,
+            2 => KeyState::Unlocked,
+            _ => return Err(SaveStateError::Corrupt("NVMC key state out of range")),
+        };
+        self.addr = r.take_u32()?;
+        self.data = r.take_u32()?;
+        self.error = r.take_bool()?;
+        self.busy_until = r.take_u64()?;
+        self.pending = if r.take_bool()? {
+            let due = r.take_u64()?;
+            let tag = r.take_u8()?;
+            let offset = r.take_u32()?;
+            let value = r.take_u32()?;
+            let op = match tag {
+                0 => NvmOp::Write { offset, value },
+                1 => NvmOp::Erase { offset },
+                _ => return Err(SaveStateError::Corrupt("NVMC op tag out of range")),
+            };
+            Some((due, op))
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

@@ -9,6 +9,8 @@
 
 use advm_soc::Field;
 
+use crate::savestate::{put_u32, SaveReader, SaveStateError};
+
 /// Control register offset.
 pub const CTRL: u32 = 0x00;
 /// Status register offset.
@@ -117,6 +119,26 @@ impl PageModule {
     /// The currently selected page (hardware view).
     pub fn selected_page(&self) -> u32 {
         self.page_field.extract(self.ctrl)
+    }
+
+    /// Serializes the dynamic register state (field geometry and fault
+    /// wiring are configuration, re-derived on restore).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ctrl);
+        put_u32(out, self.map);
+    }
+
+    /// Restores the dynamic register state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.ctrl = r.take_u32()?;
+        self.map = r.take_u32()?;
+        Ok(())
+    }
+
+    /// Appends architectural state for divergence digests.
+    pub(crate) fn arch_bytes(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ctrl);
+        put_u32(out, self.map);
     }
 }
 

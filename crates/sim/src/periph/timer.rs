@@ -1,5 +1,7 @@
 //! Countdown timer with optional periodic reload and interrupt request.
 
+use crate::savestate::{put_bool, put_u32, SaveReader, SaveStateError};
+
 /// Control register offset.
 pub const CTRL: u32 = 0x00;
 /// Load register offset.
@@ -121,6 +123,25 @@ impl Timer {
     /// The bus skips peripheral ticking entirely while nothing is armed.
     pub fn armed(&self) -> bool {
         self.ctrl & CTRL_EN != 0
+    }
+
+    /// Serializes the dynamic state (fault wiring is configuration).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ctrl);
+        put_u32(out, self.load);
+        put_u32(out, self.value);
+        put_bool(out, self.expired);
+        put_bool(out, self.irq_edge);
+    }
+
+    /// Restores the dynamic state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.ctrl = r.take_u32()?;
+        self.load = r.take_u32()?;
+        self.value = r.take_u32()?;
+        self.expired = r.take_bool()?;
+        self.irq_edge = r.take_bool()?;
+        Ok(())
     }
 }
 

@@ -1,5 +1,7 @@
 //! UART model with loopback and cycle-accurate transmit timing.
 
+use crate::savestate::{put_bool, put_bytes, put_u32, put_u64, put_u8, SaveReader, SaveStateError};
+
 /// UART register offsets.
 pub const CTRL: u32 = 0x00;
 /// Status register offset.
@@ -140,6 +142,45 @@ impl Uart {
     /// Everything transmitted so far.
     pub fn tx_log(&self) -> &[u8] {
         &self.tx_log
+    }
+
+    /// Serializes the dynamic register state (fault wiring and the
+    /// `cycle_accurate` flag are configuration, re-derived on restore).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ctrl);
+        put_u32(out, self.baud);
+        put_bytes(out, &self.tx_log);
+        match self.rx_byte {
+            Some(b) => {
+                put_bool(out, true);
+                put_u8(out, b);
+            }
+            None => put_bool(out, false),
+        }
+        put_bool(out, self.overrun);
+        put_u64(out, self.tx_busy_until);
+        put_u64(out, self.tx_count);
+    }
+
+    /// Restores the dynamic register state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.ctrl = r.take_u32()?;
+        self.baud = r.take_u32()?;
+        self.tx_log = r.take_bytes()?.to_vec();
+        self.rx_byte = if r.take_bool()? {
+            Some(r.take_u8()?)
+        } else {
+            None
+        };
+        self.overrun = r.take_bool()?;
+        self.tx_busy_until = r.take_u64()?;
+        self.tx_count = r.take_u64()?;
+        Ok(())
+    }
+
+    /// Appends architectural (timing-free) state for divergence digests.
+    pub(crate) fn arch_bytes(&self, out: &mut Vec<u8>) {
+        put_bytes(out, &self.tx_log);
     }
 }
 

@@ -1,5 +1,7 @@
 //! Watchdog timer: must be serviced with the magic key or it bites.
 
+use crate::savestate::{put_bool, put_u32, put_u64, SaveReader, SaveStateError};
+
 /// Control register offset.
 pub const CTRL: u32 = 0x00;
 /// Service register offset (write the key to pet the dog).
@@ -89,6 +91,23 @@ impl Watchdog {
     /// state. The bus skips peripheral ticking while nothing is armed.
     pub fn armed(&self) -> bool {
         self.ctrl & CTRL_EN != 0
+    }
+
+    /// Serializes the watchdog state.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.ctrl);
+        put_u32(out, self.period);
+        put_u64(out, self.counter);
+        put_bool(out, self.expired_edge);
+    }
+
+    /// Restores the watchdog state.
+    pub(crate) fn apply_state(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.ctrl = r.take_u32()?;
+        self.period = r.take_u32()?;
+        self.counter = r.take_u64()?;
+        self.expired_edge = r.take_bool()?;
+        Ok(())
     }
 }
 

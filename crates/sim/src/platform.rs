@@ -23,6 +23,10 @@ use crate::bus::SocBus;
 use crate::cpu::{BatchExit, CostModel, Cpu};
 use crate::decoded::{DecodeStats, DecodedProgram};
 use crate::fault::PlatformFault;
+use crate::savestate::{
+    fault_from_tag, fault_tag, fnv1a, platform_from_code, put_bool, put_u32, put_u64, SaveReader,
+    SaveState, SaveStateError, FNV_BASIS, SAVESTATE_MAGIC, SAVESTATE_VERSION,
+};
 use crate::trace::ExecTrace;
 
 /// Why a platform run ended.
@@ -115,6 +119,11 @@ pub struct Platform {
     reset_cycles: u64,
     fuel: u64,
     trace: Option<ExecTrace>,
+    fault: PlatformFault,
+    /// Whether the reset sequence has been charged. Reset happens once
+    /// per machine, not once per [`Platform::run`] call — a machine
+    /// resumed from a snapshot must not come out of reset twice.
+    reset_done: bool,
 }
 
 impl Platform {
@@ -138,6 +147,8 @@ impl Platform {
             reset_cycles,
             fuel: DEFAULT_FUEL,
             trace: None,
+            fault,
+            reset_done: false,
         }
     }
 
@@ -162,6 +173,11 @@ impl Platform {
     /// The platform identity.
     pub fn id(&self) -> PlatformId {
         self.id
+    }
+
+    /// The injected hardware fault this machine carries.
+    pub fn fault(&self) -> PlatformFault {
+        self.fault
     }
 
     /// Overrides the instruction budget.
@@ -207,8 +223,12 @@ impl Platform {
     /// runs out of fuel.
     pub fn run(&mut self) -> RunResult {
         // Reset sequence: gate-level netlists take a long time to come
-        // out of reset; everything else is quick.
-        self.bus.advance(self.reset_cycles);
+        // out of reset; everything else is quick. Charged once per
+        // machine — a resumed or forked run continues mid-flight.
+        if !self.reset_done {
+            self.bus.advance(self.reset_cycles);
+            self.reset_done = true;
+        }
 
         let mut dbg_markers = Vec::new();
         let debug_visible = self.id.has_debug_visibility();
@@ -241,6 +261,118 @@ impl Platform {
             mmio_touched: self.bus.mmio_touched().collect(),
             decode: self.bus.decode_stats(),
         }
+    }
+}
+
+impl Platform {
+    /// Captures the whole machine as a versioned, byte-stable
+    /// [`SaveState`]: the same machine state always snapshots to the
+    /// same bytes. Configuration (derivative geometry, cost model,
+    /// fault wiring) is not captured — it is re-derived by whichever
+    /// constructor the blob is later applied through.
+    pub fn snapshot(&self) -> SaveState {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SAVESTATE_MAGIC);
+        out.push(SAVESTATE_VERSION);
+        put_u32(&mut out, self.id.code());
+        out.push(fault_tag(self.fault));
+        put_u64(&mut out, self.fuel);
+        put_bool(&mut out, self.reset_done);
+        self.cpu.save_state(&mut out);
+        self.bus.save_state(&mut out);
+        match &self.trace {
+            Some(trace) => {
+                put_bool(&mut out, true);
+                trace.save_state(&mut out);
+            }
+            None => put_bool(&mut out, false),
+        }
+        SaveState::from_raw(out)
+    }
+
+    /// Rewinds this machine to a snapshot previously taken from it (or
+    /// from an identically configured machine).
+    ///
+    /// # Errors
+    ///
+    /// Rejects blobs with a bad header, from a different platform
+    /// ([`SaveStateError::PlatformMismatch`]) or captured under a
+    /// different injected fault ([`SaveStateError::FaultMismatch`]) —
+    /// use [`Platform::from_snapshot`] to re-target a fault.
+    pub fn restore(&mut self, state: &SaveState) -> Result<(), SaveStateError> {
+        let mut r = SaveReader::new(state.as_bytes());
+        r.expect_header()?;
+        if r.take_u32()? != self.id.code() {
+            return Err(SaveStateError::PlatformMismatch);
+        }
+        if fault_from_tag(r.take_u8()?) != Some(self.fault) {
+            return Err(SaveStateError::FaultMismatch);
+        }
+        self.apply_body(&mut r)
+    }
+
+    /// Builds a fresh machine from a snapshot, carrying `fault` — the
+    /// fork primitive. The snapshot supplies the platform identity and
+    /// all dynamic state; the derivative and the (possibly different)
+    /// injected fault are wired by normal construction. Campaigns use
+    /// this to run a shared fault-free prefix once and branch each
+    /// faulted run from it.
+    ///
+    /// # Errors
+    ///
+    /// The same header/decoding failures as [`Platform::restore`].
+    pub fn from_snapshot(
+        state: &SaveState,
+        derivative: &Derivative,
+        fault: PlatformFault,
+    ) -> Result<Self, SaveStateError> {
+        let mut r = SaveReader::new(state.as_bytes());
+        r.expect_header()?;
+        let id = platform_from_code(r.take_u32()?)
+            .ok_or(SaveStateError::Corrupt("unknown platform code"))?;
+        fault_from_tag(r.take_u8()?).ok_or(SaveStateError::Corrupt("unknown fault tag"))?;
+        let mut platform = Platform::with_fault(id, derivative, fault);
+        platform.apply_body(&mut r)?;
+        Ok(platform)
+    }
+
+    /// Clones this machine's dynamic state into a new machine carrying
+    /// `fault` — snapshot and [`Platform::from_snapshot`] in one step.
+    pub fn fork(&self, derivative: &Derivative, fault: PlatformFault) -> Self {
+        Self::from_snapshot(&self.snapshot(), derivative, fault)
+            .expect("a live machine's snapshot always applies")
+    }
+
+    /// Whether forking a `fault`-carrying run from this machine's
+    /// current state is provably byte-identical to running it from
+    /// reset (see [`SocBus::fault_fork_safe`]).
+    pub fn fork_safe(&self, fault: PlatformFault) -> bool {
+        self.bus.fault_fork_safe(fault)
+    }
+
+    /// FNV digest over the architectural (timing-free) machine state:
+    /// registers, RAM, NVM and externally observable peripheral state.
+    /// Two platforms executing the same architectural stream digest
+    /// equal at the same retired-instruction count; divergence
+    /// bisection binary-searches this.
+    pub fn state_digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        self.cpu.arch_bytes(&mut bytes);
+        self.bus.arch_bytes(&mut bytes);
+        fnv1a(FNV_BASIS, &bytes)
+    }
+
+    fn apply_body(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
+        self.fuel = r.take_u64()?;
+        self.reset_done = r.take_bool()?;
+        self.cpu.apply_state(r)?;
+        self.bus.apply_state(r)?;
+        self.trace = if r.take_bool()? {
+            Some(ExecTrace::from_save(r)?)
+        } else {
+            None
+        };
+        r.expect_end()
     }
 }
 

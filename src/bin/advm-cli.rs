@@ -109,11 +109,20 @@ fn parse_platform(text: &str) -> Result<PlatformId, String> {
 }
 
 /// Pulls `--flag value` pairs out of an argument list.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+///
+/// A value may not itself look like a flag: `--workers --json` is a
+/// missing `--workers` value, not a request for `"--json"` workers —
+/// silently swallowing the next flag used to turn one typo into two
+/// bugs. A trailing valued flag with nothing after it errors the same
+/// way.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        Some(value) if !value.starts_with("--") => Ok(Some(value)),
+        Some(_) | None => Err(format!("flag {flag} requires a value")),
+    }
 }
 
 fn positional(args: &[String], index: usize, what: &str) -> Result<String, String> {
@@ -146,15 +155,12 @@ fn load_env(dir: &str, name: &str) -> Result<ModuleTestEnv, String> {
 
 fn scaffold(args: &[String]) -> Result<(), String> {
     let dir = positional(args, 0, "target directory")?;
-    let tests: usize = flag_value(args, "--tests")
-        .map(|v| v.parse().map_err(|_| format!("bad --tests value `{v}`")))
-        .transpose()?
-        .unwrap_or(3);
-    let derivative = flag_value(args, "--derivative")
+    let tests: usize = int_flag(args, "--tests")?.unwrap_or(3);
+    let derivative = flag_value(args, "--derivative")?
         .map(parse_derivative)
         .transpose()?
         .unwrap_or(DerivativeId::Sc88A);
-    let platform = flag_value(args, "--platform")
+    let platform = flag_value(args, "--platform")?
         .map(parse_platform)
         .transpose()?
         .unwrap_or(PlatformId::GoldenModel);
@@ -227,26 +233,22 @@ fn regress(args: &[String]) -> Result<(), String> {
     let env = load_env(&dir, &name)?;
     let json = args.iter().any(|a| a == "--json");
 
-    let mut campaign = Campaign::new().env(env.clone());
+    // Bisection pinpoints the first divergent retired instruction of
+    // every divergence the regression surfaces.
+    let mut campaign = Campaign::new().env(env.clone()).bisect(true);
     campaign = if args.iter().any(|a| a == "--all-platforms") {
         campaign.platforms(PlatformId::ALL)
     } else {
-        let platform = flag_value(args, "--platform")
+        let platform = flag_value(args, "--platform")?
             .map(parse_platform)
             .transpose()?
             .unwrap_or(env.config().platform);
         campaign.platform(platform)
     };
-    if let Some(workers) = flag_value(args, "--workers") {
-        let workers: usize = workers
-            .parse()
-            .map_err(|_| format!("bad --workers value `{workers}`"))?;
+    if let Some(workers) = int_flag(args, "--workers")? {
         campaign = campaign.workers(workers);
     }
-    if let Some(fuel) = flag_value(args, "--fuel") {
-        let fuel: u64 = fuel
-            .parse()
-            .map_err(|_| format!("bad --fuel value `{fuel}`"))?;
+    if let Some(fuel) = int_flag(args, "--fuel")? {
         campaign = campaign.fuel(fuel);
     }
     if !json {
@@ -291,7 +293,7 @@ fn perf_line(perf: &advm::campaign::CampaignPerf) -> String {
 
 /// Parses an integer-valued flag, reporting the flag name on failure.
 fn int_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
-    flag_value(args, flag)
+    flag_value(args, flag)?
         .map(|v| v.parse().map_err(|_| format!("bad {flag} value `{v}`")))
         .transpose()
 }
@@ -311,7 +313,7 @@ fn explore(args: &[String]) -> Result<(), String> {
     if let Some(workers) = int_flag(args, "--workers")? {
         exploration = exploration.workers(workers);
     }
-    if let Some(derivative) = flag_value(args, "--derivative") {
+    if let Some(derivative) = flag_value(args, "--derivative")? {
         exploration = exploration.derivative(parse_derivative(derivative)?);
     }
     if args.iter().any(|a| a == "--all-platforms") {
@@ -345,7 +347,7 @@ fn audit(args: &[String]) -> Result<(), String> {
     let mut audit = FaultAudit::new();
     if args.iter().any(|a| a == "--all-platforms") {
         audit = audit.platforms(PlatformId::ALL);
-    } else if let Some(list) = flag_value(args, "--platforms") {
+    } else if let Some(list) = flag_value(args, "--platforms")? {
         let platforms: Vec<PlatformId> = list
             .split(',')
             .map(parse_platform)
@@ -403,11 +405,11 @@ fn port(args: &[String]) -> Result<(), String> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let env = load_env(&dir, &name)?;
-    let derivative = flag_value(args, "--derivative")
+    let derivative = flag_value(args, "--derivative")?
         .map(parse_derivative)
         .transpose()?
         .unwrap_or(env.config().derivative);
-    let platform = flag_value(args, "--platform")
+    let platform = flag_value(args, "--platform")?
         .map(parse_platform)
         .transpose()?
         .unwrap_or(env.config().platform);
@@ -470,5 +472,30 @@ mod tests {
         let a = args(&["--all-platforms", "dir", "NAME"]);
         assert_eq!(positional(&a, 0, "dir").unwrap(), "dir");
         assert_eq!(positional(&a, 1, "name").unwrap(), "NAME");
+    }
+
+    #[test]
+    fn flag_value_extracts_its_value() {
+        let a = args(&["dir", "--workers", "4", "--json"]);
+        assert_eq!(flag_value(&a, "--workers"), Ok(Some("4")));
+        assert_eq!(flag_value(&a, "--fuel"), Ok(None));
+    }
+
+    #[test]
+    fn flag_value_rejects_a_flag_as_value() {
+        // `--workers --json` used to silently take "--json" as the
+        // worker count (and then fail the parse with a baffling
+        // message) — and eat the --json flag in the process.
+        let a = args(&["dir", "--workers", "--json"]);
+        let err = flag_value(&a, "--workers").unwrap_err();
+        assert!(err.contains("--workers requires a value"), "{err}");
+        assert!(int_flag::<usize>(&a, "--workers").is_err());
+    }
+
+    #[test]
+    fn trailing_valued_flag_is_a_proper_error() {
+        let a = args(&["dir", "NAME", "--platform"]);
+        let err = flag_value(&a, "--platform").unwrap_err();
+        assert!(err.contains("--platform requires a value"), "{err}");
     }
 }

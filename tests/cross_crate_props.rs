@@ -1,10 +1,13 @@
 //! Cross-crate property tests: invariants that hold over randomised
 //! inputs spanning assembler, SoC model, simulator and methodology.
 
+use std::sync::Arc;
+
 use advm::audit::FaultAudit;
 use advm::campaign::Campaign;
 use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
 use advm::porting::{port_env, test_files_touched};
+use advm::prefix::PrefixPool;
 use advm::presets::{default_config, page_env, uart_env};
 use advm::testplan::Testplan;
 use advm_gen::{
@@ -299,4 +302,86 @@ proptest! {
         prop_assert!(serial.killed(PlatformFault::PageActiveOffByOne));
         prop_assert!(serial.killed(PlatformFault::PageMapWriteIgnored));
     }
+
+    /// Snapshot-based prefix forking is perf-only: a fault audit whose
+    /// campaigns fork every safe run from the shared fault-free prefix
+    /// produces byte-identical (perf-stripped) JSON — classifications,
+    /// kill counts, escapes — to a from-reset sweep, at any worker
+    /// count, while actually skipping shared-prefix re-execution.
+    #[test]
+    fn forked_fault_audit_is_byte_identical_to_from_reset(seed in 0u64..1_000) {
+        let audit = |workers: usize, fork: bool| {
+            FaultAudit::new()
+                .suite([page_env(default_config(), 1), uart_env(default_config())])
+                .faults([
+                    PlatformFault::PageActiveOffByOne,
+                    PlatformFault::UartDropsBytes,
+                    PlatformFault::TimerNeverExpires,
+                ])
+                .platforms([advm_soc::PlatformId::RtlSim, advm_soc::PlatformId::GateSim])
+                .scenarios(2)
+                .seed(seed)
+                .fuel(200_000)
+                .workers(workers)
+                .fork_prefix(fork)
+                .run()
+                .expect("audit runs")
+        };
+        let reference = audit(1, false);
+        prop_assert_eq!(reference.perf().forked_runs, 0);
+        prop_assert_eq!(reference.perf().prefix_saved, 0);
+        for workers in [1usize, 8] {
+            let forked = audit(workers, true);
+            prop_assert!(
+                forked.perf().forked_runs > 0,
+                "workers={}: {:?}", workers, forked.perf()
+            );
+            prop_assert!(forked.perf().prefix_saved > 0);
+            prop_assert_eq!(
+                strip_perf(&reference.to_json()),
+                strip_perf(&forked.to_json()),
+                "workers={}", workers
+            );
+            prop_assert_eq!(reference.perf().instructions, forked.perf().instructions);
+        }
+    }
+}
+
+/// The same guarantee one layer down: a campaign handed a prefix pool
+/// reports byte-identical (perf-stripped) JSON to a from-reset one —
+/// verdicts, matrix, divergences — serial or parallel, with the pool's
+/// snapshots shared across both worker counts.
+#[test]
+fn forked_campaign_json_is_byte_identical_to_from_reset() {
+    let envs = [page_env(default_config(), 2), uart_env(default_config())];
+    let run = |workers: usize, pool: Option<Arc<PrefixPool>>| {
+        let mut campaign = Campaign::new()
+            .envs(envs.iter().cloned())
+            .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+            .workers(workers);
+        if let Some(pool) = pool {
+            campaign = campaign.prefix_pool(pool);
+        }
+        campaign.run().expect("suite builds")
+    };
+    let reference = run(1, None);
+    assert_eq!(reference.perf().forked_runs, 0);
+    let pool = Arc::new(PrefixPool::new(16));
+    for workers in [1usize, 8] {
+        let forked = run(workers, Some(Arc::clone(&pool)));
+        assert!(
+            forked.perf().forked_runs > 0,
+            "workers={workers}: {:?}",
+            forked.perf()
+        );
+        assert_eq!(
+            strip_perf(&reference.to_json()),
+            strip_perf(&forked.to_json()),
+            "workers={workers}"
+        );
+    }
+    assert!(
+        !pool.is_empty(),
+        "prefixes captured once, reused across runs"
+    );
 }

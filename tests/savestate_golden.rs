@@ -1,0 +1,66 @@
+//! Golden SaveState blob: the serialized machine format must be
+//! byte-stable.
+//!
+//! A snapshot captured today must restore tomorrow — campaigns fork
+//! from pooled snapshots, and any silent change to the wire format
+//! (field reorder, width change, RLE tweak) would corrupt every stored
+//! blob without tripping a single in-process test, because capture and
+//! restore would drift together. This test pins the serialized bytes of
+//! one deterministic machine state against a committed blob; the format
+//! may only change together with a `SAVESTATE_VERSION` bump.
+
+use advm::build::build_cell;
+use advm::presets::{default_config, page_env};
+use advm_sim::{Platform, PlatformFault, SaveState, SAVESTATE_VERSION};
+use advm_soc::{Derivative, PlatformId};
+
+/// Committed golden-model snapshot: `PAGE/TEST_PAGE_SELECT_01` paused
+/// after exactly 40 retired instructions.
+const GOLDEN_BLOB: &[u8] = include_bytes!("golden/savestate_v1.bin");
+
+/// Reproduces the committed machine state from source.
+fn captured() -> SaveState {
+    let env = page_env(default_config(), 1);
+    let image = build_cell(&env, "TEST_PAGE_SELECT_01").expect("seed cell builds");
+    let mut platform = Platform::new(PlatformId::GoldenModel, &Derivative::sc88a());
+    platform.load_image(&image);
+    platform.set_fuel(40);
+    platform.run();
+    platform.snapshot()
+}
+
+#[test]
+fn savestate_blob_is_byte_stable() {
+    let blob = captured();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/savestate_v1.bin"),
+            blob.as_bytes(),
+        )
+        .expect("regenerate golden blob");
+        return;
+    }
+    assert_eq!(
+        blob.as_bytes(),
+        GOLDEN_BLOB,
+        "the SaveState wire format changed — this silently corrupts \
+         every stored snapshot. If the change is intentional, bump the \
+         version byte (SAVESTATE_VERSION) and regenerate the blob with \
+         `UPDATE_GOLDEN=1 cargo test --test savestate_golden`"
+    );
+}
+
+#[test]
+fn committed_blob_parses_and_resumes_to_a_green_finish() {
+    let state = SaveState::from_bytes(GOLDEN_BLOB).expect("golden blob parses");
+    assert_eq!(state.version(), SAVESTATE_VERSION);
+    let mut resumed = Platform::from_snapshot(&state, &Derivative::sc88a(), PlatformFault::None)
+        .expect("golden blob restores");
+    resumed.set_fuel(advm_sim::DEFAULT_FUEL);
+    let result = resumed.run();
+    assert!(
+        result.passed(),
+        "a machine resumed from the committed blob finishes the seed \
+         cell green: {result}"
+    );
+}
