@@ -54,8 +54,10 @@ use advm_metrics::Table;
 use advm_sim::{compare, PlatformFault};
 use advm_soc::{DerivativeId, PlatformId};
 
+use crate::artifacts::ArtifactStore;
 use crate::campaign::{
     default_workers, json_string, Campaign, CampaignError, CampaignPerf, CampaignReport,
+    ObserverFactory,
 };
 use crate::env::ModuleTestEnv;
 use crate::prefix::{PrefixPool, DEFAULT_PREFIX_BUDGET};
@@ -376,7 +378,7 @@ impl fmt::Display for FaultAuditReport {
 /// whole [`PlatformFault::ALL`] catalog, the RTL simulation as the
 /// audited platform, the golden model as reference, one escape-driven
 /// round of 8 scenarios.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FaultAudit {
     suite: Vec<ModuleTestEnv>,
     faults: Vec<PlatformFault>,
@@ -390,6 +392,29 @@ pub struct FaultAudit {
     decode: bool,
     fork_prefix: bool,
     prefix_budget: u64,
+    artifact_store: Option<Arc<ArtifactStore>>,
+    observer_factory: Option<ObserverFactory>,
+}
+
+impl std::fmt::Debug for FaultAudit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultAudit")
+            .field("suite", &self.suite.len())
+            .field("faults", &self.faults)
+            .field("platforms", &self.platforms)
+            .field("reference", &self.reference)
+            .field("scenarios", &self.scenarios)
+            .field("escape_rounds", &self.escape_rounds)
+            .field("seed", &self.seed)
+            .field("workers", &self.workers)
+            .field("fuel", &self.fuel)
+            .field("decode", &self.decode)
+            .field("fork_prefix", &self.fork_prefix)
+            .field("prefix_budget", &self.prefix_budget)
+            .field("artifact_store", &self.artifact_store.is_some())
+            .field("observer_factory", &self.observer_factory.is_some())
+            .finish()
+    }
 }
 
 impl Default for FaultAudit {
@@ -415,6 +440,8 @@ impl FaultAudit {
             decode: true,
             fork_prefix: true,
             prefix_budget: DEFAULT_PREFIX_BUDGET,
+            artifact_store: None,
+            observer_factory: None,
         }
     }
 
@@ -509,6 +536,27 @@ impl FaultAudit {
         self
     }
 
+    /// Attaches a shared [`ArtifactStore`] to every campaign the sweep
+    /// runs: builds, predecode artifacts and prefix snapshots are
+    /// reused across the whole matrix *and* across audits sharing the
+    /// store. With a store attached its prefix pool replaces the
+    /// sweep-local one ([`FaultAudit::prefix_budget`] is superseded by
+    /// the store's). Detection matrices and kill counts are identical
+    /// with or without a store.
+    pub fn artifact_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.artifact_store = Some(store);
+        self
+    }
+
+    /// Attaches an observer factory: each internal campaign of the
+    /// sweep gets one fresh observer built by `factory`, so its
+    /// [`CampaignEvent`](crate::campaign::CampaignEvent)s stream out
+    /// live (the daemon's per-job NDJSON feed).
+    pub fn observe_with(mut self, factory: ObserverFactory) -> Self {
+        self.observer_factory = Some(factory);
+        self
+    }
+
     /// Runs the fault-free reference baseline for a stimulus set — once,
     /// shared by every matrix cell of the sweep, instead of re-simulating
     /// the reference inside each faulted campaign.
@@ -517,14 +565,28 @@ impl FaultAudit {
         envs: &[ModuleTestEnv],
         scenarios: &[advm_gen::Scenario],
     ) -> Result<CampaignReport, CampaignError> {
-        Campaign::new()
-            .envs(envs.iter().cloned())
-            .scenarios(scenarios.iter().cloned())
-            .platform(self.reference)
-            .workers(self.workers)
-            .fuel(self.fuel)
-            .decode_cache(self.decode)
-            .run()
+        self.dress(
+            Campaign::new()
+                .envs(envs.iter().cloned())
+                .scenarios(scenarios.iter().cloned())
+                .platform(self.reference)
+                .workers(self.workers)
+                .fuel(self.fuel)
+                .decode_cache(self.decode),
+        )
+        .run()
+    }
+
+    /// Attaches the sweep-wide store and a fresh observer (when
+    /// configured) to one internal campaign.
+    fn dress(&self, mut campaign: Campaign) -> Campaign {
+        if let Some(store) = &self.artifact_store {
+            campaign = campaign.artifact_store(Arc::clone(store));
+        }
+        if let Some(factory) = &self.observer_factory {
+            campaign = campaign.observe(factory());
+        }
+        campaign
     }
 
     /// Runs one (fault, platform) campaign over the given stimulus on
@@ -548,7 +610,7 @@ impl FaultAudit {
         if let Some(pool) = pool {
             campaign = campaign.prefix_pool(Arc::clone(pool));
         }
-        campaign.run()
+        self.dress(campaign).run()
     }
 
     /// Classifies one cell by comparing every test's faulted run against
@@ -638,8 +700,9 @@ impl FaultAudit {
         // over. The fault-free baselines are excluded — they are run
         // once anyway, and they are what the snapshots must be proven
         // against.
-        let pool = self
-            .fork_prefix
+        // With a shared store attached, its own pool plays this role
+        // (and outlives the sweep); a sweep-local pool would shadow it.
+        let pool = (self.fork_prefix && self.artifact_store.is_none())
             .then(|| Arc::new(PrefixPool::new(self.prefix_budget)));
         let mut perf = CampaignPerf::default();
         let suite_baseline = self.baseline(&self.suite, &[])?;

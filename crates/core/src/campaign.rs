@@ -71,6 +71,7 @@ use advm_sim::{
 use advm_soc::{Derivative, PlatformId};
 use parking_lot::Mutex;
 
+use crate::artifacts::ArtifactStore;
 use crate::build::{es_rom_source, link_programs, unit_sources};
 use crate::env::{EnvConfig, ModuleTestEnv, GLOBALS_FILE};
 use crate::prefix::{PrefixEntry, PrefixPool};
@@ -103,7 +104,7 @@ pub struct TestRun {
 /// Job-level events are emitted from worker threads, so their order
 /// interleaves under parallel execution; their *content* is deterministic
 /// for a given campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CampaignEvent {
     /// The campaign's job graph is planned and the worker pool is about
     /// to start.
@@ -177,6 +178,183 @@ pub enum CampaignEvent {
     },
 }
 
+impl CampaignEvent {
+    /// The event's wire-format tag (the `"type"` field of its JSON
+    /// form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignEvent::Started { .. } => "started",
+            CampaignEvent::JobStarted { .. } => "job_started",
+            CampaignEvent::JobBuilt { .. } => "job_built",
+            CampaignEvent::JobFinished { .. } => "job_finished",
+            CampaignEvent::JobFailed { .. } => "job_failed",
+            CampaignEvent::DivergenceDetected { .. } => "divergence",
+            CampaignEvent::Finished { .. } => "finished",
+        }
+    }
+
+    /// Renders the event as one compact JSON object — the line format
+    /// of the NDJSON event stream `advm-serve` sends to watchers. The
+    /// encoding is a stable contract: every variant round-trips through
+    /// [`CampaignEvent::from_json`] and is pinned by golden tests.
+    pub fn to_json(&self) -> String {
+        match self {
+            CampaignEvent::Started {
+                jobs,
+                unique_builds,
+                workers,
+            } => format!(
+                "{{\"type\":\"started\",\"jobs\":{jobs},\
+                 \"unique_builds\":{unique_builds},\"workers\":{workers}}}"
+            ),
+            CampaignEvent::JobStarted {
+                env,
+                test_id,
+                platform,
+            } => format!(
+                "{{\"type\":\"job_started\",\"env\":{},\"test\":{},\"platform\":\"{}\"}}",
+                json_string(env),
+                json_string(test_id),
+                platform.name()
+            ),
+            CampaignEvent::JobBuilt {
+                env,
+                test_id,
+                platform,
+                cache_hit,
+            } => format!(
+                "{{\"type\":\"job_built\",\"env\":{},\"test\":{},\
+                 \"platform\":\"{}\",\"cache_hit\":{cache_hit}}}",
+                json_string(env),
+                json_string(test_id),
+                platform.name()
+            ),
+            CampaignEvent::JobFinished {
+                env,
+                test_id,
+                platform,
+                passed,
+            } => format!(
+                "{{\"type\":\"job_finished\",\"env\":{},\"test\":{},\
+                 \"platform\":\"{}\",\"passed\":{passed}}}",
+                json_string(env),
+                json_string(test_id),
+                platform.name()
+            ),
+            CampaignEvent::JobFailed {
+                env,
+                test_id,
+                platform,
+                error,
+            } => format!(
+                "{{\"type\":\"job_failed\",\"env\":{},\"test\":{},\
+                 \"platform\":\"{}\",\"error\":{}}}",
+                json_string(env),
+                json_string(test_id),
+                platform.name(),
+                json_string(error)
+            ),
+            CampaignEvent::DivergenceDetected { test, divergent } => {
+                let names: Vec<String> = divergent
+                    .iter()
+                    .map(|p| format!("\"{}\"", p.name()))
+                    .collect();
+                format!(
+                    "{{\"type\":\"divergence\",\"test\":{},\"divergent\":[{}]}}",
+                    json_string(test),
+                    names.join(",")
+                )
+            }
+            CampaignEvent::Finished {
+                total,
+                passed,
+                failed,
+                cache_hits,
+            } => format!(
+                "{{\"type\":\"finished\",\"total\":{total},\"passed\":{passed},\
+                 \"failed\":{failed},\"cache_hits\":{cache_hits}}}"
+            ),
+        }
+    }
+
+    /// Parses one event back from its [`CampaignEvent::to_json`] line.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`](crate::wire::WireError) for malformed JSON, an
+    /// unknown `"type"` tag, or a missing/mistyped field.
+    pub fn from_json(text: &str) -> Result<Self, crate::wire::WireError> {
+        use crate::wire::{JsonValue, WireError};
+        let parse_platform = |value: &JsonValue| -> Result<PlatformId, WireError> {
+            let name = value.str_field("platform")?;
+            PlatformId::ALL
+                .into_iter()
+                .find(|p| p.name() == name)
+                .ok_or_else(|| WireError::shape(format!("unknown platform `{name}`")))
+        };
+        let value = JsonValue::parse(text)?;
+        let event = match value.str_field("type")? {
+            "started" => CampaignEvent::Started {
+                jobs: value.u64_field("jobs")? as usize,
+                unique_builds: value.u64_field("unique_builds")? as usize,
+                workers: value.u64_field("workers")? as usize,
+            },
+            "job_started" => CampaignEvent::JobStarted {
+                env: value.str_field("env")?.to_owned(),
+                test_id: value.str_field("test")?.to_owned(),
+                platform: parse_platform(&value)?,
+            },
+            "job_built" => CampaignEvent::JobBuilt {
+                env: value.str_field("env")?.to_owned(),
+                test_id: value.str_field("test")?.to_owned(),
+                platform: parse_platform(&value)?,
+                cache_hit: value.bool_field("cache_hit")?,
+            },
+            "job_finished" => CampaignEvent::JobFinished {
+                env: value.str_field("env")?.to_owned(),
+                test_id: value.str_field("test")?.to_owned(),
+                platform: parse_platform(&value)?,
+                passed: value.bool_field("passed")?,
+            },
+            "job_failed" => CampaignEvent::JobFailed {
+                env: value.str_field("env")?.to_owned(),
+                test_id: value.str_field("test")?.to_owned(),
+                platform: parse_platform(&value)?,
+                error: value.str_field("error")?.to_owned(),
+            },
+            "divergence" => {
+                let divergent = value
+                    .get("divergent")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| WireError::shape("missing `divergent` array"))?
+                    .iter()
+                    .map(|item| {
+                        let name = item
+                            .as_str()
+                            .ok_or_else(|| WireError::shape("non-string platform name"))?;
+                        PlatformId::ALL
+                            .into_iter()
+                            .find(|p| p.name() == name)
+                            .ok_or_else(|| WireError::shape(format!("unknown platform `{name}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                CampaignEvent::DivergenceDetected {
+                    test: value.str_field("test")?.to_owned(),
+                    divergent,
+                }
+            }
+            "finished" => CampaignEvent::Finished {
+                total: value.u64_field("total")? as usize,
+                passed: value.u64_field("passed")? as usize,
+                failed: value.u64_field("failed")? as usize,
+                cache_hits: value.u64_field("cache_hits")? as usize,
+            },
+            other => return Err(WireError::shape(format!("unknown event type `{other}`"))),
+        };
+        Ok(event)
+    }
+}
+
 /// A sink for [`CampaignEvent`]s.
 ///
 /// Observers are invoked under a dispatch lock, so implementations may
@@ -186,6 +364,20 @@ pub trait CampaignObserver: Send {
     /// Receives one event.
     fn on_event(&mut self, event: &CampaignEvent);
 }
+
+impl CampaignObserver for Box<dyn CampaignObserver> {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        (**self).on_event(event);
+    }
+}
+
+/// Builds a fresh observer for each campaign a multi-campaign driver
+/// runs. [`FaultAudit`](crate::audit::FaultAudit) and
+/// [`Exploration`](crate::stimulus::Exploration) spin up many internal
+/// campaigns; a factory (rather than one observer) lets every one of
+/// them stream events to its own sink — e.g. the daemon's per-job
+/// NDJSON stream — without the driver knowing the sink type.
+pub type ObserverFactory = Arc<dyn Fn() -> Box<dyn CampaignObserver> + Send + Sync>;
 
 /// An observer that prints one progress line per finished job to stderr.
 ///
@@ -374,6 +566,11 @@ pub struct CampaignPerf {
     pub prefix_saved: u64,
     /// Runs that started from a forked snapshot rather than reset.
     pub forked_runs: u64,
+    /// Distinct content keys served by a shared
+    /// [`ArtifactStore`] — builds this campaign reused from (or shared
+    /// with) *other* campaigns. Zero without a store attached; nonzero
+    /// on a warm run against a resident daemon.
+    pub artifact_hits: u64,
 }
 
 impl CampaignPerf {
@@ -408,6 +605,7 @@ impl CampaignPerf {
         self.decode_preloaded += other.decode_preloaded;
         self.prefix_saved += other.prefix_saved;
         self.forked_runs += other.forked_runs;
+        self.artifact_hits += other.artifact_hits;
     }
 
     /// Renders the JSON object embedded in report documents.
@@ -415,7 +613,8 @@ impl CampaignPerf {
         format!(
             "{{\"instructions\":{},\"wall_ms\":{:.3},\"steps_per_sec\":{:.0},\
              \"decode_hits\":{},\"decode_misses\":{},\"decode_preloaded\":{},\
-             \"decode_hit_rate\":{:.4},\"prefix_saved\":{},\"forked_runs\":{}}}",
+             \"decode_hit_rate\":{:.4},\"prefix_saved\":{},\"forked_runs\":{},\
+             \"artifact_hits\":{}}}",
             self.instructions,
             self.wall.as_secs_f64() * 1e3,
             self.steps_per_sec(),
@@ -424,7 +623,8 @@ impl CampaignPerf {
             self.decode_preloaded,
             self.decode_hit_rate(),
             self.prefix_saved,
-            self.forked_runs
+            self.forked_runs,
+            self.artifact_hits
         )
     }
 }
@@ -740,24 +940,8 @@ impl CampaignReport {
     }
 }
 
-/// Escapes a string for JSON embedding.
-pub(crate) fn json_string(text: &str) -> String {
-    let mut out = String::with_capacity(text.len() + 2);
-    out.push('"');
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
+/// Escapes a string for JSON embedding (the shared wire-layer routine).
+pub(crate) use crate::wire::json_string;
 
 /// FNV-1a, the build cache's content hash: deterministic across runs,
 /// platforms and worker counts (unlike `DefaultHasher`, whose keys are
@@ -891,7 +1075,7 @@ impl CellFingerprint {
 /// image (behind the same content key that dedupes the assembly) and
 /// every worker seeds its platform's decode cache from the same `Arc` —
 /// decode once per deduped image, not once per test × platform.
-struct Prebuilt {
+pub(crate) struct Prebuilt {
     image: Image,
     /// `None` when the campaign's decode cache is disabled.
     decoded: Option<Arc<DecodedProgram>>,
@@ -901,8 +1085,10 @@ struct Prebuilt {
 /// jobs with equal content keys; the ES slot additionally dedupes the
 /// embedded-software ROM assembly across *all* jobs that share an ES
 /// source (campaign-wide, since the ROM ignores the target platform).
-type ImageSlot = Arc<OnceLock<Result<Prebuilt, AsmError>>>;
-type EsSlot = Arc<OnceLock<Result<advm_asm::Program, AsmError>>>;
+/// With an [`ArtifactStore`] attached, these same slots live in the
+/// store and survive the campaign.
+pub(crate) type ImageSlot = Arc<OnceLock<Result<Prebuilt, AsmError>>>;
+pub(crate) type EsSlot = Arc<OnceLock<Result<advm_asm::Program, AsmError>>>;
 
 /// One planned job: everything a worker needs, plus the shared build
 /// slots its content keys mapped to.
@@ -963,6 +1149,7 @@ pub struct Campaign {
     cache: bool,
     decode: bool,
     prefix_pool: Option<Arc<PrefixPool>>,
+    artifact_store: Option<Arc<ArtifactStore>>,
     bisect: bool,
     observers: Vec<Box<dyn CampaignObserver>>,
 }
@@ -978,6 +1165,7 @@ impl fmt::Debug for Campaign {
             .field("fault", &self.fault)
             .field("cache", &self.cache)
             .field("prefix_pool", &self.prefix_pool.is_some())
+            .field("artifact_store", &self.artifact_store.is_some())
             .field("bisect", &self.bisect)
             .field("observers", &self.observers.len())
             .finish()
@@ -1004,6 +1192,7 @@ impl Campaign {
             cache: true,
             decode: true,
             prefix_pool: None,
+            artifact_store: None,
             bisect: false,
             observers: Vec::new(),
         }
@@ -1118,6 +1307,23 @@ impl Campaign {
         self
     }
 
+    /// Attaches a shared [`ArtifactStore`]: build slots (images and
+    /// their predecode artifacts, the ES ROM) and prefix snapshots are
+    /// looked up in — and retained by — the store, so identical content
+    /// keys are reused *across* campaigns sharing the store (a resident
+    /// daemon's warm runs skip assembly entirely). Requires the build
+    /// cache; with the cache disabled the store is ignored. Reuse is
+    /// perf-only: verdicts, matrices, divergences and the report-level
+    /// `cache_hits`/`unique_builds` counters are identical with or
+    /// without a store — only the
+    /// [`artifact_hits`](CampaignPerf::artifact_hits) perf counter and
+    /// wall time change. The store's own [`PrefixPool`] is used unless
+    /// [`Campaign::prefix_pool`] set an explicit one.
+    pub fn artifact_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.artifact_store = Some(store);
+        self
+    }
+
     /// Enables divergence bisection: for every divergent test, the
     /// sealed report's [`DivergenceReport::bisection`] pinpoints the
     /// first retired instruction at which the divergent platform's
@@ -1188,9 +1394,17 @@ impl Campaign {
         // serial; source *assembly* is the hot path and moves to the
         // workers below.
         let mut jobs: Vec<Job> = Vec::new();
-        let mut slots: HashMap<u64, ImageSlot> = HashMap::new();
+        // Local slot maps memoise one store lookup per distinct key per
+        // campaign, so the store's hit/miss counters measure *cross*-
+        // campaign reuse, never within-campaign re-requests.
+        let mut slots: HashMap<u64, (ImageSlot, bool)> = HashMap::new();
         let mut es_slots: HashMap<u64, EsSlot> = HashMap::new();
         let mut cache_hits = 0;
+        let mut artifact_hits: u64 = 0;
+        let store = self
+            .cache
+            .then_some(self.artifact_store.as_deref())
+            .flatten();
         for (env, scenario) in &planned {
             // Per-env invariants: the ES ROM source and the derivative
             // model depend only on derivative/ES release, never on the
@@ -1199,7 +1413,10 @@ impl Campaign {
             let derivative = Arc::new(Derivative::from_id(env.config().derivative));
             let shared_es_slot = self.cache.then(|| {
                 let es_key = fnv1a(0, es_source.as_bytes());
-                Arc::clone(es_slots.entry(es_key).or_default())
+                Arc::clone(es_slots.entry(es_key).or_insert_with(|| match store {
+                    Some(store) => store.es_slot(es_key),
+                    None => EsSlot::default(),
+                }))
             });
             // Platform-invariant fingerprints: one pass over each cell's
             // sources, reused by every target platform below.
@@ -1245,11 +1462,23 @@ impl Campaign {
                     let (slot, planned_hit) = match content_key {
                         Some(key) => match slots.entry(key) {
                             std::collections::hash_map::Entry::Occupied(e) => {
+                                // Within-campaign hit: keeps its
+                                // store-independent report semantics.
                                 cache_hits += 1;
-                                (Arc::clone(e.get()), true)
+                                (Arc::clone(&e.get().0), true)
                             }
                             std::collections::hash_map::Entry::Vacant(e) => {
-                                (Arc::clone(e.insert(Arc::default())), false)
+                                // First job of this key: consult the
+                                // store (a hit there means another
+                                // campaign already built — or is
+                                // building — this image).
+                                let (slot, store_hit) = match store {
+                                    Some(store) => store.image_slot(key),
+                                    None => (ImageSlot::default(), false),
+                                };
+                                artifact_hits += u64::from(store_hit);
+                                let (slot, _) = e.insert((slot, store_hit));
+                                (Arc::clone(slot), store_hit)
                             }
                         },
                         None => (Arc::default(), false),
@@ -1301,6 +1530,12 @@ impl Campaign {
         // first build error aborts the campaign: in-flight jobs finish,
         // queued ones are abandoned (their results would be discarded
         // anyway).
+        // An explicit pool wins; otherwise an attached store lends its
+        // own, so prefix snapshots also persist across campaigns.
+        let prefix_pool = self
+            .prefix_pool
+            .as_deref()
+            .or_else(|| store.map(|s| s.prefix_pool().as_ref()));
         let next = AtomicUsize::new(0);
         let abort = std::sync::atomic::AtomicBool::new(false);
         let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
@@ -1346,7 +1581,7 @@ impl Campaign {
                         job,
                         prebuilt,
                         self.fuel,
-                        self.prefix_pool.as_deref(),
+                        prefix_pool,
                         &prefix_saved,
                         &forked_runs,
                     );
@@ -1399,6 +1634,7 @@ impl Campaign {
         let mut report = CampaignReport::new(runs, cache_hits, unique_builds, wall);
         report.perf.prefix_saved = prefix_saved.into_inner();
         report.perf.forked_runs = forked_runs.into_inner();
+        report.perf.artifact_hits = artifact_hits;
         if self.bisect {
             for (test, divergence) in report.divergences.iter_mut() {
                 divergence.bisection = bisect_test(self.fuel, test, divergence, &jobs);
@@ -2094,5 +2330,152 @@ t_fail:
     fn json_escaping_handles_control_characters() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    /// One exemplar of every event variant — the wire-format tests below
+    /// must cover the whole enum (a new variant fails the match here).
+    fn every_event() -> Vec<CampaignEvent> {
+        let exemplar = |variant: &CampaignEvent| match variant {
+            CampaignEvent::Started { .. }
+            | CampaignEvent::JobStarted { .. }
+            | CampaignEvent::JobBuilt { .. }
+            | CampaignEvent::JobFinished { .. }
+            | CampaignEvent::JobFailed { .. }
+            | CampaignEvent::DivergenceDetected { .. }
+            | CampaignEvent::Finished { .. } => {}
+        };
+        let events = vec![
+            CampaignEvent::Started {
+                jobs: 12,
+                unique_builds: 5,
+                workers: 4,
+            },
+            CampaignEvent::JobStarted {
+                env: "PAGE".into(),
+                test_id: "TEST_A".into(),
+                platform: PlatformId::GoldenModel,
+            },
+            CampaignEvent::JobBuilt {
+                env: "PAGE".into(),
+                test_id: "TEST_A".into(),
+                platform: PlatformId::RtlSim,
+                cache_hit: true,
+            },
+            CampaignEvent::JobFinished {
+                env: "PAGE".into(),
+                test_id: "TEST_A".into(),
+                platform: PlatformId::GateSim,
+                passed: false,
+            },
+            CampaignEvent::JobFailed {
+                env: "PAGE".into(),
+                test_id: "TEST_\"Q\"".into(),
+                platform: PlatformId::Accelerator,
+                error: "unknown mnemonic \"FROB\"\nline 2".into(),
+            },
+            CampaignEvent::DivergenceDetected {
+                test: "PAGE/TEST_READBACK".into(),
+                divergent: vec![PlatformId::RtlSim, PlatformId::Bondout],
+            },
+            CampaignEvent::Finished {
+                total: 12,
+                passed: 10,
+                failed: 2,
+                cache_hits: 7,
+            },
+        ];
+        events.iter().for_each(exemplar);
+        events
+    }
+
+    #[test]
+    fn every_event_round_trips_through_json() {
+        for event in every_event() {
+            let json = event.to_json();
+            let back = CampaignEvent::from_json(&json).unwrap_or_else(|e| {
+                panic!("{json} failed to parse back: {e}");
+            });
+            assert_eq!(back, event, "{json}");
+            // The wire form is itself well-formed JSON with a type tag.
+            let value = crate::wire::JsonValue::parse(&json).unwrap();
+            assert_eq!(value.str_field("type").unwrap(), event.kind());
+        }
+    }
+
+    #[test]
+    fn event_wire_format_is_a_stable_contract() {
+        // Golden strings: changing any of these breaks every deployed
+        // NDJSON consumer, so a diff here must be a deliberate protocol
+        // bump, not a refactor side-effect.
+        let golden = [
+            r#"{"type":"started","jobs":12,"unique_builds":5,"workers":4}"#,
+            r#"{"type":"job_started","env":"PAGE","test":"TEST_A","platform":"golden"}"#,
+            r#"{"type":"job_built","env":"PAGE","test":"TEST_A","platform":"rtl","cache_hit":true}"#,
+            r#"{"type":"job_finished","env":"PAGE","test":"TEST_A","platform":"gate","passed":false}"#,
+            r#"{"type":"job_failed","env":"PAGE","test":"TEST_\"Q\"","platform":"accel","error":"unknown mnemonic \"FROB\"\nline 2"}"#,
+            r#"{"type":"divergence","test":"PAGE/TEST_READBACK","divergent":["rtl","bondout"]}"#,
+            r#"{"type":"finished","total":12,"passed":10,"failed":2,"cache_hits":7}"#,
+        ];
+        for (event, expected) in every_event().iter().zip(golden) {
+            assert_eq!(event.to_json(), expected);
+        }
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_with_shape_errors() {
+        for bad in [
+            "",
+            "{}",
+            r#"{"type":"nope"}"#,
+            r#"{"type":"started","jobs":1}"#,
+            r#"{"type":"job_started","env":"E","test":"T","platform":"vax"}"#,
+            r#"{"type":"finished","total":-1,"passed":0,"failed":0,"cache_hits":0}"#,
+        ] {
+            assert!(CampaignEvent::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn artifact_store_reuse_is_perf_only_and_counted() {
+        let e = env(vec![passing_cell("TEST_A"), failing_cell("TEST_F")]);
+        let baseline = Campaign::new().env(e.clone()).run().unwrap();
+
+        let store = Arc::new(ArtifactStore::new(64));
+        let cold = Campaign::new()
+            .env(e.clone())
+            .artifact_store(Arc::clone(&store))
+            .run()
+            .unwrap();
+        assert_eq!(cold.perf().artifact_hits, 0, "cold run populates");
+        let after_cold = store.stats();
+        assert_eq!(after_cold.hits, 0);
+        assert_eq!(after_cold.misses as usize, cold.unique_builds());
+
+        let warm = Campaign::new()
+            .env(e)
+            .artifact_store(Arc::clone(&store))
+            .run()
+            .unwrap();
+        assert_eq!(
+            warm.perf().artifact_hits as usize,
+            warm.unique_builds(),
+            "every distinct key is served by the store on the warm run"
+        );
+        assert_eq!(store.stats().hits, warm.perf().artifact_hits);
+
+        // Reuse is perf-only: report-level counters and every verdict
+        // match both the cold store run and the storeless baseline.
+        for report in [&cold, &warm] {
+            assert_eq!(report.total(), baseline.total());
+            assert_eq!(report.cache_hits(), baseline.cache_hits());
+            assert_eq!(report.unique_builds(), baseline.unique_builds());
+            for run in baseline.runs() {
+                let twin = report
+                    .run_of(&run.env, &run.test_id, run.platform)
+                    .expect("same job set");
+                assert_eq!(twin.result.passed(), run.result.passed());
+                assert_eq!(twin.result.insns, run.result.insns);
+            }
+        }
     }
 }

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod audit;
 pub mod basefuncs;
 pub mod build;
@@ -59,13 +60,15 @@ pub mod stimulus;
 pub mod system;
 pub mod testplan;
 pub mod violation;
+pub mod wire;
 
+pub use artifacts::{ArtifactStore, ArtifactStoreStats, DEFAULT_ARTIFACT_CAPACITY};
 pub use audit::{AuditCell, AuditError, CellOutcome, FaultAudit, FaultAuditReport};
 pub use basefuncs::{base_functions, BaseFuncsStyle};
 pub use build::{build_cell, run_cell, run_cell_with_fault};
 pub use campaign::{
     Campaign, CampaignError, CampaignEvent, CampaignObserver, CampaignReport, EventLog,
-    ProgressObserver, TestRun,
+    ObserverFactory, ProgressObserver, TestRun,
 };
 pub use coverage::{ModuleCoverage, RegisterCoverage};
 pub use env::{validate_layout, EnvConfig, LayoutIssue, ModuleTestEnv, Stimulus, TestCell};
@@ -83,3 +86,4 @@ pub use stimulus::{
 pub use system::{SystemIssue, SystemVerificationEnv};
 pub use testplan::{Testplan, TestplanEntry};
 pub use violation::{check_env, Violation, ViolationKind};
+pub use wire::{JsonValue, WireError};

@@ -23,6 +23,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use advm_gen::{
     ConstrainedRandom, ConstraintError, CoverageDirected, CoverageFeedback, Directed,
@@ -440,7 +441,7 @@ impl fmt::Display for ExplorationReport {
 /// by construction; as long as unseen pages remain, a coverage-directed
 /// round strictly improves on the constrained-random baseline because
 /// its page sampling drains the unseen pool first.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Exploration {
     derivative: DerivativeId,
     platforms: Vec<PlatformId>,
@@ -450,6 +451,25 @@ pub struct Exploration {
     master_seed: u64,
     workers: usize,
     fuel: u64,
+    artifact_store: Option<Arc<crate::artifacts::ArtifactStore>>,
+    observer_factory: Option<crate::campaign::ObserverFactory>,
+}
+
+impl std::fmt::Debug for Exploration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Exploration")
+            .field("derivative", &self.derivative)
+            .field("platforms", &self.platforms)
+            .field("rounds", &self.rounds)
+            .field("batch", &self.batch)
+            .field("scenario_pages", &self.scenario_pages)
+            .field("master_seed", &self.master_seed)
+            .field("workers", &self.workers)
+            .field("fuel", &self.fuel)
+            .field("artifact_store", &self.artifact_store.is_some())
+            .field("observer_factory", &self.observer_factory.is_some())
+            .finish()
+    }
 }
 
 impl Default for Exploration {
@@ -471,6 +491,8 @@ impl Exploration {
             master_seed: 0x5EED,
             workers: default_workers(),
             fuel: advm_sim::DEFAULT_FUEL,
+            artifact_store: None,
+            observer_factory: None,
         }
     }
 
@@ -522,6 +544,24 @@ impl Exploration {
         self
     }
 
+    /// Attaches a shared [`ArtifactStore`](crate::artifacts::ArtifactStore)
+    /// to every round's campaign: generated scenarios that recur across
+    /// rounds (or across explorations sharing the store) reuse their
+    /// builds, predecode artifacts and prefix snapshots. Coverage and
+    /// verdicts are identical with or without a store.
+    pub fn artifact_store(mut self, store: Arc<crate::artifacts::ArtifactStore>) -> Self {
+        self.artifact_store = Some(store);
+        self
+    }
+
+    /// Attaches an observer factory: each round's campaign gets one
+    /// fresh observer built by `factory`, streaming its
+    /// [`CampaignEvent`](crate::campaign::CampaignEvent)s live.
+    pub fn observe_with(mut self, factory: crate::campaign::ObserverFactory) -> Self {
+        self.observer_factory = Some(factory);
+        self
+    }
+
     /// Runs the closed loop: generate → campaign → coverage →
     /// regenerate, for the configured number of rounds.
     ///
@@ -560,12 +600,18 @@ impl Exploration {
                     .plan()?
             };
 
-            let report = Campaign::new()
+            let mut campaign = Campaign::new()
                 .scenarios(plan.scenarios().iter().cloned())
                 .platforms(self.platforms.iter().copied())
                 .workers(self.workers)
-                .fuel(self.fuel)
-                .run()?;
+                .fuel(self.fuel);
+            if let Some(store) = &self.artifact_store {
+                campaign = campaign.artifact_store(Arc::clone(store));
+            }
+            if let Some(factory) = &self.observer_factory {
+                campaign = campaign.observe(factory());
+            }
+            let report = campaign.run()?;
 
             let before = pages.pages_hit();
             for scenario in plan.scenarios() {

@@ -1,0 +1,75 @@
+//! `advm-serve` — the resident verification daemon.
+//!
+//! ```text
+//! advm-serve --socket /tmp/advm.sock [--workers N] [--cache N]
+//! ```
+//!
+//! Serves the newline-delimited JSON protocol of `advm_serve::protocol`
+//! until a client sends `{"cmd":"shutdown"}`. `advm-cli serve` is an
+//! alias for this binary.
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: advm-serve --socket <path> [--workers <n>] [--cache <n>]
+
+  --socket <path>   Unix-domain socket to listen on (required)
+  --workers <n>     concurrent jobs (default 2)
+  --cache <n>       artifact store capacity in images (default 256)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("advm-serve: {message}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(unix)]
+fn run(args: &[String]) -> Result<(), String> {
+    use advm_serve::daemon::{Daemon, DaemonConfig};
+    use advm_serve::server::Server;
+
+    let mut socket: Option<String> = None;
+    let mut config = DaemonConfig::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("flag `{name}` needs a value"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value("--socket")?.to_owned()),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "flag `--workers` needs an integer".to_owned())?;
+            }
+            "--cache" => {
+                config.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|_| "flag `--cache` needs an integer".to_owned())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let socket = socket.ok_or_else(|| "missing required flag `--socket`".to_owned())?;
+    let server = Server::bind(Daemon::start(config), std::path::Path::new(&socket))
+        .map_err(|e| format!("binding `{socket}`: {e}"))?;
+    eprintln!("advm-serve: listening on {socket}");
+    server.run().map_err(|e| format!("serving `{socket}`: {e}"))
+}
+
+#[cfg(not(unix))]
+fn run(_args: &[String]) -> Result<(), String> {
+    Err(
+        "the socket server needs Unix-domain sockets; use the in-process advm_serve::Daemon API"
+            .to_owned(),
+    )
+}

@@ -1,0 +1,124 @@
+//! A blocking client for the daemon's socket protocol.
+//!
+//! One [`Client`] wraps one connection; requests are serialized on it
+//! in order. `advm-cli submit/status/watch` is a thin shell around this
+//! type.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use advm::wire::JsonValue;
+
+use crate::job::JobSpec;
+use crate::protocol::Request;
+
+/// A connected daemon client.
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+/// Maps a reply-shape problem onto `io::ErrorKind::InvalidData`.
+fn bad_reply(context: &str, line: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{context}: unexpected reply `{line}`"),
+    )
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    pub fn connect(path: &Path) -> io::Result<Self> {
+        let writer = UnixStream::connect(path)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one request line.
+    fn send(&mut self, request: &Request) -> io::Result<()> {
+        self.writer.write_all(request.to_json().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one reply line.
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_owned())
+    }
+
+    /// One request, one reply line.
+    fn roundtrip(&mut self, request: &Request) -> io::Result<String> {
+        self.send(request)?;
+        self.read_line()
+    }
+
+    /// Submits a job, returning its id.
+    pub fn submit(&mut self, spec: JobSpec) -> io::Result<u64> {
+        let line = self.roundtrip(&Request::Submit(spec))?;
+        let value = JsonValue::parse(&line).map_err(|_| bad_reply("submit", &line))?;
+        if value.bool_field("ok").ok() != Some(true) {
+            return Err(bad_reply("submit", &line));
+        }
+        value
+            .u64_field("job")
+            .map_err(|_| bad_reply("submit", &line))
+    }
+
+    /// The daemon's one-line status summary (raw JSON).
+    pub fn status(&mut self) -> io::Result<String> {
+        self.roundtrip(&Request::Status)
+    }
+
+    /// The daemon's one-line job listing (raw JSON).
+    pub fn list(&mut self) -> io::Result<String> {
+        self.roundtrip(&Request::List)
+    }
+
+    /// Cancels a queued job; returns the raw reply line.
+    pub fn cancel(&mut self, job: u64) -> io::Result<String> {
+        self.roundtrip(&Request::Cancel { job })
+    }
+
+    /// Streams a job to completion. Every event line is handed to
+    /// `on_line`; the final `done` line is returned (not passed to the
+    /// callback).
+    pub fn watch(&mut self, job: u64, mut on_line: impl FnMut(&str)) -> io::Result<String> {
+        self.send(&Request::Watch { job })?;
+        loop {
+            let line = self.read_line()?;
+            let value = JsonValue::parse(&line).map_err(|_| bad_reply("watch", &line))?;
+            if value.bool_field("ok").ok() == Some(false) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    value
+                        .str_field("error")
+                        .map(str::to_owned)
+                        .unwrap_or_else(|_| line.clone()),
+                ));
+            }
+            if value.bool_field("done").ok() == Some(true) {
+                return Ok(line);
+            }
+            on_line(&line);
+        }
+    }
+
+    /// Asks the daemon to shut down; returns the raw reply line.
+    pub fn shutdown(&mut self) -> io::Result<String> {
+        self.roundtrip(&Request::Shutdown)
+    }
+}

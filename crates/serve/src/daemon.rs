@@ -1,0 +1,683 @@
+//! The resident verification daemon: a shared job queue, a worker pool
+//! executing [`JobSpec`]s, and per-job event streams.
+//!
+//! The daemon is deliberately transport-free — it is driven either
+//! in-process (tests, doctests, embedding) or by the Unix-socket
+//! front-end in [`crate::server`]. What makes it more than a thread
+//! pool is the shared [`ArtifactStore`]: every campaign of every job is
+//! dressed with one store, so builds, predecoded programs and prefix
+//! snapshots survive from job to job. A warm resubmission of the same
+//! suite skips assembly entirely and reports the reuse in its `perf`
+//! JSON (`artifact_hits`).
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use advm::artifacts::{ArtifactStore, DEFAULT_ARTIFACT_CAPACITY};
+use advm::audit::FaultAudit;
+use advm::campaign::{Campaign, CampaignEvent, CampaignObserver, ObserverFactory};
+use advm::env::ModuleTestEnv;
+use advm::stimulus::Exploration;
+use advm_soc::PlatformId;
+
+use crate::job::{JobSpec, JobState};
+
+/// Daemon construction knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Concurrent jobs (worker threads). Each job additionally runs its
+    /// own campaign worker pool, so the default is deliberately small.
+    pub workers: usize,
+    /// Image-slot capacity of the shared [`ArtifactStore`].
+    pub cache_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            cache_capacity: DEFAULT_ARTIFACT_CAPACITY,
+        }
+    }
+}
+
+/// The append-only event stream of one job plus its subscriber list.
+struct JobStream {
+    /// Every line emitted so far (events, then one final `done` line).
+    lines: Vec<String>,
+    /// Live watchers; a dropped receiver is pruned on the next push.
+    subscribers: Vec<Sender<String>>,
+    /// Set once the final line is pushed.
+    finished: bool,
+}
+
+/// One submitted job: spec, lifecycle state, and its event stream.
+pub struct JobRecord {
+    id: u64,
+    spec: JobSpec,
+    state: Mutex<JobState>,
+    stream: Mutex<JobStream>,
+    /// Signalled on every pushed line and on finish.
+    cv: Condvar,
+    seq: AtomicU64,
+    /// The final `done` line, also present at the end of the stream.
+    result: OnceLock<String>,
+}
+
+impl JobRecord {
+    fn new(id: u64, spec: JobSpec) -> Self {
+        Self {
+            id,
+            spec,
+            state: Mutex::new(JobState::Queued),
+            stream: Mutex::new(JobStream {
+                lines: Vec::new(),
+                subscribers: Vec::new(),
+                finished: false,
+            }),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+            result: OnceLock::new(),
+        }
+    }
+
+    /// The job's queue id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The submitted spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// A snapshot of the lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.state.lock().expect("job state poisoned").clone()
+    }
+
+    fn set_state(&self, state: JobState) {
+        *self.state.lock().expect("job state poisoned") = state;
+    }
+
+    /// Appends one line and fans it out to live subscribers.
+    fn push_line(&self, line: String, last: bool) {
+        let mut stream = self.stream.lock().expect("job stream poisoned");
+        stream
+            .subscribers
+            .retain(|tx| tx.send(line.clone()).is_ok());
+        stream.lines.push(line);
+        if last {
+            stream.finished = true;
+            stream.subscribers.clear();
+        }
+        drop(stream);
+        self.cv.notify_all();
+    }
+
+    /// The stream so far, plus a live receiver when the job is still
+    /// running (`None` once finished — the backlog is complete). The
+    /// snapshot and the subscription are atomic: no line is lost or
+    /// duplicated between them.
+    pub fn subscribe(&self) -> (Vec<String>, Option<Receiver<String>>) {
+        let mut stream = self.stream.lock().expect("job stream poisoned");
+        let backlog = stream.lines.clone();
+        if stream.finished {
+            (backlog, None)
+        } else {
+            let (tx, rx) = std::sync::mpsc::channel();
+            stream.subscribers.push(tx);
+            (backlog, Some(rx))
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state, returning its
+    /// final `done` line.
+    pub fn wait(&self) -> String {
+        let mut stream = self.stream.lock().expect("job stream poisoned");
+        while !stream.finished {
+            stream = self.cv.wait(stream).expect("job stream poisoned");
+        }
+        drop(stream);
+        self.result
+            .get()
+            .expect("finished job has a result")
+            .clone()
+    }
+
+    /// The final `done` line, if the job already finished.
+    pub fn result_line(&self) -> Option<String> {
+        self.result.get().cloned()
+    }
+
+    /// Emits one campaign event into the stream.
+    fn push_event(&self, event: &CampaignEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.push_line(
+            format!(
+                "{{\"job\":{},\"seq\":{seq},\"event\":{}}}",
+                self.id,
+                event.to_json()
+            ),
+            false,
+        );
+    }
+
+    /// Seals the job with its final line.
+    fn finish(&self, state: JobState, line: String) {
+        self.set_state(state);
+        let _ = self.result.set(line.clone());
+        self.push_line(line, true);
+    }
+}
+
+/// An observer handle forwarding one campaign's events into a job's
+/// stream; the audit/exploration drivers build one per internal
+/// campaign via [`ObserverFactory`].
+struct EventStreamer(Arc<JobRecord>);
+
+impl CampaignObserver for EventStreamer {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.0.push_event(event);
+    }
+}
+
+/// Queue state behind the daemon's mutex.
+struct QueueState {
+    queue: VecDeque<u64>,
+    jobs: Vec<Arc<JobRecord>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    store: Arc<ArtifactStore>,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    workers: usize,
+}
+
+/// The resident verification service. See the [module docs](self).
+pub struct Daemon {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("workers", &self.shared.workers)
+            .field("store", &self.shared.store)
+            .finish()
+    }
+}
+
+impl Default for Daemon {
+    fn default() -> Self {
+        Self::start(DaemonConfig::default())
+    }
+}
+
+impl Daemon {
+    /// Starts the worker pool (threads are named `advm-serve-N`).
+    pub fn start(config: DaemonConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            store: Arc::new(ArtifactStore::new(config.cache_capacity)),
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            workers,
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("advm-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning daemon worker")
+            })
+            .collect();
+        Self { shared, threads }
+    }
+
+    /// The shared cross-job artifact store.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.shared.store
+    }
+
+    /// Enqueues a job, returning its id.
+    pub fn submit(&self, spec: JobSpec) -> u64 {
+        let mut state = self.shared.state.lock().expect("daemon state poisoned");
+        let id = state.jobs.len() as u64;
+        state.jobs.push(Arc::new(JobRecord::new(id, spec)));
+        state.queue.push_back(id);
+        drop(state);
+        self.shared.cv.notify_one();
+        id
+    }
+
+    /// Looks up a job record.
+    pub fn job(&self, id: u64) -> Option<Arc<JobRecord>> {
+        let state = self.shared.state.lock().expect("daemon state poisoned");
+        state.jobs.get(id as usize).cloned()
+    }
+
+    /// Cancels a queued job. Running jobs are not interrupted — the
+    /// reply says whether the cancel took effect.
+    pub fn cancel(&self, id: u64) -> String {
+        let Some(record) = self.job(id) else {
+            return crate::protocol::error_line(&format!("no such job {id}"));
+        };
+        let mut job_state = record.state.lock().expect("job state poisoned");
+        let cancelled = matches!(*job_state, JobState::Queued);
+        if cancelled {
+            *job_state = JobState::Cancelled;
+        }
+        drop(job_state);
+        if cancelled {
+            record.finish(
+                JobState::Cancelled,
+                format!("{{\"job\":{id},\"done\":true,\"ok\":false,\"cancelled\":true}}"),
+            );
+        }
+        format!("{{\"ok\":true,\"job\":{id},\"cancelled\":{cancelled}}}")
+    }
+
+    /// One-line daemon summary: job counts by state, worker count, and
+    /// the artifact store's hit/miss/eviction counters.
+    pub fn status_line(&self) -> String {
+        let state = self.shared.state.lock().expect("daemon state poisoned");
+        let mut counts = [0usize; 5];
+        for job in &state.jobs {
+            let index = match job.state() {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Done { .. } => 2,
+                JobState::Failed { .. } => 3,
+                JobState::Cancelled => 4,
+            };
+            counts[index] += 1;
+        }
+        drop(state);
+        format!(
+            "{{\"ok\":true,\"workers\":{},\"queued\":{},\"running\":{},\
+             \"done\":{},\"failed\":{},\"cancelled\":{},\"artifacts\":{}}}",
+            self.shared.workers,
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4],
+            self.shared.store.stats().to_json()
+        )
+    }
+
+    /// One line listing every known job: id, kind, state.
+    pub fn list_line(&self) -> String {
+        let state = self.shared.state.lock().expect("daemon state poisoned");
+        let jobs: Vec<String> = state
+            .jobs
+            .iter()
+            .map(|job| {
+                format!(
+                    "{{\"job\":{},\"kind\":\"{}\",\"state\":\"{}\"}}",
+                    job.id(),
+                    job.spec().kind(),
+                    job.state().name()
+                )
+            })
+            .collect();
+        format!("{{\"ok\":true,\"jobs\":[{}]}}", jobs.join(","))
+    }
+
+    /// Signals shutdown: workers exit after their current job; queued
+    /// jobs are abandoned.
+    pub fn shutdown(&self) {
+        let mut state = self.shared.state.lock().expect("daemon state poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.shared.cv.notify_all();
+    }
+
+    /// Shuts down and joins the worker pool.
+    pub fn join(mut self) {
+        self.shutdown();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One worker: pull, execute, seal, repeat.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let record = {
+            let mut state = shared.state.lock().expect("daemon state poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    break Arc::clone(&state.jobs[id as usize]);
+                }
+                state = shared.cv.wait(state).expect("daemon state poisoned");
+            }
+        };
+        // A cancel may have landed between enqueue and pickup.
+        if record.state().is_terminal() {
+            continue;
+        }
+        record.set_state(JobState::Running);
+        match execute(record.spec(), &shared.store, &record) {
+            Ok((ok, report)) => record.finish(
+                JobState::Done { ok },
+                format!(
+                    "{{\"job\":{},\"done\":true,\"ok\":{ok},\"report\":{report}}}",
+                    record.id()
+                ),
+            ),
+            Err(error) => record.finish(
+                JobState::Failed {
+                    error: error.clone(),
+                },
+                format!(
+                    "{{\"job\":{},\"done\":true,\"ok\":false,\"error\":{}}}",
+                    record.id(),
+                    advm::wire::json_string(&error)
+                ),
+            ),
+        }
+    }
+}
+
+/// Builds the observer factory handing each internal campaign a fresh
+/// stream handle onto `record`.
+fn streamer_factory(record: &Arc<JobRecord>) -> ObserverFactory {
+    let record = Arc::clone(record);
+    Arc::new(move || Box::new(EventStreamer(Arc::clone(&record))) as Box<dyn CampaignObserver>)
+}
+
+/// Executes one job spec against the shared store, streaming events to
+/// the record. Returns the run-level verdict and the report JSON.
+fn execute(
+    spec: &JobSpec,
+    store: &Arc<ArtifactStore>,
+    record: &Arc<JobRecord>,
+) -> Result<(bool, String), String> {
+    match spec {
+        JobSpec::Regress {
+            dir,
+            env,
+            platforms,
+            all_platforms,
+            workers,
+            fuel,
+        } => {
+            let tree = advm::fsio::read_tree(Path::new(dir))
+                .map_err(|e| format!("reading `{dir}`: {e}"))?;
+            let env = ModuleTestEnv::from_tree(env, &tree)
+                .map_err(|e| format!("environment `{env}` in `{dir}`: {e}"))?;
+            // Mirrors `advm-cli regress`: bisection on, the
+            // environment's own platform when none is requested.
+            let mut campaign = Campaign::new()
+                .env(env.clone())
+                .bisect(true)
+                .artifact_store(Arc::clone(store))
+                .observe(EventStreamer(Arc::clone(record)));
+            campaign = if *all_platforms {
+                campaign.platforms(PlatformId::ALL)
+            } else if platforms.is_empty() {
+                campaign.platform(env.config().platform)
+            } else {
+                campaign.platforms(platforms.iter().copied())
+            };
+            if let Some(workers) = workers {
+                campaign = campaign.workers(*workers as usize);
+            }
+            if let Some(fuel) = fuel {
+                campaign = campaign.fuel(*fuel);
+            }
+            let report = campaign.run().map_err(|e| e.to_string())?;
+            Ok((report.failed() == 0, report.to_json()))
+        }
+        JobSpec::Audit {
+            platforms,
+            all_platforms,
+            scenarios,
+            seed,
+            workers,
+            fuel,
+        } => {
+            let mut audit = FaultAudit::new()
+                .artifact_store(Arc::clone(store))
+                .observe_with(streamer_factory(record));
+            if *all_platforms {
+                audit = audit.platforms(PlatformId::ALL);
+            } else if !platforms.is_empty() {
+                audit = audit.platforms(platforms.iter().copied());
+            }
+            if let Some(scenarios) = scenarios {
+                audit = audit.scenarios(*scenarios as usize);
+            }
+            if let Some(seed) = seed {
+                audit = audit.seed(*seed);
+            }
+            if let Some(workers) = workers {
+                audit = audit.workers(*workers as usize);
+            }
+            if let Some(fuel) = fuel {
+                audit = audit.fuel(*fuel);
+            }
+            let report = audit.run().map_err(|e| e.to_string())?;
+            Ok((report.broken() == 0, report.to_json()))
+        }
+        JobSpec::Explore {
+            rounds,
+            seed,
+            batch,
+            workers,
+            derivative,
+            all_platforms,
+        } => {
+            let mut exploration = Exploration::new()
+                .artifact_store(Arc::clone(store))
+                .observe_with(streamer_factory(record));
+            if let Some(rounds) = rounds {
+                exploration = exploration.rounds(*rounds as usize);
+            }
+            if let Some(seed) = seed {
+                exploration = exploration.master_seed(*seed);
+            }
+            if let Some(batch) = batch {
+                exploration = exploration.batch(*batch as usize);
+            }
+            if let Some(workers) = workers {
+                exploration = exploration.workers(*workers as usize);
+            }
+            if let Some(derivative) = derivative {
+                exploration = exploration.derivative(*derivative);
+            }
+            if *all_platforms {
+                exploration = exploration.platforms(PlatformId::ALL);
+            }
+            let report = exploration.run().map_err(|e| e.to_string())?;
+            Ok((report.failed() == 0, report.to_json()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advm::wire::JsonValue;
+
+    fn tiny_env_dir() -> tempdir::TempDir {
+        let env = advm::presets::page_env(advm::presets::default_config(), 1);
+        let dir = tempdir::TempDir::new("advm-serve-test");
+        advm::fsio::write_tree(dir.path(), &env.tree()).expect("writing env tree");
+        dir
+    }
+
+    /// Minimal self-cleaning temp dir (no external crate available).
+    mod tempdir {
+        use std::path::{Path, PathBuf};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        pub struct TempDir(PathBuf);
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+
+        impl TempDir {
+            pub fn new(prefix: &str) -> Self {
+                let path = std::env::temp_dir().join(format!(
+                    "{prefix}-{}-{}",
+                    std::process::id(),
+                    NEXT.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&path).expect("creating temp dir");
+                Self(path)
+            }
+
+            pub fn path(&self) -> &Path {
+                &self.0
+            }
+        }
+
+        impl Drop for TempDir {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    fn regress_spec(dir: &std::path::Path) -> JobSpec {
+        JobSpec::Regress {
+            dir: dir.display().to_string(),
+            env: "PAGE".into(),
+            platforms: vec![
+                advm_soc::PlatformId::GoldenModel,
+                advm_soc::PlatformId::RtlSim,
+            ],
+            all_platforms: false,
+            workers: Some(2),
+            fuel: None,
+        }
+    }
+
+    #[test]
+    fn submitted_job_runs_streams_and_seals() {
+        let dir = tiny_env_dir();
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 32,
+        });
+        let id = daemon.submit(regress_spec(dir.path()));
+        let record = daemon.job(id).expect("job exists");
+        let line = record.wait();
+        assert!(
+            matches!(record.state(), JobState::Done { ok: true }),
+            "{line}"
+        );
+        let value = JsonValue::parse(&line).unwrap();
+        assert!(value.bool_field("done").unwrap());
+        assert!(value.bool_field("ok").unwrap());
+        assert!(value.get("report").is_some(), "{line}");
+        // The backlog is a complete, ordered event stream.
+        let (backlog, live) = record.subscribe();
+        assert!(live.is_none(), "finished job has no live tail");
+        let first = JsonValue::parse(&backlog[0]).unwrap();
+        assert_eq!(
+            first.get("event").unwrap().str_field("type").unwrap(),
+            "started"
+        );
+        assert_eq!(backlog.last().unwrap(), &line);
+        daemon.join();
+    }
+
+    #[test]
+    fn warm_job_reuses_cold_jobs_artifacts() {
+        let dir = tiny_env_dir();
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 32,
+        });
+        let cold = daemon.job(daemon.submit(regress_spec(dir.path()))).unwrap();
+        let cold_line = cold.wait();
+        let warm = daemon.job(daemon.submit(regress_spec(dir.path()))).unwrap();
+        let warm_line = warm.wait();
+
+        let perf_hits = |line: &str| {
+            JsonValue::parse(line)
+                .unwrap()
+                .get("report")
+                .and_then(|r| r.get("perf"))
+                .map(|p| p.u64_field("artifact_hits").unwrap())
+                .expect("report carries perf")
+        };
+        assert_eq!(perf_hits(&cold_line), 0, "{cold_line}");
+        assert!(perf_hits(&warm_line) > 0, "{warm_line}");
+        assert!(daemon.store().stats().hits > 0);
+        daemon.join();
+    }
+
+    #[test]
+    fn cancel_only_reaches_queued_jobs() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        // No worker will ever run job 1 before job 0 finishes; cancel
+        // it while queued.
+        let dir = tiny_env_dir();
+        let first = daemon.submit(regress_spec(dir.path()));
+        let second = daemon.submit(regress_spec(dir.path()));
+        let reply = daemon.cancel(second);
+        assert!(reply.contains("\"cancelled\":true"), "{reply}");
+        let record = daemon.job(second).unwrap();
+        assert_eq!(record.wait(), record.result_line().unwrap());
+        assert_eq!(record.state(), JobState::Cancelled);
+        // The first job still completes.
+        assert!(matches!(
+            daemon.job(first).unwrap().wait(),
+            line if line.contains("\"done\":true")
+        ));
+        let missing = daemon.cancel(99);
+        assert!(missing.contains("no such job"), "{missing}");
+        daemon.join();
+    }
+
+    #[test]
+    fn status_and_list_lines_are_wellformed() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 8,
+        });
+        let dir = tiny_env_dir();
+        let id = daemon.submit(regress_spec(dir.path()));
+        daemon.job(id).unwrap().wait();
+        let status = JsonValue::parse(&daemon.status_line()).unwrap();
+        assert_eq!(status.u64_field("done").unwrap(), 1);
+        assert!(status.get("artifacts").is_some());
+        let list = JsonValue::parse(&daemon.list_line()).unwrap();
+        let jobs = list.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].str_field("kind").unwrap(), "regress");
+        assert_eq!(jobs[0].str_field("state").unwrap(), "done");
+        daemon.join();
+    }
+}

@@ -1,0 +1,348 @@
+//! Job specifications — the daemon's unit of work.
+//!
+//! A [`JobSpec`] abstracts over the three run types the engine exposes
+//! ([`Campaign`](advm::campaign::Campaign),
+//! [`FaultAudit`](advm::audit::FaultAudit),
+//! [`Exploration`](advm::stimulus::Exploration)) as one serializable
+//! value: what `advm-cli submit` sends over the socket is exactly what
+//! a worker thread later executes. Field names mirror the CLI's flag
+//! surfaces (`--workers`, `--fuel`, `--all-platforms`, …).
+
+use advm::wire::{json_string, JsonValue, WireError};
+use advm_soc::{DerivativeId, PlatformId};
+
+/// Looks up a platform by its wire name (`golden`, `rtl`, …).
+fn platform_by_name(name: &str) -> Result<PlatformId, WireError> {
+    PlatformId::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| WireError::shape(format!("unknown platform `{name}`")))
+}
+
+/// Reads an optional `u64` field.
+fn opt_u64(value: &JsonValue, key: &str) -> Result<Option<u64>, WireError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(_) => value.u64_field(key).map(Some),
+    }
+}
+
+/// Reads an optional platform-name array field.
+fn opt_platforms(value: &JsonValue, key: &str) -> Result<Vec<PlatformId>, WireError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(Vec::new()),
+        Some(items) => items
+            .as_array()
+            .ok_or_else(|| WireError::shape(format!("`{key}` must be an array")))?
+            .iter()
+            .map(|item| {
+                item.as_str()
+                    .ok_or_else(|| WireError::shape(format!("`{key}` holds a non-string")))
+                    .and_then(platform_by_name)
+            })
+            .collect(),
+    }
+}
+
+/// Reads an optional boolean field (absent = false).
+fn opt_bool(value: &JsonValue, key: &str) -> Result<bool, WireError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(false),
+        Some(_) => value.bool_field(key),
+    }
+}
+
+/// Renders `"key":n,` for a present optional.
+fn push_opt_u64(out: &mut String, key: &str, value: Option<u64>) {
+    if let Some(value) = value {
+        out.push_str(&format!(",\"{key}\":{value}"));
+    }
+}
+
+/// One executable verification job, as submitted over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSpec {
+    /// A regression campaign over one on-disk environment — the daemon
+    /// side of `advm-cli regress`.
+    Regress {
+        /// Directory holding the environment tree (daemon-side path).
+        dir: String,
+        /// Environment name inside the tree.
+        env: String,
+        /// Explicit target platforms; empty means the environment's
+        /// configured platform (or every platform with `all_platforms`).
+        platforms: Vec<PlatformId>,
+        /// Run the full six-platform matrix.
+        all_platforms: bool,
+        /// Campaign worker override.
+        workers: Option<u64>,
+        /// Per-run instruction budget override.
+        fuel: Option<u64>,
+    },
+    /// A suite-strength fault audit — the daemon side of
+    /// `advm-cli audit`.
+    Audit {
+        /// Audited platforms; empty keeps the audit default (rtl).
+        platforms: Vec<PlatformId>,
+        /// Audit every non-reference platform.
+        all_platforms: bool,
+        /// Escape-round scenario batch size.
+        scenarios: Option<u64>,
+        /// Master seed of the escape-driven plan.
+        seed: Option<u64>,
+        /// Campaign worker override.
+        workers: Option<u64>,
+        /// Per-run instruction budget override.
+        fuel: Option<u64>,
+    },
+    /// A closed-loop coverage exploration — the daemon side of
+    /// `advm-cli explore`.
+    Explore {
+        /// Closed-loop round count.
+        rounds: Option<u64>,
+        /// Master seed.
+        seed: Option<u64>,
+        /// Scenarios per round.
+        batch: Option<u64>,
+        /// Campaign worker override.
+        workers: Option<u64>,
+        /// Derivative under exploration.
+        derivative: Option<DerivativeId>,
+        /// Explore the full six-platform matrix.
+        all_platforms: bool,
+    },
+}
+
+impl JobSpec {
+    /// The wire tag (`regress` / `audit` / `explore`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Regress { .. } => "regress",
+            JobSpec::Audit { .. } => "audit",
+            JobSpec::Explore { .. } => "explore",
+        }
+    }
+
+    /// Renders the spec as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        let platform_list = |platforms: &[PlatformId]| {
+            let names: Vec<String> = platforms
+                .iter()
+                .map(|p| format!("\"{}\"", p.name()))
+                .collect();
+            format!("[{}]", names.join(","))
+        };
+        match self {
+            JobSpec::Regress {
+                dir,
+                env,
+                platforms,
+                all_platforms,
+                workers,
+                fuel,
+            } => {
+                let mut out = format!(
+                    "{{\"kind\":\"regress\",\"dir\":{},\"env\":{},\
+                     \"platforms\":{},\"all_platforms\":{all_platforms}",
+                    json_string(dir),
+                    json_string(env),
+                    platform_list(platforms)
+                );
+                push_opt_u64(&mut out, "workers", *workers);
+                push_opt_u64(&mut out, "fuel", *fuel);
+                out.push('}');
+                out
+            }
+            JobSpec::Audit {
+                platforms,
+                all_platforms,
+                scenarios,
+                seed,
+                workers,
+                fuel,
+            } => {
+                let mut out = format!(
+                    "{{\"kind\":\"audit\",\"platforms\":{},\
+                     \"all_platforms\":{all_platforms}",
+                    platform_list(platforms)
+                );
+                push_opt_u64(&mut out, "scenarios", *scenarios);
+                push_opt_u64(&mut out, "seed", *seed);
+                push_opt_u64(&mut out, "workers", *workers);
+                push_opt_u64(&mut out, "fuel", *fuel);
+                out.push('}');
+                out
+            }
+            JobSpec::Explore {
+                rounds,
+                seed,
+                batch,
+                workers,
+                derivative,
+                all_platforms,
+            } => {
+                let mut out = format!("{{\"kind\":\"explore\",\"all_platforms\":{all_platforms}");
+                push_opt_u64(&mut out, "rounds", *rounds);
+                push_opt_u64(&mut out, "seed", *seed);
+                push_opt_u64(&mut out, "batch", *batch);
+                push_opt_u64(&mut out, "workers", *workers);
+                if let Some(derivative) = derivative {
+                    out.push_str(&format!(
+                        ",\"derivative\":{}",
+                        json_string(derivative.name())
+                    ));
+                }
+                out.push('}');
+                out
+            }
+        }
+    }
+
+    /// Parses a spec from its wire object.
+    pub fn from_value(value: &JsonValue) -> Result<Self, WireError> {
+        match value.str_field("kind")? {
+            "regress" => Ok(JobSpec::Regress {
+                dir: value.str_field("dir")?.to_owned(),
+                env: value.str_field("env")?.to_owned(),
+                platforms: opt_platforms(value, "platforms")?,
+                all_platforms: opt_bool(value, "all_platforms")?,
+                workers: opt_u64(value, "workers")?,
+                fuel: opt_u64(value, "fuel")?,
+            }),
+            "audit" => Ok(JobSpec::Audit {
+                platforms: opt_platforms(value, "platforms")?,
+                all_platforms: opt_bool(value, "all_platforms")?,
+                scenarios: opt_u64(value, "scenarios")?,
+                seed: opt_u64(value, "seed")?,
+                workers: opt_u64(value, "workers")?,
+                fuel: opt_u64(value, "fuel")?,
+            }),
+            "explore" => Ok(JobSpec::Explore {
+                rounds: opt_u64(value, "rounds")?,
+                seed: opt_u64(value, "seed")?,
+                batch: opt_u64(value, "batch")?,
+                workers: opt_u64(value, "workers")?,
+                derivative: match value.get("derivative") {
+                    None | Some(JsonValue::Null) => None,
+                    Some(_) => {
+                        let name = value.str_field("derivative")?;
+                        Some(
+                            DerivativeId::ALL
+                                .into_iter()
+                                .find(|d| d.name().eq_ignore_ascii_case(name))
+                                .ok_or_else(|| {
+                                    WireError::shape(format!("unknown derivative `{name}`"))
+                                })?,
+                        )
+                    }
+                },
+                all_platforms: opt_bool(value, "all_platforms")?,
+            }),
+            other => Err(WireError::shape(format!("unknown job kind `{other}`"))),
+        }
+    }
+
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, WireError> {
+        Self::from_value(&JsonValue::parse(text)?)
+    }
+}
+
+/// The lifecycle of one submitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished; `ok` is the run's own verdict (all tests passed / no
+    /// broken audit cells / no failing exploration runs).
+    Done {
+        /// The run-level verdict.
+        ok: bool,
+    },
+    /// The run could not execute (build error, bad directory, …).
+    Failed {
+        /// Human-readable cause.
+        error: String,
+    },
+    /// Cancelled while still queued.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job will never run (again).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed { .. } | JobState::Cancelled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec::Regress {
+                dir: "/tmp/envs".into(),
+                env: "PAGE".into(),
+                platforms: vec![PlatformId::GoldenModel, PlatformId::RtlSim],
+                all_platforms: false,
+                workers: Some(2),
+                fuel: None,
+            },
+            JobSpec::Audit {
+                platforms: vec![],
+                all_platforms: true,
+                scenarios: Some(4),
+                seed: Some(7),
+                workers: None,
+                fuel: Some(2_000),
+            },
+            JobSpec::Explore {
+                rounds: Some(2),
+                seed: None,
+                batch: Some(3),
+                workers: None,
+                derivative: Some(DerivativeId::Sc88B),
+                all_platforms: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_spec_round_trips() {
+        for spec in specs() {
+            let json = spec.to_json();
+            let back = JobSpec::from_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert_eq!(back, spec, "{json}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "{}",
+            r#"{"kind":"frobnicate"}"#,
+            r#"{"kind":"regress","dir":"d"}"#,
+            r#"{"kind":"regress","dir":"d","env":"E","platforms":["vax"]}"#,
+            r#"{"kind":"explore","derivative":"PDP-11"}"#,
+        ] {
+            assert!(JobSpec::from_json(bad).is_err(), "{bad}");
+        }
+    }
+}

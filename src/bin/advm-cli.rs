@@ -13,10 +13,22 @@
 //!                [--scenarios N] [--seed S] [--fuel N] [--json]
 //! advm-cli port <dir> <env-name> --derivative D [--platform P]
 //! advm-cli asm <file.asm>                      # assemble + listing
+//! advm-cli serve --socket <path> [--workers N] [--cache N]
+//! advm-cli submit --socket <path> [--watch] regress <dir> <env-name> [...]
+//! advm-cli submit --socket <path> [--watch] audit [...]
+//! advm-cli submit --socket <path> [--watch] explore [...]
+//! advm-cli watch --socket <path> <job>
+//! advm-cli status --socket <path>
+//! advm-cli list --socket <path>
+//! advm-cli cancel --socket <path> <job>
+//! advm-cli shutdown --socket <path>
 //! ```
 //!
 //! Environments on disk use exactly the paper's Figure 3 layout; `port`
-//! rewrites only the abstraction layer and prints the change-set.
+//! rewrites only the abstraction layer and prints the change-set. The
+//! `serve` family talks to the resident daemon (`advm-serve`): `submit`
+//! reuses the `regress`/`audit`/`explore` flag surfaces verbatim, and
+//! `watch` streams a job's NDJSON events to stdout.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -28,20 +40,77 @@ use advm::env::{EnvConfig, ModuleTestEnv};
 use advm::fsio::{read_tree, write_tree};
 use advm::porting::port_env;
 use advm::stimulus::Exploration;
+use advm_serve::JobSpec;
 use advm_soc::{DerivativeId, PlatformId};
+
+/// One CLI failure: what went wrong, which token caused it (when a
+/// specific one did), and whether the usage text helps.
+///
+/// Every error path funnels through here — unknown subcommands, missing
+/// positionals and malformed flags used to format their own messages
+/// three different ways (usage inline, usage missing, token missing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CliError {
+    message: String,
+    /// The offending argument, verbatim, when one token is to blame.
+    token: Option<String>,
+    /// Parse-level mistakes print the usage text; runtime failures
+    /// (I/O, failing tests) don't.
+    show_usage: bool,
+}
+
+impl CliError {
+    /// A parse-level error blamed on one specific token.
+    fn bad_token(what: &str, token: &str) -> Self {
+        Self {
+            message: format!("{what} `{token}`"),
+            token: Some(token.to_owned()),
+            show_usage: true,
+        }
+    }
+
+    /// A parse-level error with no single token to blame.
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            token: None,
+            show_usage: true,
+        }
+    }
+}
+
+/// Runtime failures carry a plain message and skip the usage text.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self {
+            message,
+            token: None,
+            show_usage: false,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("advm-cli: {message}");
+        Err(error) => {
+            eprintln!("advm-cli: {error}");
+            if error.show_usage {
+                eprint!("{}", usage());
+            }
             ExitCode::FAILURE
         }
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<(), CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("scaffold") => scaffold(&args[1..]),
@@ -53,11 +122,18 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("audit") => audit(&args[1..]),
         Some("port") => port(&args[1..]),
         Some("asm") => asm(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("submit") => submit(&args[1..]),
+        Some("watch") => watch(&args[1..]),
+        Some("status") => status(&args[1..]),
+        Some("list") => list(&args[1..]),
+        Some("cancel") => cancel(&args[1..]),
+        Some("shutdown") => shutdown(&args[1..]),
         Some("help") | None => {
             print!("{}", usage());
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
+        Some(other) => Err(CliError::bad_token("unknown command", other)),
     }
 }
 
@@ -76,6 +152,19 @@ usage:
                  [--scenarios N] [--seed S] [--fuel N] [--json]
   advm-cli port <dir> <env-name> --derivative D [--platform P]
   advm-cli asm <file.asm>
+  advm-cli serve --socket <path> [--workers N] [--cache N]
+  advm-cli submit --socket <path> [--watch] regress <dir> <env-name>
+                  [--platform P | --all-platforms] [--workers N] [--fuel N]
+  advm-cli submit --socket <path> [--watch] audit
+                  [--platforms P1,P2 | --all-platforms] [--workers N]
+                  [--scenarios N] [--seed S] [--fuel N]
+  advm-cli submit --socket <path> [--watch] explore [--rounds N] [--seed S]
+                  [--batch N] [--workers N] [--derivative D] [--all-platforms]
+  advm-cli watch --socket <path> <job>
+  advm-cli status --socket <path>
+  advm-cli list --socket <path>
+  advm-cli cancel --socket <path> <job>
+  advm-cli shutdown --socket <path>
 
 explore runs closed-loop coverage-directed stimulus: round 1 draws
 constrained-random Globals.inc scenarios, every later round biases its
@@ -89,23 +178,29 @@ detected / masked / broken. Escapes feed one coverage-directed scenario
 round (--scenarios controls the batch) aimed at killing the survivors;
 the final matrix, per-test kill counts and kill rate are printed.
 
+serve starts the resident verification daemon on a Unix-domain socket;
+submit/watch/status/list/cancel/shutdown talk to it. The daemon keeps
+built images, predecoded programs and prefix snapshots warm across
+jobs, so a resubmitted suite skips its builds (see the `artifact_hits`
+perf counter in job reports and the `artifacts` block of `status`).
+
 derivatives: SC88-A SC88-B SC88-C SC88-D
 platforms:   golden rtl gate accel bondout silicon
 "
 }
 
-fn parse_derivative(text: &str) -> Result<DerivativeId, String> {
+fn parse_derivative(text: &str) -> Result<DerivativeId, CliError> {
     DerivativeId::ALL
         .into_iter()
         .find(|d| d.name().eq_ignore_ascii_case(text))
-        .ok_or_else(|| format!("unknown derivative `{text}`"))
+        .ok_or_else(|| CliError::bad_token("unknown derivative", text))
 }
 
-fn parse_platform(text: &str) -> Result<PlatformId, String> {
+fn parse_platform(text: &str) -> Result<PlatformId, CliError> {
     PlatformId::ALL
         .into_iter()
         .find(|p| p.name().eq_ignore_ascii_case(text))
-        .ok_or_else(|| format!("unknown platform `{text}`"))
+        .ok_or_else(|| CliError::bad_token("unknown platform", text))
 }
 
 /// Pulls `--flag value` pairs out of an argument list.
@@ -115,17 +210,21 @@ fn parse_platform(text: &str) -> Result<PlatformId, String> {
 /// silently swallowing the next flag used to turn one typo into two
 /// bugs. A trailing valued flag with nothing after it errors the same
 /// way.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
     let Some(i) = args.iter().position(|a| a == flag) else {
         return Ok(None);
     };
     match args.get(i + 1).map(String::as_str) {
         Some(value) if !value.starts_with("--") => Ok(Some(value)),
-        Some(_) | None => Err(format!("flag {flag} requires a value")),
+        Some(_) | None => Err(CliError {
+            message: format!("flag {flag} requires a value"),
+            token: Some(flag.to_owned()),
+            show_usage: true,
+        }),
     }
 }
 
-fn positional(args: &[String], index: usize, what: &str) -> Result<String, String> {
+fn positional(args: &[String], index: usize, what: &str) -> Result<String, CliError> {
     args.iter()
         .enumerate()
         .filter(|(_, a)| !a.starts_with("--"))
@@ -141,11 +240,11 @@ fn positional(args: &[String], index: usize, what: &str) -> Result<String, Strin
         .map(|(_, a)| a)
         .nth(index)
         .cloned()
-        .ok_or_else(|| format!("missing {what}\n{}", usage()))
+        .ok_or_else(|| CliError::usage(format!("missing {what}")))
 }
 
 /// Flags that take no value; a positional may directly follow them.
-const FLAGS_WITHOUT_VALUE: [&str; 2] = ["--all-platforms", "--json"];
+const FLAGS_WITHOUT_VALUE: [&str; 3] = ["--all-platforms", "--json", "--watch"];
 
 fn load_env(dir: &str, name: &str) -> Result<ModuleTestEnv, String> {
     let tree = read_tree(Path::new(dir)).map_err(|e| format!("reading `{dir}`: {e}"))?;
@@ -153,7 +252,7 @@ fn load_env(dir: &str, name: &str) -> Result<ModuleTestEnv, String> {
         .map_err(|e| format!("environment `{name}` in `{dir}`: {e}"))
 }
 
-fn scaffold(args: &[String]) -> Result<(), String> {
+fn scaffold(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "target directory")?;
     let tests: usize = int_flag(args, "--tests")?.unwrap_or(3);
     let derivative = flag_value(args, "--derivative")?
@@ -177,7 +276,7 @@ fn scaffold(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn validate(args: &[String]) -> Result<(), String> {
+fn validate(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let tree = read_tree(Path::new(&dir)).map_err(|e| format!("reading `{dir}`: {e}"))?;
@@ -193,11 +292,11 @@ fn validate(args: &[String]) -> Result<(), String> {
         for issue in &issues {
             println!("{name}: {issue}");
         }
-        Err(format!("{} layout issue(s)", issues.len()))
+        Err(format!("{} layout issue(s)", issues.len()).into())
     }
 }
 
-fn check(args: &[String]) -> Result<(), String> {
+fn check(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let env = load_env(&dir, &name)?;
@@ -209,11 +308,11 @@ fn check(args: &[String]) -> Result<(), String> {
         for v in &violations {
             println!("{v}");
         }
-        Err(format!("{} violation(s)", violations.len()))
+        Err(format!("{} violation(s)", violations.len()).into())
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let test_id = positional(args, 2, "test id")?;
@@ -223,11 +322,11 @@ fn run(args: &[String]) -> Result<(), String> {
     if result.passed() {
         Ok(())
     } else {
-        Err("test failed".to_owned())
+        Err("test failed".to_owned().into())
     }
 }
 
-fn regress(args: &[String]) -> Result<(), String> {
+fn regress(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let env = load_env(&dir, &name)?;
@@ -276,7 +375,7 @@ fn regress(args: &[String]) -> Result<(), String> {
     if report.failed() == 0 {
         Ok(())
     } else {
-        Err(format!("{} failure(s)", report.failed()))
+        Err(format!("{} failure(s)", report.failed()).into())
     }
 }
 
@@ -291,14 +390,17 @@ fn perf_line(perf: &advm::campaign::CampaignPerf) -> String {
     )
 }
 
-/// Parses an integer-valued flag, reporting the flag name on failure.
-fn int_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+/// Parses an integer-valued flag, reporting the offending value.
+fn int_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
     flag_value(args, flag)?
-        .map(|v| v.parse().map_err(|_| format!("bad {flag} value `{v}`")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::bad_token(&format!("bad {flag} value"), v))
+        })
         .transpose()
 }
 
-fn explore(args: &[String]) -> Result<(), String> {
+fn explore(args: &[String]) -> Result<(), CliError> {
     let json = args.iter().any(|a| a == "--json");
     let mut exploration = Exploration::new();
     if let Some(rounds) = int_flag(args, "--rounds")? {
@@ -338,11 +440,11 @@ fn explore(args: &[String]) -> Result<(), String> {
     if report.failed() == 0 {
         Ok(())
     } else {
-        Err(format!("{} failing run(s)", report.failed()))
+        Err(format!("{} failing run(s)", report.failed()).into())
     }
 }
 
-fn audit(args: &[String]) -> Result<(), String> {
+fn audit(args: &[String]) -> Result<(), CliError> {
     let json = args.iter().any(|a| a == "--json");
     let mut audit = FaultAudit::new();
     if args.iter().any(|a| a == "--all-platforms") {
@@ -397,11 +499,11 @@ fn audit(args: &[String]) -> Result<(), String> {
     if report.broken() == 0 {
         Ok(())
     } else {
-        Err(format!("{} broken audit cell(s)", report.broken()))
+        Err(format!("{} broken audit cell(s)", report.broken()).into())
     }
 }
 
-fn port(args: &[String]) -> Result<(), String> {
+fn port(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
     let env = load_env(&dir, &name)?;
@@ -429,7 +531,7 @@ fn port(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn asm(args: &[String]) -> Result<(), String> {
+fn asm(args: &[String]) -> Result<(), CliError> {
     let file = positional(args, 0, "assembler source file")?;
     let path = PathBuf::from(&file);
     let text = std::fs::read_to_string(&path).map_err(|e| format!("reading `{file}`: {e}"))?;
@@ -437,6 +539,219 @@ fn asm(args: &[String]) -> Result<(), String> {
     print!("{}", program.render_listing());
     println!("; {} bytes emitted", program.size_bytes());
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Daemon subcommands (`serve` plus its clients).
+// ---------------------------------------------------------------------------
+
+/// The daemon socket path every `serve`-family subcommand requires.
+fn socket_path(args: &[String]) -> Result<PathBuf, CliError> {
+    flag_value(args, "--socket")?
+        .map(PathBuf::from)
+        .ok_or_else(|| CliError::usage("missing required flag --socket"))
+}
+
+/// Builds the [`JobSpec`] a `submit` argument list describes. The flag
+/// surface is the local `regress`/`audit`/`explore` one, verbatim.
+fn submit_spec(args: &[String]) -> Result<JobSpec, CliError> {
+    let all_platforms = args.iter().any(|a| a == "--all-platforms");
+    match positional(args, 0, "job kind (regress|audit|explore)")?.as_str() {
+        "regress" => {
+            let dir = positional(args, 1, "directory")?;
+            // The daemon resolves the path from its own working
+            // directory; submit an absolute one when the tree exists
+            // locally so both sides mean the same files.
+            let dir = std::fs::canonicalize(&dir)
+                .map(|p| p.display().to_string())
+                .unwrap_or(dir);
+            Ok(JobSpec::Regress {
+                dir,
+                env: positional(args, 2, "environment name")?,
+                platforms: flag_value(args, "--platform")?
+                    .map(parse_platform)
+                    .transpose()?
+                    .into_iter()
+                    .collect(),
+                all_platforms,
+                workers: int_flag(args, "--workers")?,
+                fuel: int_flag(args, "--fuel")?,
+            })
+        }
+        "audit" => Ok(JobSpec::Audit {
+            platforms: flag_value(args, "--platforms")?
+                .map(|list| list.split(',').map(parse_platform).collect())
+                .transpose()?
+                .unwrap_or_default(),
+            all_platforms,
+            scenarios: int_flag(args, "--scenarios")?,
+            seed: int_flag(args, "--seed")?,
+            workers: int_flag(args, "--workers")?,
+            fuel: int_flag(args, "--fuel")?,
+        }),
+        "explore" => Ok(JobSpec::Explore {
+            rounds: int_flag(args, "--rounds")?,
+            seed: int_flag(args, "--seed")?,
+            batch: int_flag(args, "--batch")?,
+            workers: int_flag(args, "--workers")?,
+            derivative: flag_value(args, "--derivative")?
+                .map(parse_derivative)
+                .transpose()?,
+            all_platforms,
+        }),
+        other => Err(CliError::bad_token("unknown job kind", other)),
+    }
+}
+
+#[cfg(unix)]
+fn connect(args: &[String]) -> Result<advm_serve::Client, CliError> {
+    let path = socket_path(args)?;
+    advm_serve::Client::connect(&path)
+        .map_err(|e| format!("connecting to `{}`: {e}", path.display()).into())
+}
+
+/// Streams one job to completion on stdout; the exit status follows the
+/// job's own verdict.
+#[cfg(unix)]
+fn watch_job(client: &mut advm_serve::Client, job: u64) -> Result<(), CliError> {
+    let done = client
+        .watch(job, |line| println!("{line}"))
+        .map_err(|e| format!("watching job {job}: {e}"))?;
+    println!("{done}");
+    let ok = advm::wire::JsonValue::parse(&done)
+        .ok()
+        .and_then(|v| v.bool_field("ok").ok())
+        .unwrap_or(false);
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("job {job} did not succeed").into())
+    }
+}
+
+#[cfg(unix)]
+fn serve(args: &[String]) -> Result<(), CliError> {
+    use advm_serve::daemon::{Daemon, DaemonConfig};
+
+    let path = socket_path(args)?;
+    let mut config = DaemonConfig::default();
+    if let Some(workers) = int_flag(args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(cache) = int_flag(args, "--cache")? {
+        config.cache_capacity = cache;
+    }
+    let server = advm_serve::Server::bind(Daemon::start(config), &path)
+        .map_err(|e| format!("binding `{}`: {e}", path.display()))?;
+    eprintln!("advm-cli: serving on {}", path.display());
+    server
+        .run()
+        .map_err(|e| format!("serving `{}`: {e}", path.display()).into())
+}
+
+#[cfg(unix)]
+fn submit(args: &[String]) -> Result<(), CliError> {
+    let spec = submit_spec(args)?;
+    let mut client = connect(args)?;
+    let job = client
+        .submit(spec)
+        .map_err(|e| format!("submitting: {e}"))?;
+    println!("{{\"ok\":true,\"job\":{job}}}");
+    if args.iter().any(|a| a == "--watch") {
+        watch_job(&mut client, job)?;
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn watch(args: &[String]) -> Result<(), CliError> {
+    let job = positional(args, 0, "job id")?;
+    let job: u64 = job
+        .parse()
+        .map_err(|_| CliError::bad_token("bad job id", &job))?;
+    watch_job(&mut connect(args)?, job)
+}
+
+#[cfg(unix)]
+fn status(args: &[String]) -> Result<(), CliError> {
+    let line = connect(args)?
+        .status()
+        .map_err(|e| format!("status: {e}"))?;
+    println!("{line}");
+    Ok(())
+}
+
+#[cfg(unix)]
+fn list(args: &[String]) -> Result<(), CliError> {
+    let line = connect(args)?.list().map_err(|e| format!("list: {e}"))?;
+    println!("{line}");
+    Ok(())
+}
+
+#[cfg(unix)]
+fn cancel(args: &[String]) -> Result<(), CliError> {
+    let job = positional(args, 0, "job id")?;
+    let job: u64 = job
+        .parse()
+        .map_err(|_| CliError::bad_token("bad job id", &job))?;
+    let line = connect(args)?
+        .cancel(job)
+        .map_err(|e| format!("cancelling job {job}: {e}"))?;
+    println!("{line}");
+    Ok(())
+}
+
+#[cfg(unix)]
+fn shutdown(args: &[String]) -> Result<(), CliError> {
+    let line = connect(args)?
+        .shutdown()
+        .map_err(|e| format!("shutdown: {e}"))?;
+    println!("{line}");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn unsupported() -> Result<(), CliError> {
+    Err(
+        "daemon subcommands need Unix-domain sockets on this platform"
+            .to_owned()
+            .into(),
+    )
+}
+
+#[cfg(not(unix))]
+fn serve(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
+}
+
+#[cfg(not(unix))]
+fn submit(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
+}
+
+#[cfg(not(unix))]
+fn watch(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
+}
+
+#[cfg(not(unix))]
+fn status(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
+}
+
+#[cfg(not(unix))]
+fn list(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
+}
+
+#[cfg(not(unix))]
+fn cancel(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
+}
+
+#[cfg(not(unix))]
+fn shutdown(_args: &[String]) -> Result<(), CliError> {
+    unsupported()
 }
 
 #[cfg(test)]
@@ -488,7 +803,7 @@ mod tests {
         // message) — and eat the --json flag in the process.
         let a = args(&["dir", "--workers", "--json"]);
         let err = flag_value(&a, "--workers").unwrap_err();
-        assert!(err.contains("--workers requires a value"), "{err}");
+        assert!(err.message.contains("--workers requires a value"), "{err}");
         assert!(int_flag::<usize>(&a, "--workers").is_err());
     }
 
@@ -496,6 +811,115 @@ mod tests {
     fn trailing_valued_flag_is_a_proper_error() {
         let a = args(&["dir", "NAME", "--platform"]);
         let err = flag_value(&a, "--platform").unwrap_err();
-        assert!(err.contains("--platform requires a value"), "{err}");
+        assert!(err.message.contains("--platform requires a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_names_the_token_and_shows_usage() {
+        let err = dispatch(&args(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("frobnicate"));
+        assert!(err.show_usage);
+        assert!(err.message.contains("`frobnicate`"), "{err}");
+    }
+
+    #[test]
+    fn missing_positional_shows_usage_without_a_token() {
+        let err = dispatch(&args(&["run"])).unwrap_err();
+        assert!(err.show_usage);
+        assert_eq!(err.token, None);
+        assert!(err.message.contains("missing directory"), "{err}");
+    }
+
+    #[test]
+    fn malformed_flag_names_the_offending_value() {
+        let a = args(&["--workers", "many"]);
+        let err = int_flag::<usize>(&a, "--workers").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("many"));
+        assert!(err.show_usage);
+        assert!(err.message.contains("bad --workers value `many`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_platform_is_a_token_error() {
+        let err = parse_platform("vax").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("vax"));
+        assert!(err.show_usage);
+    }
+
+    #[test]
+    fn runtime_errors_skip_the_usage_text() {
+        let err = CliError::from("campaign exploded".to_owned());
+        assert!(!err.show_usage);
+        assert_eq!(err.token, None);
+    }
+
+    #[test]
+    fn daemon_subcommands_require_a_socket() {
+        let err = socket_path(&args(&["regress", "envs", "PAGE"])).unwrap_err();
+        assert!(err.show_usage);
+        assert!(err.message.contains("--socket"), "{err}");
+    }
+
+    #[test]
+    fn submit_spec_mirrors_the_regress_flag_surface() {
+        // A nonexistent dir stays as given (no canonicalization).
+        let a = args(&[
+            "regress",
+            "no-such-envs",
+            "PAGE",
+            "--platform",
+            "rtl",
+            "--workers",
+            "2",
+            "--socket",
+            "/tmp/advm.sock",
+        ]);
+        let spec = submit_spec(&a).unwrap();
+        assert_eq!(
+            spec,
+            JobSpec::Regress {
+                dir: "no-such-envs".into(),
+                env: "PAGE".into(),
+                platforms: vec![PlatformId::RtlSim],
+                all_platforms: false,
+                workers: Some(2),
+                fuel: None,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_spec_rejects_unknown_kinds() {
+        let err = submit_spec(&args(&["deploy"])).unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("deploy"));
+        assert!(err.show_usage);
+    }
+
+    #[test]
+    fn submit_spec_builds_audit_and_explore_jobs() {
+        let audit = submit_spec(&args(&["audit", "--platforms", "rtl,gate", "--seed", "9"]));
+        assert_eq!(
+            audit.unwrap(),
+            JobSpec::Audit {
+                platforms: vec![PlatformId::RtlSim, PlatformId::GateSim],
+                all_platforms: false,
+                scenarios: None,
+                seed: Some(9),
+                workers: None,
+                fuel: None,
+            }
+        );
+        let explore = submit_spec(&args(&["explore", "--rounds", "2", "--all-platforms"]));
+        assert_eq!(
+            explore.unwrap(),
+            JobSpec::Explore {
+                rounds: Some(2),
+                seed: None,
+                batch: None,
+                workers: None,
+                derivative: None,
+                all_platforms: true,
+            }
+        );
     }
 }

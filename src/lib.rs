@@ -15,5 +15,6 @@ pub use advm_baseline;
 pub use advm_gen;
 pub use advm_isa;
 pub use advm_metrics;
+pub use advm_serve;
 pub use advm_sim;
 pub use advm_soc;

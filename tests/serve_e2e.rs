@@ -1,0 +1,327 @@
+//! End-to-end tests of the verification daemon: the full socket round
+//! trip, cross-job artifact reuse, concurrent submitters, and
+//! sharding-independence of job results.
+//!
+//! The acceptance property of the daemon is checked here: a cold and a
+//! warm submission of the same regress job against one daemon produce
+//! byte-identical (perf-stripped) reports — and the warm one's `perf`
+//! block proves it reused the cold job's artifacts (`artifact_hits`).
+
+use std::path::{Path, PathBuf};
+
+use advm::campaign::Campaign;
+use advm::env::ModuleTestEnv;
+use advm::wire::JsonValue;
+use advm_serve::daemon::{Daemon, DaemonConfig};
+use advm_serve::{JobSpec, JobState};
+use advm_soc::PlatformId;
+
+use proptest::prelude::*;
+
+/// Minimal self-cleaning temp dir (no external crate available).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(prefix: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("creating temp dir");
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Writes the two-test PAGE preset to disk and returns its directory.
+fn env_on_disk() -> TempDir {
+    let dir = TempDir::new("advm-e2e");
+    let env = advm::presets::page_env(advm::presets::default_config(), 2);
+    advm::fsio::write_tree(dir.path(), &env.tree()).expect("writing env tree");
+    dir
+}
+
+fn load_env(dir: &Path) -> ModuleTestEnv {
+    let tree = advm::fsio::read_tree(dir).expect("reading env tree");
+    ModuleTestEnv::from_tree("PAGE", &tree).expect("parsing PAGE env")
+}
+
+fn regress_spec(dir: &Path, platforms: &[PlatformId], workers: u64) -> JobSpec {
+    JobSpec::Regress {
+        dir: dir.display().to_string(),
+        env: "PAGE".into(),
+        platforms: platforms.to_vec(),
+        all_platforms: false,
+        workers: Some(workers),
+        fuel: None,
+    }
+}
+
+/// The in-process run a daemon regress job must reproduce byte-for-byte
+/// (modulo the measured `perf` block).
+fn in_process_report(dir: &Path, platforms: &[PlatformId], workers: u64) -> String {
+    Campaign::new()
+        .env(load_env(dir))
+        .bisect(true)
+        .platforms(platforms.iter().copied())
+        .workers(workers as usize)
+        .run()
+        .expect("in-process campaign")
+        .to_json()
+}
+
+/// Strips the measured `"perf":{...}` object out of a report JSON: wall
+/// time, steps/sec and the cross-job `artifact_hits` counter vary run
+/// to run, while everything verdict-bearing must be byte-identical.
+fn strip_perf(json: &str) -> String {
+    let mut out = json.to_owned();
+    while let Some(start) = out.find("\"perf\":{") {
+        let brace = start + "\"perf\":".len();
+        let mut depth = 0usize;
+        let mut end = brace;
+        for (i, c) in out[brace..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = brace + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Also swallow one adjacent comma so the remainder stays valid.
+        let end = if out[end..].starts_with(',') {
+            end + 1
+        } else {
+            end
+        };
+        out.replace_range(start..end, "");
+    }
+    out
+}
+
+/// Extracts the raw `"report"` object from a final `done` line, byte
+/// for byte (the object runs to the line's closing brace).
+fn report_slice(done_line: &str) -> &str {
+    let start = done_line
+        .find("\"report\":")
+        .expect("done line carries a report")
+        + "\"report\":".len();
+    &done_line[start..done_line.len() - 1]
+}
+
+/// Reads `report.perf.artifact_hits` out of a final `done` line.
+fn artifact_hits(done_line: &str) -> u64 {
+    JsonValue::parse(done_line)
+        .expect("done line parses")
+        .get("report")
+        .and_then(|r| r.get("perf"))
+        .map(|p| p.u64_field("artifact_hits").expect("artifact_hits"))
+        .expect("report carries perf")
+}
+
+#[cfg(unix)]
+mod socket {
+    use super::*;
+    use advm_serve::{Client, Server};
+
+    /// Binds a server on a fresh socket path and runs it on its own
+    /// thread; the returned guard shuts it down on drop.
+    struct RunningServer {
+        path: PathBuf,
+        handle: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl RunningServer {
+        fn start(config: DaemonConfig) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "advm-e2e-{}-{}.sock",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            let server = Server::bind(Daemon::start(config), &path).expect("binding test socket");
+            let handle = std::thread::spawn(move || server.run().expect("server run"));
+            Self {
+                path,
+                handle: Some(handle),
+            }
+        }
+
+        fn client(&self) -> Client {
+            Client::connect(&self.path).expect("connecting to test socket")
+        }
+    }
+
+    impl Drop for RunningServer {
+        fn drop(&mut self) {
+            if let Ok(mut client) = Client::connect(&self.path) {
+                let _ = client.shutdown();
+            }
+            if let Some(handle) = self.handle.take() {
+                let _ = handle.join();
+            }
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+
+    /// The tentpole acceptance test: cold then warm identical regress
+    /// jobs over the socket. The warm job's perf JSON shows nonzero
+    /// cross-job cache hits, and both verdicts are byte-identical
+    /// (perf-stripped) to a fresh in-process campaign.
+    #[test]
+    fn warm_job_reuses_artifacts_and_matches_in_process_run() {
+        let dir = env_on_disk();
+        let platforms = [PlatformId::GoldenModel, PlatformId::RtlSim];
+        let server = RunningServer::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 64,
+        });
+        let mut client = server.client();
+
+        let spec = regress_spec(dir.path(), &platforms, 2);
+        let cold_id = client.submit(spec.clone()).expect("submit cold");
+        let cold_done = client.watch(cold_id, |_| {}).expect("watch cold");
+        let warm_id = client.submit(spec).expect("submit warm");
+        let warm_done = client.watch(warm_id, |_| {}).expect("watch warm");
+
+        // Cross-job reuse: cold builds, warm hits.
+        assert_eq!(artifact_hits(&cold_done), 0, "{cold_done}");
+        assert!(artifact_hits(&warm_done) > 0, "{warm_done}");
+        // The daemon's own status counters agree.
+        let status = client.status().expect("status");
+        let stats = JsonValue::parse(&status).unwrap();
+        let hits = stats.get("artifacts").unwrap().u64_field("hits").unwrap();
+        assert!(hits > 0, "{status}");
+
+        // Reuse is perf-only: both reports match a fresh in-process run
+        // byte for byte once the measured perf block is stripped.
+        let reference = in_process_report(dir.path(), &platforms, 2);
+        assert_eq!(strip_perf(report_slice(&cold_done)), strip_perf(&reference));
+        assert_eq!(strip_perf(report_slice(&warm_done)), strip_perf(&reference));
+    }
+
+    /// Two clients submit and watch concurrently; each stream is
+    /// complete, correctly labelled, in order, and verdict-identical to
+    /// the in-process equivalent.
+    #[test]
+    fn concurrent_submitters_get_interleaved_but_intact_streams() {
+        let dir = env_on_disk();
+        let server = RunningServer::start(DaemonConfig {
+            workers: 2,
+            cache_capacity: 64,
+        });
+        let platform_sets: [&[PlatformId]; 2] = [
+            &[PlatformId::GoldenModel, PlatformId::RtlSim],
+            &[PlatformId::GateSim],
+        ];
+        let results: Vec<(u64, Vec<String>, String)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = platform_sets
+                .iter()
+                .map(|platforms| {
+                    let server = &server;
+                    let dir = dir.path();
+                    scope.spawn(move || {
+                        let mut client = server.client();
+                        let id = client
+                            .submit(regress_spec(dir, platforms, 1))
+                            .expect("submit");
+                        let mut events = Vec::new();
+                        let done = client
+                            .watch(id, |line| events.push(line.to_owned()))
+                            .expect("watch");
+                        (id, events, done)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for ((id, events, done), platforms) in results.iter().zip(platform_sets) {
+            // Every line belongs to the watched job and seq is dense.
+            for (expected_seq, line) in events.iter().enumerate() {
+                let value = JsonValue::parse(line).unwrap();
+                assert_eq!(value.u64_field("job").unwrap(), *id, "{line}");
+                assert_eq!(value.u64_field("seq").unwrap(), expected_seq as u64);
+            }
+            let first = JsonValue::parse(&events[0]).unwrap();
+            assert_eq!(
+                first.get("event").unwrap().str_field("type").unwrap(),
+                "started"
+            );
+            // The verdict matches a fresh in-process campaign.
+            let reference = in_process_report(dir.path(), platforms, 1);
+            assert_eq!(strip_perf(report_slice(done)), strip_perf(&reference));
+        }
+    }
+}
+
+#[test]
+fn failed_jobs_seal_with_the_error() {
+    let daemon = Daemon::start(DaemonConfig {
+        workers: 1,
+        cache_capacity: 8,
+    });
+    let id = daemon.submit(JobSpec::Regress {
+        dir: "/nonexistent/advm-envs".into(),
+        env: "PAGE".into(),
+        platforms: vec![],
+        all_platforms: false,
+        workers: None,
+        fuel: None,
+    });
+    let record = daemon.job(id).expect("job exists");
+    let line = record.wait();
+    assert!(matches!(record.state(), JobState::Failed { .. }), "{line}");
+    let value = JsonValue::parse(&line).unwrap();
+    assert!(!value.bool_field("ok").unwrap());
+    assert!(value.str_field("error").unwrap().contains("/nonexistent"));
+    daemon.join();
+}
+
+proptest! {
+    // Each case runs full campaigns through two daemons; a few cases
+    // keep the property meaningful without dominating suite runtime.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Job results are independent of the worker-pool sharding: the
+    /// same spec run serially (workers=1) and sharded (workers=N)
+    /// produces byte-identical perf-stripped reports, warm or cold.
+    #[test]
+    fn job_reports_are_sharding_independent(workers in 2u64..=6) {
+        let dir = env_on_disk();
+        let platforms = [PlatformId::GoldenModel, PlatformId::RtlSim];
+        let mut reports = Vec::new();
+        for campaign_workers in [1, workers] {
+            let daemon = Daemon::start(DaemonConfig { workers: 1, cache_capacity: 64 });
+            let spec = regress_spec(dir.path(), &platforms, campaign_workers);
+            // Cold, then warm on the same daemon: sharding must not
+            // change the report even when every artifact is prebuilt.
+            for _ in 0..2 {
+                let record = daemon.job(daemon.submit(spec.clone())).unwrap();
+                reports.push(strip_perf(report_slice(&record.wait())));
+            }
+            daemon.join();
+        }
+        let first = &reports[0];
+        for report in &reports[1..] {
+            prop_assert_eq!(first, report);
+        }
+    }
+}
