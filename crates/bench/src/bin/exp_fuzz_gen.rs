@@ -1,0 +1,87 @@
+//! Measures constrained-random program generation and encode-check
+//! throughput and maintains `BENCH_fuzz_gen.json`, the committed perf
+//! trajectory of the fuzzing subsystem's front end.
+//!
+//! ```text
+//! exp_fuzz_gen [--smoke] [--out FILE] [--check BASELINE [--tolerance F]]
+//! ```
+//!
+//! `--smoke` runs 3 repetitions instead of 10 (CI). `--check` compares
+//! the fresh measurement against a committed baseline and exits nonzero
+//! on a generation regression beyond the tolerance (default 0.8 = 20%
+//! slower) or a dead mining path (zero mined checkers).
+
+use std::process::ExitCode;
+
+use advm_bench::experiments::fuzz_gen::{check_against, run};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let reps = if args.iter().any(|a| a == "--smoke") {
+        3
+    } else {
+        10
+    };
+
+    let report = run(reps);
+    eprintln!(
+        "  generate: {:>12.0} insns/s ({:.0} programs/s, {} programs, {} insns in {:.1}ms)",
+        report.generate.insns_per_sec(),
+        report.programs_per_sec(),
+        report.programs,
+        report.generate.insns,
+        report.generate.wall.as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "    encode: {:>12.0} insns/s ({} insns in {:.1}ms)",
+        report.encode_check.insns_per_sec(),
+        report.encode_check.insns,
+        report.encode_check.wall.as_secs_f64() * 1e3,
+    );
+    eprintln!(
+        "    mining: {} checker(s) from the liveness pass over {} reps",
+        report.mined_checkers, reps
+    );
+
+    let json = report.to_json();
+    match flag_value("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("exp_fuzz_gen: writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    if let Some(baseline_path) = flag_value("--check") {
+        let tolerance: f64 = match flag_value("--tolerance").map(str::parse) {
+            Some(Ok(t)) => t,
+            Some(Err(_)) => {
+                eprintln!("exp_fuzz_gen: bad --tolerance value");
+                return ExitCode::FAILURE;
+            }
+            None => 0.8,
+        };
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("exp_fuzz_gen: reading {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(reason) = check_against(&report, &baseline, tolerance) {
+            eprintln!("exp_fuzz_gen: FAIL: {reason}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("baseline check passed (tolerance {tolerance})");
+    }
+    ExitCode::SUCCESS
+}

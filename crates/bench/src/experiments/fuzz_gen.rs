@@ -1,0 +1,232 @@
+//! Program-generation benchmark: constrained-random guest-program
+//! synthesis and its encode→decode validation.
+//!
+//! The fuzzing subsystem's cost model is front-loaded: before a single
+//! simulated cycle, every fuzz campaign pays for program generation
+//! (`ProgramSource`) and the per-instruction encode round-trip check.
+//! This experiment measures both stages — programs and instructions
+//! synthesized per second, and encode-checks per second — plus one
+//! mining pass to prove the assertion-mining path is alive.
+//! `BENCH_fuzz_gen.json` is the committed baseline; CI re-measures in
+//! smoke mode and fails on a generation-throughput regression or on
+//! the mining path going dead (zero mined checkers would mean every
+//! fuzz campaign silently runs checker-free).
+
+use std::time::{Duration, Instant};
+
+use advm::fuzz::Fuzz;
+use advm_fuzz::ProgramSource;
+use advm_soc::PlatformId;
+
+/// Programs synthesized per measured batch.
+const BATCH: usize = 256;
+
+/// Base address used for the encode round-trip stage.
+const ENCODE_BASE: u32 = 0x0_0400;
+
+/// One measured stage.
+#[derive(Debug, Clone)]
+pub struct StageSample {
+    /// Instructions that flowed through the stage.
+    pub insns: u64,
+    /// Wall time across all repetitions.
+    pub wall: Duration,
+}
+
+impl StageSample {
+    /// Instructions per wall-clock second.
+    pub fn insns_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.insns as f64 / secs
+        }
+    }
+}
+
+/// The sealed measurement.
+#[derive(Debug, Clone)]
+pub struct FuzzGenReport {
+    /// Programs synthesized across all repetitions.
+    pub programs: u64,
+    /// The synthesis stage (`ProgramSource::generate`).
+    pub generate: StageSample,
+    /// The validation stage (`FuzzProgram::check_encoding`).
+    pub encode_check: StageSample,
+    /// Checkers mined by one small fault-free mining pass.
+    pub mined_checkers: u64,
+}
+
+impl FuzzGenReport {
+    /// Programs synthesized per wall-clock second.
+    pub fn programs_per_sec(&self) -> f64 {
+        let secs = self.generate.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.programs as f64 / secs
+        }
+    }
+
+    /// Renders the committed-baseline JSON document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"programs\":{},\"programs_per_sec\":{:.0},\
+             \"generate_insns_per_sec\":{:.0},\
+             \"encode_check_insns_per_sec\":{:.0},\
+             \"mined_checkers\":{}}}",
+            self.programs,
+            self.programs_per_sec(),
+            self.generate.insns_per_sec(),
+            self.encode_check.insns_per_sec(),
+            self.mined_checkers
+        )
+    }
+}
+
+/// Measures `reps` generation + validation batches (after one warm-up
+/// batch) plus one mining pass, and seals the report.
+pub fn run(reps: usize) -> FuzzGenReport {
+    let reps = reps.max(1);
+    // Warm-up: one full batch through both stages.
+    for program in ProgramSource::new(0).generate(BATCH) {
+        program
+            .check_encoding(ENCODE_BASE)
+            .expect("warm-up encodes");
+    }
+
+    let mut programs = 0u64;
+    let mut generated_insns = 0u64;
+    let mut generate_wall = Duration::ZERO;
+    let mut checked_insns = 0u64;
+    let mut check_wall = Duration::ZERO;
+    for rep in 0..reps {
+        // A fresh seed per repetition keeps the generator honest: the
+        // measured cost covers the whole seed-dependent path, not one
+        // memoizable batch.
+        let source = ProgramSource::new(rep as u64 + 1);
+        let started = Instant::now();
+        let batch = source.generate(BATCH);
+        generate_wall += started.elapsed();
+        programs += batch.len() as u64;
+        generated_insns += batch.iter().map(|p| p.len() as u64).sum::<u64>();
+
+        let started = Instant::now();
+        for program in &batch {
+            program.check_encoding(ENCODE_BASE).expect("batch encodes");
+        }
+        check_wall += started.elapsed();
+        checked_insns += batch.iter().map(|p| p.len() as u64).sum::<u64>();
+    }
+
+    // Mining liveness: a small fault-free pass must produce checkers.
+    let mined = Fuzz::new()
+        .programs(4)
+        .seed(11)
+        .platforms([PlatformId::GoldenModel])
+        .mine_checkers()
+        .expect("mining pass runs")
+        .len() as u64;
+
+    FuzzGenReport {
+        programs,
+        generate: StageSample {
+            insns: generated_insns,
+            wall: generate_wall,
+        },
+        encode_check: StageSample {
+            insns: checked_insns,
+            wall: check_wall,
+        },
+        mined_checkers: mined,
+    }
+}
+
+/// Pulls `"key":number` out of a flat JSON document — enough to read
+/// the committed baseline without a JSON dependency.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Gates a fresh measurement against the committed baseline: generation
+/// throughput must be within `tolerance` (e.g. `0.8` = no more than 20%
+/// slower) of the committed number, and the mining path must be alive —
+/// at least one checker mined.
+///
+/// # Errors
+///
+/// A human-readable explanation of the first failed gate.
+pub fn check_against(
+    report: &FuzzGenReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<(), String> {
+    if report.mined_checkers == 0 {
+        return Err(
+            "mining path is dead: the fault-free pass mined zero checkers \
+             (every fuzz campaign would silently run checker-free)"
+                .to_owned(),
+        );
+    }
+    let measured = report.generate.insns_per_sec();
+    let committed = json_number(baseline_json, "generate_insns_per_sec")
+        .ok_or("baseline JSON lacks a generate_insns_per_sec entry")?;
+    if measured < committed * tolerance {
+        return Err(format!(
+            "generation regression: {measured:.0} insns/s vs committed {committed:.0} \
+             (allowed floor {:.0})",
+            committed * tolerance
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_stages_process_the_same_instructions() {
+        let report = run(1);
+        assert_eq!(report.programs, BATCH as u64);
+        assert_eq!(report.generate.insns, report.encode_check.insns);
+        assert!(report.generate.insns > 0);
+        assert!(report.mined_checkers > 0, "mining path must be alive");
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_baseline_reader() {
+        let report = run(1);
+        let json = report.to_json();
+        let read = json_number(&json, "generate_insns_per_sec").unwrap();
+        assert!((read - report.generate.insns_per_sec()).abs() <= 1.0);
+        assert_eq!(
+            json_number(&json, "mined_checkers").unwrap() as u64,
+            report.mined_checkers
+        );
+    }
+
+    #[test]
+    fn check_gates_on_regression_and_dead_mining() {
+        let report = run(1);
+        assert!(check_against(&report, &report.to_json(), 0.5).is_ok());
+        let fast = format!(
+            "{{\"generate_insns_per_sec\":{:.0}}}",
+            report.generate.insns_per_sec() * 100.0
+        );
+        assert!(check_against(&report, &fast, 0.8).is_err());
+        assert!(check_against(&report, "{}", 0.8).is_err(), "missing key");
+
+        let mut dead = report.clone();
+        dead.mined_checkers = 0;
+        let err = check_against(&dead, &report.to_json(), 0.8).unwrap_err();
+        assert!(err.contains("mining path is dead"), "{err}");
+    }
+}

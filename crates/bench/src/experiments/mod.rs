@@ -10,6 +10,7 @@ pub mod fig3_layout;
 pub mod fig4_system;
 pub mod fig6_spec_change;
 pub mod fig7_es_change;
+pub mod fuzz_gen;
 pub mod platforms;
 pub mod random_globals;
 pub mod release_labels;

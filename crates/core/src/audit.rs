@@ -54,6 +54,8 @@ use advm_metrics::Table;
 use advm_sim::{compare, PlatformFault};
 use advm_soc::{DerivativeId, PlatformId};
 
+use advm_fuzz::TraceAssertion;
+
 use crate::artifacts::ArtifactStore;
 use crate::campaign::{
     default_workers, json_string, Campaign, CampaignError, CampaignPerf, CampaignReport,
@@ -392,6 +394,7 @@ pub struct FaultAudit {
     decode: bool,
     fork_prefix: bool,
     prefix_budget: u64,
+    checkers: Vec<TraceAssertion>,
     artifact_store: Option<Arc<ArtifactStore>>,
     observer_factory: Option<ObserverFactory>,
 }
@@ -411,6 +414,7 @@ impl std::fmt::Debug for FaultAudit {
             .field("decode", &self.decode)
             .field("fork_prefix", &self.fork_prefix)
             .field("prefix_budget", &self.prefix_budget)
+            .field("checkers", &self.checkers.len())
             .field("artifact_store", &self.artifact_store.is_some())
             .field("observer_factory", &self.observer_factory.is_some())
             .finish()
@@ -440,6 +444,7 @@ impl FaultAudit {
             decode: true,
             fork_prefix: true,
             prefix_budget: DEFAULT_PREFIX_BUDGET,
+            checkers: Vec::new(),
             artifact_store: None,
             observer_factory: None,
         }
@@ -536,6 +541,22 @@ impl FaultAudit {
         self
     }
 
+    /// Arms mined [`TraceAssertion`] checkers on every campaign of the
+    /// sweep — the reference baselines and the faulted cells alike. A
+    /// faulted run that violates a checker the fault-free baseline
+    /// satisfies counts as a *detection* in [`CellOutcome::Detected`]'s
+    /// `killed_by` (labelled `checker:<name>`), even when the
+    /// differential verdict sees nothing: checkers grade exactly the
+    /// symptoms the pass/fail comparison is blind to, such as an MMIO
+    /// readback consumed by a sink register. Arming checkers disables
+    /// prefix forking inside each campaign (snapshots lack the MMIO
+    /// monitor); classifications that do not depend on checkers are
+    /// unchanged.
+    pub fn checkers(mut self, checkers: impl IntoIterator<Item = TraceAssertion>) -> Self {
+        self.checkers = checkers.into_iter().collect();
+        self
+    }
+
     /// Attaches a shared [`ArtifactStore`] to every campaign the sweep
     /// runs: builds, predecode artifacts and prefix snapshots are
     /// reused across the whole matrix *and* across audits sharing the
@@ -580,6 +601,9 @@ impl FaultAudit {
     /// Attaches the sweep-wide store and a fresh observer (when
     /// configured) to one internal campaign.
     fn dress(&self, mut campaign: Campaign) -> Campaign {
+        if !self.checkers.is_empty() {
+            campaign = campaign.checkers(self.checkers.iter().copied());
+        }
         if let Some(store) = &self.artifact_store {
             campaign = campaign.artifact_store(Arc::clone(store));
         }
@@ -636,6 +660,26 @@ impl FaultAudit {
                 if !report.consistent && report.divergent.contains(&platform) {
                     killed_by.push(format!("{env}/{test}"));
                 }
+            }
+        }
+        // Mined-checker kills: a violation on the faulted platform that
+        // the fault-free baseline does not reproduce is a detection in
+        // its own right — checkers see MMIO symptoms the differential
+        // verdict is blind to.
+        for v in faulted.checker_violations() {
+            if v.platform != platform {
+                continue;
+            }
+            let clean = baseline
+                .checker_violations()
+                .iter()
+                .any(|b| b.env == v.env && b.test_id == v.test_id && b.checker == v.checker);
+            if clean {
+                continue;
+            }
+            let label = format!("{}/{} checker:{}", v.env, v.test_id, v.checker);
+            if !killed_by.contains(&label) {
+                killed_by.push(label);
             }
         }
         if missing > 0 {
@@ -872,6 +916,72 @@ mod tests {
         }
         assert!(report.scenarios_generated() > 0);
         assert!(report.escapes().is_empty());
+    }
+
+    #[test]
+    fn armed_checkers_kill_the_map_write_fault_in_round_one() {
+        // A cell that writes PAGE_MAP and reads it back into a sink
+        // register: the faulted readback never reaches the verdict, so
+        // the differential layer passes everywhere.
+        let sink = ModuleTestEnv::new(
+            "MAPSINK",
+            EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+            vec![crate::env::TestCell::new(
+                "TEST_MAP_SINK",
+                "map readback into a sink register",
+                "\
+.INCLUDE Globals.inc
+_main:
+    LOAD d1, #0x1234
+    STORE [PAGE_MAP_ADDR], d1
+    LOAD d2, [PAGE_MAP_ADDR]
+    CALL Base_Report_Pass
+    RETURN
+",
+            )],
+        );
+        let mut suite = tiny_suite();
+        suite.push(sink);
+        let base = FaultAudit::new()
+            .suite(suite)
+            .faults([PlatformFault::PageMapWriteIgnored])
+            .platforms([PlatformId::RtlSim])
+            .escape_rounds(0)
+            .workers(2);
+
+        // Without checkers the fault escapes round 1 outright — the
+        // seed suite needs the round-2 escape loop to kill it (see
+        // escape_round_kills_the_map_write_fault).
+        let blind = base.clone().run().unwrap();
+        assert_eq!(blind.escapes().len(), 1);
+
+        // With a readback checker armed, the same stimulus kills it in
+        // round 1: strictly fewer rounds than the blind audit.
+        let armed = base
+            .checkers([TraceAssertion::ReadbackEquals {
+                addr: 0xE0108,
+                mask: 0xFFFF,
+            }])
+            .run()
+            .unwrap();
+        let cell = armed
+            .cell(PlatformFault::PageMapWriteIgnored, PlatformId::RtlSim)
+            .unwrap();
+        match &cell.outcome {
+            CellOutcome::Detected { round, killed_by } => {
+                assert_eq!(*round, 1, "checker kill needs no escape round");
+                assert!(
+                    killed_by
+                        .iter()
+                        .any(|t| t.contains("checker:readback[0xe0108")),
+                    "{killed_by:?}"
+                );
+            }
+            other => panic!("expected round-1 checker detection, got {other:?}"),
+        }
+        assert!(armed.killed(PlatformFault::PageMapWriteIgnored));
+        let json = armed.to_json();
+        assert!(json.contains("checker:readback[0xe0108"), "{json}");
     }
 
     #[test]

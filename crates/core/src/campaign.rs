@@ -61,6 +61,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use advm_asm::{AsmError, Image, SourceSet};
+use advm_fuzz::TraceAssertion;
 use advm_gen::{Scenario, ScenarioMeta};
 use advm_metrics::Table;
 use advm_sim::diverge::{compare, DivergenceReport};
@@ -75,6 +76,38 @@ use crate::artifacts::ArtifactStore;
 use crate::build::{es_rom_source, link_programs, unit_sources};
 use crate::env::{EnvConfig, ModuleTestEnv, GLOBALS_FILE};
 use crate::prefix::{PrefixEntry, PrefixPool};
+
+/// Default capacity of the per-run MMIO monitor armed when a campaign
+/// carries mined checkers (see [`Campaign::checkers`]).
+///
+/// Mining and checking must observe traffic through rings of the *same*
+/// capacity: a truncation-aware temporal checker skips windows that
+/// precede the ring's oldest retained record, so equal capacities make
+/// "zero spurious violations on the mining inputs" a guarantee rather
+/// than a heuristic.
+pub const DEFAULT_MONITOR_CAPACITY: usize = 4096;
+
+/// One mined-checker violation: a run whose MMIO trace broke a
+/// [`TraceAssertion`].
+///
+/// Violations are recorded even when the differential verdict passes —
+/// that is their purpose: a fault whose symptom is differentially
+/// invisible (a page `MAP` write silently ignored, read back into a
+/// sink register) still breaks the invariant mined from fault-free
+/// traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerViolation {
+    /// Environment name.
+    pub env: String,
+    /// Test cell id.
+    pub test_id: String,
+    /// Platform the violating run executed on.
+    pub platform: PlatformId,
+    /// The checker's pinned name (see [`TraceAssertion::name`]).
+    pub checker: String,
+    /// Human-readable violation detail.
+    pub detail: String,
+}
 
 /// Picks a worker count from the machine's available parallelism.
 pub(crate) fn default_workers() -> usize {
@@ -158,6 +191,21 @@ pub enum CampaignEvent {
         /// The build error, rendered.
         error: String,
     },
+    /// A run's MMIO trace broke a mined checker (emitted from worker
+    /// threads as runs finish; only possible when the campaign carries
+    /// [`Campaign::checkers`]).
+    CheckerViolation {
+        /// Environment name.
+        env: String,
+        /// Test cell id.
+        test_id: String,
+        /// Platform the violating run executed on.
+        platform: PlatformId,
+        /// The checker's pinned name.
+        checker: String,
+        /// Human-readable violation detail.
+        detail: String,
+    },
     /// Platforms disagreed on a test (emitted during report analysis).
     DivergenceDetected {
         /// `env/test` label.
@@ -188,6 +236,7 @@ impl CampaignEvent {
             CampaignEvent::JobBuilt { .. } => "job_built",
             CampaignEvent::JobFinished { .. } => "job_finished",
             CampaignEvent::JobFailed { .. } => "job_failed",
+            CampaignEvent::CheckerViolation { .. } => "checker_violation",
             CampaignEvent::DivergenceDetected { .. } => "divergence",
             CampaignEvent::Finished { .. } => "finished",
         }
@@ -253,6 +302,21 @@ impl CampaignEvent {
                 json_string(test_id),
                 platform.name(),
                 json_string(error)
+            ),
+            CampaignEvent::CheckerViolation {
+                env,
+                test_id,
+                platform,
+                checker,
+                detail,
+            } => format!(
+                "{{\"type\":\"checker_violation\",\"env\":{},\"test\":{},\
+                 \"platform\":\"{}\",\"checker\":{},\"detail\":{}}}",
+                json_string(env),
+                json_string(test_id),
+                platform.name(),
+                json_string(checker),
+                json_string(detail)
             ),
             CampaignEvent::DivergenceDetected { test, divergent } => {
                 let names: Vec<String> = divergent
@@ -321,6 +385,13 @@ impl CampaignEvent {
                 test_id: value.str_field("test")?.to_owned(),
                 platform: parse_platform(&value)?,
                 error: value.str_field("error")?.to_owned(),
+            },
+            "checker_violation" => CampaignEvent::CheckerViolation {
+                env: value.str_field("env")?.to_owned(),
+                test_id: value.str_field("test")?.to_owned(),
+                platform: parse_platform(&value)?,
+                checker: value.str_field("checker")?.to_owned(),
+                detail: value.str_field("detail")?.to_owned(),
             },
             "divergence" => {
                 let divergent = value
@@ -444,6 +515,15 @@ impl CampaignObserver for ProgressObserver {
                     "[{}/{}] {env}/{test_id} @ {platform} BUILD ERROR: {error}",
                     self.done, self.total
                 );
+            }
+            CampaignEvent::CheckerViolation {
+                env,
+                test_id,
+                platform,
+                checker,
+                ..
+            } => {
+                eprintln!("checker violation: {env}/{test_id} @ {platform} {checker}");
             }
             CampaignEvent::DivergenceDetected { test, divergent } => {
                 let names: Vec<&str> = divergent.iter().map(|p| p.name()).collect();
@@ -650,6 +730,10 @@ pub struct CampaignReport {
     cache_hits: usize,
     unique_builds: usize,
     perf: CampaignPerf,
+    /// Number of mined checkers armed on every run (0 = monitor off).
+    checkers_armed: usize,
+    /// Mined-checker violations, in job order.
+    violations: Vec<CheckerViolation>,
 }
 
 impl CampaignReport {
@@ -724,6 +808,8 @@ impl CampaignReport {
             cache_hits,
             unique_builds,
             perf,
+            checkers_armed: 0,
+            violations: Vec::new(),
         }
     }
 
@@ -829,6 +915,19 @@ impl CampaignReport {
         &self.divergences
     }
 
+    /// Number of mined checkers armed on every run of this campaign
+    /// (0 when the MMIO monitor was off).
+    pub fn checkers_armed(&self) -> usize {
+        self.checkers_armed
+    }
+
+    /// Every mined-checker violation, in deterministic job order
+    /// (independent of worker count). Empty when no checkers were armed
+    /// or every run satisfied them.
+    pub fn checker_violations(&self) -> &[CheckerViolation] {
+        &self.violations
+    }
+
     /// Renders the report as a JSON document (machine-readable form of
     /// the matrix, counters, cache statistics and divergences).
     pub fn to_json(&self) -> String {
@@ -845,6 +944,29 @@ impl CampaignReport {
             self.cache_hits, self.unique_builds
         ));
         s.push_str(&format!("\"perf\":{},", self.perf.to_json()));
+        // Emitted only when checkers were armed: campaigns without a
+        // monitor keep their pre-existing byte-stable layout.
+        if self.checkers_armed > 0 {
+            s.push_str(&format!(
+                "\"checkers\":{{\"armed\":{},\"violations\":[",
+                self.checkers_armed
+            ));
+            for (i, v) in self.violations.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"env\":{},\"test\":{},\"platform\":\"{}\",\
+                     \"checker\":{},\"detail\":{}}}",
+                    json_string(&v.env),
+                    json_string(&v.test_id),
+                    v.platform.name(),
+                    json_string(&v.checker),
+                    json_string(&v.detail)
+                ));
+            }
+            s.push_str("]},");
+        }
         s.push_str("\"scenarios\":[");
         for (i, meta) in self.scenarios.iter().enumerate() {
             if i > 0 {
@@ -1140,7 +1262,10 @@ impl Job {
 /// [`Campaign::from_config`] for the bridge from the legacy
 /// [`RegressionConfig`](crate::regression::RegressionConfig).
 pub struct Campaign {
-    envs: Vec<ModuleTestEnv>,
+    /// Environments, each with optional scenario provenance — hand-built
+    /// envs carry `None`, [`Campaign::env_with_meta`] envs (e.g. fuzz
+    /// programs) carry the meta their runs report.
+    envs: Vec<(ModuleTestEnv, Option<Arc<ScenarioMeta>>)>,
     scenarios: Vec<Scenario>,
     platforms: Vec<PlatformId>,
     workers: usize,
@@ -1151,6 +1276,8 @@ pub struct Campaign {
     prefix_pool: Option<Arc<PrefixPool>>,
     artifact_store: Option<Arc<ArtifactStore>>,
     bisect: bool,
+    checkers: Vec<TraceAssertion>,
+    monitor_capacity: usize,
     observers: Vec<Box<dyn CampaignObserver>>,
 }
 
@@ -1167,6 +1294,7 @@ impl fmt::Debug for Campaign {
             .field("prefix_pool", &self.prefix_pool.is_some())
             .field("artifact_store", &self.artifact_store.is_some())
             .field("bisect", &self.bisect)
+            .field("checkers", &self.checkers.len())
             .field("observers", &self.observers.len())
             .finish()
     }
@@ -1194,6 +1322,8 @@ impl Campaign {
             prefix_pool: None,
             artifact_store: None,
             bisect: false,
+            checkers: Vec::new(),
+            monitor_capacity: DEFAULT_MONITOR_CAPACITY,
             observers: Vec::new(),
         }
     }
@@ -1219,13 +1349,22 @@ impl Campaign {
 
     /// Adds one environment.
     pub fn env(mut self, env: ModuleTestEnv) -> Self {
-        self.envs.push(env);
+        self.envs.push((env, None));
         self
     }
 
     /// Adds environments.
     pub fn envs(mut self, envs: impl IntoIterator<Item = ModuleTestEnv>) -> Self {
-        self.envs.extend(envs);
+        self.envs.extend(envs.into_iter().map(|e| (e, None)));
+        self
+    }
+
+    /// Adds one environment whose runs carry explicit scenario
+    /// provenance — used by generated workloads that materialise their
+    /// own environments (e.g. fuzz programs) rather than going through
+    /// [`Campaign::scenario`].
+    pub fn env_with_meta(mut self, env: ModuleTestEnv, meta: ScenarioMeta) -> Self {
+        self.envs.push((env, Some(Arc::new(meta))));
         self
     }
 
@@ -1335,6 +1474,30 @@ impl Campaign {
         self
     }
 
+    /// Arms mined [`TraceAssertion`] checkers on every run: each job
+    /// executes with the per-platform MMIO monitor enabled and its
+    /// captured trace is evaluated against every checker after the run.
+    /// Violations surface as [`CampaignEvent::CheckerViolation`] events
+    /// and in [`CampaignReport::checker_violations`] — independently of
+    /// the differential pass/fail verdict, which cannot see
+    /// MMIO-sink-only symptoms.
+    ///
+    /// Checked runs never fork from a [`PrefixPool`] snapshot (snapshots
+    /// do not carry the monitor), so arming checkers trades the prefix
+    /// optimisation for observability; verdicts are unaffected.
+    pub fn checkers(mut self, checkers: impl IntoIterator<Item = TraceAssertion>) -> Self {
+        self.checkers = checkers.into_iter().collect();
+        self
+    }
+
+    /// Sets the MMIO monitor ring capacity used when checkers are armed
+    /// (default [`DEFAULT_MONITOR_CAPACITY`], minimum 1). Mining and
+    /// checking must use the same capacity; see the constant's docs.
+    pub fn monitor_capacity(mut self, capacity: usize) -> Self {
+        self.monitor_capacity = capacity.max(1);
+        self
+    }
+
     /// Attaches an observer; every [`CampaignEvent`] streams to it.
     pub fn observe(mut self, observer: impl CampaignObserver + 'static) -> Self {
         self.observers.push(Box::new(observer));
@@ -1366,8 +1529,7 @@ impl Campaign {
         // against the hand-built envs and against each other — separately
         // planned batches can mint the same engine names (`CR_000`, …),
         // and a colliding env name would silently merge report cells.
-        let mut planned: Vec<(ModuleTestEnv, Option<Arc<ScenarioMeta>>)> =
-            self.envs.iter().cloned().map(|e| (e, None)).collect();
+        let mut planned: Vec<(ModuleTestEnv, Option<Arc<ScenarioMeta>>)> = self.envs.clone();
         let mut used_names: std::collections::HashSet<String> =
             planned.iter().map(|(e, _)| e.name().to_owned()).collect();
         for s in &self.scenarios {
@@ -1539,6 +1701,11 @@ impl Campaign {
         let next = AtomicUsize::new(0);
         let abort = std::sync::atomic::AtomicBool::new(false);
         let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
+        // Violations are collected per job index and flattened in job
+        // order after the pool drains, so the sealed report (and its
+        // JSON) is byte-identical for any worker count.
+        let violations_by_job: Mutex<Vec<Vec<(String, String)>>> =
+            Mutex::new(vec![Vec::new(); jobs.len()]);
         let build_errors: Mutex<Vec<(usize, AsmError)>> = Mutex::new(Vec::new());
         let prefix_saved = AtomicU64::new(0);
         let forked_runs = AtomicU64::new(0);
@@ -1577,14 +1744,37 @@ impl Campaign {
                         platform: job.platform,
                         cache_hit: job.planned_hit,
                     });
-                    let result = execute_job(
-                        job,
-                        prebuilt,
-                        self.fuel,
-                        prefix_pool,
-                        &prefix_saved,
-                        &forked_runs,
-                    );
+                    let (result, violations) = if self.checkers.is_empty() {
+                        let result = execute_job(
+                            job,
+                            prebuilt,
+                            self.fuel,
+                            prefix_pool,
+                            &prefix_saved,
+                            &forked_runs,
+                        );
+                        (result, Vec::new())
+                    } else {
+                        execute_checked(
+                            job,
+                            prebuilt,
+                            self.fuel,
+                            &self.checkers,
+                            self.monitor_capacity,
+                        )
+                    };
+                    for (checker, detail) in &violations {
+                        emit(&|| CampaignEvent::CheckerViolation {
+                            env: job.env_name.clone(),
+                            test_id: job.test_id.clone(),
+                            platform: job.platform,
+                            checker: checker.clone(),
+                            detail: detail.clone(),
+                        });
+                    }
+                    if !violations.is_empty() {
+                        violations_by_job.lock()[index] = violations;
+                    }
                     emit(&|| CampaignEvent::JobFinished {
                         env: job.env_name.clone(),
                         test_id: job.test_id.clone(),
@@ -1635,6 +1825,24 @@ impl Campaign {
         report.perf.prefix_saved = prefix_saved.into_inner();
         report.perf.forked_runs = forked_runs.into_inner();
         report.perf.artifact_hits = artifact_hits;
+        report.checkers_armed = self.checkers.len();
+        report.violations = violations_by_job
+            .into_inner()
+            .into_iter()
+            .enumerate()
+            .flat_map(|(index, per_job)| {
+                let job = &jobs[index];
+                per_job
+                    .into_iter()
+                    .map(move |(checker, detail)| CheckerViolation {
+                        env: job.env_name.clone(),
+                        test_id: job.test_id.clone(),
+                        platform: job.platform,
+                        checker,
+                        detail,
+                    })
+            })
+            .collect();
         if self.bisect {
             for (test, divergence) in report.divergences.iter_mut() {
                 divergence.bisection = bisect_test(self.fuel, test, divergence, &jobs);
@@ -1716,6 +1924,40 @@ fn execute_job(
     platform.set_fuel(fuel);
     load_into(&mut platform, prebuilt);
     platform.run()
+}
+
+/// Runs one job from reset with the MMIO monitor armed and evaluates
+/// every mined checker on the captured trace.
+///
+/// Checked runs never fork from a prefix snapshot: snapshots carry only
+/// the serialized machine, not the monitor (a perf-neutral observability
+/// ring), so a forked run would miss the prefix's MMIO traffic and could
+/// mis-anchor a temporal checker. From-reset execution with the same
+/// monitor capacity as the mining pass keeps mining and checking inputs
+/// identical, which is what guarantees zero spurious violations on
+/// fault-free runs.
+fn execute_checked(
+    job: &Job,
+    prebuilt: &Prebuilt,
+    fuel: u64,
+    checkers: &[TraceAssertion],
+    capacity: usize,
+) -> (RunResult, Vec<(String, String)>) {
+    let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
+    platform.set_fuel(fuel);
+    platform.enable_mmio_trace(capacity);
+    load_into(&mut platform, prebuilt);
+    let result = platform.run();
+    let mut violations = Vec::new();
+    if let Some(trace) = platform.mmio_trace() {
+        for checker in checkers {
+            let name = checker.name();
+            for detail in checker.check(trace) {
+                violations.push((name.clone(), detail));
+            }
+        }
+    }
+    (result, violations)
 }
 
 /// Loads a built image (and its predecode artifact, when enabled) into
@@ -2341,6 +2583,7 @@ t_fail:
             | CampaignEvent::JobBuilt { .. }
             | CampaignEvent::JobFinished { .. }
             | CampaignEvent::JobFailed { .. }
+            | CampaignEvent::CheckerViolation { .. }
             | CampaignEvent::DivergenceDetected { .. }
             | CampaignEvent::Finished { .. } => {}
         };
@@ -2372,6 +2615,13 @@ t_fail:
                 test_id: "TEST_\"Q\"".into(),
                 platform: PlatformId::Accelerator,
                 error: "unknown mnemonic \"FROB\"\nline 2".into(),
+            },
+            CampaignEvent::CheckerViolation {
+                env: "FUZZ_0003".into(),
+                test_id: "TEST_FUZZ_0003".into(),
+                platform: PlatformId::RtlSim,
+                checker: "readback[0xe0108&0x0000ffff]".into(),
+                detail: "read 0x0 at cycle 41, expected 0x1234".into(),
             },
             CampaignEvent::DivergenceDetected {
                 test: "PAGE/TEST_READBACK".into(),
@@ -2413,6 +2663,7 @@ t_fail:
             r#"{"type":"job_built","env":"PAGE","test":"TEST_A","platform":"rtl","cache_hit":true}"#,
             r#"{"type":"job_finished","env":"PAGE","test":"TEST_A","platform":"gate","passed":false}"#,
             r#"{"type":"job_failed","env":"PAGE","test":"TEST_\"Q\"","platform":"accel","error":"unknown mnemonic \"FROB\"\nline 2"}"#,
+            r#"{"type":"checker_violation","env":"FUZZ_0003","test":"TEST_FUZZ_0003","platform":"rtl","checker":"readback[0xe0108&0x0000ffff]","detail":"read 0x0 at cycle 41, expected 0x1234"}"#,
             r#"{"type":"divergence","test":"PAGE/TEST_READBACK","divergent":["rtl","bondout"]}"#,
             r#"{"type":"finished","total":12,"passed":10,"failed":2,"cache_hits":7}"#,
         ];
@@ -2433,6 +2684,109 @@ t_fail:
         ] {
             assert!(CampaignEvent::from_json(bad).is_err(), "{bad:?}");
         }
+    }
+
+    /// Writes PAGE_MAP and reads it back into a sink register without
+    /// ever branching on the value: a map-write fault changes only the
+    /// sink read, which the differential verdict cannot see.
+    fn sink_readback_cell() -> TestCell {
+        TestCell::new(
+            "TEST_MAP_SINK",
+            "map readback into a sink register",
+            "\
+.INCLUDE Globals.inc
+_main:
+    LOAD d1, #0x1234
+    STORE [PAGE_MAP_ADDR], d1
+    LOAD d2, [PAGE_MAP_ADDR]
+    CALL Base_Report_Pass
+    RETURN
+",
+        )
+    }
+
+    /// The sc88a page module's MAP register, 16 writable bits.
+    fn map_checker() -> TraceAssertion {
+        TraceAssertion::ReadbackEquals {
+            addr: 0xE0108,
+            mask: 0xFFFF,
+        }
+    }
+
+    #[test]
+    fn checkers_catch_differentially_invisible_faults() {
+        let e = env(vec![sink_readback_cell()]);
+        let log = EventLog::new();
+        let report = Campaign::new()
+            .env(e)
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .fault(PlatformId::RtlSim, PlatformFault::PageMapWriteIgnored)
+            .checkers([map_checker()])
+            .observe(log.clone())
+            .run()
+            .unwrap();
+        // The verdict passes everywhere and no divergence is raised —
+        // the fault is invisible to the differential layer...
+        assert_eq!(report.failed(), 0, "{}", report.matrix());
+        assert!(report.divergences().is_empty());
+        // ...but the mined checker sees the ignored write.
+        assert_eq!(report.checkers_armed(), 1);
+        let violations = report.checker_violations();
+        assert!(!violations.is_empty());
+        for v in violations {
+            assert_eq!(v.platform, PlatformId::RtlSim, "{v:?}");
+            assert_eq!(v.env, "PAGE");
+            assert_eq!(v.test_id, "TEST_MAP_SINK");
+            assert!(v.checker.starts_with("readback[0xe0108"), "{v:?}");
+        }
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::CheckerViolation { .. })));
+        let json = report.to_json();
+        assert!(json.contains("\"checkers\":{\"armed\":1,"), "{json}");
+        assert!(json.contains("\"checker\":\"readback[0xe0108"), "{json}");
+        let opens = json.matches('{').count() + json.matches('[').count();
+        let closes = json.matches('}').count() + json.matches(']').count();
+        assert_eq!(opens, closes, "{json}");
+    }
+
+    #[test]
+    fn fault_free_runs_satisfy_armed_checkers() {
+        let e = env(vec![sink_readback_cell()]);
+        let report = Campaign::new()
+            .env(e)
+            .checkers([map_checker()])
+            .run()
+            .unwrap();
+        assert_eq!(report.total(), 6);
+        assert_eq!(report.failed(), 0);
+        assert!(report.checker_violations().is_empty());
+        assert!(report.to_json().contains("\"violations\":[]"));
+    }
+
+    #[test]
+    fn checked_runs_never_fork_and_unchecked_reports_omit_the_block() {
+        let e = env(vec![sink_readback_cell()]);
+        // A prefix pool is attached but checkers force from-reset
+        // execution: snapshots do not carry the MMIO monitor.
+        let pool = Arc::new(PrefixPool::new(8));
+        let checked = Campaign::new()
+            .env(e.clone())
+            .prefix_pool(Arc::clone(&pool))
+            .checkers([map_checker()])
+            .monitor_capacity(256)
+            .run()
+            .unwrap();
+        assert_eq!(checked.perf().forked_runs, 0, "{:?}", checked.perf());
+        assert_eq!(checked.perf().prefix_saved, 0);
+        assert!(checked.checker_violations().is_empty());
+
+        // Without checkers the report JSON keeps its pre-existing
+        // layout: no "checkers" block at all.
+        let plain = Campaign::new().env(e).run().unwrap();
+        assert_eq!(plain.checkers_armed(), 0);
+        assert!(!plain.to_json().contains("\"checkers\""));
     }
 
     #[test]

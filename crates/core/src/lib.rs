@@ -49,6 +49,7 @@ pub mod campaign;
 pub mod coverage;
 pub mod env;
 pub mod fsio;
+pub mod fuzz;
 pub mod layer;
 pub mod porting;
 pub mod prefix;
@@ -67,11 +68,14 @@ pub use audit::{AuditCell, AuditError, CellOutcome, FaultAudit, FaultAuditReport
 pub use basefuncs::{base_functions, BaseFuncsStyle};
 pub use build::{build_cell, run_cell, run_cell_with_fault};
 pub use campaign::{
-    Campaign, CampaignError, CampaignEvent, CampaignObserver, CampaignReport, EventLog,
-    ObserverFactory, ProgressObserver, TestRun,
+    Campaign, CampaignError, CampaignEvent, CampaignObserver, CampaignReport, CheckerViolation,
+    EventLog, ObserverFactory, ProgressObserver, TestRun, DEFAULT_MONITOR_CAPACITY,
 };
 pub use coverage::{ModuleCoverage, RegisterCoverage};
 pub use env::{validate_layout, EnvConfig, LayoutIssue, ModuleTestEnv, Stimulus, TestCell};
+pub use fuzz::{
+    program_env, Fuzz, FuzzError, FuzzReport, DEFAULT_FUZZ_PROGRAMS, DEFAULT_FUZZ_SEED,
+};
 pub use layer::{classify_path, Layer};
 pub use porting::{port_env, PortOutcome};
 pub use prefix::{PrefixPool, DEFAULT_PREFIX_BUDGET};

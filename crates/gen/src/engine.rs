@@ -15,7 +15,12 @@ use crate::source::ScenarioSource;
 
 /// Derives a per-scenario seed from the master seed and the scenario's
 /// position in the plan (SplitMix64 finalizer).
-fn derive_seed(master: u64, source: usize, index: usize) -> u64 {
+///
+/// Public so other seeded generators (the `advm-fuzz` program source)
+/// can share the exact discipline: seeds depend only on `(master,
+/// source, index)`, never on which worker draws the scenario, so batches
+/// are byte-identical regardless of execution order or worker count.
+pub fn derive_seed(master: u64, source: usize, index: usize) -> u64 {
     let mut z = master
         ^ (source as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (index as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);

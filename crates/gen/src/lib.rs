@@ -68,6 +68,6 @@ mod source;
 pub use constraints::generate;
 pub use constraints::{ConstraintError, GlobalsConstraints};
 pub use coverage::{CoverageFeedback, PageCoverage};
-pub use engine::{ScenarioEngine, StimulusPlan};
+pub use engine::{derive_seed, ScenarioEngine, StimulusPlan};
 pub use scenario::{Scenario, ScenarioKind, ScenarioMeta};
 pub use source::{ConstrainedRandom, CoverageDirected, Directed, ScenarioSource};

@@ -19,6 +19,10 @@ pub enum ScenarioKind {
     /// Drawn with sampling biased toward coverage holes from a prior
     /// campaign.
     CoverageDirected,
+    /// A constrained-random guest *program* over the ISA encoder (the
+    /// `advm-fuzz` crate's workload class), rather than a knob file for
+    /// the seed suite's programs.
+    ProgramFuzz,
 }
 
 impl ScenarioKind {
@@ -28,6 +32,7 @@ impl ScenarioKind {
             ScenarioKind::Directed => "directed",
             ScenarioKind::ConstrainedRandom => "constrained-random",
             ScenarioKind::CoverageDirected => "coverage-directed",
+            ScenarioKind::ProgramFuzz => "program-fuzz",
         }
     }
 }

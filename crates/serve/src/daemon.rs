@@ -21,6 +21,7 @@ use advm::artifacts::{ArtifactStore, DEFAULT_ARTIFACT_CAPACITY};
 use advm::audit::FaultAudit;
 use advm::campaign::{Campaign, CampaignEvent, CampaignObserver, ObserverFactory};
 use advm::env::ModuleTestEnv;
+use advm::fuzz::Fuzz;
 use advm::stimulus::Exploration;
 use advm_soc::PlatformId;
 
@@ -519,6 +520,39 @@ fn execute(
             let report = exploration.run().map_err(|e| e.to_string())?;
             Ok((report.failed() == 0, report.to_json()))
         }
+        JobSpec::Fuzz {
+            programs,
+            seed,
+            mine,
+            platforms,
+            all_platforms,
+            workers,
+            fuel,
+        } => {
+            let mut fuzz = Fuzz::new()
+                .mine(*mine)
+                .artifact_store(Arc::clone(store))
+                .observe_with(streamer_factory(record));
+            if let Some(programs) = programs {
+                fuzz = fuzz.programs(*programs as usize);
+            }
+            if let Some(seed) = seed {
+                fuzz = fuzz.seed(*seed);
+            }
+            if *all_platforms {
+                fuzz = fuzz.platforms(PlatformId::ALL);
+            } else if !platforms.is_empty() {
+                fuzz = fuzz.platforms(platforms.iter().copied());
+            }
+            if let Some(workers) = workers {
+                fuzz = fuzz.workers(*workers as usize);
+            }
+            if let Some(fuel) = fuel {
+                fuzz = fuzz.fuel(*fuel);
+            }
+            let report = fuzz.run().map_err(|e| e.to_string())?;
+            Ok((report.ok(), report.to_json()))
+        }
     }
 }
 
@@ -658,6 +692,60 @@ mod tests {
         ));
         let missing = daemon.cancel(99);
         assert!(missing.contains("no such job"), "{missing}");
+        daemon.join();
+    }
+
+    #[test]
+    fn fuzz_job_mines_checkers_and_streams_events() {
+        let daemon = Daemon::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 32,
+        });
+        let id = daemon.submit(JobSpec::Fuzz {
+            programs: Some(3),
+            seed: Some(11),
+            mine: true,
+            platforms: vec![
+                advm_soc::PlatformId::GoldenModel,
+                advm_soc::PlatformId::RtlSim,
+            ],
+            all_platforms: false,
+            workers: Some(2),
+            fuel: None,
+        });
+        let record = daemon.job(id).expect("job exists");
+        let line = record.wait();
+        assert!(
+            matches!(record.state(), JobState::Done { ok: true }),
+            "{line}"
+        );
+        let value = JsonValue::parse(&line).unwrap();
+        let report = value.get("report").expect("report present");
+        assert_eq!(report.u64_field("programs").unwrap(), 3);
+        assert_eq!(report.u64_field("seed").unwrap(), 11);
+        assert!(
+            !report.get("mined").unwrap().as_array().unwrap().is_empty(),
+            "{line}"
+        );
+        let checkers = report.get("campaign").unwrap().get("checkers").unwrap();
+        assert!(checkers.u64_field("armed").unwrap() > 0, "{line}");
+        assert!(
+            checkers
+                .get("violations")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "{line}"
+        );
+        // The stream carries campaign events, fuzz-run provenance included.
+        let (backlog, _) = record.subscribe();
+        assert!(
+            backlog
+                .iter()
+                .any(|l| l.contains("\"type\":\"job_started\"") && l.contains("FUZZ_")),
+            "stream must carry fuzz runs"
+        );
         daemon.join();
     }
 

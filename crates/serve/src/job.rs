@@ -1,9 +1,10 @@
 //! Job specifications — the daemon's unit of work.
 //!
-//! A [`JobSpec`] abstracts over the three run types the engine exposes
+//! A [`JobSpec`] abstracts over the four run types the engine exposes
 //! ([`Campaign`](advm::campaign::Campaign),
 //! [`FaultAudit`](advm::audit::FaultAudit),
-//! [`Exploration`](advm::stimulus::Exploration)) as one serializable
+//! [`Exploration`](advm::stimulus::Exploration),
+//! [`Fuzz`](advm::fuzz::Fuzz)) as one serializable
 //! value: what `advm-cli submit` sends over the socket is exactly what
 //! a worker thread later executes. Field names mirror the CLI's flag
 //! surfaces (`--workers`, `--fuel`, `--all-platforms`, …).
@@ -111,15 +112,35 @@ pub enum JobSpec {
         /// Explore the full six-platform matrix.
         all_platforms: bool,
     },
+    /// A program-fuzzing campaign with optional assertion mining — the
+    /// daemon side of `advm-cli fuzz`.
+    Fuzz {
+        /// Generated program count override.
+        programs: Option<u64>,
+        /// Program source master seed.
+        seed: Option<u64>,
+        /// Mine trace assertions from fault-free runs and arm them.
+        mine: bool,
+        /// Explicit target platforms; empty keeps the fuzz default
+        /// (all six).
+        platforms: Vec<PlatformId>,
+        /// Run the full six-platform matrix.
+        all_platforms: bool,
+        /// Campaign worker override.
+        workers: Option<u64>,
+        /// Per-run instruction budget override.
+        fuel: Option<u64>,
+    },
 }
 
 impl JobSpec {
-    /// The wire tag (`regress` / `audit` / `explore`).
+    /// The wire tag (`regress` / `audit` / `explore` / `fuzz`).
     pub fn kind(&self) -> &'static str {
         match self {
             JobSpec::Regress { .. } => "regress",
             JobSpec::Audit { .. } => "audit",
             JobSpec::Explore { .. } => "explore",
+            JobSpec::Fuzz { .. } => "fuzz",
         }
     }
 
@@ -195,6 +216,27 @@ impl JobSpec {
                 out.push('}');
                 out
             }
+            JobSpec::Fuzz {
+                programs,
+                seed,
+                mine,
+                platforms,
+                all_platforms,
+                workers,
+                fuel,
+            } => {
+                let mut out = format!(
+                    "{{\"kind\":\"fuzz\",\"mine\":{mine},\"platforms\":{},\
+                     \"all_platforms\":{all_platforms}",
+                    platform_list(platforms)
+                );
+                push_opt_u64(&mut out, "programs", *programs);
+                push_opt_u64(&mut out, "seed", *seed);
+                push_opt_u64(&mut out, "workers", *workers);
+                push_opt_u64(&mut out, "fuel", *fuel);
+                out.push('}');
+                out
+            }
         }
     }
 
@@ -237,6 +279,15 @@ impl JobSpec {
                     }
                 },
                 all_platforms: opt_bool(value, "all_platforms")?,
+            }),
+            "fuzz" => Ok(JobSpec::Fuzz {
+                programs: opt_u64(value, "programs")?,
+                seed: opt_u64(value, "seed")?,
+                mine: opt_bool(value, "mine")?,
+                platforms: opt_platforms(value, "platforms")?,
+                all_platforms: opt_bool(value, "all_platforms")?,
+                workers: opt_u64(value, "workers")?,
+                fuel: opt_u64(value, "fuel")?,
             }),
             other => Err(WireError::shape(format!("unknown job kind `{other}`"))),
         }
@@ -321,6 +372,24 @@ mod tests {
                 derivative: Some(DerivativeId::Sc88B),
                 all_platforms: false,
             },
+            JobSpec::Fuzz {
+                programs: Some(8),
+                seed: Some(11),
+                mine: true,
+                platforms: vec![PlatformId::GoldenModel, PlatformId::RtlSim],
+                all_platforms: false,
+                workers: Some(2),
+                fuel: None,
+            },
+            JobSpec::Fuzz {
+                programs: None,
+                seed: None,
+                mine: false,
+                platforms: vec![],
+                all_platforms: true,
+                workers: None,
+                fuel: None,
+            },
         ]
     }
 
@@ -341,6 +410,8 @@ mod tests {
             r#"{"kind":"regress","dir":"d"}"#,
             r#"{"kind":"regress","dir":"d","env":"E","platforms":["vax"]}"#,
             r#"{"kind":"explore","derivative":"PDP-11"}"#,
+            r#"{"kind":"fuzz","platforms":["vax"]}"#,
+            r#"{"kind":"fuzz","mine":"yes"}"#,
         ] {
             assert!(JobSpec::from_json(bad).is_err(), "{bad}");
         }

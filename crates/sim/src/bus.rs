@@ -21,6 +21,7 @@ use crate::periph::{
     Watchdog,
 };
 use crate::savestate::{put_bool, put_u32, put_u64, SaveReader, SaveStateError};
+use crate::trace::{MmioEvent, MmioTrace};
 
 /// A bus access fault, mapped to a CPU trap by the execution core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +99,10 @@ pub struct SocBus {
     /// state (timer or watchdog armed, NVM operation in flight). While
     /// false, [`SocBus::advance`] is a bare cycle-counter add.
     timing_active: bool,
+    /// Optional test-bench bus monitor: records MMIO transactions for
+    /// assertion mining/checking. Verification scaffolding, not machine
+    /// state — never serialized into snapshots.
+    mmio_trace: Option<MmioTrace>,
 }
 
 impl SocBus {
@@ -218,7 +223,20 @@ impl SocBus {
             decode: DecodeCache::default(),
             async_work: false,
             timing_active: false,
+            mmio_trace: None,
         }
+    }
+
+    /// Arms the MMIO bus monitor, keeping at most `capacity` most-recent
+    /// transactions. Available on every platform: the monitor belongs to
+    /// the verification environment, not the device under test.
+    pub fn enable_mmio_trace(&mut self, capacity: usize) {
+        self.mmio_trace = Some(MmioTrace::new(capacity));
+    }
+
+    /// The MMIO bus monitor, if armed.
+    pub fn mmio_trace(&self) -> Option<&MmioTrace> {
+        self.mmio_trace.as_ref()
     }
 
     /// Recomputes the hoisted attention flag. Must be called whenever
@@ -568,6 +586,14 @@ impl SocBus {
                         self.advance(self.mmio_wait);
                     }
                     let value = self.periph_read(p, offset);
+                    if let Some(monitor) = self.mmio_trace.as_mut() {
+                        monitor.record(MmioEvent {
+                            cycle: self.now,
+                            addr,
+                            value,
+                            write: false,
+                        });
+                    }
                     self.recompute_async();
                     self.recompute_timing();
                     Ok(value)
@@ -650,6 +676,14 @@ impl SocBus {
                     self.mmio_touched.insert(addr);
                     if self.mmio_wait > 0 {
                         self.advance(self.mmio_wait);
+                    }
+                    if let Some(monitor) = self.mmio_trace.as_mut() {
+                        monitor.record(MmioEvent {
+                            cycle: self.now,
+                            addr,
+                            value,
+                            write: true,
+                        });
                     }
                     self.periph_write(p, offset, value);
                     self.recompute_async();

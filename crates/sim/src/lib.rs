@@ -59,4 +59,4 @@ pub use diverge::{compare, DivergenceError, DivergenceReport};
 pub use fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 pub use platform::{run_image, EndReason, Platform, RunResult, DEFAULT_FUEL};
 pub use savestate::{SaveState, SaveStateError, SAVESTATE_MAGIC, SAVESTATE_VERSION};
-pub use trace::{ExecTrace, TraceRecord};
+pub use trace::{ExecTrace, MmioEvent, MmioTrace, TraceRecord};

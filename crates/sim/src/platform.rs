@@ -170,6 +170,20 @@ impl Platform {
         self.trace.as_ref()
     }
 
+    /// Arms the test-bench MMIO bus monitor (bounded to `capacity`
+    /// transactions). Unlike [`Platform::enable_trace`] this works on
+    /// *every* platform: the monitor models the verification
+    /// environment watching bus pins, not on-chip debug hardware, so
+    /// even product silicon can be observed this way.
+    pub fn enable_mmio_trace(&mut self, capacity: usize) {
+        self.bus.enable_mmio_trace(capacity);
+    }
+
+    /// The MMIO bus monitor, if armed.
+    pub fn mmio_trace(&self) -> Option<&crate::trace::MmioTrace> {
+        self.bus.mmio_trace()
+    }
+
     /// The platform identity.
     pub fn id(&self) -> PlatformId {
         self.id

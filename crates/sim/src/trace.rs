@@ -169,6 +169,97 @@ impl ExecTrace {
     }
 }
 
+/// One observed MMIO bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmioEvent {
+    /// Bus cycle at which the transaction completed (wait states
+    /// included).
+    pub cycle: u64,
+    /// Absolute register address.
+    pub addr: u32,
+    /// The value written, or the value the read returned.
+    pub value: u32,
+    /// `true` for a write, `false` for a read.
+    pub write: bool,
+}
+
+/// A bounded MMIO transaction monitor.
+///
+/// Unlike [`ExecTrace`], which models silicon debug hardware and is
+/// therefore restricted to debug-visible platforms, this monitor sits in
+/// the *verification environment* — the test bench watches bus
+/// transactions on every platform, the way the paper's test bench
+/// observes device pins. It is scaffolding, not machine state: snapshots
+/// never carry it, and an armed monitor does not perturb execution.
+///
+/// Same ring discipline as [`ExecTrace`]: O(1) recording, oldest records
+/// dropped first, with [`MmioTrace::dropped`] counting the loss so
+/// consumers can tell a complete history from a truncated one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmioTrace {
+    ring: Vec<MmioEvent>,
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl MmioTrace {
+    /// A monitor keeping at most `capacity` most-recent transactions.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Vec::new(),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one bus transaction.
+    pub fn record(&mut self, event: MmioEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+            return;
+        }
+        self.ring[self.head] = event;
+        self.head = (self.head + 1) % self.capacity;
+        self.dropped += 1;
+    }
+
+    /// The retained (most recent) transactions, oldest first.
+    pub fn records(&self) -> Vec<MmioEvent> {
+        self.iter().copied().collect()
+    }
+
+    /// Iterates the retained window, oldest transaction first.
+    pub fn iter(&self) -> impl Iterator<Item = &MmioEvent> {
+        self.ring[self.head..].iter().chain(&self.ring[..self.head])
+    }
+
+    /// The window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of transactions currently retained in the window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the window holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Transactions that fell off the front of the window.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
 impl fmt::Display for ExecTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -264,6 +355,38 @@ mod tests {
             ExecTrace::from_save(&mut r),
             Err(SaveStateError::Corrupt("trace ring geometry"))
         );
+    }
+
+    #[test]
+    fn mmio_ring_keeps_most_recent_in_order() {
+        let mut monitor = MmioTrace::new(3);
+        for i in 0..5u32 {
+            monitor.record(MmioEvent {
+                cycle: u64::from(i),
+                addr: 0xE0000 + 4 * i,
+                value: i,
+                write: i % 2 == 0,
+            });
+        }
+        let addrs: Vec<u32> = monitor.records().iter().map(|e| e.addr).collect();
+        assert_eq!(addrs, vec![0xE0008, 0xE000C, 0xE0010], "oldest first");
+        assert_eq!(monitor.dropped(), 2);
+        assert_eq!(monitor.len(), 3);
+        assert_eq!(monitor.capacity(), 3);
+        assert!(!monitor.is_empty());
+    }
+
+    #[test]
+    fn mmio_zero_capacity_counts_drops_only() {
+        let mut monitor = MmioTrace::new(0);
+        monitor.record(MmioEvent {
+            cycle: 0,
+            addr: 0xE0000,
+            value: 0,
+            write: true,
+        });
+        assert!(monitor.records().is_empty());
+        assert_eq!(monitor.dropped(), 1);
     }
 
     mod props {

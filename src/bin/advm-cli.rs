@@ -11,12 +11,15 @@
 //!                  [--derivative D] [--all-platforms] [--json]
 //! advm-cli audit [--platforms P1,P2 | --all-platforms] [--workers N]
 //!                [--scenarios N] [--seed S] [--fuel N] [--json]
+//! advm-cli fuzz [--programs N] [--seed S] [--mine] [--workers N]
+//!               [--fuel N] [--platforms P1,P2 | --all-platforms] [--json]
 //! advm-cli port <dir> <env-name> --derivative D [--platform P]
 //! advm-cli asm <file.asm>                      # assemble + listing
 //! advm-cli serve --socket <path> [--workers N] [--cache N]
 //! advm-cli submit --socket <path> [--watch] regress <dir> <env-name> [...]
 //! advm-cli submit --socket <path> [--watch] audit [...]
 //! advm-cli submit --socket <path> [--watch] explore [...]
+//! advm-cli submit --socket <path> [--watch] fuzz [...]
 //! advm-cli watch --socket <path> <job>
 //! advm-cli status --socket <path>
 //! advm-cli list --socket <path>
@@ -38,6 +41,7 @@ use advm::audit::FaultAudit;
 use advm::campaign::{Campaign, ProgressObserver};
 use advm::env::{EnvConfig, ModuleTestEnv};
 use advm::fsio::{read_tree, write_tree};
+use advm::fuzz::Fuzz;
 use advm::porting::port_env;
 use advm::stimulus::Exploration;
 use advm_serve::JobSpec;
@@ -120,6 +124,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         Some("regress") => regress(&args[1..]),
         Some("explore") => explore(&args[1..]),
         Some("audit") => audit(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some("port") => port(&args[1..]),
         Some("asm") => asm(&args[1..]),
         Some("serve") => serve(&args[1..]),
@@ -150,6 +155,8 @@ usage:
                    [--derivative D] [--all-platforms] [--json]
   advm-cli audit [--platforms P1,P2 | --all-platforms] [--workers N]
                  [--scenarios N] [--seed S] [--fuel N] [--json]
+  advm-cli fuzz [--programs N] [--seed S] [--mine] [--workers N]
+                [--fuel N] [--platforms P1,P2 | --all-platforms] [--json]
   advm-cli port <dir> <env-name> --derivative D [--platform P]
   advm-cli asm <file.asm>
   advm-cli serve --socket <path> [--workers N] [--cache N]
@@ -160,6 +167,9 @@ usage:
                   [--scenarios N] [--seed S] [--fuel N]
   advm-cli submit --socket <path> [--watch] explore [--rounds N] [--seed S]
                   [--batch N] [--workers N] [--derivative D] [--all-platforms]
+  advm-cli submit --socket <path> [--watch] fuzz [--programs N] [--seed S]
+                  [--mine] [--workers N] [--fuel N]
+                  [--platforms P1,P2 | --all-platforms]
   advm-cli watch --socket <path> <job>
   advm-cli status --socket <path>
   advm-cli list --socket <path>
@@ -177,6 +187,13 @@ against the golden model, and each (fault, platform) cell is classified
 detected / masked / broken. Escapes feed one coverage-directed scenario
 round (--scenarios controls the batch) aimed at killing the survivors;
 the final matrix, per-test kill counts and kill rate are printed.
+
+fuzz generates constrained-random guest programs (deterministic per
+seed, independent of worker count) and runs them differentially across
+the target platforms (default: all six). With --mine, every program
+first runs fault-free with the MMIO monitor armed, trace assertions are
+mined from the captured traces, and the verification campaign re-checks
+them on every run — catching faults the differential verdict cannot see.
 
 serve starts the resident verification daemon on a Unix-domain socket;
 submit/watch/status/list/cancel/shutdown talk to it. The daemon keeps
@@ -244,7 +261,7 @@ fn positional(args: &[String], index: usize, what: &str) -> Result<String, CliEr
 }
 
 /// Flags that take no value; a positional may directly follow them.
-const FLAGS_WITHOUT_VALUE: [&str; 3] = ["--all-platforms", "--json", "--watch"];
+const FLAGS_WITHOUT_VALUE: [&str; 4] = ["--all-platforms", "--json", "--watch", "--mine"];
 
 fn load_env(dir: &str, name: &str) -> Result<ModuleTestEnv, String> {
     let tree = read_tree(Path::new(dir)).map_err(|e| format!("reading `{dir}`: {e}"))?;
@@ -503,6 +520,73 @@ fn audit(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+fn fuzz(args: &[String]) -> Result<(), CliError> {
+    let json = args.iter().any(|a| a == "--json");
+    let mut fuzz = Fuzz::new();
+    if let Some(programs) = int_flag(args, "--programs")? {
+        fuzz = fuzz.programs(programs);
+    }
+    if let Some(seed) = int_flag(args, "--seed")? {
+        fuzz = fuzz.seed(seed);
+    }
+    if args.iter().any(|a| a == "--mine") {
+        fuzz = fuzz.mine(true);
+    }
+    if let Some(workers) = int_flag(args, "--workers")? {
+        fuzz = fuzz.workers(workers);
+    }
+    if let Some(fuel) = int_flag(args, "--fuel")? {
+        fuzz = fuzz.fuel(fuel);
+    }
+    if args.iter().any(|a| a == "--all-platforms") {
+        fuzz = fuzz.platforms(PlatformId::ALL);
+    } else if let Some(list) = flag_value(args, "--platforms")? {
+        let platforms: Vec<PlatformId> = list
+            .split(',')
+            .map(parse_platform)
+            .collect::<Result<_, _>>()?;
+        fuzz = fuzz.platforms(platforms);
+    }
+    if !json {
+        fuzz = fuzz.observe_with(std::sync::Arc::new(|| Box::new(ProgressObserver::new())));
+    }
+
+    let report = fuzz.run().map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.campaign().matrix());
+        println!(
+            "{} program(s) from seed {}, {} mined checker(s), {} violation(s)",
+            report.programs(),
+            report.seed(),
+            report.mined().len(),
+            report.violations().len(),
+        );
+        for checker in report.mined() {
+            println!("  armed {}", checker.name());
+        }
+        println!("{}", perf_line(report.campaign().perf()));
+        for v in report.violations() {
+            println!(
+                "VIOLATION: {}/{} @ {} {}: {}",
+                v.env, v.test_id, v.platform, v.checker, v.detail
+            );
+        }
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} failure(s), {} divergence(s), {} checker violation(s)",
+            report.campaign().failed(),
+            report.campaign().divergences().len(),
+            report.violations().len(),
+        )
+        .into())
+    }
+}
+
 fn port(args: &[String]) -> Result<(), CliError> {
     let dir = positional(args, 0, "directory")?;
     let name = positional(args, 1, "environment name")?;
@@ -556,7 +640,7 @@ fn socket_path(args: &[String]) -> Result<PathBuf, CliError> {
 /// surface is the local `regress`/`audit`/`explore` one, verbatim.
 fn submit_spec(args: &[String]) -> Result<JobSpec, CliError> {
     let all_platforms = args.iter().any(|a| a == "--all-platforms");
-    match positional(args, 0, "job kind (regress|audit|explore)")?.as_str() {
+    match positional(args, 0, "job kind (regress|audit|explore|fuzz)")?.as_str() {
         "regress" => {
             let dir = positional(args, 1, "directory")?;
             // The daemon resolves the path from its own working
@@ -598,6 +682,18 @@ fn submit_spec(args: &[String]) -> Result<JobSpec, CliError> {
                 .map(parse_derivative)
                 .transpose()?,
             all_platforms,
+        }),
+        "fuzz" => Ok(JobSpec::Fuzz {
+            programs: int_flag(args, "--programs")?,
+            seed: int_flag(args, "--seed")?,
+            mine: args.iter().any(|a| a == "--mine"),
+            platforms: flag_value(args, "--platforms")?
+                .map(|list| list.split(',').map(parse_platform).collect())
+                .transpose()?
+                .unwrap_or_default(),
+            all_platforms,
+            workers: int_flag(args, "--workers")?,
+            fuel: int_flag(args, "--fuel")?,
         }),
         other => Err(CliError::bad_token("unknown job kind", other)),
     }
@@ -881,6 +977,36 @@ mod tests {
                 dir: "no-such-envs".into(),
                 env: "PAGE".into(),
                 platforms: vec![PlatformId::RtlSim],
+                all_platforms: false,
+                workers: Some(2),
+                fuel: None,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_spec_mirrors_the_fuzz_flag_surface() {
+        let a = args(&[
+            "fuzz",
+            "--programs",
+            "8",
+            "--seed",
+            "11",
+            "--mine",
+            "--platforms",
+            "golden,rtl",
+            "--workers",
+            "2",
+            "--socket",
+            "/tmp/advm.sock",
+        ]);
+        assert_eq!(
+            submit_spec(&a).unwrap(),
+            JobSpec::Fuzz {
+                programs: Some(8),
+                seed: Some(11),
+                mine: true,
+                platforms: vec![PlatformId::GoldenModel, PlatformId::RtlSim],
                 all_platforms: false,
                 workers: Some(2),
                 fuel: None,

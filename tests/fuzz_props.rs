@@ -1,0 +1,132 @@
+//! Properties of the program-fuzzing subsystem, plus its acceptance
+//! run: ≥64 generated programs across all six platforms with zero
+//! decode errors and zero spurious mined-assertion violations.
+//!
+//! The determinism property mirrors the rest of the engine: a fuzz
+//! run's report is a pure function of its spec — worker count shards
+//! the work, never the verdict.
+
+use advm::campaign::Campaign;
+use advm::fuzz::{program_env, Fuzz};
+use advm_fuzz::ProgramSource;
+use advm_soc::PlatformId;
+
+use proptest::prelude::*;
+
+/// Strips the measured `"perf":{...}` object out of a report JSON: wall
+/// time and steps/sec vary run to run, while everything verdict-bearing
+/// must be byte-identical.
+fn strip_perf(json: &str) -> String {
+    let mut out = json.to_owned();
+    while let Some(start) = out.find("\"perf\":{") {
+        let brace = start + "\"perf\":".len();
+        let mut depth = 0usize;
+        let mut end = brace;
+        for (i, c) in out[brace..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = brace + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = if out[end..].starts_with(',') {
+            end + 1
+        } else {
+            end
+        };
+        out.replace_range(start..end, "");
+    }
+    out
+}
+
+/// The subsystem's acceptance run, exactly as CI drives it through the
+/// CLI: 64 generated programs, all six platforms, mining on. Zero
+/// build/decode errors, zero failures, zero divergences and — because
+/// the checking runs replay the mining runs — zero spurious violations.
+#[test]
+fn acceptance_64_programs_by_six_platforms_mine_clean() {
+    let report = Fuzz::new()
+        .programs(64)
+        .mine(true)
+        .platforms(PlatformId::ALL)
+        .run()
+        .expect("fuzz matrix must build and run");
+    assert_eq!(report.programs(), 64);
+    assert_eq!(report.campaign().total(), 64 * PlatformId::ALL.len());
+    assert_eq!(
+        report.campaign().failed(),
+        0,
+        "{}",
+        report.campaign().matrix()
+    );
+    assert!(report.campaign().divergences().is_empty());
+    assert!(!report.mined().is_empty(), "the batch must mine checkers");
+    assert!(
+        report.violations().is_empty(),
+        "fault-free runs may never violate checkers mined from them: {:?}",
+        report.violations()
+    );
+    assert!(report.ok());
+}
+
+proptest! {
+    // Full builds and six-platform runs per case; a few cases keep the
+    // properties meaningful without dominating suite runtime.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Every generated instruction survives the encode→decode round
+    /// trip at any word-aligned load address — for any seed, not just
+    /// the defaults the other tests pin.
+    #[test]
+    fn generated_programs_round_trip_their_encodings(
+        seed in any::<u64>(),
+        base in (0u32..0x3FF0).prop_map(|w| w * 4),
+    ) {
+        for program in ProgramSource::new(seed).generate(4) {
+            prop_assert!(
+                program.check_encoding(base).is_ok(),
+                "{} fails at base {base:#x}",
+                program.name()
+            );
+        }
+    }
+
+    /// Every generated program terminates within the default fuel on
+    /// every platform, reporting PASS: the generator's control-flow
+    /// constraints (forward-only branches, bounded loops) hold.
+    #[test]
+    fn generated_programs_terminate_on_all_platforms(seed in any::<u64>()) {
+        let mut campaign = Campaign::new().platforms(PlatformId::ALL);
+        for program in ProgramSource::new(seed).generate(2) {
+            campaign = campaign.env(program_env(&program));
+        }
+        let report = campaign.run().expect("fuzz programs must build");
+        prop_assert_eq!(report.failed(), 0, "{}", report.matrix());
+        prop_assert!(report.divergences().is_empty());
+    }
+
+    /// A mined fuzz campaign's report is byte-identical (perf-stripped)
+    /// whether one worker or eight execute it — generation, mining and
+    /// violation collection are all sharding-independent.
+    #[test]
+    fn fuzz_reports_are_worker_count_independent(seed in any::<u64>()) {
+        let run = |workers: usize| {
+            Fuzz::new()
+                .programs(4)
+                .seed(seed)
+                .mine(true)
+                .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+                .workers(workers)
+                .run()
+                .expect("fuzz run")
+                .to_json()
+        };
+        prop_assert_eq!(strip_perf(&run(1)), strip_perf(&run(8)));
+    }
+}

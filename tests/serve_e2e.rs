@@ -217,6 +217,70 @@ mod socket {
         assert_eq!(strip_perf(report_slice(&warm_done)), strip_perf(&reference));
     }
 
+    /// A fuzz job over the socket: the daemon generates the programs,
+    /// mines checkers, verifies them violation-free, and the final
+    /// report is byte-identical (perf-stripped) to an in-process
+    /// [`Fuzz`] run of the same spec.
+    #[test]
+    fn fuzz_job_round_trips_with_mined_checkers() {
+        let server = RunningServer::start(DaemonConfig {
+            workers: 1,
+            cache_capacity: 64,
+        });
+        let mut client = server.client();
+        let id = client
+            .submit(JobSpec::Fuzz {
+                programs: Some(3),
+                seed: Some(11),
+                mine: true,
+                platforms: vec![PlatformId::GoldenModel, PlatformId::RtlSim],
+                all_platforms: false,
+                workers: Some(2),
+                fuel: None,
+            })
+            .expect("submit fuzz");
+        let mut events = Vec::new();
+        let done = client
+            .watch(id, |line| events.push(line.to_owned()))
+            .expect("watch fuzz");
+
+        let value = JsonValue::parse(&done).expect("done line parses");
+        assert!(value.bool_field("ok").unwrap(), "{done}");
+        let report = value.get("report").expect("report present");
+        assert_eq!(report.u64_field("programs").unwrap(), 3);
+        assert!(!report.get("mined").unwrap().as_array().unwrap().is_empty());
+        let checkers = report.get("campaign").unwrap().get("checkers").unwrap();
+        assert!(checkers.u64_field("armed").unwrap() > 0, "{done}");
+        assert!(
+            checkers
+                .get("violations")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "{done}"
+        );
+        // Generated-program runs streamed live, labelled with the job id.
+        assert!(
+            events
+                .iter()
+                .any(|l| l.contains("\"type\":\"job_started\"") && l.contains("FUZZ_")),
+            "stream must carry fuzz runs"
+        );
+
+        // Byte-identical to the same fuzz run in process (perf aside).
+        let reference = advm::fuzz::Fuzz::new()
+            .programs(3)
+            .seed(11)
+            .mine(true)
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .workers(2)
+            .run()
+            .expect("in-process fuzz")
+            .to_json();
+        assert_eq!(strip_perf(report_slice(&done)), strip_perf(&reference));
+    }
+
     /// Two clients submit and watch concurrently; each stream is
     /// complete, correctly labelled, in order, and verdict-identical to
     /// the in-process equivalent.
