@@ -2,8 +2,9 @@
 //! each decode mode. `uncached` re-decodes every fetch (the
 //! pre-refactor baseline); `cached` memoises decode-on-first-fetch;
 //! `predecoded` seeds the cache from a shared [`DecodedProgram`]
-//! artifact, the campaign default. The committed perf trajectory lives
-//! in `BENCH_sim_throughput.json` (see `exp_sim_throughput`).
+//! artifact; `superblock` adds whole-block dispatch on top, the
+//! campaign default. The committed perf trajectory lives in
+//! `BENCH_sim_throughput.json` (see `exp_sim_throughput`).
 
 use advm_bench::experiments::sim_throughput::{sweep, workload, DecodeMode};
 use advm_sim::DecodedProgram;
@@ -12,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 fn bench_decode_modes(c: &mut Criterion) {
     let image = workload();
     let decoded = DecodedProgram::from_image(&image);
-    let insns = sweep(&image, &decoded, DecodeMode::Cached);
+    let (insns, _) = sweep(&image, &decoded, DecodeMode::Cached);
     let mut group = c.benchmark_group("sim/throughput");
     group.throughput(Throughput::Elements(insns));
     for mode in DecodeMode::ALL {

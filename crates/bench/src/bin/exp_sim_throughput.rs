@@ -1,5 +1,5 @@
 //! Measures simulator throughput (the no-fault six-platform sweep, all
-//! three decode modes) and maintains `BENCH_sim_throughput.json`, the
+//! four decode modes) and maintains `BENCH_sim_throughput.json`, the
 //! committed perf trajectory.
 //!
 //! ```text
@@ -8,8 +8,9 @@
 //!
 //! `--smoke` runs 3 repetitions instead of 20 (CI). `--check` compares
 //! the fresh measurement against a committed baseline and exits nonzero
-//! on a regression beyond the tolerance (default 0.8 = 20% slower) or a
-//! predecoded-vs-uncached speedup below 2×.
+//! on any mode regressing beyond the tolerance (default 0.8 = 20%
+//! slower), a predecoded-vs-uncached speedup below 2×, or a
+//! superblock-vs-predecoded speedup below 2×.
 
 use std::process::ExitCode;
 
@@ -43,6 +44,11 @@ fn main() -> ExitCode {
     eprintln!(
         "speedup (predecoded vs uncached): {:.2}x over {} reps",
         report.speedup(),
+        reps
+    );
+    eprintln!(
+        "speedup (superblock vs predecoded): {:.2}x over {} reps",
+        report.block_speedup(),
         reps
     );
 

@@ -640,6 +640,13 @@ pub struct CampaignPerf {
     pub decode_misses: u64,
     /// Decode slots seeded from shared predecode artifacts.
     pub decode_preloaded: u64,
+    /// Superblocks built by the block tier, summed over every run.
+    pub blocks_built: u64,
+    /// Whole-block dispatches taken by the straight-line fast path.
+    pub block_dispatches: u64,
+    /// Instructions retired inside block dispatches (a subset of
+    /// `decode_hits`).
+    pub block_insns: u64,
     /// Prefix instructions runs skipped by forking from a shared
     /// snapshot instead of re-executing from reset (see
     /// [`crate::prefix::PrefixPool`]).
@@ -683,6 +690,9 @@ impl CampaignPerf {
         self.decode_hits += other.decode_hits;
         self.decode_misses += other.decode_misses;
         self.decode_preloaded += other.decode_preloaded;
+        self.blocks_built += other.blocks_built;
+        self.block_dispatches += other.block_dispatches;
+        self.block_insns += other.block_insns;
         self.prefix_saved += other.prefix_saved;
         self.forked_runs += other.forked_runs;
         self.artifact_hits += other.artifact_hits;
@@ -693,8 +703,9 @@ impl CampaignPerf {
         format!(
             "{{\"instructions\":{},\"wall_ms\":{:.3},\"steps_per_sec\":{:.0},\
              \"decode_hits\":{},\"decode_misses\":{},\"decode_preloaded\":{},\
-             \"decode_hit_rate\":{:.4},\"prefix_saved\":{},\"forked_runs\":{},\
-             \"artifact_hits\":{}}}",
+             \"decode_hit_rate\":{:.4},\"blocks_built\":{},\
+             \"block_dispatches\":{},\"block_insns\":{},\"prefix_saved\":{},\
+             \"forked_runs\":{},\"artifact_hits\":{}}}",
             self.instructions,
             self.wall.as_secs_f64() * 1e3,
             self.steps_per_sec(),
@@ -702,6 +713,9 @@ impl CampaignPerf {
             self.decode_misses,
             self.decode_preloaded,
             self.decode_hit_rate(),
+            self.blocks_built,
+            self.block_dispatches,
+            self.block_insns,
             self.prefix_saved,
             self.forked_runs,
             self.artifact_hits
@@ -779,6 +793,9 @@ impl CampaignReport {
             perf.decode_hits += run.result.decode.hits;
             perf.decode_misses += run.result.decode.misses;
             perf.decode_preloaded += run.result.decode.preloaded;
+            perf.blocks_built += run.result.decode.blocks_built;
+            perf.block_dispatches += run.result.decode.block_dispatches;
+            perf.block_insns += run.result.decode.block_insns;
         }
         let mut divergences = Vec::new();
         for (t, (env, test)) in tests.iter().enumerate() {
@@ -1273,6 +1290,7 @@ pub struct Campaign {
     fault: Option<(PlatformId, PlatformFault)>,
     cache: bool,
     decode: bool,
+    superblocks: bool,
     prefix_pool: Option<Arc<PrefixPool>>,
     artifact_store: Option<Arc<ArtifactStore>>,
     bisect: bool,
@@ -1319,6 +1337,7 @@ impl Campaign {
             fault: None,
             cache: true,
             decode: true,
+            superblocks: true,
             prefix_pool: None,
             artifact_store: None,
             bisect: false,
@@ -1433,6 +1452,17 @@ impl Campaign {
         self
     }
 
+    /// Enables or disables the superblock dispatch tier on every run
+    /// (default: enabled). Purely a performance knob: block-mode and
+    /// per-instruction execution are architecturally identical, so
+    /// verdicts, traces and digests never depend on it — disabling is
+    /// useful for differential testing and for isolating the per-word
+    /// path.
+    pub fn superblocks(mut self, enabled: bool) -> Self {
+        self.superblocks = enabled;
+        self
+    }
+
     /// Attaches a shared [`PrefixPool`]: runs fork from a shared
     /// fault-free prefix snapshot whenever that is provably
     /// byte-identical to running from reset, skipping the prefix's
@@ -1491,10 +1521,14 @@ impl Campaign {
     }
 
     /// Sets the MMIO monitor ring capacity used when checkers are armed
-    /// (default [`DEFAULT_MONITOR_CAPACITY`], minimum 1). Mining and
-    /// checking must use the same capacity; see the constant's docs.
+    /// (default [`DEFAULT_MONITOR_CAPACITY`]). Mining and checking must
+    /// use the same capacity; see the constant's docs.
+    ///
+    /// A capacity of `0` is honoured, not clamped: every transaction is
+    /// counted as dropped, and the truncation-skip rule makes every
+    /// checker pass vacuously rather than fire spurious violations.
     pub fn monitor_capacity(mut self, capacity: usize) -> Self {
-        self.monitor_capacity = capacity.max(1);
+        self.monitor_capacity = capacity;
         self
     }
 
@@ -1749,6 +1783,7 @@ impl Campaign {
                             job,
                             prebuilt,
                             self.fuel,
+                            self.superblocks,
                             prefix_pool,
                             &prefix_saved,
                             &forked_runs,
@@ -1759,6 +1794,7 @@ impl Campaign {
                             job,
                             prebuilt,
                             self.fuel,
+                            self.superblocks,
                             &self.checkers,
                             self.monitor_capacity,
                         )
@@ -1845,7 +1881,8 @@ impl Campaign {
             .collect();
         if self.bisect {
             for (test, divergence) in report.divergences.iter_mut() {
-                divergence.bisection = bisect_test(self.fuel, test, divergence, &jobs);
+                divergence.bisection =
+                    bisect_test(self.fuel, self.superblocks, test, divergence, &jobs);
             }
         }
         for (test, divergence) in report.divergences() {
@@ -1871,6 +1908,7 @@ fn execute_job(
     job: &Job,
     prebuilt: &Prebuilt,
     fuel: u64,
+    superblocks: bool,
     pool: Option<&PrefixPool>,
     prefix_saved: &AtomicU64,
     forked_runs: &AtomicU64,
@@ -1887,7 +1925,7 @@ fn execute_job(
             }
             let mut prefix = Platform::new(job.platform, &job.derivative);
             prefix.set_fuel(budget);
-            load_into(&mut prefix, prebuilt);
+            load_into(&mut prefix, prebuilt, superblocks);
             let result = prefix.run();
             // A prefix that ended for any reason other than budget
             // exhaustion finished the test: nothing left to fork.
@@ -1902,6 +1940,9 @@ fn execute_job(
                 Platform::from_snapshot(&entry.state, &job.derivative, job.fault)
             {
                 platform.set_fuel(fuel);
+                // The superblock knob is runtime config, never part of
+                // the snapshot: re-apply it to the restored machine.
+                platform.set_superblocks(superblocks);
                 if let Some(decoded) = &prebuilt.decoded {
                     // The snapshot restores decode *stats* but not
                     // slots; re-seed from the shared artifact so the
@@ -1922,7 +1963,7 @@ fn execute_job(
     }
     let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
     platform.set_fuel(fuel);
-    load_into(&mut platform, prebuilt);
+    load_into(&mut platform, prebuilt, superblocks);
     platform.run()
 }
 
@@ -1940,13 +1981,14 @@ fn execute_checked(
     job: &Job,
     prebuilt: &Prebuilt,
     fuel: u64,
+    superblocks: bool,
     checkers: &[TraceAssertion],
     capacity: usize,
 ) -> (RunResult, Vec<(String, String)>) {
     let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
     platform.set_fuel(fuel);
     platform.enable_mmio_trace(capacity);
-    load_into(&mut platform, prebuilt);
+    load_into(&mut platform, prebuilt, superblocks);
     let result = platform.run();
     let mut violations = Vec::new();
     if let Some(trace) = platform.mmio_trace() {
@@ -1961,8 +2003,9 @@ fn execute_checked(
 }
 
 /// Loads a built image (and its predecode artifact, when enabled) into
-/// a fresh platform.
-fn load_into(platform: &mut Platform, prebuilt: &Prebuilt) {
+/// a fresh platform, applying the campaign's superblock knob.
+fn load_into(platform: &mut Platform, prebuilt: &Prebuilt, superblocks: bool) {
+    platform.set_superblocks(superblocks);
     match &prebuilt.decoded {
         Some(decoded) => platform.load_prebuilt(&prebuilt.image, decoded),
         None => {
@@ -1978,6 +2021,7 @@ fn load_into(platform: &mut Platform, prebuilt: &Prebuilt) {
 /// which their architectural states depart.
 fn bisect_test(
     fuel: u64,
+    superblocks: bool,
     test: &str,
     divergence: &DivergenceReport,
     jobs: &[Job],
@@ -2004,7 +2048,7 @@ fn bisect_test(
         let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
         platform.set_fuel(fuel);
         platform.enable_trace(16);
-        load_into(&mut platform, prebuilt);
+        load_into(&mut platform, prebuilt, superblocks);
         Some(platform)
     };
     let mut a = fresh(anchor)?;
@@ -2763,6 +2807,40 @@ _main:
         assert_eq!(report.failed(), 0);
         assert!(report.checker_violations().is_empty());
         assert!(report.to_json().contains("\"violations\":[]"));
+    }
+
+    #[test]
+    fn zero_and_one_capacity_monitors_never_fire_spurious_violations() {
+        // Capacity 0 retains nothing (every transaction is "dropped");
+        // capacity 1 retains only the newest. Both must run the checker
+        // campaign to completion with no panic and no violations: every
+        // checker anchors on *retained* writes, so a truncated ring
+        // degrades to a vacuous pass, never a false positive.
+        let baseline = Campaign::new()
+            .env(env(vec![sink_readback_cell()]))
+            .run()
+            .unwrap();
+        for capacity in [0usize, 1] {
+            let report = Campaign::new()
+                .env(env(vec![sink_readback_cell()]))
+                .checkers([map_checker()])
+                .monitor_capacity(capacity)
+                .run()
+                .unwrap();
+            assert_eq!(report.total(), baseline.total(), "capacity {capacity}");
+            assert_eq!(report.failed(), baseline.failed(), "capacity {capacity}");
+            assert!(
+                report.checker_violations().is_empty(),
+                "capacity {capacity}: truncation must skip, not fire"
+            );
+            // Verdicts are checker-independent.
+            for run in baseline.runs() {
+                let twin = report
+                    .run_of(&run.env, &run.test_id, run.platform)
+                    .expect("same job set");
+                assert_eq!(twin.result.passed(), run.result.passed());
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use advm_soc::memmap::{MemoryMap, NVM_SIZE, NVM_START, RAM_SIZE, RAM_START, ROM_
 use advm_soc::testbench::PlatformId;
 use advm_soc::{Derivative, RegionKind};
 
-use crate::decoded::{DecodeCache, DecodeStats, DecodedProgram, ExecRegion};
+use crate::decoded::{DecodeCache, DecodeStats, DecodedProgram, ExecRegion, Superblock};
 use crate::fault::{PlatformFault, BUS_WAIT_STATE_CYCLES};
 use crate::periph::{
     timer::TIMER_IRQ_LINE, CrcUnit, Intc, MailboxDevice, NvmController, PageModule, Timer, Uart,
@@ -261,6 +261,15 @@ impl SocBus {
         self.async_work
     }
 
+    /// Whether advancing time can change any machine state (timer or
+    /// watchdog armed, NVM operation in flight). While false, nothing
+    /// asynchronous can surface between two bus accesses — the
+    /// precondition for whole-superblock dispatch.
+    #[inline]
+    pub fn timing_active(&self) -> bool {
+        self.timing_active
+    }
+
     /// Applies the ES-dispatch-skew fault to a ROM fetch address: reads
     /// inside the embedded-software jump table are redirected to the next
     /// slot (wrapping), modelling an address decoder off by one row.
@@ -322,6 +331,67 @@ impl SocBus {
     /// Whether the predecoded-instruction cache is enabled.
     pub fn decode_cache_enabled(&self) -> bool {
         self.decode.enabled()
+    }
+
+    /// Enables or disables superblock dispatch (default: enabled).
+    /// Requires the decode cache too — blocks are chained over its
+    /// slots. Disabled, execution takes the per-word predecoded path,
+    /// the baseline the block tier is benchmarked against. The setting
+    /// is runtime configuration, not machine state: it is never
+    /// serialized into snapshots.
+    pub fn set_superblocks(&mut self, enabled: bool) {
+        self.decode.set_blocks(enabled);
+    }
+
+    /// Whether superblock dispatch is enabled.
+    pub fn superblocks_enabled(&self) -> bool {
+        self.decode.blocks_enabled()
+    }
+
+    /// The superblock starting at `addr`, looked up or built through
+    /// the decode cache. `None` when the tier is off, the address is
+    /// misaligned or outside executable memory, the ES-skew fault
+    /// redirects fetches there, or no bus-free run starts at the word.
+    #[inline]
+    pub(crate) fn superblock_at(&mut self, addr: u32) -> Option<std::sync::Arc<Superblock>> {
+        if !addr.is_multiple_of(4) {
+            return None;
+        }
+        match ExecRegion::classify(addr) {
+            Some((ExecRegion::Rom, idx)) => {
+                // Blocks never start inside or extend into the skewed
+                // jump table: those fetches take the per-word bypass.
+                let excluded = self.es_skew.then(|| {
+                    let lo = ((advm_soc::memmap::ES_BASE - ROM_START) >> 2) as usize;
+                    (lo, lo + advm_soc::EsFunction::ALL.len())
+                });
+                self.decode
+                    .superblock(ExecRegion::Rom, &self.rom, idx, excluded)
+            }
+            Some((ExecRegion::Ram, idx)) => {
+                self.decode
+                    .superblock(ExecRegion::Ram, &self.ram, idx, None)
+            }
+            Some((ExecRegion::Nvm, idx)) => {
+                self.decode
+                    .superblock(ExecRegion::Nvm, &self.nvm, idx, None)
+            }
+            None => None,
+        }
+    }
+
+    /// Accounts one whole-block dispatch (see
+    /// [`DecodeCache::note_block_dispatch`]).
+    #[inline]
+    pub(crate) fn note_block_dispatch(&mut self, insns: u64) {
+        self.decode.note_block_dispatch(insns);
+    }
+
+    /// The decode cache's block-invalidation epoch (see
+    /// [`DecodeCache::generation`]).
+    #[inline]
+    pub(crate) fn decode_generation(&self) -> u64 {
+        self.decode.generation()
     }
 
     /// The run's decode-cache counters.

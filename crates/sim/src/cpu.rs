@@ -300,7 +300,12 @@ impl Cpu {
     /// fatal condition hits, or `fuel` further instructions have retired
     /// — the batched alternative to calling [`Cpu::step`] in a loop,
     /// with the end-of-run and asynchronous-cause checks hoisted to one
-    /// cheap test each per instruction.
+    /// cheap test each per instruction, and to one test *per superblock*
+    /// on the straight-line fast path.
+    ///
+    /// `fuel == 0` returns [`BatchExit::OutOfFuel`] immediately without
+    /// retiring anything, and the budget is tracked as a countdown, so
+    /// it is exact even when the retired counter sits near `u64::MAX`.
     ///
     /// Time advances by each retired instruction's cycle cost, exactly
     /// as the per-step loop does.
@@ -311,6 +316,17 @@ impl Cpu {
     /// [`Cpu::run`] with observation hooks: `trace` records each retired
     /// `(pc, word)` (exactly as the legacy per-step driver did), `dbg`
     /// collects `DBG` marker tags.
+    ///
+    /// With no trace armed, straight-line runs of bus-free instructions
+    /// dispatch as whole superblocks: the sim-end/fuel/async/timing
+    /// checks move to block boundaries, and time advances once per block
+    /// by the summed cycle cost. Nothing inside a block can touch the
+    /// bus, so the architectural stream — including every MMIO
+    /// timestamp — is identical to per-instruction stepping; a fuel
+    /// budget smaller than the block clamps the dispatch, never
+    /// overshooting mid-block. Tracing, pending asynchronous causes and
+    /// active timing all fall back to the per-word path, where each
+    /// instruction is observed individually.
     pub fn run_observed(
         &mut self,
         bus: &mut SocBus,
@@ -319,19 +335,61 @@ impl Cpu {
         mut trace: Option<&mut ExecTrace>,
         mut dbg: Option<&mut Vec<u8>>,
     ) -> BatchExit {
-        let limit = self.retired.saturating_add(fuel);
+        // A countdown, not a `retired + fuel` limit: the additive limit
+        // saturates near `u64::MAX` and spins forever.
+        let mut left = fuel;
+        // Hoisted: tracing and the tier switch are fixed for the whole
+        // call (runtime configuration, never toggled mid-run), so the
+        // per-instruction modes skip the block branch entirely.
+        let blocks_ok = trace.is_none() && bus.superblocks_enabled();
+        // One-entry dispatch cache: hot loops re-enter the same block
+        // back to back, so the map lookup and `Arc` clone inside
+        // `superblock_at` are paid once per (pc, invalidation epoch),
+        // not once per dispatch. The generation check keeps a cached
+        // block from surviving any invalidation, including an NVM
+        // commit inside `advance`.
+        let mut cached: Option<std::sync::Arc<crate::decoded::Superblock>> = None;
+        let mut cached_pc = 0u32;
+        let mut cached_gen = 0u64;
         loop {
             if bus.mailbox().sim_ended() {
                 return BatchExit::SimEnd;
             }
-            if self.retired >= limit {
+            if left == 0 {
                 return BatchExit::OutOfFuel;
+            }
+            if blocks_ok && !bus.async_pending() && !bus.timing_active() {
+                let generation = bus.decode_generation();
+                if cached.is_none() || cached_pc != self.pc || cached_gen != generation {
+                    cached = bus.superblock_at(self.pc);
+                    cached_pc = self.pc;
+                    cached_gen = generation;
+                }
+                if let Some(block) = &cached {
+                    let n = (block.len() as u64).min(left) as usize;
+                    let (retired, cycles) = self.exec_block(&block.insns()[..n], cost, &mut dbg);
+                    debug_assert!(
+                        retired <= left,
+                        "superblock dispatch overshot the fuel budget"
+                    );
+                    if retired > 0 {
+                        left = left.saturating_sub(retired);
+                        bus.advance(cycles);
+                        bus.note_block_dispatch(retired);
+                        continue;
+                    }
+                    // Defensive: the block's first instruction is not
+                    // pure-executable (classifier drift). Fall through
+                    // to the per-instruction path, which executes it
+                    // correctly.
+                }
             }
             if let Some(trace) = trace.as_deref_mut() {
                 if let Ok(word) = bus.read32(self.pc) {
                     trace.record(self.pc, word);
                 }
             }
+            let before = self.retired;
             match self.step(bus, cost) {
                 StepOutcome::Executed {
                     cycles,
@@ -341,6 +399,9 @@ impl Cpu {
                     if let (Some(tag), Some(sink)) = (marker, dbg.as_deref_mut()) {
                         sink.push(tag);
                     }
+                    // Trap/interrupt entries retire nothing and consume
+                    // no fuel, exactly as the additive limit behaved.
+                    left = left.saturating_sub(self.retired.wrapping_sub(before));
                 }
                 StepOutcome::Halted { code } => return BatchExit::Halted { code },
                 StepOutcome::Fatal(fatal) => return BatchExit::Fatal(fatal),
@@ -348,38 +409,18 @@ impl Cpu {
         }
     }
 
-    /// Executes one decoded instruction.
-    fn exec(&mut self, bus: &mut SocBus, cost: &CostModel, insn: Insn) -> StepOutcome {
-        let mut next_pc = self.pc + 4;
-        let mut taken = false;
-        let mut dbg = None;
-
-        macro_rules! bus_try {
-            ($e:expr) => {
-                match $e {
-                    Ok(v) => v,
-                    Err(fault) => return self.fault_to_trap(bus, fault),
-                }
-            };
-        }
-
-        match insn {
+    /// Executes one bus-free instruction: pure register/PSW writes that
+    /// never read the pc, touch the bus, trap, or retire specially.
+    /// This is every block-eligible instruction except `DBG` (which
+    /// carries a marker the caller must route). The pc/retired update
+    /// is the caller's — [`Cpu::exec`] retires one, [`Cpu::exec_block`]
+    /// batches a whole block. Returns `Some(is_mul)` when handled
+    /// (`is_mul` selects the block executor's cycle class), `None`
+    /// otherwise.
+    #[inline(always)]
+    fn exec_pure(&mut self, insn: &Insn) -> Option<bool> {
+        match *insn {
             Insn::Nop => {}
-            Insn::Halt { code } => {
-                self.retired += 1;
-                return StepOutcome::Halted { code };
-            }
-            Insn::Trap { vector } => {
-                self.retired += 1;
-                return match self.enter_trap(bus, TrapKind::Software(vector), self.pc + 4) {
-                    Ok(()) => StepOutcome::Executed {
-                        cycles: cost.cost(&insn, true),
-                        dbg: None,
-                    },
-                    Err(fatal) => StepOutcome::Fatal(fatal),
-                };
-            }
-            Insn::Dbg { tag } => dbg = Some(tag),
             Insn::MovI { rd, imm } => self.d[rd.index() as usize] = u32::from(imm),
             Insn::MovHi { rd, imm } => {
                 let r = &mut self.d[rd.index() as usize];
@@ -390,24 +431,6 @@ impl Cpu {
             Insn::MovAd { ad, rb } => self.a[ad.index() as usize] = self.d(rb),
             Insn::MovAa { ad, ab } => self.a[ad.index() as usize] = self.a(ab),
             Insn::Lea { ad, addr } => self.a[ad.index() as usize] = addr,
-            Insn::Ld { rd, ab, off } => {
-                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
-                self.d[rd.index() as usize] = bus_try!(bus.read32(addr));
-            }
-            Insn::LdB { rd, ab, off } => {
-                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
-                self.d[rd.index() as usize] = u32::from(bus_try!(bus.read8(addr)));
-            }
-            Insn::St { ab, off, rs } => {
-                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
-                bus_try!(bus.write32(addr, self.d(rs)));
-            }
-            Insn::StB { ab, off, rs } => {
-                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
-                bus_try!(bus.write8(addr, (self.d(rs) & 0xFF) as u8));
-            }
-            Insn::LdAbs { rd, addr } => self.d[rd.index() as usize] = bus_try!(bus.read32(addr)),
-            Insn::StAbs { addr, rs } => bus_try!(bus.write32(addr, self.d(rs))),
             Insn::Add { rd, ra, rb } => {
                 let (r, c) = self.d(ra).overflowing_add(self.d(rb));
                 let v = (self.d(ra) as i32).overflowing_add(self.d(rb) as i32).1;
@@ -427,6 +450,7 @@ impl Cpu {
             Insn::Mul { rd, ra, rb } => {
                 let r = self.d(ra).wrapping_mul(self.d(rb));
                 self.set_logic(rd, r);
+                return Some(true);
             }
             Insn::And { rd, ra, rb } => {
                 let r = self.d(ra) & self.d(rb);
@@ -511,6 +535,144 @@ impl Cpu {
                 let r = (self.d(ra) >> pos) & mask;
                 self.set_logic(rd, r);
             }
+            Insn::Ei => self.psw.set_interrupts_enabled(true),
+            Insn::Di => self.psw.set_interrupts_enabled(false),
+            Insn::AddA { ad, imm } => {
+                let r = self.a(ad).wrapping_add_signed(i32::from(imm));
+                self.a[ad.index() as usize] = r;
+            }
+            _ => return None,
+        }
+        Some(false)
+    }
+
+    /// Executes up to `insns.len()` leading instructions of a
+    /// superblock in a tight bus-free loop: one batched pc/retired
+    /// update, O(1)-per-instruction cycle accounting (pure instructions
+    /// cost `base`, multiplies `base + mul`, the trailing branch adds
+    /// `branch` when taken — all scaled, exactly [`CostModel::cost`]
+    /// restricted to bus-free instructions), and `DBG` tags pushed
+    /// straight into the sink. The caller clamps `insns` to the fuel
+    /// budget, so the dispatch can never overshoot. Stops after a
+    /// terminator, and stops *before* any instruction the pure path
+    /// cannot execute — the defensive exit for classifier drift: the
+    /// per-instruction path picks that instruction up, so nothing is
+    /// lost or double-executed. Returns `(retired, cycles)`.
+    fn exec_block(
+        &mut self,
+        insns: &[Insn],
+        cost: &CostModel,
+        dbg: &mut Option<&mut Vec<u8>>,
+    ) -> (u64, u64) {
+        let pure_cost = u64::from(cost.base * cost.scale);
+        let mul_extra = u64::from(cost.mul * cost.scale);
+        let branch_extra = u64::from(cost.branch * cost.scale);
+        let mut cycles = 0u64;
+        let mut jumped = None;
+        let mut done = 0usize;
+        for insn in insns {
+            if let Some(is_mul) = self.exec_pure(insn) {
+                cycles += pure_cost + if is_mul { mul_extra } else { 0 };
+                done += 1;
+                continue;
+            }
+            match *insn {
+                Insn::Dbg { tag } => {
+                    if let Some(sink) = dbg.as_deref_mut() {
+                        sink.push(tag);
+                    }
+                    cycles += pure_cost;
+                    done += 1;
+                }
+                Insn::Jmp { target } => {
+                    cycles += pure_cost + branch_extra;
+                    done += 1;
+                    jumped = Some(target);
+                    break;
+                }
+                Insn::J { cond, target } => {
+                    if cond.holds(self.psw) {
+                        cycles += pure_cost + branch_extra;
+                        jumped = Some(target);
+                    } else {
+                        cycles += pure_cost;
+                    }
+                    done += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        // Pure instructions never read the pc, so the whole prefix
+        // advances it in one batch: the taken branch target, or
+        // fall-through past everything retired.
+        self.pc = jumped.unwrap_or(self.pc.wrapping_add(4 * done as u32));
+        self.retired = self.retired.wrapping_add(done as u64);
+        (done as u64, cycles)
+    }
+
+    /// Executes one decoded instruction.
+    fn exec(&mut self, bus: &mut SocBus, cost: &CostModel, insn: Insn) -> StepOutcome {
+        // Bus-free register/PSW operations — the bulk of any stream —
+        // share the superblock executor's pure path and retire here.
+        // `is_mul` already encodes the only cost distinction among pure
+        // instructions, so the generic cost match is skipped.
+        if let Some(is_mul) = self.exec_pure(&insn) {
+            self.pc += 4;
+            self.retired = self.retired.wrapping_add(1);
+            return StepOutcome::Executed {
+                cycles: (cost.base + if is_mul { cost.mul } else { 0 }) * cost.scale,
+                dbg: None,
+            };
+        }
+
+        let mut next_pc = self.pc + 4;
+        let mut taken = false;
+        let mut dbg = None;
+
+        macro_rules! bus_try {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => return self.fault_to_trap(bus, fault),
+                }
+            };
+        }
+
+        match insn {
+            Insn::Halt { code } => {
+                self.retired = self.retired.wrapping_add(1);
+                return StepOutcome::Halted { code };
+            }
+            Insn::Trap { vector } => {
+                self.retired = self.retired.wrapping_add(1);
+                return match self.enter_trap(bus, TrapKind::Software(vector), self.pc + 4) {
+                    Ok(()) => StepOutcome::Executed {
+                        cycles: cost.cost(&insn, true),
+                        dbg: None,
+                    },
+                    Err(fatal) => StepOutcome::Fatal(fatal),
+                };
+            }
+            Insn::Dbg { tag } => dbg = Some(tag),
+            Insn::Ld { rd, ab, off } => {
+                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
+                self.d[rd.index() as usize] = bus_try!(bus.read32(addr));
+            }
+            Insn::LdB { rd, ab, off } => {
+                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
+                self.d[rd.index() as usize] = u32::from(bus_try!(bus.read8(addr)));
+            }
+            Insn::St { ab, off, rs } => {
+                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
+                bus_try!(bus.write32(addr, self.d(rs)));
+            }
+            Insn::StB { ab, off, rs } => {
+                let addr = self.a(ab).wrapping_add_signed(i32::from(off));
+                bus_try!(bus.write8(addr, (self.d(rs) & 0xFF) as u8));
+            }
+            Insn::LdAbs { rd, addr } => self.d[rd.index() as usize] = bus_try!(bus.read32(addr)),
+            Insn::StAbs { addr, rs } => bus_try!(bus.write32(addr, self.d(rs))),
             Insn::Jmp { target } => {
                 next_pc = target;
                 taken = true;
@@ -551,16 +713,12 @@ impl Cpu {
                 let v = bus_try!(self.pop(bus));
                 self.a[ad.index() as usize] = v;
             }
-            Insn::Ei => self.psw.set_interrupts_enabled(true),
-            Insn::Di => self.psw.set_interrupts_enabled(false),
-            Insn::AddA { ad, imm } => {
-                let r = self.a(ad).wrapping_add_signed(i32::from(imm));
-                self.a[ad.index() as usize] = r;
-            }
+            // Everything bus-free already retired through `exec_pure`.
+            other => unreachable!("exec_pure must cover {other:?}"),
         }
 
         self.pc = next_pc;
-        self.retired += 1;
+        self.retired = self.retired.wrapping_add(1);
         StepOutcome::Executed {
             cycles: cost.cost(&insn, taken),
             dbg,
@@ -918,5 +1076,72 @@ HALT #0
             0xFF,
             "byte store truncates, load zero-extends"
         );
+    }
+
+    #[test]
+    fn fuel_zero_returns_without_retiring() {
+        let (mut cpu, mut bus) = machine("LOAD d1, #1\nHALT #0\n");
+        let cost = CostModel::functional();
+        let pc = cpu.pc();
+        assert_eq!(cpu.run(&mut bus, &cost, 0), BatchExit::OutOfFuel);
+        assert_eq!(cpu.retired(), 0, "fuel == 0 must retire nothing");
+        assert_eq!(cpu.pc(), pc, "fuel == 0 must not move the pc");
+        assert_eq!(cpu.d(DataReg::D1), 0);
+    }
+
+    #[test]
+    fn fuel_limit_terminates_near_u64_max() {
+        // The old `retired.saturating_add(fuel)` limit saturated at
+        // `u64::MAX` here and the run loop spun forever on a program
+        // that never halts. The countdown budget stays exact.
+        let (mut cpu, mut bus) = machine("spin:\n    JMP spin\n");
+        cpu.retired = u64::MAX - 2;
+        let cost = CostModel::functional();
+        assert_eq!(cpu.run(&mut bus, &cost, 7), BatchExit::OutOfFuel);
+        assert_eq!(cpu.retired(), (u64::MAX - 2).wrapping_add(7));
+    }
+
+    #[test]
+    fn near_u64_max_halt_still_wins_over_fuel() {
+        let (mut cpu, mut bus) = machine("NOP\nNOP\nHALT #3\n");
+        cpu.retired = u64::MAX - 1;
+        let cost = CostModel::functional();
+        assert_eq!(cpu.run(&mut bus, &cost, 100), BatchExit::Halted { code: 3 });
+        assert_eq!(cpu.retired(), (u64::MAX - 1).wrapping_add(3));
+    }
+
+    #[test]
+    fn superblock_dispatch_clamps_to_fuel_mid_block() {
+        // Ten straight-line ALU instructions form one superblock; a
+        // budget of 3 must stop exactly 3 instructions in, not at the
+        // block boundary.
+        let (mut cpu, mut bus) = machine(
+            "\
+_main:
+    MOVI d1, #1
+    MOVI d2, #2
+    MOVI d3, #3
+    MOVI d4, #4
+    MOVI d5, #5
+    MOVI d6, #6
+    MOVI d7, #7
+    ADD d1, d1, d2
+    XOR d2, d2, d3
+    SUB d3, d3, d4
+    HALT #0
+",
+        );
+        assert!(bus.superblocks_enabled());
+        let cost = CostModel::functional();
+        assert_eq!(cpu.run(&mut bus, &cost, 3), BatchExit::OutOfFuel);
+        assert_eq!(cpu.retired(), 3, "clamped mid-block, no overshoot");
+        assert_eq!(cpu.d(DataReg::D3), 3);
+        assert_eq!(cpu.d(DataReg::D4), 0, "fourth insn must not execute");
+        // Resuming with ample fuel finishes the program normally.
+        assert_eq!(
+            cpu.run(&mut bus, &cost, 1_000),
+            BatchExit::Halted { code: 0 }
+        );
+        assert_eq!(cpu.d(DataReg::D3), 0xFFFF_FFFF, "3 - 4 wrapped");
     }
 }

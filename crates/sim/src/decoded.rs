@@ -19,8 +19,21 @@
 //!   so fault-audit matrices and golden traces are byte-identical with
 //!   the cache on or off.
 //!
-//! [`DecodeStats`] reports hits/misses/invalidations/preloads; the
-//! campaign layer aggregates them into its `perf` block.
+//! On top of the word slots sits the *superblock* tier: straight-line
+//! runs of bus-free decoded instructions (optionally ending in a
+//! bus-free jump) are chained into immutable `Superblock`s
+//! (crate-internal), shared via `Arc` and executed whole by the
+//! batched CPU run loop — one
+//! fuel/sim-end/async/timing check per block instead of per
+//! instruction. Blocks are invalidated through the same precise hooks
+//! as the slots beneath them, so the architectural stream is
+//! byte-identical with blocks on or off.
+//!
+//! [`DecodeStats`] reports hits/misses/invalidations/preloads plus the
+//! block-tier counters; the campaign layer aggregates them into its
+//! `perf` block.
+
+use std::sync::Arc;
 
 use advm_asm::Image;
 use advm_isa::{decode, Insn};
@@ -56,9 +69,19 @@ impl Slot {
 }
 
 /// Decode-cache counters for one run.
+///
+/// The four word-slot counters (`hits`/`misses`/`invalidations`/
+/// `preloaded`) are serialized into snapshots; the block-tier counters
+/// are runtime telemetry only — the snapshot byte format predates the
+/// superblock tier and stays frozen, so a restored machine restarts its
+/// block counters from zero (the blocks themselves are rebuilt lazily
+/// either way).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DecodeStats {
-    /// Fetches served from a live slot.
+    /// Fetches served from a live slot. Instructions dispatched through
+    /// a superblock count here too — one hit per retired instruction —
+    /// so `hits + misses` remains the total fetch count regardless of
+    /// dispatch tier.
     pub hits: u64,
     /// Fetches that had to decode (cold slot, invalidated slot, cache
     /// disabled, or a skew-redirected / non-cacheable address).
@@ -68,6 +91,15 @@ pub struct DecodeStats {
     pub invalidations: u64,
     /// Slots seeded from a shared [`DecodedProgram`] artifact.
     pub preloaded: u64,
+    /// Superblocks constructed.
+    pub blocks_built: u64,
+    /// Superblocks dropped because a write touched a word they cover.
+    pub block_invalidations: u64,
+    /// Whole-block dispatches taken by the batched run loop.
+    pub block_dispatches: u64,
+    /// Instructions retired through block dispatch (each also counted
+    /// in `hits`).
+    pub block_insns: u64,
 }
 
 impl DecodeStats {
@@ -79,6 +111,104 @@ impl DecodeStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Longest superblock, in words (terminator included). Bounds both the
+/// build walk and the invalidation back-scan: a write at word `i` can
+/// only be covered by blocks starting in `(i - MAX_BLOCK_WORDS, i]`.
+pub(crate) const MAX_BLOCK_WORDS: usize = 64;
+
+/// An immutable straight-line run of decoded instructions.
+///
+/// Every instruction in a block is *bus-free*: pure register/PSW
+/// operations, plus at most one trailing `JMP`/`Jcc` (which computes its
+/// target without touching the bus). Because nothing inside a block can
+/// read or write the bus, raise an interrupt, end the simulation or
+/// fault, the batched run loop may execute the whole block between two
+/// boundary checks and advance time once by the summed cycle cost —
+/// byte-identical to stepping it.
+#[derive(Debug)]
+pub(crate) struct Superblock {
+    insns: Box<[Insn]>,
+}
+
+impl Superblock {
+    /// Instructions (= words) the block covers.
+    pub(crate) fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// The decoded instructions, in execution order.
+    pub(crate) fn insns(&self) -> &[Insn] {
+        &self.insns
+    }
+}
+
+/// How an instruction participates in superblock formation.
+enum BlockRole {
+    /// Bus-free, falls through: may appear anywhere in a block.
+    Pure,
+    /// Bus-free control flow: may end a block (`JMP`, `Jcc`).
+    Terminator,
+    /// Touches the bus, retires specially, or traps: never in a block.
+    Stop,
+}
+
+fn block_role(insn: &Insn) -> BlockRole {
+    // Exhaustive on purpose: a new instruction variant must make an
+    // explicit block-eligibility decision here.
+    match insn {
+        Insn::Nop
+        | Insn::Dbg { .. }
+        | Insn::MovI { .. }
+        | Insn::MovHi { .. }
+        | Insn::Mov { .. }
+        | Insn::MovDa { .. }
+        | Insn::MovAd { .. }
+        | Insn::MovAa { .. }
+        | Insn::Lea { .. }
+        | Insn::Add { .. }
+        | Insn::AddI { .. }
+        | Insn::Sub { .. }
+        | Insn::Mul { .. }
+        | Insn::And { .. }
+        | Insn::AndI { .. }
+        | Insn::Or { .. }
+        | Insn::OrI { .. }
+        | Insn::Xor { .. }
+        | Insn::XorI { .. }
+        | Insn::Shl { .. }
+        | Insn::ShlI { .. }
+        | Insn::Shr { .. }
+        | Insn::ShrI { .. }
+        | Insn::SarI { .. }
+        | Insn::Not { .. }
+        | Insn::Neg { .. }
+        | Insn::Cmp { .. }
+        | Insn::CmpI { .. }
+        | Insn::Insert { .. }
+        | Insn::Extract { .. }
+        | Insn::Ei
+        | Insn::Di
+        | Insn::AddA { .. } => BlockRole::Pure,
+        Insn::Jmp { .. } | Insn::J { .. } => BlockRole::Terminator,
+        Insn::Halt { .. }
+        | Insn::Trap { .. }
+        | Insn::Ld { .. }
+        | Insn::LdB { .. }
+        | Insn::St { .. }
+        | Insn::StB { .. }
+        | Insn::LdAbs { .. }
+        | Insn::StAbs { .. }
+        | Insn::Call { .. }
+        | Insn::CallR { .. }
+        | Insn::Ret
+        | Insn::RetI
+        | Insn::Push { .. }
+        | Insn::Pop { .. }
+        | Insn::PushA { .. }
+        | Insn::PopA { .. } => BlockRole::Stop,
     }
 }
 
@@ -154,14 +284,38 @@ const ROM_WORDS: usize = (ROM_SIZE / 4) as usize;
 const RAM_WORDS: usize = (RAM_SIZE / 4) as usize;
 const NVM_WORDS: usize = (NVM_SIZE / 4) as usize;
 
+/// Block-map sentinel: no block-build attempt recorded for this word.
+const BLOCK_UNKNOWN: u32 = 0;
+/// Block-map sentinel: a build was attempted and produced no block
+/// (negative cache — the word is illegal or starts with a bus-touching
+/// instruction). Entries ≥ [`BLOCK_BASE`] are arena ids plus the base.
+const BLOCK_NONE: u32 = 1;
+const BLOCK_BASE: u32 = 2;
+
 /// The per-bus decode cache: one lazily allocated slot array per
-/// executable region, plus the run's [`DecodeStats`].
+/// executable region, the superblock tier built over those slots, plus
+/// the run's [`DecodeStats`].
 #[derive(Debug, Clone)]
 pub(crate) struct DecodeCache {
     rom: Vec<Slot>,
     ram: Vec<Slot>,
     nvm: Vec<Slot>,
+    /// Per-region block map, lazily allocated like the slot arrays:
+    /// indexed by start word, [`BLOCK_UNKNOWN`]/[`BLOCK_NONE`] sentinels
+    /// or an arena id + [`BLOCK_BASE`].
+    rom_blocks: Vec<u32>,
+    ram_blocks: Vec<u32>,
+    nvm_blocks: Vec<u32>,
+    /// Shared-ownership block storage; freed ids are recycled.
+    arena: Vec<Option<Arc<Superblock>>>,
+    free: Vec<u32>,
+    /// Bumped whenever any block may have been dropped; the run loop's
+    /// one-entry block cache revalidates against it, so a cached `Arc`
+    /// can never outlive an invalidation.
+    generation: u64,
     enabled: bool,
+    /// Whether the superblock tier is active (requires `enabled` too).
+    blocks: bool,
     pub(crate) stats: DecodeStats,
 }
 
@@ -171,7 +325,14 @@ impl Default for DecodeCache {
             rom: Vec::new(),
             ram: Vec::new(),
             nvm: Vec::new(),
+            rom_blocks: Vec::new(),
+            ram_blocks: Vec::new(),
+            nvm_blocks: Vec::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            generation: 0,
             enabled: true,
+            blocks: true,
             stats: DecodeStats::default(),
         }
     }
@@ -205,18 +366,51 @@ impl ExecRegion {
 
 impl DecodeCache {
     /// Enables or disables memoisation. Disabled, every fetch decodes
-    /// fresh (the pre-refactor baseline the benches compare against).
+    /// fresh (the pre-refactor baseline the benches compare against) and
+    /// the superblock tier — built over the slots — goes dormant too.
     pub(crate) fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
         if !enabled {
             self.rom.clear();
             self.ram.clear();
             self.nvm.clear();
+            self.drop_all_blocks();
         }
     }
 
     pub(crate) fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Enables or disables the superblock tier (default: enabled).
+    /// Orthogonal to [`DecodeCache::set_enabled`]: with blocks off the
+    /// per-word slot path still memoises, which is the PR 5 predecoded
+    /// baseline the block tier is benchmarked against.
+    pub(crate) fn set_blocks(&mut self, enabled: bool) {
+        self.blocks = enabled;
+        if !enabled {
+            self.drop_all_blocks();
+        }
+    }
+
+    pub(crate) fn blocks_enabled(&self) -> bool {
+        self.blocks
+    }
+
+    fn drop_all_blocks(&mut self) {
+        self.rom_blocks.clear();
+        self.ram_blocks.clear();
+        self.nvm_blocks.clear();
+        self.arena.clear();
+        self.free.clear();
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Monotonic block-invalidation epoch: bumped whenever any block may
+    /// have been dropped. A `(pc, generation)`-keyed dispatch cache is
+    /// valid exactly while this is unchanged.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The slot array and word count of one region. A macro-free free
@@ -272,8 +466,172 @@ impl DecodeCache {
         }
     }
 
+    /// The block-map array and word count of one region (same disjoint
+    /// borrow trick as [`DecodeCache::region_of`]).
+    fn block_map_of<'a>(
+        rom: &'a mut Vec<u32>,
+        ram: &'a mut Vec<u32>,
+        nvm: &'a mut Vec<u32>,
+        region: ExecRegion,
+    ) -> (&'a mut Vec<u32>, usize) {
+        match region {
+            ExecRegion::Rom => (rom, ROM_WORDS),
+            ExecRegion::Ram => (ram, RAM_WORDS),
+            ExecRegion::Nvm => (nvm, NVM_WORDS),
+        }
+    }
+
+    /// Looks up — or builds — the superblock starting at word `idx` of
+    /// `region`. Returns `None` when the tier is off, the start word
+    /// lies in `excluded` (the ES-skew jump table, whose fetches must
+    /// take the per-word bypass), or no bus-free run begins there (a
+    /// negative result, cached until a write disturbs the
+    /// neighbourhood).
+    pub(crate) fn superblock(
+        &mut self,
+        region: ExecRegion,
+        mem: &[u8],
+        idx: usize,
+        excluded: Option<(usize, usize)>,
+    ) -> Option<Arc<Superblock>> {
+        if !self.enabled || !self.blocks {
+            return None;
+        }
+        if excluded.is_some_and(|(lo, hi)| idx >= lo && idx < hi) {
+            return None;
+        }
+        let entry = {
+            let (map, words) = Self::block_map_of(
+                &mut self.rom_blocks,
+                &mut self.ram_blocks,
+                &mut self.nvm_blocks,
+                region,
+            );
+            if map.is_empty() {
+                *map = vec![BLOCK_UNKNOWN; words];
+            }
+            map[idx]
+        };
+        match entry {
+            BLOCK_UNKNOWN => {}
+            BLOCK_NONE => return None,
+            id => return self.arena[(id - BLOCK_BASE) as usize].clone(),
+        }
+        // Cold start: chain forward over the decoded slots, filling
+        // cold ones silently — the dispatch accounts the fetches, the
+        // build only materialises the chain.
+        let mut insns: Vec<Insn> = Vec::new();
+        {
+            let (slots, words) =
+                Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
+            if slots.is_empty() {
+                *slots = vec![Slot::Unknown; words];
+            }
+            let mut cap = (idx + MAX_BLOCK_WORDS).min(words);
+            if let Some((lo, _)) = excluded {
+                if idx < lo {
+                    cap = cap.min(lo);
+                }
+            }
+            for (at, slot) in slots.iter_mut().enumerate().take(cap).skip(idx) {
+                if *slot == Slot::Unknown {
+                    *slot = Slot::of(word_at(mem, at));
+                }
+                let Slot::Insn { insn, .. } = *slot else {
+                    break;
+                };
+                match block_role(&insn) {
+                    BlockRole::Pure => insns.push(insn),
+                    BlockRole::Terminator => {
+                        insns.push(insn);
+                        break;
+                    }
+                    BlockRole::Stop => break,
+                }
+            }
+        }
+        if insns.is_empty() {
+            let (map, _) = Self::block_map_of(
+                &mut self.rom_blocks,
+                &mut self.ram_blocks,
+                &mut self.nvm_blocks,
+                region,
+            );
+            map[idx] = BLOCK_NONE;
+            return None;
+        }
+        let block = Arc::new(Superblock {
+            insns: insns.into_boxed_slice(),
+        });
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.arena[id as usize] = Some(Arc::clone(&block));
+                id
+            }
+            None => {
+                self.arena.push(Some(Arc::clone(&block)));
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.stats.blocks_built += 1;
+        let (map, _) = Self::block_map_of(
+            &mut self.rom_blocks,
+            &mut self.ram_blocks,
+            &mut self.nvm_blocks,
+            region,
+        );
+        map[idx] = id + BLOCK_BASE;
+        Some(block)
+    }
+
+    /// Accounts one whole-block dispatch of `insns` retired
+    /// instructions: each counts as a fetch hit (so `hits + misses`
+    /// stays the total fetch count across dispatch tiers) plus the
+    /// block-tier counters.
+    pub(crate) fn note_block_dispatch(&mut self, insns: u64) {
+        self.stats.hits += insns;
+        self.stats.block_insns += insns;
+        self.stats.block_dispatches += 1;
+    }
+
+    /// Drops every block that covers a word in `[start, end)`, plus any
+    /// negative-cache entry a changed word could now upgrade to a block.
+    /// A block starting at `j` covers at most `j + MAX_BLOCK_WORDS`
+    /// words, so the back-scan window is bounded.
+    fn drop_blocks_touching(&mut self, region: ExecRegion, start: usize, end: usize) {
+        let map = match region {
+            ExecRegion::Rom => &mut self.rom_blocks,
+            ExecRegion::Ram => &mut self.ram_blocks,
+            ExecRegion::Nvm => &mut self.nvm_blocks,
+        };
+        if map.is_empty() {
+            return;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        let lo = start.saturating_sub(MAX_BLOCK_WORDS - 1);
+        let hi = end.min(map.len());
+        for (j, entry) in map.iter_mut().enumerate().take(hi).skip(lo) {
+            if *entry == BLOCK_UNKNOWN {
+                continue;
+            }
+            if *entry == BLOCK_NONE {
+                // The written word may turn this start into a viable
+                // block — retry the build next time it is dispatched.
+                *entry = BLOCK_UNKNOWN;
+                continue;
+            }
+            let id = (*entry - BLOCK_BASE) as usize;
+            if self.arena[id].as_ref().is_some_and(|b| j + b.len() > start) {
+                self.arena[id] = None;
+                self.free.push(*entry - BLOCK_BASE);
+                *entry = BLOCK_UNKNOWN;
+                self.stats.block_invalidations += 1;
+            }
+        }
+    }
+
     /// Invalidates one word slot (no-op while the region is cold).
-    pub(crate) fn invalidate_word(&mut self, region: ExecRegion, idx: usize) {
+    fn invalidate_word_slot(&mut self, region: ExecRegion, idx: usize) {
         let (slots, _) = Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
         if !slots.is_empty() && slots[idx] != Slot::Unknown {
             slots[idx] = Slot::Unknown;
@@ -281,14 +639,23 @@ impl DecodeCache {
         }
     }
 
-    /// Invalidates a word range (NVM page erase).
-    pub(crate) fn invalidate_range(&mut self, region: ExecRegion, idx: usize, words: usize) {
-        for i in idx..idx + words {
-            self.invalidate_word(region, i);
-        }
+    /// Invalidates one word: its slot, and every block covering it.
+    pub(crate) fn invalidate_word(&mut self, region: ExecRegion, idx: usize) {
+        self.invalidate_word_slot(region, idx);
+        self.drop_blocks_touching(region, idx, idx + 1);
     }
 
-    /// Drops every slot (image load replaces backing memory wholesale).
+    /// Invalidates a word range (NVM page erase): the slots, and every
+    /// block touching the range.
+    pub(crate) fn invalidate_range(&mut self, region: ExecRegion, idx: usize, words: usize) {
+        for i in idx..idx + words {
+            self.invalidate_word_slot(region, i);
+        }
+        self.drop_blocks_touching(region, idx, idx + words);
+    }
+
+    /// Drops every slot and block (image load replaces backing memory
+    /// wholesale).
     pub(crate) fn invalidate_all(&mut self) {
         for slots in [&mut self.rom, &mut self.ram, &mut self.nvm] {
             if !slots.is_empty() {
@@ -296,12 +663,17 @@ impl DecodeCache {
                 slots.clear();
             }
         }
+        let live = self.arena.iter().filter(|e| e.is_some()).count() as u64;
+        self.stats.block_invalidations += live;
+        self.drop_all_blocks();
     }
 
     /// Serializes the cache's dynamic state: the enabled flag and the
-    /// run counters. Slot contents are *not* serialized — they are a
-    /// pure memoisation over backing memory, lazily re-derived after
-    /// restore — so snapshots stay small and byte-stable.
+    /// four word-slot counters. Slot contents and superblocks are *not*
+    /// serialized — they are a pure memoisation over backing memory,
+    /// lazily re-derived after restore — and the block-tier counters
+    /// stay out too: the v1 byte format is frozen, so a restored run
+    /// restarts them from zero.
     pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
         crate::savestate::put_bool(out, self.enabled);
         crate::savestate::put_u64(out, self.stats.hits);
@@ -323,6 +695,7 @@ impl DecodeCache {
             misses: r.take_u64()?,
             invalidations: r.take_u64()?,
             preloaded: r.take_u64()?,
+            ..DecodeStats::default()
         };
         self.set_enabled(enabled);
         self.invalidate_all();

@@ -223,6 +223,22 @@ impl Platform {
         self.bus.set_decode_cache(enabled);
     }
 
+    /// Enables or disables superblock dispatch (default: enabled).
+    /// Blocks chain straight-line decoded instructions over the decode
+    /// cache and execute whole between run-loop boundary checks; the
+    /// architectural stream is identical either way. Runtime
+    /// configuration, not machine state: snapshots neither capture nor
+    /// restore it, so re-apply after [`Platform::from_snapshot`] when a
+    /// campaign runs with blocks off.
+    pub fn set_superblocks(&mut self, enabled: bool) {
+        self.bus.set_superblocks(enabled);
+    }
+
+    /// Whether superblock dispatch is enabled.
+    pub fn superblocks_enabled(&self) -> bool {
+        self.bus.superblocks_enabled()
+    }
+
     /// Direct bus access for white-box assertions in tests/experiments.
     pub fn bus(&mut self) -> &mut SocBus {
         &mut self.bus

@@ -340,6 +340,18 @@ mod tests {
     }
 
     #[test]
+    fn one_capacity_retains_only_the_newest_record() {
+        let mut trace = ExecTrace::new(1);
+        for pc in (0x100..0x110).step_by(4) {
+            trace.record(pc, encode(&Insn::Nop));
+        }
+        let pcs: Vec<u32> = trace.records().iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![0x10C], "only the newest survives");
+        assert_eq!(trace.dropped(), 3);
+        assert_eq!(trace.capacity(), 1);
+    }
+
+    #[test]
     fn from_save_rejects_bad_ring_geometry() {
         let mut trace = ExecTrace::new(4);
         for pc in (0x100..0x120).step_by(4) {
@@ -387,6 +399,23 @@ mod tests {
         });
         assert!(monitor.records().is_empty());
         assert_eq!(monitor.dropped(), 1);
+    }
+
+    #[test]
+    fn mmio_one_capacity_retains_only_the_newest_event() {
+        let mut monitor = MmioTrace::new(1);
+        for i in 0..4u32 {
+            monitor.record(MmioEvent {
+                cycle: u64::from(i),
+                addr: 0xE0000 + 4 * i,
+                value: i,
+                write: true,
+            });
+        }
+        let records = monitor.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].addr, 0xE000C, "only the newest survives");
+        assert_eq!(monitor.dropped(), 3);
     }
 
     mod props {

@@ -19,6 +19,36 @@ fn image(asm: &str) -> Image {
     image
 }
 
+/// Counter-consistency invariants that must survive every invalidation
+/// path. Every retired instruction is served by exactly one *counted*
+/// fetch — a slot hit, a slot miss (including the disabled-cache,
+/// MMIO-execute and ES-skew-bypass paths) or a superblock dispatch
+/// (which counts one hit per executed instruction) — so the perf layer
+/// can never report more hits than fetches, and invalidation can never
+/// drop more blocks than were ever built.
+fn assert_stats_consistent(result: &RunResult) {
+    let d = &result.decode;
+    assert!(
+        d.hits + d.misses >= result.insns,
+        "retired insns without a counted fetch: {d:?} vs {} insns",
+        result.insns
+    );
+    assert!(
+        d.block_insns <= d.hits,
+        "block-dispatched insns are a subset of hits: {d:?}"
+    );
+    assert!(
+        d.block_dispatches <= d.block_insns,
+        "every dispatch retires at least one insn: {d:?}"
+    );
+    assert!(
+        d.block_invalidations <= d.blocks_built,
+        "cannot drop more blocks than were built: {d:?}"
+    );
+    let rate = d.hit_rate();
+    assert!((0.0..=1.0).contains(&rate), "hit rate out of range: {d:?}");
+}
+
 /// Runs an image on the golden model four ways — decode cache enabled,
 /// disabled, and enabled with a predecoded artifact, plus a traced
 /// cached run — and asserts the architectural results are identical.
@@ -49,6 +79,9 @@ fn run_all_modes(img: &Image) -> RunResult {
         assert_eq!(cached.console, other.console);
     }
     assert_eq!(uncached.decode.hits, 0, "disabled cache never hits");
+    for result in [&cached, &uncached, &preloaded] {
+        assert_stats_consistent(result);
+    }
     cached
 }
 
@@ -100,6 +133,7 @@ _main:
         "RAM stores over executed code must invalidate: {:?}",
         result.decode
     );
+    assert_stats_consistent(&result);
     run_all_modes(&img);
 }
 
@@ -184,6 +218,7 @@ wait:
         "NVM commits over executed code must invalidate: {:?}",
         result.decode
     );
+    assert_stats_consistent(&result);
     run_all_modes(&img);
 }
 
@@ -221,6 +256,7 @@ _main:
     };
     let clean = run_with(PlatformFault::None, true);
     assert_eq!(clean.end, advm_sim::EndReason::Halt(1));
+    assert_stats_consistent(&clean);
 
     for preload in [false, true] {
         let skewed = run_with(PlatformFault::EsDispatchSkewed, preload);
@@ -228,6 +264,12 @@ _main:
             skewed.end,
             advm_sim::EndReason::Halt(2),
             "skew must redirect the table fetch (preload={preload})"
+        );
+        assert_stats_consistent(&skewed);
+        assert!(
+            skewed.decode.misses > 0,
+            "the skew bypass counts its re-decodes as misses (preload={preload}): {:?}",
+            skewed.decode
         );
     }
 }
@@ -254,6 +296,18 @@ loop:
         result.decode
     );
     assert!(result.decode.hit_rate() > 0.9, "{:?}", result.decode);
+    // The countdown body (SUB / CMP / JNE) is one straight-line
+    // superblock: the default platform must run it as block dispatches.
+    assert!(
+        result.decode.blocks_built > 0,
+        "loop body must form a superblock: {:?}",
+        result.decode
+    );
+    assert!(
+        result.decode.block_dispatches > result.decode.blocks_built,
+        "a hot loop re-dispatches its block: {:?}",
+        result.decode
+    );
 }
 
 #[test]
@@ -268,4 +322,5 @@ fn preloaded_artifact_starts_hot() {
     assert_eq!(result.decode.misses, 0, "{:?}", result.decode);
     assert_eq!(result.decode.preloaded, 3);
     assert_eq!(result.decode.hits, result.insns);
+    assert_stats_consistent(&result);
 }

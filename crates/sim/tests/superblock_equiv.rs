@@ -1,0 +1,222 @@
+//! Superblock dispatch is a pure performance tier: block-mode execution
+//! must be architecturally indistinguishable from per-instruction
+//! predecoded execution — same digest at every retired-instruction
+//! count, same end reason, same console/UART bytes — on every platform,
+//! self-modifying code included.
+//!
+//! The sampling mirrors `bisect_divergence`: instead of stepping in
+//! lockstep, fresh machines run to a set of retired-count probes and
+//! compare [`Platform::state_digest`] (the architectural, timing-free
+//! FNV over registers, RAM, NVM and observable peripheral state) at
+//! each.
+
+use advm_asm::{assemble_str, Image};
+use advm_sim::{DecodedProgram, Platform, RunResult};
+use advm_soc::{Derivative, PlatformId};
+use proptest::prelude::*;
+
+fn image(asm: &str) -> Image {
+    let program = assemble_str(asm).unwrap_or_else(|e| panic!("{e}"));
+    let mut image = Image::new();
+    image.load_program(&program).unwrap();
+    image
+}
+
+/// Fresh predecoded platform with the block tier switched `blocks`,
+/// capped at `fuel` retired instructions, run to completion.
+fn run_mode(img: &Image, id: PlatformId, blocks: bool, fuel: u64) -> (Platform, RunResult) {
+    let derivative = Derivative::sc88a();
+    let mut p = Platform::new(id, &derivative);
+    p.set_superblocks(blocks);
+    p.load_prebuilt(img, &DecodedProgram::from_image(img));
+    p.set_fuel(fuel);
+    let result = p.run();
+    (p, result)
+}
+
+/// Runs `img` on `id` in both modes and compares digests at a spread of
+/// retired-count probes (bisect-style: ends, midpoint, and the first
+/// few counts, where a block/per-insn boundary bug would bite first).
+fn assert_equivalent_on(img: &Image, id: PlatformId) {
+    let (_, full) = run_mode(img, id, true, u64::MAX);
+    let (_, scalar) = run_mode(img, id, false, u64::MAX);
+    assert_eq!(full.end, scalar.end, "{id:?}");
+    assert_eq!(full.insns, scalar.insns, "{id:?}");
+    assert_eq!(full.cycles, scalar.cycles, "{id:?}");
+    assert_eq!(full.console, scalar.console, "{id:?}");
+    assert_eq!(full.uart_tx, scalar.uart_tx, "{id:?}");
+
+    let total = full.insns;
+    let probes = [
+        0,
+        1,
+        2,
+        3,
+        total / 4,
+        total / 2,
+        total.saturating_sub(1),
+        total,
+    ];
+    for &k in &probes {
+        let (blocked, rb) = run_mode(img, id, true, k);
+        let (plain, rp) = run_mode(img, id, false, k);
+        assert_eq!(
+            rb.insns, rp.insns,
+            "{id:?}: retired counts diverge at fuel {k}"
+        );
+        assert_eq!(
+            blocked.state_digest(),
+            plain.state_digest(),
+            "{id:?}: architectural state diverges at {} retired",
+            rb.insns
+        );
+    }
+}
+
+/// Register, RAM, peripheral and loop churn — straight-line runs long
+/// enough to form superblocks, plus calls and MMIO to break them.
+fn busy_program() -> Image {
+    image(
+        "\
+_main:
+    LOAD d1, #0xDEADBEEF
+    STORE [0x40100], d1
+    LOAD d2, [0x40100]
+    MOVI d14, #0
+    INSERT d14, d14, #3, 0, 5
+    ORI d14, d14, #0x100
+    STORE [0xE0100], d14
+    LOAD d3, [0xE0104]
+    LOAD d4, #25
+loop:
+    XOR d6, d6, d4
+    SHL d7, d6, #1
+    SUB d4, d4, #1
+    CMP d4, #0
+    JNE loop
+    CALL leaf
+    LOAD d5, #0x600D0000
+    STORE [0xEFF00], d5
+    STORE [0xEFF08], d5
+    HALT #0
+leaf:
+    ADD d8, d6, d7
+    NOT d9, d8
+    RETURN
+",
+    )
+}
+
+/// Copies a routine into RAM, executes it, rewrites it in place and
+/// executes it again — the invalidation path must tear down any block
+/// built over the old bytes in both modes identically.
+fn self_modifying_program() -> Image {
+    let movi5 = advm_isa::encode(&advm_isa::Insn::MovI {
+        rd: advm_isa::DataReg::D5,
+        imm: 5,
+    });
+    let movi6 = advm_isa::encode(&advm_isa::Insn::MovI {
+        rd: advm_isa::DataReg::D5,
+        imm: 6,
+    });
+    let xor = advm_isa::encode(&advm_isa::Insn::Xor {
+        rd: advm_isa::DataReg::D6,
+        ra: advm_isa::DataReg::D6,
+        rb: advm_isa::DataReg::D5,
+    });
+    let ret = advm_isa::encode(&advm_isa::Insn::Ret);
+    image(&format!(
+        "\
+RAM_CODE .EQU 0x50000
+_main:
+    LOAD a4, #RAM_CODE
+    LOAD d1, #0x{movi5:X}
+    STORE [a4], d1
+    LOAD d1, #0x{xor:X}
+    STORE [a4 + 4], d1
+    LOAD d1, #0x{ret:X}
+    STORE [a4 + 8], d1
+    LOAD d9, #8
+again:
+    CALL a4
+    LOAD d1, #0x{movi6:X}
+    STORE [a4], d1           ; rewrite the first word each iteration
+    LOAD d1, #0x{movi5:X}
+    STORE [a4 + 4], d1       ; ... and turn the XOR into a MOVI too
+    SUB d9, d9, #1
+    CMP d9, #0
+    JNE again
+    HALT #0
+"
+    ))
+}
+
+#[test]
+fn block_mode_is_architecturally_identical_on_every_platform() {
+    let img = busy_program();
+    for &id in PlatformId::ALL.iter() {
+        assert_equivalent_on(&img, id);
+    }
+}
+
+#[test]
+fn self_modifying_code_is_identical_in_both_modes_on_every_platform() {
+    let img = self_modifying_program();
+    for &id in PlatformId::ALL.iter() {
+        assert_equivalent_on(&img, id);
+    }
+}
+
+/// One strategy instruction: a superblock-eligible ALU op with
+/// proptest-chosen registers and immediates.
+fn alu_line(op: u8, rd: u8, ra: u8, imm: i16) -> String {
+    let rd = rd % 14; // keep d14/d15 for the epilogue
+    let ra = ra % 14;
+    match op % 6 {
+        0 => format!("    MOVI d{rd}, #{}", imm.unsigned_abs()),
+        1 => format!("    ADD d{rd}, d{rd}, d{ra}"),
+        2 => format!("    SUB d{rd}, d{rd}, d{ra}"),
+        3 => format!("    XOR d{rd}, d{rd}, d{ra}"),
+        4 => format!("    SHL d{rd}, d{ra}, #{}", imm.unsigned_abs() % 31),
+        _ => format!("    NOT d{rd}, d{ra}"),
+    }
+}
+
+proptest! {
+    // Each case runs 2 × (probes + 1) machines; a handful of cases keep
+    // the property meaningful without dominating suite runtime.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random straight-line ALU programs — the superblock sweet spot —
+    /// digest identically in both modes at every sampled fuel on the
+    /// golden model and the RTL sim.
+    #[test]
+    fn random_straight_line_programs_digest_identically(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>()), 1..80),
+    ) {
+        let body: Vec<String> = ops
+            .iter()
+            .map(|&(op, rd, ra, imm)| alu_line(op, rd, ra, imm))
+            .collect();
+        let img = image(&format!("_main:\n{}\n    HALT #0\n", body.join("\n")));
+        for id in [PlatformId::GoldenModel, PlatformId::RtlSim] {
+            let (_, full) = run_mode(&img, id, true, u64::MAX);
+            let (_, scalar) = run_mode(&img, id, false, u64::MAX);
+            prop_assert_eq!(full.end, scalar.end);
+            prop_assert_eq!(full.insns, scalar.insns);
+            prop_assert_eq!(full.cycles, scalar.cycles);
+            for k in [1, ops.len() as u64 / 2, ops.len() as u64] {
+                let (blocked, rb) = run_mode(&img, id, true, k);
+                let (plain, rp) = run_mode(&img, id, false, k);
+                prop_assert_eq!(rb.insns, rp.insns);
+                prop_assert_eq!(
+                    blocked.state_digest(),
+                    plain.state_digest(),
+                    "diverged at {} retired on {:?}",
+                    rb.insns,
+                    id
+                );
+            }
+        }
+    }
+}
