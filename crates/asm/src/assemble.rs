@@ -28,7 +28,7 @@ use crate::expr::{self, Expr};
 use crate::lexer::Token;
 use crate::preprocess::{LogicalLine, Preprocessed};
 use crate::program::{ListingEntry, Program, Segment};
-use crate::source::Loc;
+use crate::source::{Loc, SourceSet};
 
 /// Default origin when a unit has no leading `.ORG`: the reset PC.
 pub const DEFAULT_ORG: u32 = RESET_PC;
@@ -40,15 +40,90 @@ pub const DEFAULT_ORG: u32 = RESET_PC;
 /// Returns the first assembly error: unknown mnemonics, malformed or
 /// out-of-range operands, duplicate labels, or unresolvable expressions.
 pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
-    let stmts = parse_statements(&pre.lines)?;
+    ParsedUnit::from_preprocessed(pre)?.encode()
+}
 
-    let equs: BTreeMap<String, i64> = pre.equs.iter().cloned().collect();
+/// A preprocessed and statement-parsed source unit, ready to encode.
+///
+/// Splitting [`assemble`](crate::assemble) into a parse phase and an
+/// [`encode`](ParsedUnit::encode) phase lets a batch front-end (e.g. a
+/// campaign's build pool) run the per-unit parse work concurrently across
+/// units and keep only the cheap link step serial. `parse` followed by
+/// `encode` is byte-identical to `assemble`.
+pub struct ParsedUnit {
+    stmts: Vec<PStmt>,
+    equs: BTreeMap<String, i64>,
+    /// Whether `encode` builds the per-statement listing. The lean mode
+    /// skips listing text entirely; segments, labels and constants — and
+    /// therefore every emitted byte and every diagnostic — are identical.
+    listing: bool,
+}
 
+impl ParsedUnit {
+    /// Preprocesses and parses `entry` (resolving `.INCLUDE` against
+    /// `sources`) without encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first preprocessing or statement-parse error.
+    pub fn parse(entry: &str, sources: &SourceSet) -> Result<Self, AsmError> {
+        Self::build(entry, sources, true)
+    }
+
+    /// Like [`ParsedUnit::parse`], but [`encode`](ParsedUnit::encode)
+    /// will skip the human-readable listing. Use for build pipelines
+    /// that only link the program: the emitted image and all errors are
+    /// identical, only `Program::listing` comes back empty (and the
+    /// parse skips reconstructing per-statement source text).
+    pub fn parse_lean(entry: &str, sources: &SourceSet) -> Result<Self, AsmError> {
+        Self::build(entry, sources, false)
+    }
+
+    fn build(entry: &str, sources: &SourceSet, listing: bool) -> Result<Self, AsmError> {
+        let pre = crate::preprocess(entry, sources)?;
+        Ok(Self {
+            stmts: parse_statements(&pre.lines, listing)?,
+            equs: pre.equs.iter().cloned().collect(),
+            listing,
+        })
+    }
+
+    /// Parses already-preprocessed lines without encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first statement-parse error.
+    pub fn from_preprocessed(pre: &Preprocessed) -> Result<Self, AsmError> {
+        Ok(Self {
+            stmts: parse_statements(&pre.lines, true)?,
+            equs: pre.equs.iter().cloned().collect(),
+            listing: true,
+        })
+    }
+
+    /// Runs the two encoding passes (addresses/labels, then emission)
+    /// over the parsed statements.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first assembly error: unknown mnemonics, malformed or
+    /// out-of-range operands, duplicate labels, or unresolvable
+    /// expressions.
+    pub fn encode(&self) -> Result<Program, AsmError> {
+        encode_unit(&self.stmts, &self.equs, self.listing)
+    }
+}
+
+fn encode_unit(
+    stmts: &[PStmt],
+    equs: &BTreeMap<String, i64>,
+    with_listing: bool,
+) -> Result<Program, AsmError> {
     // Pass 1: addresses and labels.
     let mut labels: BTreeMap<String, u32> = BTreeMap::new();
     let mut addr = DEFAULT_ORG;
     let mut addrs = Vec::with_capacity(stmts.len());
-    for pstmt in &stmts {
+    for pstmt in stmts {
         addrs.push(addr);
         match &pstmt.stmt {
             Stmt::Label(name) => {
@@ -66,13 +141,13 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                 }
             }
             Stmt::Org(e) => {
-                let v = eval_early(e, &pstmt.loc, &equs, &labels)?;
+                let v = eval_early(e, &pstmt.loc, equs, &labels)?;
                 addr = to_addr(v, &pstmt.loc)?;
             }
             Stmt::Word(list) => addr += 4 * list.len() as u32,
             Stmt::Byte(list) => addr += list.len() as u32,
             Stmt::Space(e) => {
-                let v = eval_early(e, &pstmt.loc, &equs, &labels)?;
+                let v = eval_early(e, &pstmt.loc, equs, &labels)?;
                 if !(0..=0x10_0000).contains(&v) {
                     return Err(AsmError::at(
                         pstmt.loc.clone(),
@@ -82,7 +157,7 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                 addr += v as u32;
             }
             Stmt::Align(e) => {
-                let v = eval_early(e, &pstmt.loc, &equs, &labels)?;
+                let v = eval_early(e, &pstmt.loc, equs, &labels)?;
                 if v <= 0 || (v & (v - 1)) != 0 {
                     return Err(AsmError::at(
                         pstmt.loc.clone(),
@@ -130,7 +205,7 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                     Stmt::Org(e) => e,
                     _ => unreachable!(),
                 };
-                let v = eval_early(e, loc, &equs, &labels)?;
+                let v = eval_early(e, loc, equs, &labels)?;
                 let new_base = to_addr(v, loc)?;
                 flush(&mut seg_base, &mut seg_bytes, new_base, &mut segments);
             }
@@ -154,11 +229,11 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                 }
             }
             Stmt::Space(e) => {
-                let v = eval_early(e, loc, &equs, &labels)?;
+                let v = eval_early(e, loc, equs, &labels)?;
                 seg_bytes.extend(std::iter::repeat_n(0u8, v as usize));
             }
             Stmt::Align(e) => {
-                let v = eval_early(e, loc, &equs, &labels)? as u32;
+                let v = eval_early(e, loc, equs, &labels)? as u32;
                 let target = stmt_addr.div_ceil(v) * v;
                 seg_bytes.extend(std::iter::repeat_n(0u8, (target - stmt_addr) as usize));
             }
@@ -178,21 +253,23 @@ pub fn assemble_preprocessed(pre: &Preprocessed) -> Result<Program, AsmError> {
                 }
             }
         }
-        listing.push(ListingEntry {
-            addr: match &pstmt.stmt {
-                Stmt::Org(_) => None,
-                _ => Some(stmt_addr),
-            },
-            words,
-            text: pstmt.text.clone(),
-            source: loc.to_string(),
-        });
+        if with_listing {
+            listing.push(ListingEntry {
+                addr: match &pstmt.stmt {
+                    Stmt::Org(_) => None,
+                    _ => Some(stmt_addr),
+                },
+                words,
+                text: pstmt.text.clone(),
+                source: loc.to_string(),
+            });
+        }
     }
     if !seg_bytes.is_empty() {
         segments.push(Segment::new(seg_base, seg_bytes));
     }
 
-    Ok(Program::new(segments, labels, equs, listing))
+    Ok(Program::new(segments, labels, equs.clone(), listing))
 }
 
 /// Evaluates an expression that must be resolvable *at its point of use*
@@ -264,15 +341,20 @@ struct PStmt {
     text: String,
 }
 
-fn parse_statements(lines: &[LogicalLine]) -> Result<Vec<PStmt>, AsmError> {
+fn parse_statements(lines: &[LogicalLine], with_text: bool) -> Result<Vec<PStmt>, AsmError> {
     let mut stmts = Vec::new();
     for line in lines {
-        let text = line
-            .tokens
-            .iter()
-            .map(ToString::to_string)
-            .collect::<Vec<_>>()
-            .join(" ");
+        // Source text is only consumed by the listing; skip the
+        // reconstruction entirely on lean (listing-free) parses.
+        let text = if with_text {
+            line.tokens
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        } else {
+            String::new()
+        };
         let mut tokens: &[Token] = &line.tokens;
         // Leading label(s).
         while tokens.len() >= 2 {
@@ -280,7 +362,11 @@ fn parse_statements(lines: &[LogicalLine]) -> Result<Vec<PStmt>, AsmError> {
                 stmts.push(PStmt {
                     stmt: Stmt::Label(name.clone()),
                     loc: line.loc.clone(),
-                    text: format!("{name}:"),
+                    text: if with_text {
+                        format!("{name}:")
+                    } else {
+                        String::new()
+                    },
                 });
                 tokens = &tokens[2..];
             } else {

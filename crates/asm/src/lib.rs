@@ -52,7 +52,7 @@ mod preprocess;
 mod program;
 mod source;
 
-pub use assemble::{assemble_preprocessed, DEFAULT_ORG};
+pub use assemble::{assemble_preprocessed, ParsedUnit, DEFAULT_ORG};
 pub use diag::AsmError;
 pub use disasm::{disassemble_range, disassemble_word};
 pub use expr::{eval as eval_expr, free_symbols, parse_all as parse_expr, BinOp, Expr, UnaryOp};

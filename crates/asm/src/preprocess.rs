@@ -17,6 +17,8 @@
 //! per expansion, so macros can define labels safely.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::diag::AsmError;
 use crate::expr;
@@ -27,6 +29,84 @@ use crate::source::{Loc, SourceSet};
 const MAX_INCLUDE_DEPTH: usize = 32;
 /// Maximum macro expansion nesting depth.
 const MAX_MACRO_DEPTH: usize = 64;
+
+/// One classified line of a tokenized source file (see [`tokenized`]).
+enum CachedLine {
+    /// Nothing but whitespace/comment.
+    Empty,
+    /// Text-level `.INCLUDE` line — handled from the raw text.
+    Include,
+    /// Tokens, exactly as `tokenize` would produce them.
+    Tokens(Vec<Token>),
+    /// The line does not lex; re-tokenize on demand for a located error.
+    Bad,
+}
+
+struct TokenizedFile {
+    lines: Vec<CachedLine>,
+}
+
+/// Upper bound on cached files; the map is cleared when it fills so a
+/// pathological stream of unique sources cannot grow memory unboundedly.
+const TOKEN_CACHE_CAP: usize = 512;
+
+type TokenCache = HashMap<u64, Vec<(String, Arc<TokenizedFile>)>>;
+
+fn token_cache() -> &'static Mutex<TokenCache> {
+    static CACHE: OnceLock<Mutex<TokenCache>> = OnceLock::new();
+    CACHE.get_or_init(Mutex::default)
+}
+
+/// Matches the text-level `.INCLUDE` detection in `process_file`
+/// (case-insensitive prefix of the trimmed line).
+fn is_include_line(raw: &str) -> bool {
+    raw.trim()
+        .as_bytes()
+        .get(..8)
+        .is_some_and(|p| p.eq_ignore_ascii_case(b".INCLUDE"))
+}
+
+fn tokenize_file(text: &str) -> TokenizedFile {
+    let probe = Loc::new("<cache>", 0);
+    let lines = text
+        .lines()
+        .map(|raw| {
+            if is_include_line(raw) {
+                return CachedLine::Include;
+            }
+            match tokenize(raw, &probe) {
+                Ok(t) if t.is_empty() => CachedLine::Empty,
+                Ok(t) => CachedLine::Tokens(t),
+                Err(_) => CachedLine::Bad,
+            }
+        })
+        .collect();
+    TokenizedFile { lines }
+}
+
+/// Returns the tokenized form of `text`, caching by content so the files
+/// shared across every campaign build unit (vector table, trap handlers,
+/// base functions) are lexed once per process instead of once per unit.
+fn tokenized(text: &str) -> Arc<TokenizedFile> {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    text.hash(&mut hasher);
+    let key = hasher.finish();
+    let mut cache = token_cache().lock().expect("token cache lock");
+    if let Some(bucket) = cache.get(&key) {
+        if let Some((_, file)) = bucket.iter().find(|(content, _)| content == text) {
+            return Arc::clone(file);
+        }
+    }
+    let file = Arc::new(tokenize_file(text));
+    if cache.len() >= TOKEN_CACHE_CAP {
+        cache.clear();
+    }
+    cache
+        .entry(key)
+        .or_default()
+        .push((text.to_owned(), Arc::clone(&file)));
+    file
+}
 
 /// One preprocessed logical line, ready for the assembler proper.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,7 +221,9 @@ impl Preprocessor<'_> {
             let loc = from.cloned().unwrap_or_else(|| Loc::new(name, 0));
             return Err(AsmError::at(loc, "include depth limit exceeded"));
         }
-        let text = self.sources.get(name).ok_or_else(|| match from {
+        // Copy the reference so borrowed lines outlive `&mut self` calls.
+        let sources = self.sources;
+        let text = sources.get(name).ok_or_else(|| match from {
             Some(loc) => AsmError::at(loc.clone(), format!("include file `{name}` not found")),
             None => AsmError::general(format!("entry file `{name}` not found")),
         })?;
@@ -150,44 +232,46 @@ impl Preprocessor<'_> {
             self.out.includes.push(name.to_owned());
         }
         self.include_stack.push(name.to_owned());
-        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        let cached = tokenized(text);
+        let lines: Vec<&str> = text.lines().collect();
+        // One shared file-name allocation; per-line `Loc`s bump it.
+        let file: std::sync::Arc<str> = std::sync::Arc::from(name);
         let mut i = 0usize;
         while i < lines.len() {
-            let loc = Loc::new(name, (i + 1) as u32);
-            let raw = &lines[i];
+            let loc = Loc::new(file.clone(), (i + 1) as u32);
+            let raw = lines[i];
+            let line = &cached.lines[i];
             i += 1;
 
-            // `.INCLUDE path` is handled at text level: bare paths like
-            // `Globals.inc` would not survive tokenization.
-            let trimmed = raw.trim();
-            if trimmed.to_ascii_uppercase().starts_with(".INCLUDE") {
-                if !self.active() {
+            let tokens = match line {
+                // `.INCLUDE path` is handled at text level: bare paths
+                // like `Globals.inc` would not survive tokenization.
+                CachedLine::Include => {
+                    if !self.active() {
+                        continue;
+                    }
+                    let path = raw.trim()[".INCLUDE".len()..].trim();
+                    let path = path.split(';').next().unwrap_or("").trim();
+                    let path = path.trim_matches('"').trim();
+                    if path.is_empty() {
+                        return Err(AsmError::at(loc, ".INCLUDE requires a file name"));
+                    }
+                    self.process_file(path, Some(&loc))?;
                     continue;
                 }
-                let path = trimmed[".INCLUDE".len()..].trim();
-                let path = path.split(';').next().unwrap_or("").trim();
-                let path = path.trim_matches('"').trim();
-                if path.is_empty() {
-                    return Err(AsmError::at(loc, ".INCLUDE requires a file name"));
-                }
-                self.process_file(path, Some(&loc))?;
-                continue;
-            }
-
-            let tokens = match tokenize(raw, &loc) {
-                Ok(t) => t,
+                CachedLine::Empty => continue,
                 // Inside an inactive conditional branch, unlexable lines
                 // are skipped: they may use another platform's syntax.
-                Err(e) => {
+                CachedLine::Bad => {
                     if self.active() {
-                        return Err(e);
+                        return Err(
+                            tokenize(raw, &loc).expect_err("line classified Bad fails to lex")
+                        );
                     }
                     continue;
                 }
+                CachedLine::Tokens(t) => t.clone(),
             };
-            if tokens.is_empty() {
-                continue;
-            }
 
             // Conditional directives are processed even when inactive so
             // nesting stays balanced.
@@ -240,8 +324,15 @@ impl Preprocessor<'_> {
                 let mut body = Vec::new();
                 let mut closed = false;
                 while i < lines.len() {
-                    let body_loc = Loc::new(self.include_stack.last().unwrap(), (i + 1) as u32);
-                    let body_tokens = tokenize(&lines[i], &body_loc)?;
+                    let body_loc = Loc::new(file.clone(), (i + 1) as u32);
+                    let body_tokens = match &cached.lines[i] {
+                        CachedLine::Empty => Vec::new(),
+                        CachedLine::Tokens(t) => t.clone(),
+                        // `.INCLUDE`-shaped and unlexable body lines go
+                        // through the lexer as before (for the body
+                        // tokens or the located error, respectively).
+                        _ => tokenize(lines[i], &body_loc)?,
+                    };
                     i += 1;
                     if matches!(body_tokens.first(), Some(Token::Directive(d)) if d == ".ENDM") {
                         closed = true;
@@ -322,7 +413,12 @@ impl Preprocessor<'_> {
                 }
             };
             let expr_tokens = self.substitute_aliases(tokens[2..].to_vec());
-            let value = self.eval_expr(&expr_tokens, &loc)?;
+            // Generated abstraction layers are almost entirely
+            // `NAME .EQU <number>` lines; skip expression parsing then.
+            let value = match expr_tokens.as_slice() {
+                [Token::Number(n)] => *n,
+                _ => self.eval_expr(&expr_tokens, &loc)?,
+            };
             if self.aliases.contains_key(&name) {
                 return Err(AsmError::at(
                     loc,
@@ -423,7 +519,12 @@ impl Preprocessor<'_> {
     }
 
     fn substitute_aliases(&self, tokens: Vec<Token>) -> Vec<Token> {
-        if self.aliases.is_empty() {
+        // Most lines reference no alias; skip the rebuild entirely then.
+        if self.aliases.is_empty()
+            || !tokens
+                .iter()
+                .any(|t| matches!(t, Token::Ident(id) if self.aliases.contains_key(id)))
+        {
             return tokens;
         }
         let mut out = Vec::with_capacity(tokens.len());

@@ -151,9 +151,13 @@ impl std::error::Error for LinkError {}
 
 /// A sparse, loadable memory image built from one or more programs —
 /// for ADVM, typically the test unit plus the embedded-software ROM.
+///
+/// Stored as sorted, disjoint, maximally-merged byte runs: linking and
+/// loading are the campaign build hot path, and a run per contiguous
+/// span keeps both O(segments) instead of O(bytes).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Image {
-    bytes: BTreeMap<u32, u8>,
+    runs: Vec<Segment>,
 }
 
 impl Image {
@@ -171,24 +175,71 @@ impl Image {
     /// mistake in the ADVM flow).
     pub fn load_program(&mut self, program: &Program) -> Result<(), LinkError> {
         for segment in program.segments() {
-            for (i, byte) in segment.bytes().iter().enumerate() {
-                let addr = segment.base() + i as u32;
-                if self.bytes.contains_key(&addr) {
-                    return Err(LinkError { addr });
-                }
-                self.bytes.insert(addr, *byte);
+            if segment.bytes().is_empty() {
+                continue;
             }
+            self.insert_run(segment.base(), segment.bytes())?;
         }
         Ok(())
     }
 
+    /// Inserts one contiguous run, merging with adjacent runs so equal
+    /// byte maps always have equal run decompositions.
+    fn insert_run(&mut self, base: u32, bytes: &[u8]) -> Result<(), LinkError> {
+        let end = base + bytes.len() as u32;
+        // First run that ends after the new run's base is the only
+        // overlap candidate on the left; the run after the insertion
+        // point is the candidate on the right.
+        let idx = self.runs.partition_point(|r| r.end() <= base);
+        if let Some(run) = self.runs.get(idx) {
+            if run.base() < end {
+                return Err(LinkError {
+                    addr: base.max(run.base()),
+                });
+            }
+        }
+        let merge_left = idx > 0 && self.runs[idx - 1].end() == base;
+        let merge_right = self.runs.get(idx).is_some_and(|r| r.base() == end);
+        match (merge_left, merge_right) {
+            (true, true) => {
+                let right = self.runs.remove(idx);
+                let left = &mut self.runs[idx - 1];
+                left.bytes.extend_from_slice(bytes);
+                left.bytes.extend_from_slice(right.bytes());
+            }
+            (true, false) => self.runs[idx - 1].bytes.extend_from_slice(bytes),
+            (false, true) => {
+                let run = &mut self.runs[idx];
+                run.base = base;
+                run.bytes.splice(0..0, bytes.iter().copied());
+            }
+            (false, false) => self.runs.insert(idx, Segment::new(base, bytes.to_vec())),
+        }
+        Ok(())
+    }
+
+    /// The run holding `addr`, if any.
+    fn run_at(&self, addr: u32) -> Option<&Segment> {
+        let idx = self.runs.partition_point(|r| r.end() <= addr);
+        self.runs.get(idx).filter(|r| r.base() <= addr)
+    }
+
     /// Reads one byte (0 where nothing was loaded).
     pub fn byte(&self, addr: u32) -> u8 {
-        self.bytes.get(&addr).copied().unwrap_or(0)
+        match self.run_at(addr) {
+            Some(run) => run.bytes()[(addr - run.base()) as usize],
+            None => 0,
+        }
     }
 
     /// Reads a little-endian word.
     pub fn word(&self, addr: u32) -> u32 {
+        if let Some(run) = self.run_at(addr) {
+            let off = (addr - run.base()) as usize;
+            if let Some(b) = run.bytes().get(off..off + 4) {
+                return u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            }
+        }
         u32::from_le_bytes([
             self.byte(addr),
             self.byte(addr + 1),
@@ -199,17 +250,27 @@ impl Image {
 
     /// Iterates over loaded bytes in address order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
-        self.bytes.iter().map(|(a, b)| (*a, *b))
+        self.runs.iter().flat_map(|run| {
+            run.bytes()
+                .iter()
+                .enumerate()
+                .map(move |(i, b)| (run.base() + i as u32, *b))
+        })
+    }
+
+    /// Iterates over the contiguous byte runs in address order.
+    pub fn runs(&self) -> impl Iterator<Item = (u32, &[u8])> + '_ {
+        self.runs.iter().map(|run| (run.base(), run.bytes()))
     }
 
     /// Number of loaded bytes.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.runs.iter().map(|r| r.bytes().len()).sum()
     }
 
     /// Whether the image is empty.
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.runs.is_empty()
     }
 }
 

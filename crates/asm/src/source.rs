@@ -86,17 +86,21 @@ impl<N: Into<String>, T: Into<String>> Extend<(N, T)> for SourceSet {
 }
 
 /// A source location: file name plus 1-based line number.
+///
+/// The file name is reference-counted: locations are minted for every
+/// preprocessed line and cloned into every parsed statement, so a
+/// `Loc` clone must not allocate.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Loc {
     /// File name within the [`SourceSet`].
-    pub file: String,
+    pub file: std::sync::Arc<str>,
     /// 1-based line number.
     pub line: u32,
 }
 
 impl Loc {
     /// Creates a location.
-    pub fn new(file: impl Into<String>, line: u32) -> Self {
+    pub fn new(file: impl Into<std::sync::Arc<str>>, line: u32) -> Self {
         Self {
             file: file.into(),
             line,

@@ -506,3 +506,50 @@ bad:
         }
     );
 }
+
+#[test]
+fn parsed_unit_split_matches_assemble() {
+    use advm_asm::ParsedUnit;
+    let sources = SourceSet::new()
+        .with("Globals.inc", "TARGET .EQU 8\n")
+        .with(
+            "test.asm",
+            "\
+.INCLUDE Globals.inc
+_main:
+    LOAD d1, #TARGET
+    CALL helper
+    RETURN
+helper:
+    MOVI d2, #3
+    RETURN
+",
+        );
+    let whole = assemble("test.asm", &sources).unwrap();
+    let split = ParsedUnit::parse("test.asm", &sources)
+        .unwrap()
+        .encode()
+        .unwrap();
+    assert_eq!(whole, split, "parse+encode must equal assemble exactly");
+
+    // The lean mode drops only the listing: segments, labels and
+    // constants are identical, so the linked image is too.
+    let lean = ParsedUnit::parse_lean("test.asm", &sources)
+        .unwrap()
+        .encode()
+        .unwrap();
+    assert_eq!(lean.segments(), whole.segments());
+    assert_eq!(lean.labels(), whole.labels());
+    assert_eq!(lean.equ("TARGET"), whole.equ("TARGET"));
+    assert!(lean.listing().is_empty());
+    assert!(!whole.listing().is_empty());
+
+    // Diagnostics are identical across the split and the lean mode.
+    let bad = SourceSet::new().with("t.asm", "_main:\n    FROB d1\n");
+    let direct = assemble("t.asm", &bad).unwrap_err();
+    let lean_err = ParsedUnit::parse_lean("t.asm", &bad)
+        .unwrap()
+        .encode()
+        .unwrap_err();
+    assert_eq!(direct.to_string(), lean_err.to_string());
+}

@@ -8,8 +8,10 @@
 //!
 //! `--smoke` runs 3 repetitions instead of 10 (CI). `--check` compares
 //! the fresh measurement against a committed baseline and exits nonzero
-//! on a regression beyond the tolerance (default 0.8 = 20% slower) or a
-//! dead fork path (zero forked runs).
+//! when the per-sweep `prefix_saved`/`forked_runs` counts drift from
+//! the committed (machine-invariant) numbers, on a wall regression
+//! beyond the tolerance (default 0.8 = 20% slower), or on a dead fork
+//! path (zero forked runs).
 
 use std::process::ExitCode;
 
@@ -32,20 +34,17 @@ fn main() -> ExitCode {
     let report = run(reps);
     for sample in [&report.from_reset, &report.forked] {
         eprintln!(
-            "{:>10}: {:>12.0} steps/s ({} insns in {:.1}ms, {} forked runs, {} prefix insns saved)",
+            "{:>10}: {:>12.0} steps/s ({} insns in {:.1}ms over {} reps; \
+             per sweep: {} forked runs, {} prefix insns saved)",
             sample.name(),
             sample.steps_per_sec(),
             sample.insns,
             sample.wall.as_secs_f64() * 1e3,
+            reps,
             sample.forked_runs,
             sample.prefix_saved,
         );
     }
-    eprintln!(
-        "speedup (forked vs from-reset): {:.2}x over {} reps",
-        report.speedup(),
-        reps
-    );
 
     let json = report.to_json();
     match flag_value("--out") {

@@ -1,6 +1,7 @@
 //! The experiment implementations, one module per paper artifact.
 
 pub mod ablation_wrappers;
+pub mod campaign_e2e;
 pub mod coverage;
 pub mod devcost;
 pub mod effort;

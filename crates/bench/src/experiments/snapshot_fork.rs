@@ -11,10 +11,14 @@
 //! their peripheral within a couple hundred instructions, so each fork
 //! skips the boot preamble and nothing more. What the harness guards is
 //! the machinery, not a headline number: `BENCH_snapshot_fork.json` is
-//! the committed baseline, and CI re-measures in smoke mode, failing on
-//! a throughput regression or on the fork path going dead (zero forked
-//! runs would mean every cell silently fell back to from-reset
-//! execution).
+//! the committed baseline, and CI re-measures in smoke mode. The
+//! primary gate is `prefix_saved` — the instructions forking skipped,
+//! an exact, machine-invariant count that must match the committed
+//! number — plus a loose no-regression check on wall throughput and a
+//! fork-path-alive check (zero forked runs would mean every cell
+//! silently fell back to from-reset execution). Wall-clock *speedup*
+//! is deliberately not gated: on this workload it sits within host
+//! noise, and a near-1.0 ratio gate flakes without measuring anything.
 
 use std::time::{Duration, Instant};
 
@@ -55,9 +59,12 @@ pub struct ModeSample {
     pub insns: u64,
     /// Wall time of the repetitions.
     pub wall: Duration,
-    /// Prefix instructions whose re-execution forking skipped.
+    /// Prefix instructions whose re-execution forking skipped, per
+    /// sweep — the sweep is deterministic, so this is an exact,
+    /// machine-invariant count whatever the rep count.
     pub prefix_saved: u64,
-    /// Runs that resumed from a snapshot instead of resetting.
+    /// Runs that resumed from a snapshot instead of resetting, per
+    /// sweep.
     pub forked_runs: u64,
 }
 
@@ -92,19 +99,11 @@ pub struct SnapshotForkReport {
 }
 
 impl SnapshotForkReport {
-    /// Forked-vs-reset throughput ratio: the simulated workload is
-    /// identical, so skipping prefix re-execution shows up as higher
-    /// simulated-steps/sec.
-    pub fn speedup(&self) -> f64 {
-        let base = self.from_reset.steps_per_sec();
-        if base <= 0.0 {
-            0.0
-        } else {
-            self.forked.steps_per_sec() / base
-        }
-    }
-
-    /// Renders the committed-baseline JSON document.
+    /// Renders the committed-baseline JSON document. The per-sweep
+    /// fork counters are the primary gate; steps/sec is recorded for
+    /// the loose no-regression check only. A wall-clock speedup ratio
+    /// is deliberately not recorded — on this workload it is within
+    /// host noise and gating on it flaked.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"modes\":[");
         for (i, sample) in [&self.from_reset, &self.forked].into_iter().enumerate() {
@@ -120,10 +119,7 @@ impl SnapshotForkReport {
                 sample.forked_runs
             ));
         }
-        s.push_str(&format!(
-            "],\"speedup_forked_vs_reset\":{:.2}}}",
-            self.speedup()
-        ));
+        s.push_str("]}");
         s
     }
 }
@@ -147,8 +143,11 @@ pub fn run(reps: usize) -> SnapshotForkReport {
             forked,
             insns,
             wall: started.elapsed(),
-            prefix_saved,
-            forked_runs,
+            // Every sweep saves the same count (the sweep is
+            // deterministic), so store the per-sweep number: it is
+            // exact and independent of how many reps were measured.
+            prefix_saved: prefix_saved / reps.max(1) as u64,
+            forked_runs: forked_runs / reps.max(1) as u64,
         }
     };
     SnapshotForkReport {
@@ -171,16 +170,24 @@ fn json_number(json: &str, key: &str) -> Option<f64> {
 
 /// The steps/sec a baseline document records for one mode.
 pub fn baseline_steps_per_sec(json: &str, mode: &str) -> Option<f64> {
-    let marker = format!("\"mode\":\"{mode}\"");
-    let at = json.find(&marker)?;
-    json_number(&json[at..], "steps_per_sec")
+    baseline_number(json, mode, "steps_per_sec")
 }
 
-/// Gates a fresh measurement against the committed baseline: the forked
-/// sweep's steps/sec must be within `tolerance` (e.g. `0.8` = no more
-/// than 20% slower) of the committed number, and the fork path must be
-/// alive — at least one run forked and at least one prefix instruction
-/// was saved.
+/// A numeric field from one mode's entry in a baseline document.
+pub fn baseline_number(json: &str, mode: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"mode\":\"{mode}\"");
+    let at = json.find(&marker)?;
+    json_number(&json[at..], key)
+}
+
+/// Gates a fresh measurement against the committed baseline. The
+/// primary gate is exact: the forked sweep's per-sweep `prefix_saved`
+/// (and `forked_runs`) must equal the committed counts — the sweep is
+/// deterministic, so these are machine-invariant and any drift means
+/// the forking machinery changed behaviour. On top of that, the fork
+/// path must be alive (at least one run forked) and the forked sweep's
+/// steps/sec must be within `tolerance` (e.g. `0.8` = no more than 20%
+/// slower) of the committed number as a loose no-regression wall check.
 ///
 /// # Errors
 ///
@@ -195,6 +202,24 @@ pub fn check_against(
             "fork path is dead: {} forked runs, {} prefix insns saved \
              (every cell fell back to from-reset execution)",
             report.forked.forked_runs, report.forked.prefix_saved
+        ));
+    }
+    let committed_saved = baseline_number(baseline_json, "forked", "prefix_saved")
+        .ok_or("baseline JSON lacks a forked prefix_saved entry")?;
+    if report.forked.prefix_saved as f64 != committed_saved {
+        return Err(format!(
+            "fork coverage drift: {} prefix insns saved per sweep vs committed {} \
+             (this count is deterministic and machine-invariant; a change means \
+             the prefix machinery itself changed)",
+            report.forked.prefix_saved, committed_saved
+        ));
+    }
+    let committed_forks = baseline_number(baseline_json, "forked", "forked_runs")
+        .ok_or("baseline JSON lacks a forked forked_runs entry")?;
+    if report.forked.forked_runs as f64 != committed_forks {
+        return Err(format!(
+            "fork coverage drift: {} forked runs per sweep vs committed {}",
+            report.forked.forked_runs, committed_forks
         ));
     }
     let measured = report.forked.steps_per_sec();
@@ -233,17 +258,41 @@ mod tests {
         let read = baseline_steps_per_sec(&json, "forked").unwrap();
         let actual = report.forked.steps_per_sec();
         assert!((read - actual).abs() <= 1.0, "{read} vs {actual}");
-        assert!(json_number(&json, "speedup_forked_vs_reset").is_some());
+        let saved = baseline_number(&json, "forked", "prefix_saved").unwrap();
+        assert_eq!(saved, report.forked.prefix_saved as f64);
+        let forks = baseline_number(&json, "forked", "forked_runs").unwrap();
+        assert_eq!(forks, report.forked.forked_runs as f64);
     }
 
     #[test]
-    fn check_gates_on_regression_and_dead_fork_path() {
+    fn check_gates_on_drift_regression_and_dead_fork_path() {
         let report = run(1);
+        // Own JSON always passes: the counts match exactly and the
+        // wall check compares the measurement with itself.
+        check_against(&report, &report.to_json(), 0.8).unwrap();
+
+        let err = check_against(
+            &report,
+            &format!(
+                "{{\"modes\":[{{\"mode\":\"forked\",\"steps_per_sec\":1,\
+                 \"prefix_saved\":{},\"forked_runs\":{}}}]}}",
+                report.forked.prefix_saved + 1,
+                report.forked.forked_runs
+            ),
+            0.8,
+        )
+        .unwrap_err();
+        assert!(err.contains("fork coverage drift"), "{err}");
+
         let fast = format!(
-            "{{\"modes\":[{{\"mode\":\"forked\",\"steps_per_sec\":{:.0}}}]}}",
-            report.forked.steps_per_sec() * 100.0
+            "{{\"modes\":[{{\"mode\":\"forked\",\"steps_per_sec\":{:.0},\
+             \"prefix_saved\":{},\"forked_runs\":{}}}]}}",
+            report.forked.steps_per_sec() * 100.0,
+            report.forked.prefix_saved,
+            report.forked.forked_runs
         );
-        assert!(check_against(&report, &fast, 0.8).is_err());
+        let err = check_against(&report, &fast, 0.8).unwrap_err();
+        assert!(err.contains("forked-audit regression"), "{err}");
         assert!(check_against(&report, "{}", 0.8).is_err(), "missing key");
 
         let mut dead = report.clone();

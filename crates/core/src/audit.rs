@@ -392,6 +392,7 @@ pub struct FaultAudit {
     workers: usize,
     fuel: u64,
     decode: bool,
+    machine_pool: bool,
     fork_prefix: bool,
     prefix_budget: u64,
     checkers: Vec<TraceAssertion>,
@@ -412,6 +413,7 @@ impl std::fmt::Debug for FaultAudit {
             .field("workers", &self.workers)
             .field("fuel", &self.fuel)
             .field("decode", &self.decode)
+            .field("machine_pool", &self.machine_pool)
             .field("fork_prefix", &self.fork_prefix)
             .field("prefix_budget", &self.prefix_budget)
             .field("checkers", &self.checkers.len())
@@ -442,6 +444,7 @@ impl FaultAudit {
             workers: default_workers(),
             fuel: advm_sim::DEFAULT_FUEL,
             decode: true,
+            machine_pool: true,
             fork_prefix: true,
             prefix_budget: DEFAULT_PREFIX_BUDGET,
             checkers: Vec::new(),
@@ -521,6 +524,15 @@ impl FaultAudit {
         self
     }
 
+    /// Enables or disables worker-local machine pooling in every
+    /// campaign the sweep runs (default: enabled). Pooling is
+    /// perf-only — see [`Campaign::machine_pool`]: detection matrices,
+    /// kill counts and report JSON are byte-identical either way.
+    pub fn machine_pool(mut self, enabled: bool) -> Self {
+        self.machine_pool = enabled;
+        self
+    }
+
     /// Enables or disables snapshot-based prefix forking (default:
     /// enabled). When enabled, one [`PrefixPool`] is shared by every
     /// faulted campaign of the sweep: each deduplicated image's shared
@@ -593,7 +605,8 @@ impl FaultAudit {
                 .platform(self.reference)
                 .workers(self.workers)
                 .fuel(self.fuel)
-                .decode_cache(self.decode),
+                .decode_cache(self.decode)
+                .machine_pool(self.machine_pool),
         )
         .run()
     }
@@ -630,6 +643,7 @@ impl FaultAudit {
             .workers(self.workers)
             .fuel(self.fuel)
             .decode_cache(self.decode)
+            .machine_pool(self.machine_pool)
             .fault(platform, fault);
         if let Some(pool) = pool {
             campaign = campaign.prefix_pool(Arc::clone(pool));

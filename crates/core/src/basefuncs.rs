@@ -59,6 +59,20 @@ impl BaseFuncsStyle {
 /// `Globals.inc` defines — never a literal — so regenerating the globals
 /// file re-targets the whole library.
 pub fn base_functions(style: BaseFuncsStyle) -> String {
+    // The render is a pure function of the style, and campaign planning
+    // re-derives it for every (environment, platform) pairing; memoise
+    // the two possible outputs so re-targeting costs one copy.
+    use std::sync::OnceLock;
+    static V1: OnceLock<String> = OnceLock::new();
+    static VERSION_AWARE: OnceLock<String> = OnceLock::new();
+    let cell = match style {
+        BaseFuncsStyle::V1Only => &V1,
+        BaseFuncsStyle::VersionAware => &VERSION_AWARE,
+    };
+    cell.get_or_init(|| render_base_functions(style)).clone()
+}
+
+fn render_base_functions(style: BaseFuncsStyle) -> String {
     let mut s = String::new();
     let mut line = |text: &str| {
         s.push_str(text);

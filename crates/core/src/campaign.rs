@@ -67,9 +67,9 @@ use advm_metrics::Table;
 use advm_sim::diverge::{compare, DivergenceReport};
 use advm_sim::{
     bisect_divergence, DecodedProgram, EndReason, FirstDivergence, Platform, PlatformFault,
-    RunResult,
+    RunResult, SaveState,
 };
-use advm_soc::{Derivative, PlatformId};
+use advm_soc::{Derivative, DerivativeId, PlatformId};
 use parking_lot::Mutex;
 
 use crate::artifacts::ArtifactStore;
@@ -658,6 +658,17 @@ pub struct CampaignPerf {
     /// with) *other* campaigns. Zero without a store attached; nonzero
     /// on a warm run against a resident daemon.
     pub artifact_hits: u64,
+    /// Wall-clock time of the build phase: scenario materialisation,
+    /// job planning and every image assembly (the front-end runs on the
+    /// worker pool, see [`Campaign::parallel_frontend`]).
+    pub build_wall: Duration,
+    /// Wall-clock time of the execution phase — identical to
+    /// [`wall`](CampaignPerf::wall), named for symmetry with the other
+    /// phase counters.
+    pub exec_wall: Duration,
+    /// Wall-clock time of report sealing: divergence comparison,
+    /// indexing and (when enabled) bisection.
+    pub report_wall: Duration,
 }
 
 impl CampaignPerf {
@@ -696,6 +707,9 @@ impl CampaignPerf {
         self.prefix_saved += other.prefix_saved;
         self.forked_runs += other.forked_runs;
         self.artifact_hits += other.artifact_hits;
+        self.build_wall += other.build_wall;
+        self.exec_wall += other.exec_wall;
+        self.report_wall += other.report_wall;
     }
 
     /// Renders the JSON object embedded in report documents.
@@ -705,7 +719,8 @@ impl CampaignPerf {
              \"decode_hits\":{},\"decode_misses\":{},\"decode_preloaded\":{},\
              \"decode_hit_rate\":{:.4},\"blocks_built\":{},\
              \"block_dispatches\":{},\"block_insns\":{},\"prefix_saved\":{},\
-             \"forked_runs\":{},\"artifact_hits\":{}}}",
+             \"forked_runs\":{},\"artifact_hits\":{},\"build_wall_ms\":{:.3},\
+             \"exec_wall_ms\":{:.3},\"report_wall_ms\":{:.3}}}",
             self.instructions,
             self.wall.as_secs_f64() * 1e3,
             self.steps_per_sec(),
@@ -718,7 +733,10 @@ impl CampaignPerf {
             self.block_insns,
             self.prefix_saved,
             self.forked_runs,
-            self.artifact_hits
+            self.artifact_hits,
+            self.build_wall.as_secs_f64() * 1e3,
+            self.exec_wall.as_secs_f64() * 1e3,
+            self.report_wall.as_secs_f64() * 1e3
         )
     }
 }
@@ -1257,13 +1275,22 @@ struct Job {
 impl Job {
     /// Assembles this job's image: unit from its sources, ES ROM from
     /// the shared slot, linked together — then predecodes it once for
-    /// every platform the content key covers. Runs on a worker thread,
+    /// every platform the content key covers. Runs on the build pool,
     /// at most once per image slot.
+    ///
+    /// Both assemblies use the lean parse/encode split: the campaign
+    /// only links the programs, so the human-readable listing is never
+    /// built. Emitted bytes and diagnostics are identical to
+    /// [`advm_asm::assemble`].
     fn build(&self, decode: bool) -> Result<Prebuilt, AsmError> {
-        let unit = advm_asm::assemble(crate::build::UNIT_FILE, &self.sources)?;
+        let unit =
+            advm_asm::ParsedUnit::parse_lean(crate::build::UNIT_FILE, &self.sources)?.encode()?;
         let es = self
             .es_slot
-            .get_or_init(|| advm_asm::assemble_str(&self.es_source))
+            .get_or_init(|| {
+                let sources = SourceSet::new().with("<input>", &*self.es_source);
+                advm_asm::ParsedUnit::parse_lean("<input>", &sources)?.encode()
+            })
             .as_ref()
             .map_err(Clone::clone)?;
         let image = link_programs(&unit, es)?;
@@ -1291,6 +1318,8 @@ pub struct Campaign {
     cache: bool,
     decode: bool,
     superblocks: bool,
+    machine_pool: bool,
+    parallel_frontend: bool,
     prefix_pool: Option<Arc<PrefixPool>>,
     artifact_store: Option<Arc<ArtifactStore>>,
     bisect: bool,
@@ -1309,6 +1338,8 @@ impl fmt::Debug for Campaign {
             .field("fuel", &self.fuel)
             .field("fault", &self.fault)
             .field("cache", &self.cache)
+            .field("machine_pool", &self.machine_pool)
+            .field("parallel_frontend", &self.parallel_frontend)
             .field("prefix_pool", &self.prefix_pool.is_some())
             .field("artifact_store", &self.artifact_store.is_some())
             .field("bisect", &self.bisect)
@@ -1338,6 +1369,8 @@ impl Campaign {
             cache: true,
             decode: true,
             superblocks: true,
+            machine_pool: true,
+            parallel_frontend: true,
             prefix_pool: None,
             artifact_store: None,
             bisect: false,
@@ -1463,6 +1496,61 @@ impl Campaign {
         self
     }
 
+    /// Enables or disables worker-local machine pooling (default:
+    /// enabled). A pooled worker keeps one constructed [`Platform`] per
+    /// (platform, derivative, injected fault) and resets it through the
+    /// snapshot `restore` path instead of rebuilding the whole SoC —
+    /// bus, peripherals, decode cache — for every job. Purely a
+    /// performance knob: a restored machine is byte-identical to a
+    /// freshly constructed one, so verdicts, traces, divergences and
+    /// report JSON never depend on it. Runs with armed checkers always
+    /// construct fresh machines (snapshots do not carry the MMIO
+    /// monitor), as do prefix-pool forks, which have their own reuse
+    /// path.
+    ///
+    /// ```
+    /// use advm::campaign::Campaign;
+    /// use advm::env::{EnvConfig, ModuleTestEnv, TestCell};
+    /// use advm_soc::{DerivativeId, PlatformId};
+    ///
+    /// # fn main() -> Result<(), advm::campaign::CampaignError> {
+    /// let env = ModuleTestEnv::new(
+    ///     "PAGE",
+    ///     EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+    ///     vec![TestCell::new(
+    ///         "TEST_SMOKE",
+    ///         "passes everywhere",
+    ///         ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n",
+    ///     )],
+    /// );
+    /// let pooled = Campaign::new().env(env.clone()).run()?;
+    /// let fresh = Campaign::new().env(env).machine_pool(false).run()?;
+    /// // Pooling is perf-only: every verdict matches fresh construction.
+    /// assert_eq!(pooled.total(), fresh.total());
+    /// assert_eq!(pooled.passed(), fresh.passed());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn machine_pool(mut self, enabled: bool) -> Self {
+        self.machine_pool = enabled;
+        self
+    }
+
+    /// Enables or disables the parallel assembly front-end (default:
+    /// enabled). When enabled, the build phase claims distinct image
+    /// builds off the worker pool before execution starts, so a
+    /// cold-cache campaign (every program unique — the fuzz/explore
+    /// shape, and a service's fresh-traffic shape) assembles across all
+    /// workers instead of serialising builds behind the first executing
+    /// job. Disabling runs the same build phase on the calling thread.
+    /// Either way, build errors are attributed to the first failing job
+    /// in plan order — never to whichever worker parsed first — and
+    /// images are byte-identical.
+    pub fn parallel_frontend(mut self, enabled: bool) -> Self {
+        self.parallel_frontend = enabled;
+        self
+    }
+
     /// Attaches a shared [`PrefixPool`]: runs fork from a shared
     /// fault-free prefix snapshot whenever that is provably
     /// byte-identical to running from reset, skipping the prefix's
@@ -1557,6 +1645,7 @@ impl Campaign {
         if self.platforms.is_empty() {
             return Err(CampaignError::NoPlatforms);
         }
+        let phase_started = Instant::now();
 
         // Materialise generated scenarios into synthetic environments;
         // their runs carry the scenario's provenance. Names are deduped
@@ -1721,143 +1810,249 @@ impl Campaign {
             workers,
         });
 
-        // Execute: workers pull jobs off a shared cursor, assemble (or
-        // reuse) the image, and run it on a fresh platform instance. The
-        // first build error aborts the campaign: in-flight jobs finish,
-        // queued ones are abandoned (their results would be discarded
-        // anyway).
+        // ---- Build phase ----
+        // Every distinct image slot is filled here, before execution
+        // starts: on the worker pool when the parallel front-end is
+        // enabled, on the calling thread otherwise. Filling every slot
+        // (rather than aborting on the first failure) is what makes
+        // error attribution deterministic: the error reported below is
+        // the first failing job in *plan* order, never whichever worker
+        // happened to parse first.
+        let build_tasks: Vec<usize> = {
+            let mut seen = std::collections::HashSet::new();
+            (0..jobs.len())
+                .filter(|&index| seen.insert(Arc::as_ptr(&jobs[index].slot)))
+                .collect()
+        };
+        let build_slot = |index: usize| {
+            let job = &jobs[index];
+            job.slot.get_or_init(|| job.build(self.decode));
+        };
+        if self.parallel_frontend && workers > 1 && build_tasks.len() > 1 {
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(build_tasks.len()) {
+                    scope.spawn(|| loop {
+                        let task = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = build_tasks.get(task) else {
+                            break;
+                        };
+                        build_slot(index);
+                    });
+                }
+            });
+        } else {
+            build_tasks.iter().copied().for_each(build_slot);
+        }
+        for job in &jobs {
+            let Some(Err(source)) = job.slot.get() else {
+                continue;
+            };
+            // Terminate the event stream even though the campaign
+            // errors: builds fail before anything executes, so the
+            // stream records the failing job and an empty completion.
+            emit(&|| CampaignEvent::JobStarted {
+                env: job.env_name.clone(),
+                test_id: job.test_id.clone(),
+                platform: job.platform,
+            });
+            emit(&|| CampaignEvent::JobFailed {
+                env: job.env_name.clone(),
+                test_id: job.test_id.clone(),
+                platform: job.platform,
+                error: source.to_string(),
+            });
+            emit(&|| CampaignEvent::Finished {
+                total: 0,
+                passed: 0,
+                failed: 0,
+                cache_hits,
+            });
+            return Err(CampaignError::Build {
+                env: job.env_name.clone(),
+                test_id: job.test_id.clone(),
+                platform: job.platform,
+                source: source.clone(),
+            });
+        }
+        let build_wall = phase_started.elapsed();
+
+        // ---- Execution phase ----
         // An explicit pool wins; otherwise an attached store lends its
         // own, so prefix snapshots also persist across campaigns.
         let prefix_pool = self
             .prefix_pool
             .as_deref()
             .or_else(|| store.map(|s| s.prefix_pool().as_ref()));
+        // Workers claim jobs in chunks — one atomic increment and one
+        // results-lock per chunk, not per job — sized so every worker
+        // still gets several claims for tail balance.
         let next = AtomicUsize::new(0);
-        let abort = std::sync::atomic::AtomicBool::new(false);
+        let chunk = (jobs.len() / (workers * 4)).clamp(1, 32);
         let results: Mutex<Vec<Option<TestRun>>> = Mutex::new(vec![None; jobs.len()]);
         // Violations are collected per job index and flattened in job
         // order after the pool drains, so the sealed report (and its
         // JSON) is byte-identical for any worker count.
         let violations_by_job: Mutex<Vec<Vec<(String, String)>>> =
             Mutex::new(vec![Vec::new(); jobs.len()]);
-        let build_errors: Mutex<Vec<(usize, AsmError)>> = Mutex::new(Vec::new());
         let prefix_saved = AtomicU64::new(0);
         let forked_runs = AtomicU64::new(0);
+        // Per-job event batches, drained strictly in plan order: each
+        // worker deposits a finished job's events and flushes whatever
+        // prefix of jobs is now complete. Observers see the same
+        // deterministic stream at every worker count, and workers never
+        // contend on the observer lock mid-job.
+        struct EventDrain {
+            next: usize,
+            ready: Vec<Option<Vec<CampaignEvent>>>,
+        }
+        let drain = Mutex::new(EventDrain {
+            next: 0,
+            ready: vec![None; jobs.len()],
+        });
+        let deposit = |index: usize, batch: Vec<CampaignEvent>| {
+            let mut drain = drain.lock();
+            drain.ready[index] = Some(batch);
+            let mut flush = drain.next;
+            while let Some(slot) = drain.ready.get_mut(flush) {
+                let Some(batch) = slot.take() else { break };
+                flush += 1;
+                let mut observers = observers.lock();
+                for event in &batch {
+                    for observer in observers.iter_mut() {
+                        observer.on_event(event);
+                    }
+                }
+            }
+            drain.next = flush;
+        };
         let started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if abort.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(job) = jobs.get(index) else { break };
-                    emit(&|| CampaignEvent::JobStarted {
-                        env: job.env_name.clone(),
-                        test_id: job.test_id.clone(),
-                        platform: job.platform,
-                    });
-                    let built = job.slot.get_or_init(|| job.build(self.decode));
-                    let prebuilt = match built {
-                        Ok(prebuilt) => prebuilt,
-                        Err(error) => {
-                            emit(&|| CampaignEvent::JobFailed {
-                                env: job.env_name.clone(),
-                                test_id: job.test_id.clone(),
-                                platform: job.platform,
-                                error: error.to_string(),
-                            });
-                            build_errors.lock().push((index, error.clone()));
-                            abort.store(true, Ordering::Relaxed);
-                            continue;
+                scope.spawn(|| {
+                    // Worker-local machine pool: each (platform,
+                    // derivative, fault) is constructed once and
+                    // pristine-restored per job (see
+                    // [`Campaign::machine_pool`]).
+                    let mut machines = self.machine_pool.then(MachinePool::default);
+                    let mut claimed: Vec<(usize, TestRun)> = Vec::with_capacity(chunk);
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= jobs.len() {
+                            break;
                         }
-                    };
-                    emit(&|| CampaignEvent::JobBuilt {
-                        env: job.env_name.clone(),
-                        test_id: job.test_id.clone(),
-                        platform: job.platform,
-                        cache_hit: job.planned_hit,
-                    });
-                    let (result, violations) = if self.checkers.is_empty() {
-                        let result = execute_job(
-                            job,
-                            prebuilt,
-                            self.fuel,
-                            self.superblocks,
-                            prefix_pool,
-                            &prefix_saved,
-                            &forked_runs,
-                        );
-                        (result, Vec::new())
-                    } else {
-                        execute_checked(
-                            job,
-                            prebuilt,
-                            self.fuel,
-                            self.superblocks,
-                            &self.checkers,
-                            self.monitor_capacity,
-                        )
-                    };
-                    for (checker, detail) in &violations {
-                        emit(&|| CampaignEvent::CheckerViolation {
-                            env: job.env_name.clone(),
-                            test_id: job.test_id.clone(),
-                            platform: job.platform,
-                            checker: checker.clone(),
-                            detail: detail.clone(),
-                        });
+                        let end = (start + chunk).min(jobs.len());
+                        // Execute the chunk machine-major: the plan
+                        // interleaves platforms per env, so a pooled
+                        // worker walking it in order would cycle its
+                        // whole pool every job and thrash the machines
+                        // through cache. Grouping by platform keeps
+                        // consecutive jobs on one pooled machine.
+                        // Results, violations and events all stay keyed
+                        // by plan index — and the event drain flushes
+                        // strictly in plan order — so every observable
+                        // output is identical at any execution order.
+                        let mut order: Vec<usize> = (start..end).collect();
+                        if machines.is_some() {
+                            order.sort_by_key(|&i| jobs[i].platform.code());
+                        }
+                        for index in order {
+                            let job = &jobs[index];
+                            let prebuilt = job
+                                .slot
+                                .get()
+                                .expect("build phase fills every slot")
+                                .as_ref()
+                                .expect("build errors abort before execution");
+                            let mut batch = Vec::new();
+                            if has_observers {
+                                batch.push(CampaignEvent::JobStarted {
+                                    env: job.env_name.clone(),
+                                    test_id: job.test_id.clone(),
+                                    platform: job.platform,
+                                });
+                                batch.push(CampaignEvent::JobBuilt {
+                                    env: job.env_name.clone(),
+                                    test_id: job.test_id.clone(),
+                                    platform: job.platform,
+                                    cache_hit: job.planned_hit,
+                                });
+                            }
+                            let (result, violations) = if self.checkers.is_empty() {
+                                let result = execute_job(
+                                    job,
+                                    prebuilt,
+                                    &ExecCtx {
+                                        fuel: self.fuel,
+                                        superblocks: self.superblocks,
+                                        prefix_pool,
+                                        prefix_saved: &prefix_saved,
+                                        forked_runs: &forked_runs,
+                                    },
+                                    machines.as_mut(),
+                                );
+                                (result, Vec::new())
+                            } else {
+                                execute_checked(
+                                    job,
+                                    prebuilt,
+                                    self.fuel,
+                                    self.superblocks,
+                                    &self.checkers,
+                                    self.monitor_capacity,
+                                )
+                            };
+                            if has_observers {
+                                for (checker, detail) in &violations {
+                                    batch.push(CampaignEvent::CheckerViolation {
+                                        env: job.env_name.clone(),
+                                        test_id: job.test_id.clone(),
+                                        platform: job.platform,
+                                        checker: checker.clone(),
+                                        detail: detail.clone(),
+                                    });
+                                }
+                                batch.push(CampaignEvent::JobFinished {
+                                    env: job.env_name.clone(),
+                                    test_id: job.test_id.clone(),
+                                    platform: job.platform,
+                                    passed: result.passed(),
+                                });
+                                deposit(index, batch);
+                            }
+                            if !violations.is_empty() {
+                                violations_by_job.lock()[index] = violations;
+                            }
+                            claimed.push((
+                                index,
+                                TestRun {
+                                    env: job.env_name.clone(),
+                                    test_id: job.test_id.clone(),
+                                    platform: job.platform,
+                                    result,
+                                    scenario: job.scenario.as_deref().cloned(),
+                                },
+                            ));
+                        }
+                        let mut guard = results.lock();
+                        for (index, run) in claimed.drain(..) {
+                            guard[index] = Some(run);
+                        }
                     }
-                    if !violations.is_empty() {
-                        violations_by_job.lock()[index] = violations;
-                    }
-                    emit(&|| CampaignEvent::JobFinished {
-                        env: job.env_name.clone(),
-                        test_id: job.test_id.clone(),
-                        platform: job.platform,
-                        passed: result.passed(),
-                    });
-                    results.lock()[index] = Some(TestRun {
-                        env: job.env_name.clone(),
-                        test_id: job.test_id.clone(),
-                        platform: job.platform,
-                        result,
-                        scenario: job.scenario.as_deref().cloned(),
-                    });
                 });
             }
         });
 
-        let mut errors = build_errors.into_inner();
-        if !errors.is_empty() {
-            errors.sort_by_key(|(index, _)| *index);
-            let (index, source) = errors.remove(0);
-            // Terminate the event stream even though the campaign
-            // errors: observers see what completed before the abort.
-            let results = results.into_inner();
-            let completed: Vec<&TestRun> = results.iter().flatten().collect();
-            emit(&|| CampaignEvent::Finished {
-                total: completed.len(),
-                passed: completed.iter().filter(|r| r.result.passed()).count(),
-                failed: completed.iter().filter(|r| !r.result.passed()).count(),
-                cache_hits,
-            });
-            let job = &jobs[index];
-            return Err(CampaignError::Build {
-                env: job.env_name.clone(),
-                test_id: job.test_id.clone(),
-                platform: job.platform,
-                source,
-            });
-        }
-
         let wall = started.elapsed();
+        let seal_started = Instant::now();
         let runs: Vec<TestRun> = results
             .into_inner()
             .into_iter()
             .map(|r| r.expect("every job produces a result"))
             .collect();
         let mut report = CampaignReport::new(runs, cache_hits, unique_builds, wall);
+        report.perf.build_wall = build_wall;
+        report.perf.exec_wall = wall;
         report.perf.prefix_saved = prefix_saved.into_inner();
         report.perf.forked_runs = forked_runs.into_inner();
         report.perf.artifact_hits = artifact_hits;
@@ -1885,6 +2080,7 @@ impl Campaign {
                     bisect_test(self.fuel, self.superblocks, test, divergence, &jobs);
             }
         }
+        report.perf.report_wall = seal_started.elapsed();
         for (test, divergence) in report.divergences() {
             emit(&|| CampaignEvent::DivergenceDetected {
                 test: test.clone(),
@@ -1901,18 +2097,61 @@ impl Campaign {
     }
 }
 
+/// A worker-local pool of constructed machines, keyed by everything
+/// that determines a pristine platform: target platform, derivative
+/// model and injected fault. A `Derivative` is fully determined by its
+/// [`DerivativeId`] (campaigns always build them via
+/// [`Derivative::from_id`]), so the id is a sound key. Reused machines
+/// are reset through the snapshot restore path instead of
+/// reconstructing the whole SoC per job.
+///
+/// The pool deliberately holds ONE machine: keeping a machine per
+/// platform resident (6+ machines × several MB of memories, decode
+/// slots and block maps) measurably regressed throughput — every job
+/// hopped to a cache-cold machine, while the unpooled path kept
+/// re-using one hot allocation. A single slot, combined with
+/// machine-major chunk execution, gets both: consecutive same-platform
+/// jobs share one hot machine, and a platform switch recycles the old
+/// machine's freshly freed memory into the new one.
+#[derive(Default)]
+struct MachinePool {
+    slot: Option<MachineSlot>,
+}
+
+struct MachineSlot {
+    key: (PlatformId, DerivativeId, PlatformFault),
+    machine: Platform,
+    pristine: SaveState,
+}
+
+/// The per-campaign knobs and counters [`execute_job`] needs, bundled
+/// so workers hand one context down instead of seven loose arguments.
+struct ExecCtx<'a> {
+    fuel: u64,
+    superblocks: bool,
+    prefix_pool: Option<&'a PrefixPool>,
+    prefix_saved: &'a AtomicU64,
+    forked_runs: &'a AtomicU64,
+}
+
 /// Runs one job — forked from a shared prefix snapshot when a pool is
 /// attached and the fork is provably byte-identical to running from
-/// reset, from reset otherwise.
+/// reset; otherwise from reset, on a pooled pristine-restored machine
+/// when the worker carries one, on a freshly constructed platform when
+/// not.
 fn execute_job(
     job: &Job,
     prebuilt: &Prebuilt,
-    fuel: u64,
-    superblocks: bool,
-    pool: Option<&PrefixPool>,
-    prefix_saved: &AtomicU64,
-    forked_runs: &AtomicU64,
+    ctx: &ExecCtx<'_>,
+    machines: Option<&mut MachinePool>,
 ) -> RunResult {
+    let ExecCtx {
+        fuel,
+        superblocks,
+        prefix_pool: pool,
+        prefix_saved,
+        forked_runs,
+    } = *ctx;
     if let (Some(pool), Some(key)) = (pool, job.content_key) {
         let slot = pool.slot(key, job.platform);
         let entry = slot.get_or_init(|| {
@@ -1936,9 +2175,7 @@ fn execute_job(
         // fault falls back to from-reset without ever deserializing
         // the snapshot.
         if let Some(entry) = entry.as_ref().filter(|e| e.fork_safe(job.fault)) {
-            if let Ok(mut platform) =
-                Platform::from_snapshot(&entry.state, &job.derivative, job.fault)
-            {
+            let continuation = |platform: &mut Platform| -> RunResult {
                 platform.set_fuel(fuel);
                 // The superblock knob is runtime config, never part of
                 // the snapshot: re-apply it to the restored machine.
@@ -1957,14 +2194,58 @@ fn execute_job(
                 result.dbg_markers = markers;
                 prefix_saved.fetch_add(entry.retired, Ordering::Relaxed);
                 forked_runs.fetch_add(1, Ordering::Relaxed);
-                return result;
+                result
+            };
+            // Forked runs always build a fresh machine: a fork pays a
+            // full snapshot decode whichever machine receives it, so a
+            // pooled machine would save only the (cheap) construction
+            // while keeping an extra multi-MB machine resident — which
+            // measurably slowed every run sharing the worker's cache.
+            // The pool serves the from-reset paths below instead.
+            if let Ok(mut platform) =
+                Platform::from_snapshot(&entry.state, &job.derivative, job.fault)
+            {
+                return continuation(&mut platform);
             }
         }
+    }
+    if let Some(machines) = machines {
+        // Pooled from-reset path: restore the pristine snapshot taken
+        // at construction instead of rebuilding the SoC. Restoring is
+        // byte-exact (memories, peripherals, decode state), so the run
+        // is indistinguishable from one on a fresh machine.
+        let (machine, pristine) = pooled_machine(machines, job);
+        machine
+            .restore_pristine(&pristine)
+            .expect("a machine always accepts its own pristine snapshot");
+        machine.set_fuel(fuel);
+        load_into(machine, prebuilt, superblocks);
+        return machine.run();
     }
     let mut platform = Platform::with_fault(job.platform, &job.derivative, job.fault);
     platform.set_fuel(fuel);
     load_into(&mut platform, prebuilt, superblocks);
     platform.run()
+}
+
+/// The worker-local pooled machine (and its pristine snapshot) for a
+/// job's (platform, derivative, fault), constructing it on first use.
+fn pooled_machine<'p>(machines: &'p mut MachinePool, job: &Job) -> (&'p mut Platform, SaveState) {
+    let key = (job.platform, job.derivative.id(), job.fault);
+    if machines.slot.as_ref().is_none_or(|s| s.key != key) {
+        // Drop the old machine *before* constructing the new one so the
+        // allocator hands its still-hot memory straight back.
+        machines.slot = None;
+        let machine = Platform::with_fault(job.platform, &job.derivative, job.fault);
+        let pristine = machine.snapshot();
+        machines.slot = Some(MachineSlot {
+            key,
+            machine,
+            pristine,
+        });
+    }
+    let slot = machines.slot.as_mut().expect("slot was just filled");
+    (&mut slot.machine, slot.pristine.clone())
 }
 
 /// Runs one job from reset with the MMIO monitor armed and evaluates

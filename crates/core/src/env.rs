@@ -280,7 +280,7 @@ impl ModuleTestEnv {
             }
             None => spec.with_generated_test_pages(self.cells.len().max(2)),
         };
-        self.globals_text = spec.render().text();
+        self.globals_text = cached_globals_text(&spec);
         self.base_functions_text = base_functions(self.config.style);
     }
 
@@ -418,6 +418,44 @@ impl fmt::Display for ModuleTestEnv {
             self.config.platform,
         )
     }
+}
+
+/// Renders a globals spec through a bounded process-wide cache.
+///
+/// Campaign planning re-targets environments to every platform, so the
+/// same few (derivative, platform, release, test-page, extra-define)
+/// combinations render dozens of times per plan while the rendered text
+/// is a pure function of exactly those inputs. The cache is cleared
+/// wholesale when full, bounding memory under randomized-globals
+/// workloads without an eviction policy.
+fn cached_globals_text(spec: &GlobalsSpec) -> String {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    type Key = (DerivativeId, PlatformId, u32, Vec<u32>, Vec<(String, u32)>);
+    static CACHE: OnceLock<Mutex<HashMap<Key, String>>> = OnceLock::new();
+    const CACHE_CAP: usize = 64;
+
+    let key: Key = (
+        spec.derivative().id(),
+        spec.platform(),
+        spec.es_version().code(),
+        spec.test_pages().to_vec(),
+        spec.extra().map(|(n, v)| (n.to_owned(), v)).collect(),
+    );
+    let mut cache = CACHE
+        .get_or_init(Mutex::default)
+        .lock()
+        .expect("globals render cache lock");
+    if let Some(text) = cache.get(&key) {
+        return text.clone();
+    }
+    let text = spec.render().text();
+    if cache.len() >= CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, text.clone());
+    text
 }
 
 /// Whether an environment name embeds a derivative name (forbidden by the

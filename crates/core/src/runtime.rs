@@ -44,9 +44,20 @@ pub mod fail_codes {
     pub const NO_RESULT: u32 = 0xFE;
 }
 
+/// Returns a memoised render: the three runtime library sources are
+/// pure functions, and campaign planning requests them once per job.
+fn memoized(cell: &'static std::sync::OnceLock<String>, render: fn() -> String) -> String {
+    cell.get_or_init(render).clone()
+}
+
 /// Generates the vector-table include (32 word entries, Figure 5's
 /// "Trap Handlers" global library owns the layout).
 pub fn vector_table() -> String {
+    static CACHE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    memoized(&CACHE, render_vector_table)
+}
+
+fn render_vector_table() -> String {
     let mut s = String::new();
     s.push_str(";; Vector_Table.inc — global library: trap/interrupt vector layout\n");
     s.push_str(";; Entry n is the handler address for vector n (0 = unhandled).\n");
@@ -66,6 +77,11 @@ pub fn vector_table() -> String {
 
 /// Generates the trap-handler library.
 pub fn trap_handlers() -> String {
+    static CACHE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    memoized(&CACHE, render_trap_handlers)
+}
+
+fn render_trap_handlers() -> String {
     let result = Mailbox::new().reg(Mailbox::RESULT);
     let sim_end = Mailbox::new().reg(Mailbox::SIM_END);
     let fail = Mailbox::FAIL_MAGIC;
@@ -128,6 +144,11 @@ pub fn trap_handlers() -> String {
 /// Generates the startup stub placed at the reset PC: call `_main`, and
 /// fail loudly if the test returns without reporting a result.
 pub fn startup_stub() -> String {
+    static CACHE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    memoized(&CACHE, render_startup_stub)
+}
+
+fn render_startup_stub() -> String {
     format!(
         "\
 __start:

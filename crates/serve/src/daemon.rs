@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 
 use advm::artifacts::{ArtifactStore, DEFAULT_ARTIFACT_CAPACITY};
 use advm::audit::FaultAudit;
-use advm::campaign::{Campaign, CampaignEvent, CampaignObserver, ObserverFactory};
+use advm::campaign::{Campaign, CampaignEvent, CampaignObserver, CampaignPerf, ObserverFactory};
 use advm::env::ModuleTestEnv;
 use advm::fuzz::Fuzz;
 use advm::stimulus::Exploration;
@@ -67,6 +67,9 @@ pub struct JobRecord {
     seq: AtomicU64,
     /// The final `done` line, also present at the end of the stream.
     result: OnceLock<String>,
+    /// The finished job's aggregated campaign perf (all internal
+    /// campaigns absorbed), for the status/list phase split.
+    perf: OnceLock<CampaignPerf>,
 }
 
 impl JobRecord {
@@ -83,6 +86,7 @@ impl JobRecord {
             cv: Condvar::new(),
             seq: AtomicU64::new(0),
             result: OnceLock::new(),
+            perf: OnceLock::new(),
         }
     }
 
@@ -153,6 +157,12 @@ impl JobRecord {
     /// The final `done` line, if the job already finished.
     pub fn result_line(&self) -> Option<String> {
         self.result.get().cloned()
+    }
+
+    /// The finished job's aggregated campaign perf, if it completed
+    /// successfully (`None` while queued/running and for failures).
+    pub fn perf(&self) -> Option<&CampaignPerf> {
+        self.perf.get()
     }
 
     /// Emits one campaign event into the stream.
@@ -291,11 +301,13 @@ impl Daemon {
         format!("{{\"ok\":true,\"job\":{id},\"cancelled\":{cancelled}}}")
     }
 
-    /// One-line daemon summary: job counts by state, worker count, and
-    /// the artifact store's hit/miss/eviction counters.
+    /// One-line daemon summary: job counts by state, worker count, the
+    /// artifact store's hit/miss/eviction counters, and the per-phase
+    /// wall split (build/exec/report) summed over every finished job.
     pub fn status_line(&self) -> String {
         let state = self.shared.state.lock().expect("daemon state poisoned");
         let mut counts = [0usize; 5];
+        let mut phases = CampaignPerf::default();
         for job in &state.jobs {
             let index = match job.state() {
                 JobState::Queued => 0,
@@ -305,34 +317,45 @@ impl Daemon {
                 JobState::Cancelled => 4,
             };
             counts[index] += 1;
+            if let Some(perf) = job.perf() {
+                phases.absorb(perf);
+            }
         }
         drop(state);
         format!(
             "{{\"ok\":true,\"workers\":{},\"queued\":{},\"running\":{},\
-             \"done\":{},\"failed\":{},\"cancelled\":{},\"artifacts\":{}}}",
+             \"done\":{},\"failed\":{},\"cancelled\":{},\"artifacts\":{},\
+             \"phases\":{}}}",
             self.shared.workers,
             counts[0],
             counts[1],
             counts[2],
             counts[3],
             counts[4],
-            self.shared.store.stats().to_json()
+            self.shared.store.stats().to_json(),
+            phases_json(&phases)
         )
     }
 
-    /// One line listing every known job: id, kind, state.
+    /// One line listing every known job: id, kind, state, and — once
+    /// the job finished — its per-phase wall split.
     pub fn list_line(&self) -> String {
         let state = self.shared.state.lock().expect("daemon state poisoned");
         let jobs: Vec<String> = state
             .jobs
             .iter()
             .map(|job| {
-                format!(
-                    "{{\"job\":{},\"kind\":\"{}\",\"state\":\"{}\"}}",
+                let mut line = format!(
+                    "{{\"job\":{},\"kind\":\"{}\",\"state\":\"{}\"",
                     job.id(),
                     job.spec().kind(),
                     job.state().name()
-                )
+                );
+                if let Some(perf) = job.perf() {
+                    line.push_str(&format!(",\"phases\":{}", phases_json(perf)));
+                }
+                line.push('}');
+                line
             })
             .collect();
         format!("{{\"ok\":true,\"jobs\":[{}]}}", jobs.join(","))
@@ -365,6 +388,18 @@ impl Drop for Daemon {
     }
 }
 
+/// Renders a perf block's phase split: build (assembly + planning),
+/// exec (the run itself) and report (sealing, divergence, bisection)
+/// wall, in milliseconds.
+fn phases_json(perf: &CampaignPerf) -> String {
+    format!(
+        "{{\"build_ms\":{:.3},\"exec_ms\":{:.3},\"report_ms\":{:.3}}}",
+        perf.build_wall.as_secs_f64() * 1e3,
+        perf.exec_wall.as_secs_f64() * 1e3,
+        perf.report_wall.as_secs_f64() * 1e3
+    )
+}
+
 /// One worker: pull, execute, seal, repeat.
 fn worker_loop(shared: &Shared) {
     loop {
@@ -386,13 +421,16 @@ fn worker_loop(shared: &Shared) {
         }
         record.set_state(JobState::Running);
         match execute(record.spec(), &shared.store, &record) {
-            Ok((ok, report)) => record.finish(
-                JobState::Done { ok },
-                format!(
-                    "{{\"job\":{},\"done\":true,\"ok\":{ok},\"report\":{report}}}",
-                    record.id()
-                ),
-            ),
+            Ok((ok, report, perf)) => {
+                let _ = record.perf.set(perf);
+                record.finish(
+                    JobState::Done { ok },
+                    format!(
+                        "{{\"job\":{},\"done\":true,\"ok\":{ok},\"report\":{report}}}",
+                        record.id()
+                    ),
+                );
+            }
             Err(error) => record.finish(
                 JobState::Failed {
                     error: error.clone(),
@@ -415,12 +453,13 @@ fn streamer_factory(record: &Arc<JobRecord>) -> ObserverFactory {
 }
 
 /// Executes one job spec against the shared store, streaming events to
-/// the record. Returns the run-level verdict and the report JSON.
+/// the record. Returns the run-level verdict, the report JSON, and the
+/// job's aggregated campaign perf (all internal campaigns absorbed).
 fn execute(
     spec: &JobSpec,
     store: &Arc<ArtifactStore>,
     record: &Arc<JobRecord>,
-) -> Result<(bool, String), String> {
+) -> Result<(bool, String, CampaignPerf), String> {
     match spec {
         JobSpec::Regress {
             dir,
@@ -455,7 +494,7 @@ fn execute(
                 campaign = campaign.fuel(*fuel);
             }
             let report = campaign.run().map_err(|e| e.to_string())?;
-            Ok((report.failed() == 0, report.to_json()))
+            Ok((report.failed() == 0, report.to_json(), *report.perf()))
         }
         JobSpec::Audit {
             platforms,
@@ -486,7 +525,7 @@ fn execute(
                 audit = audit.fuel(*fuel);
             }
             let report = audit.run().map_err(|e| e.to_string())?;
-            Ok((report.broken() == 0, report.to_json()))
+            Ok((report.broken() == 0, report.to_json(), *report.perf()))
         }
         JobSpec::Explore {
             rounds,
@@ -518,7 +557,11 @@ fn execute(
                 exploration = exploration.platforms(PlatformId::ALL);
             }
             let report = exploration.run().map_err(|e| e.to_string())?;
-            Ok((report.failed() == 0, report.to_json()))
+            let mut perf = CampaignPerf::default();
+            for round in report.rounds() {
+                perf.absorb(round.campaign.perf());
+            }
+            Ok((report.failed() == 0, report.to_json(), perf))
         }
         JobSpec::Fuzz {
             programs,
@@ -551,7 +594,8 @@ fn execute(
                 fuzz = fuzz.fuel(*fuel);
             }
             let report = fuzz.run().map_err(|e| e.to_string())?;
-            Ok((report.ok(), report.to_json()))
+            let perf = *report.campaign().perf();
+            Ok((report.ok(), report.to_json(), perf))
         }
     }
 }
@@ -761,11 +805,19 @@ mod tests {
         let status = JsonValue::parse(&daemon.status_line()).unwrap();
         assert_eq!(status.u64_field("done").unwrap(), 1);
         assert!(status.get("artifacts").is_some());
+        let phases = status.get("phases").unwrap();
+        for key in ["build_ms", "exec_ms", "report_ms"] {
+            assert!(phases.get(key).is_some(), "status phases lack {key}");
+        }
         let list = JsonValue::parse(&daemon.list_line()).unwrap();
         let jobs = list.get("jobs").unwrap().as_array().unwrap();
         assert_eq!(jobs.len(), 1);
         assert_eq!(jobs[0].str_field("kind").unwrap(), "regress");
         assert_eq!(jobs[0].str_field("state").unwrap(), "done");
+        let phases = jobs[0].get("phases").unwrap();
+        for key in ["build_ms", "exec_ms", "report_ms"] {
+            assert!(phases.get(key).is_some(), "job phases lack {key}");
+        }
         daemon.join();
     }
 }

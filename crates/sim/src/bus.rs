@@ -103,6 +103,41 @@ pub struct SocBus {
     /// assertion mining/checking. Verification scaffolding, not machine
     /// state — never serialized into snapshots.
     mmio_trace: Option<MmioTrace>,
+    /// Dirty-chunk bitmaps over the three memories (one bit per
+    /// [`DIRTY_CHUNK`] bytes): which chunks may differ from their
+    /// constructor fill. [`SocBus::rewind_memories`] resets only these,
+    /// so pooled machines rewind in proportion to what a run touched
+    /// instead of re-filling all of ROM+RAM+NVM. Bookkeeping, not
+    /// machine state — never serialized.
+    dirty_rom: u64,
+    dirty_ram: u64,
+    dirty_nvm: u64,
+}
+
+/// Granularity of the dirty-memory bitmaps: 4 KiB chunks keep every
+/// region's chunk count within one `u64` (ROM's 256 KiB → 64 bits).
+const DIRTY_CHUNK: usize = 4096;
+
+/// Marks the chunks covering `start..end` (byte offsets) dirty.
+fn mark_dirty(bits: &mut u64, start: usize, end: usize) {
+    debug_assert!(start < end);
+    for chunk in (start / DIRTY_CHUNK)..=((end - 1) / DIRTY_CHUNK) {
+        *bits |= 1 << chunk;
+    }
+}
+
+/// Fills every dirty chunk of `mem` with its constructor value.
+fn fill_dirty(mem: &mut [u8], mut dirty: u64, value: u8) {
+    while dirty != 0 {
+        let chunk = dirty.trailing_zeros() as usize;
+        dirty &= dirty - 1;
+        let start = chunk * DIRTY_CHUNK;
+        if start >= mem.len() {
+            break;
+        }
+        let end = (start + DIRTY_CHUNK).min(mem.len());
+        mem[start..end].fill(value);
+    }
 }
 
 impl SocBus {
@@ -224,6 +259,9 @@ impl SocBus {
             async_work: false,
             timing_active: false,
             mmio_trace: None,
+            dirty_rom: 0,
+            dirty_ram: 0,
+            dirty_nvm: 0,
         }
     }
 
@@ -301,14 +339,27 @@ impl SocBus {
     /// indicates a corrupt build, not user input.
     pub fn load_image(&mut self, image: &advm_asm::Image) {
         self.decode.invalidate_all();
-        for (addr, byte) in image.iter() {
-            match self.memmap.region_at(addr).map(|r| r.kind()) {
-                Some(RegionKind::Rom) => self.rom[(addr - ROM_START) as usize] = byte,
-                Some(RegionKind::Ram) => self.ram[(addr - RAM_START) as usize] = byte,
-                Some(RegionKind::Nvm) => {
-                    self.nvm[(addr - advm_soc::memmap::NVM_START) as usize] = byte
-                }
-                _ => panic!("image byte at {addr:#07x} outside loadable memory"),
+        for (base, bytes) in image.runs() {
+            // Copy region-sized spans at a time; a run rarely crosses a
+            // region boundary, so this is one memcpy per run in practice.
+            let mut addr = base;
+            let mut rest = bytes;
+            while !rest.is_empty() {
+                let Some(region) = self.memmap.region_at(addr) else {
+                    panic!("image byte at {addr:#07x} outside loadable memory")
+                };
+                let span = rest.len().min((region.end() - addr) as usize);
+                let off = (addr - region.start()) as usize;
+                let (dst, dirty) = match region.kind() {
+                    RegionKind::Rom => (&mut self.rom, &mut self.dirty_rom),
+                    RegionKind::Ram => (&mut self.ram, &mut self.dirty_ram),
+                    RegionKind::Nvm => (&mut self.nvm, &mut self.dirty_nvm),
+                    _ => panic!("image byte at {addr:#07x} outside loadable memory"),
+                };
+                dst[off..off + span].copy_from_slice(&rest[..span]);
+                mark_dirty(dirty, off, off + span);
+                addr += span as u32;
+                rest = &rest[span..];
             }
         }
     }
@@ -426,6 +477,7 @@ impl SocBus {
                 crate::periph::nvmc::NvmOp::Write { offset, value } => {
                     let o = offset as usize;
                     self.nvm[o..o + 4].copy_from_slice(&value.to_le_bytes());
+                    mark_dirty(&mut self.dirty_nvm, o, o + 4);
                     self.decode
                         .invalidate_word(ExecRegion::Nvm, (offset >> 2) as usize);
                 }
@@ -435,6 +487,7 @@ impl SocBus {
                     let p = page as usize;
                     let end = (p + crate::periph::nvmc::PAGE_BYTES as usize).min(self.nvm.len());
                     self.nvm[p..end].fill(0xFF);
+                    mark_dirty(&mut self.dirty_nvm, p, end);
                     self.decode.invalidate_range(
                         ExecRegion::Nvm,
                         (page >> 2) as usize,
@@ -506,6 +559,42 @@ impl SocBus {
         r.take_rle_into(&mut self.rom)?;
         r.take_rle_into(&mut self.ram)?;
         r.take_rle_into(&mut self.nvm)?;
+        // The snapshot may hold arbitrary content: every chunk may now
+        // differ from its constructor fill.
+        self.dirty_rom = !0;
+        self.dirty_ram = !0;
+        self.dirty_nvm = !0;
+        self.apply_state_tail(r)
+    }
+
+    /// [`SocBus::apply_state`] specialized for a *pristine* snapshot —
+    /// one captured right after construction. The memory sections are
+    /// verified to hold the constructor fills (and rejected otherwise),
+    /// then the arrays are reset through the dirty-chunk bitmaps: cost
+    /// proportional to what the last run touched, not to total memory.
+    /// This is what makes pooled campaign machines cheaper to rewind
+    /// than to reconstruct.
+    pub(crate) fn apply_pristine_state(
+        &mut self,
+        r: &mut SaveReader<'_>,
+    ) -> Result<(), SaveStateError> {
+        self.now = r.take_u64()?;
+        self.watchdog_bite = r.take_bool()?;
+        r.take_rle_uniform(self.rom.len(), 0x00)?;
+        r.take_rle_uniform(self.ram.len(), 0x00)?;
+        r.take_rle_uniform(self.nvm.len(), 0xFF)?;
+        fill_dirty(&mut self.rom, self.dirty_rom, 0x00);
+        fill_dirty(&mut self.ram, self.dirty_ram, 0x00);
+        fill_dirty(&mut self.nvm, self.dirty_nvm, 0xFF);
+        self.dirty_rom = 0;
+        self.dirty_ram = 0;
+        self.dirty_nvm = 0;
+        self.apply_state_tail(r)
+    }
+
+    /// The shared non-memory tail of [`SocBus::apply_state`] and
+    /// [`SocBus::apply_pristine_state`].
+    fn apply_state_tail(&mut self, r: &mut SaveReader<'_>) -> Result<(), SaveStateError> {
         self.mmio_touched.clear();
         for _ in 0..r.take_u32()? {
             self.mmio_touched.insert(r.take_u32()?);
@@ -733,6 +822,7 @@ impl SocBus {
         }
         if addr.wrapping_sub(RAM_START) < RAM_SIZE {
             write_word(&mut self.ram, addr - RAM_START, value);
+            self.dirty_ram |= 1 << ((addr - RAM_START) as usize / DIRTY_CHUNK);
             self.decode
                 .invalidate_word(ExecRegion::Ram, ((addr - RAM_START) >> 2) as usize);
             return Ok(());
@@ -798,6 +888,7 @@ impl SocBus {
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), BusFault> {
         if addr.wrapping_sub(RAM_START) < RAM_SIZE {
             self.ram[(addr - RAM_START) as usize] = value;
+            self.dirty_ram |= 1 << ((addr - RAM_START) as usize / DIRTY_CHUNK);
             self.decode
                 .invalidate_word(ExecRegion::Ram, ((addr - RAM_START) >> 2) as usize);
             return Ok(());

@@ -445,7 +445,10 @@ impl DecodeCache {
         }
         let (slots, words) = Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
         if slots.is_empty() {
-            *slots = vec![Slot::Unknown; words];
+            // `resize` re-fills in place: invalidation `clear`s but
+            // keeps capacity, so steady-state refills never re-allocate
+            // the region's slot table.
+            slots.resize(words, Slot::Unknown);
         }
         let slot = match slots[idx] {
             Slot::Unknown => {
@@ -508,7 +511,7 @@ impl DecodeCache {
                 region,
             );
             if map.is_empty() {
-                *map = vec![BLOCK_UNKNOWN; words];
+                map.resize(words, BLOCK_UNKNOWN);
             }
             map[idx]
         };
@@ -525,7 +528,7 @@ impl DecodeCache {
             let (slots, words) =
                 Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
             if slots.is_empty() {
-                *slots = vec![Slot::Unknown; words];
+                slots.resize(words, Slot::Unknown);
             }
             let mut cap = (idx + MAX_BLOCK_WORDS).min(words);
             if let Some((lo, _)) = excluded {
@@ -715,7 +718,7 @@ impl DecodeCache {
             let (slots, words) =
                 Self::region_of(&mut self.rom, &mut self.ram, &mut self.nvm, region);
             if slots.is_empty() {
-                *slots = vec![Slot::Unknown; words];
+                slots.resize(words, Slot::Unknown);
             }
             slots[idx] = slot;
             self.stats.preloaded += 1;

@@ -260,6 +260,33 @@ impl<'a> SaveReader<'a> {
         Ok(())
     }
 
+    /// Consumes an RLE section, verifying it decodes to exactly `len`
+    /// bytes all equal to `fill` — without writing a destination. The
+    /// pristine-rewind fast path uses this to check that a snapshot's
+    /// memory payload matches the constructor values (so the memories
+    /// can be reset through dirty-chunk fills instead of a full
+    /// decode), while still consuming the reader exactly like
+    /// [`SaveReader::take_rle_into`].
+    pub(crate) fn take_rle_uniform(&mut self, len: usize, fill: u8) -> Result<(), SaveStateError> {
+        let total = self.take_u32()? as usize;
+        if total != len {
+            return Err(SaveStateError::Corrupt("memory size mismatch"));
+        }
+        let mut filled = 0usize;
+        while filled < total {
+            let byte = self.take_u8()?;
+            let run = self.take_u32()? as usize;
+            if run == 0 || run > total - filled {
+                return Err(SaveStateError::Corrupt("bad run length"));
+            }
+            if byte != fill {
+                return Err(SaveStateError::Corrupt("snapshot memory is not pristine"));
+            }
+            filled += run;
+        }
+        Ok(())
+    }
+
     /// Asserts the whole blob was consumed.
     pub(crate) fn expect_end(&self) -> Result<(), SaveStateError> {
         if self.pos == self.bytes.len() {

@@ -123,6 +123,16 @@ impl GlobalsSpec {
         self.platform
     }
 
+    /// The test-target pages, in `TEST{i+1}_TARGET_PAGE` order.
+    pub fn test_pages(&self) -> &[u32] {
+        &self.test_pages
+    }
+
+    /// The extra numeric defines, in name order.
+    pub fn extra(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.extra.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
     /// Renders the complete globals file.
     pub fn render(&self) -> GlobalsFile {
         let map = self.derivative.regmap();

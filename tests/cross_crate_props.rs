@@ -303,6 +303,57 @@ proptest! {
         prop_assert!(serial.killed(PlatformFault::PageMapWriteIgnored));
     }
 
+    /// Worker-local machine pooling is perf-only: pooled and
+    /// fresh-construction runs produce byte-identical (perf-stripped)
+    /// campaign and audit JSON — same verdicts, matrices, kill counts
+    /// and divergences — at workers 1 and 8, across all six platforms.
+    #[test]
+    fn machine_pool_json_is_byte_identical_to_fresh_construction(seed in 0u64..1_000) {
+        let envs = [page_env(default_config(), 2), uart_env(default_config())];
+        let campaign = |workers: usize, pooled: bool| {
+            Campaign::new()
+                .envs(envs.iter().cloned())
+                .platforms(PlatformId::ALL)
+                .fault(PlatformId::RtlSim, PlatformFault::PageActiveOffByOne)
+                .workers(workers)
+                .machine_pool(pooled)
+                .run()
+                .expect("suite builds")
+        };
+        let reference = strip_perf(&campaign(1, false).to_json());
+        for workers in [1usize, 8] {
+            prop_assert_eq!(
+                &reference,
+                &strip_perf(&campaign(workers, true).to_json()),
+                "pooled campaign, workers={}", workers
+            );
+        }
+        prop_assert_eq!(&reference, &strip_perf(&campaign(8, false).to_json()));
+
+        let audit = |workers: usize, pooled: bool| {
+            FaultAudit::new()
+                .suite(envs.iter().cloned())
+                .faults([PlatformFault::PageActiveOffByOne])
+                .platforms(PlatformId::ALL)
+                .scenarios(2)
+                .seed(seed)
+                .fuel(200_000)
+                .workers(workers)
+                .machine_pool(pooled)
+                .run()
+                .expect("audit runs")
+        };
+        let reference = strip_perf(&audit(1, false).to_json());
+        for workers in [1usize, 8] {
+            prop_assert_eq!(
+                &reference,
+                &strip_perf(&audit(workers, true).to_json()),
+                "pooled audit, workers={}", workers
+            );
+        }
+        prop_assert_eq!(&reference, &strip_perf(&audit(8, false).to_json()));
+    }
+
     /// Snapshot-based prefix forking is perf-only: a fault audit whose
     /// campaigns fork every safe run from the shared fault-free prefix
     /// produces byte-identical (perf-stripped) JSON — classifications,
@@ -384,4 +435,83 @@ fn forked_campaign_json_is_byte_identical_to_from_reset() {
         !pool.is_empty(),
         "prefixes captured once, reused across runs"
     );
+}
+
+/// The parallel assembly front-end is perf-only. For a well-formed
+/// suite the perf-stripped report JSON — which pins every
+/// image-dependent observable: verdicts, instruction and cycle counts,
+/// console and UART bytes — is byte-identical whatever the worker
+/// count or front-end mode, so the built images are too. For a
+/// malformed source the campaign fails with the identical
+/// `CampaignError`, attributed to the first failing job in plan order,
+/// never to whichever worker happened to parse first.
+#[test]
+fn parallel_frontend_is_schedule_independent() {
+    let good = [page_env(default_config(), 2), uart_env(default_config())];
+    let run = |workers: usize, parallel: bool| {
+        Campaign::new()
+            .envs(good.iter().cloned())
+            .platforms([
+                PlatformId::GoldenModel,
+                PlatformId::RtlSim,
+                PlatformId::GateSim,
+            ])
+            .workers(workers)
+            .parallel_frontend(parallel)
+            .run()
+            .expect("suite builds")
+    };
+    let reference = strip_perf(&run(1, false).to_json());
+    for workers in [1usize, 8] {
+        assert_eq!(
+            reference,
+            strip_perf(&run(workers, true).to_json()),
+            "parallel front-end, workers={workers}"
+        );
+    }
+
+    // Two malformed cells in different envs: if attribution followed
+    // build completion order, racing workers could report either one.
+    let broken: Vec<ModuleTestEnv> = [("ALPHA", 1usize), ("BETA", 3)]
+        .into_iter()
+        .map(|(name, bad)| {
+            let cells: Vec<TestCell> = (0..4)
+                .map(|i| {
+                    let source = if i == bad {
+                        ".INCLUDE Globals.inc\n_main:\n    NOT_AN_OPCODE ArgA, #1\n    RETURN\n"
+                    } else {
+                        ".INCLUDE Globals.inc\n_main:\n    CALL Base_Report_Pass\n    RETURN\n"
+                    };
+                    TestCell::new(format!("TEST_{i}"), "generated", source)
+                })
+                .collect();
+            ModuleTestEnv::new(
+                name,
+                EnvConfig::new(DerivativeId::Sc88A, PlatformId::GoldenModel),
+                cells,
+            )
+        })
+        .collect();
+    let fail = |workers: usize, parallel: bool| {
+        let error = Campaign::new()
+            .envs(broken.iter().cloned())
+            .platforms([PlatformId::GoldenModel, PlatformId::RtlSim])
+            .workers(workers)
+            .parallel_frontend(parallel)
+            .run()
+            .expect_err("malformed source must not build");
+        match error {
+            advm::campaign::CampaignError::Build {
+                env,
+                test_id,
+                platform,
+                source,
+            } => (env, test_id, platform, source.to_string()),
+            other => panic!("expected a build error, got {other}"),
+        }
+    };
+    let reference = fail(1, false);
+    for workers in [1usize, 8] {
+        assert_eq!(reference, fail(workers, true), "workers={workers}");
+    }
 }
